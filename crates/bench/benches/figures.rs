@@ -1,0 +1,55 @@
+//! One Criterion bench per paper figure. Each bench prints the
+//! regenerated series (ASCII chart) once, then times the sweep at
+//! reduced effort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use busnet_report::experiments::{self, Effort};
+
+fn bench_fig2(c: &mut Criterion) {
+    let chart = experiments::fig2(Effort::Quick).expect("fig 2");
+    println!("{}", chart.render(72, 20));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("ebw_vs_r_both_priorities", |b| {
+        b.iter(|| black_box(experiments::fig2(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let chart = experiments::fig3(Effort::Quick).expect("fig 3");
+    println!("{}", chart.render(72, 20));
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("utilization_vs_p_unbuffered", |b| {
+        b.iter(|| black_box(experiments::fig3(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let chart = experiments::fig5(Effort::Quick).expect("fig 5");
+    println!("{}", chart.render(72, 20));
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("buffered_vs_unbuffered_sweep", |b| {
+        b.iter(|| black_box(experiments::fig5(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let chart = experiments::fig6(Effort::Quick).expect("fig 6");
+    println!("{}", chart.render(72, 20));
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("utilization_vs_p_buffered", |b| {
+        b.iter(|| black_box(experiments::fig6(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig3, bench_fig5, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Raw-performance benches of the substrate kernels: simulator cycle
+//! rate, chain construction/solving, and the queueing solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use busnet_core::analytic::exact_chain::ExactChain;
+use busnet_core::analytic::pfqn::{pfqn_ebw, pfqn_ebw_buzen};
+use busnet_core::analytic::reduced::ReducedChain;
+use busnet_core::params::{Buffering, SystemParams};
+use busnet_core::sim::bus::BusSimBuilder;
+
+fn bench_sim_cycle_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cycle_rate");
+    for (n, m) in [(8u32, 8u32), (16, 16), (32, 32)] {
+        let cycles: u64 = 50_000;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &(n, m), |b, &(n, m)| {
+            b.iter(|| {
+                let report = BusSimBuilder::new(SystemParams::new(n, m, 8).expect("valid"))
+                    .buffering(Buffering::Buffered)
+                    .seed(3)
+                    .warmup_cycles(0)
+                    .measure_cycles(cycles)
+                    .build()
+                    .run();
+                black_box(report.returns)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_chain_build_solve");
+    for nm in [4u32, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nm), &nm, |b, &nm| {
+            let params = SystemParams::new(nm, nm, nm + 7).expect("valid");
+            b.iter(|| black_box(ExactChain::new(params).ebw().expect("solvable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduced_chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduced_chain_build_solve");
+    for v in [4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            let params = SystemParams::new(v, v, 8).expect("valid");
+            b.iter(|| black_box(ReducedChain::new(params).ebw().expect("solvable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queueing_solvers(c: &mut Criterion) {
+    let params = SystemParams::new(16, 16, 8).expect("valid");
+    let mut group = c.benchmark_group("pfqn_solvers");
+    group.bench_function("mva", |b| b.iter(|| black_box(pfqn_ebw(&params).expect("solvable"))));
+    group.bench_function("buzen", |b| {
+        b.iter(|| black_box(pfqn_ebw_buzen(&params).expect("solvable")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_cycle_rate,
+    bench_exact_chain_scaling,
+    bench_reduced_chain_scaling,
+    bench_queueing_solvers
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! One Criterion bench per paper table. Each bench first prints the
+//! regenerated rows (so the harness output doubles as the reproduction
+//! record), then times the computation at reduced effort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use busnet_report::experiments::{self, Effort};
+
+fn bench_table1(c: &mut Criterion) {
+    let grid = experiments::table1().expect("table 1");
+    println!("{}", grid.render());
+    println!("{}", grid.render_vs(&experiments::table1_paper()));
+    c.bench_function("table1_exact_chain", |b| {
+        b.iter(|| black_box(experiments::table1().unwrap()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let grid = experiments::table2().expect("table 2");
+    println!("{}", grid.render());
+    println!("{}", grid.render_vs(&experiments::table2_paper()));
+    c.bench_function("table2_approx_model", |b| {
+        b.iter(|| black_box(experiments::table2().unwrap()))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let t3 = experiments::table3(Effort::Quick).expect("table 3");
+    println!("{}", t3.sim.render_vs(&t3.paper_sim));
+    println!("{}", t3.model.render_vs(&t3.paper_model));
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("sim_plus_reduced_chain_quick", |b| {
+        b.iter(|| black_box(experiments::table3(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let t4 = experiments::table4(Effort::Quick).expect("table 4");
+    println!("{}", t4.sim.render_vs(&t4.paper));
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("buffered_sim_quick", |b| {
+        b.iter(|| black_box(experiments::table4(Effort::Quick).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table3, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! `busnet-bench` is a benchmark-only crate: see `benches/` for the
+//! Criterion harness that regenerates and times every paper table and
+//! figure plus the ablation and kernel benches.
+//!
+//! * `benches/tables.rs` — Tables 1–4 (prints paper-vs-measured rows).
+//! * `benches/figures.rs` — Figures 2, 3, 5, 6 (prints ASCII charts).
+//! * `benches/ablations.rs` — priority × buffering, reduced-chain scan
+//!   readings, approximation variants.
+//! * `benches/kernels.rs` — simulator cycle rate and solver scaling.
+
+#![forbid(unsafe_code)]

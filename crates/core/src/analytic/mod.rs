@@ -1,0 +1,28 @@
+//! Analytic performance models.
+//!
+//! * [`occupancy`] — the shared occupancy-vector Markov chain machinery:
+//!   states are sorted module-queue-length vectors, transitions follow
+//!   the service-and-uniform-resubmit dynamics of Bhandarkar's crossbar
+//!   model generalized to a per-cycle service cap (the paper builds its
+//!   §3.1.1 exact chain "using the same method as (5)" — the
+//!   multiple-bus model — "with b = r + 1").
+//! * [`exact_chain`] — §3.1.1: exact EBW with priority to memories
+//!   (Table 1).
+//! * [`approx`] — §3.2: the memoryless combinational approximation,
+//!   plain (Table 2) and symmetrized.
+//! * [`reduced`] — §4: the reduced `(i, c, e, b)` approximate chain with
+//!   priority to processors (Table 3b).
+//! * [`crossbar`] — crossbar baselines: exact chain EBW and Strecker's
+//!   approximation (the reference lines of Figs 2 and 5).
+//! * [`multibus`] — the multiple-bus baseline of the paper's reference 5
+//!   (used by the §7 trade-off discussion).
+//! * [`pfqn`] — §6: the product-form (exponential-service) model of the
+//!   buffered system, solved by MVA/Buzen.
+
+pub mod approx;
+pub mod crossbar;
+pub mod exact_chain;
+pub mod multibus;
+pub mod occupancy;
+pub mod pfqn;
+pub mod reduced;

@@ -1,0 +1,223 @@
+//! §6 — product-form (exponential-service) model of the buffered
+//! system.
+//!
+//! "If random exponential variables could be used to characterize the
+//! bus and memory modules service times, the buffered system could be
+//! modeled with a product form queueing network (18) and thus its
+//! performance evaluated using standard well established techniques
+//! (19), (20)." — paper §6.
+//!
+//! The mapping is the classic central-server closed network:
+//!
+//! * one FIFO **bus** station, mean service 1 bus cycle, visited twice
+//!   per memory access (request + return);
+//! * `m` FIFO **memory** stations, mean service `r`, visit ratio `1/m`
+//!   each (uniform addressing);
+//! * for `p < 1`, a **delay** station modeling internal processing with
+//!   mean think time `(r+2)(1−p)/p`;
+//! * population `n` (one circulating customer per processor).
+//!
+//! The paper reports that this exponential model is *pessimistic* by
+//! more than 25% against the constant-service simulation; the
+//! model-validation example and tests quantify that gap.
+
+use busnet_queueing::{ClosedNetwork, Station, StationKind};
+
+use crate::error::CoreError;
+use crate::params::SystemParams;
+
+/// Builds the central-server product-form network for `params`.
+///
+/// # Errors
+///
+/// Propagates station-validation failures (cannot occur for valid
+/// [`SystemParams`], but surfaced rather than unwrapped).
+pub fn buffered_network(params: &SystemParams) -> Result<ClosedNetwork, CoreError> {
+    let mut net = ClosedNetwork::new();
+    net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0)?);
+    let m = params.m();
+    for j in 0..m {
+        net.add_station(Station::new(
+            format!("mem{j}"),
+            StationKind::Queueing,
+            1.0 / f64::from(m),
+            f64::from(params.r()),
+        )?);
+    }
+    if params.p() < 1.0 {
+        let think = f64::from(params.processor_cycle()) * (1.0 - params.p()) / params.p();
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, think)?);
+    }
+    Ok(net)
+}
+
+/// EBW predicted by the exponential product-form model, via exact MVA.
+///
+/// # Errors
+///
+/// Propagates network construction/solution failures.
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::analytic::pfqn::pfqn_ebw;
+/// use busnet_core::params::SystemParams;
+///
+/// let params = SystemParams::new(8, 16, 8)?;
+/// let ebw = pfqn_ebw(&params)?;
+/// assert!(ebw > 0.0 && ebw <= params.max_ebw());
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+pub fn pfqn_ebw(params: &SystemParams) -> Result<f64, CoreError> {
+    let net = buffered_network(params)?;
+    let sol = net.mva(params.n())?;
+    // Throughput is in accesses per bus cycle; EBW is per processor
+    // cycle (r + 2).
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+/// Same model solved by Buzen's convolution — used as a cross-check of
+/// the two classic algorithms on the paper's own workload.
+///
+/// # Errors
+///
+/// Propagates network construction/solution failures.
+pub fn pfqn_ebw_buzen(params: &SystemParams) -> Result<f64, CoreError> {
+    let net = buffered_network(params)?;
+    let sol = net.buzen(params.n())?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+/// The multi-channel generalization (this repository's extension): the
+/// bus becomes an M/M/`channels` station. Models the multiplexed
+/// multiple-bus system the paper's §7 alludes to via its reference 5.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] when `channels == 0`; otherwise
+/// propagates network failures.
+pub fn multichannel_network(
+    params: &SystemParams,
+    channels: u32,
+) -> Result<ClosedNetwork, CoreError> {
+    if channels == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "channels",
+            value: "0".to_owned(),
+            constraint: "channels >= 1",
+        });
+    }
+    let mut net = ClosedNetwork::new();
+    net.add_station(Station::new(
+        "bus",
+        StationKind::MultiServer { servers: channels },
+        2.0,
+        1.0,
+    )?);
+    let m = params.m();
+    for j in 0..m {
+        net.add_station(Station::new(
+            format!("mem{j}"),
+            StationKind::Queueing,
+            1.0 / f64::from(m),
+            f64::from(params.r()),
+        )?);
+    }
+    if params.p() < 1.0 {
+        let think = f64::from(params.processor_cycle()) * (1.0 - params.p()) / params.p();
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, think)?);
+    }
+    Ok(net)
+}
+
+/// EBW predicted by the exponential model with `channels` multiplexed
+/// bus channels.
+///
+/// # Errors
+///
+/// See [`multichannel_network`].
+pub fn pfqn_ebw_multichannel(params: &SystemParams, channels: u32) -> Result<f64, CoreError> {
+    let net = multichannel_network(params, channels)?;
+    let sol = net.mva(params.n())?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u32, m: u32, r: u32) -> SystemParams {
+        SystemParams::new(n, m, r).unwrap()
+    }
+
+    #[test]
+    fn mva_and_buzen_agree() {
+        for (n, m, r) in [(4, 4, 4), (8, 16, 8), (8, 4, 12), (16, 16, 18)] {
+            let p = params(n, m, r);
+            let a = pfqn_ebw(&p).unwrap();
+            let b = pfqn_ebw_buzen(&p).unwrap();
+            assert!((a - b).abs() < 1e-8 * a, "({n},{m},{r}): {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ebw_within_physical_bounds() {
+        for (n, m, r) in [(2, 2, 2), (8, 16, 8), (16, 8, 24)] {
+            let p = params(n, m, r);
+            let e = pfqn_ebw(&p).unwrap();
+            assert!(e > 0.0 && e <= p.max_ebw() + 1e-9, "({n},{m},{r}): {e}");
+        }
+    }
+
+    #[test]
+    fn single_customer_no_queueing() {
+        // n = 1: cycle time = 2·1 + r exactly; EBW = (r+2)/(r+2) = 1.
+        let p = params(1, 4, 6);
+        let e = pfqn_ebw(&p).unwrap();
+        assert!((e - 1.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn think_time_reduces_ebw() {
+        let full = pfqn_ebw(&params(8, 16, 8)).unwrap();
+        let half = pfqn_ebw(
+            &params(8, 16, 8).with_request_probability(0.5).unwrap(),
+        )
+        .unwrap();
+        assert!(half < full);
+    }
+
+    #[test]
+    fn network_station_count() {
+        let net = buffered_network(&params(8, 16, 8)).unwrap();
+        assert_eq!(net.len(), 17); // bus + 16 memories, no think at p = 1
+        let net =
+            buffered_network(&params(8, 16, 8).with_request_probability(0.5).unwrap()).unwrap();
+        assert_eq!(net.len(), 18);
+    }
+
+    #[test]
+    fn one_channel_matches_base_model() {
+        let p = params(8, 16, 8);
+        let base = pfqn_ebw(&p).unwrap();
+        let one = pfqn_ebw_multichannel(&p, 1).unwrap();
+        assert!((base - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channels_raise_predicted_ebw_when_bus_bound() {
+        let p = params(16, 16, 4); // r small: bus-bound
+        let one = pfqn_ebw_multichannel(&p, 1).unwrap();
+        let two = pfqn_ebw_multichannel(&p, 2).unwrap();
+        let four = pfqn_ebw_multichannel(&p, 4).unwrap();
+        assert!(two > one * 1.3, "2 channels {two} vs 1 {one}");
+        assert!(four >= two, "4 channels {four} vs 2 {two}");
+        // Widened ceiling b(r+2)/2 respected.
+        assert!(two <= 2.0 * p.max_ebw() + 1e-9);
+    }
+
+    #[test]
+    fn zero_channels_rejected() {
+        assert!(pfqn_ebw_multichannel(&params(4, 4, 4), 0).is_err());
+    }
+}

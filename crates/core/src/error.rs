@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+use busnet_markov::MarkovError;
+use busnet_queueing::QueueingError;
+
+/// Errors from the busnet core models and simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A system parameter violates its documented constraint.
+    InvalidParameter {
+        /// Parameter name (`"n"`, `"m"`, `"r"`, `"p"`, …).
+        name: &'static str,
+        /// The offending value, as text.
+        value: String,
+        /// The violated constraint, as text.
+        constraint: &'static str,
+    },
+    /// An analytic model's Markov machinery failed.
+    Markov(MarkovError),
+    /// The product-form model failed.
+    Queueing(QueueingError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid parameter {name} = {value}: must satisfy {constraint}")
+            }
+            CoreError::Markov(e) => write!(f, "markov model failure: {e}"),
+            CoreError::Queueing(e) => write!(f, "queueing model failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Markov(e) => Some(e),
+            CoreError::Queueing(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<MarkovError> for CoreError {
+    fn from(e: MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+impl From<QueueingError> for CoreError {
+    fn from(e: QueueingError) -> Self {
+        CoreError::Queueing(e)
+    }
+}

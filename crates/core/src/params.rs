@@ -1,0 +1,191 @@
+//! System parameters and operating-mode knobs (paper §2).
+
+use crate::error::CoreError;
+
+/// Bus-granting priority when both processors and memory modules want
+/// the bus in the same cycle (paper hypothesis *g*).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BusPolicy {
+    /// Hypothesis *g′*: processor requests win. The paper's preferred
+    /// policy (higher EBW) and the one used in Tables 3–4.
+    #[default]
+    ProcessorPriority,
+    /// Hypothesis *g″*: memory returns win. Used by the §3.1 exact
+    /// chain and Table 1.
+    MemoryPriority,
+}
+
+/// Memory-module buffering scheme (paper §6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Buffering {
+    /// No buffers: a module holds its result until the bus returns it,
+    /// and accepts no new request before that (paper §§2–5).
+    #[default]
+    Unbuffered,
+    /// One-deep input and output buffers on every module: a module can
+    /// service back-to-back requests while results wait for the bus
+    /// (paper §6, Fig 4).
+    Buffered,
+}
+
+/// Validated system parameters: `n` processors, `m` memory modules,
+/// memory-to-bus cycle ratio `r`, and request probability `p`.
+///
+/// Invariants enforced at construction:
+///
+/// * `n ≥ 1`, `m ≥ 1` (hypothesis *a*);
+/// * `r ≥ 1` (hypothesis *c*: memory cycle is `r·t`, `r` integer);
+/// * `0 < p ≤ 1` (hypothesis *f*), default 1.
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::SystemParams;
+///
+/// let params = SystemParams::new(8, 16, 8)?.with_request_probability(0.5)?;
+/// assert_eq!(params.processor_cycle(), 10);
+/// assert_eq!(params.max_ebw(), 5.0);
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemParams {
+    n: u32,
+    m: u32,
+    r: u32,
+    p: f64,
+}
+
+impl SystemParams {
+    /// Creates parameters with request probability `p = 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if any of `n`, `m`, `r` is zero
+    /// or implausibly large (`> 4096`, a guard against accidental
+    /// astronomically-sized analytic models).
+    pub fn new(n: u32, m: u32, r: u32) -> Result<Self, CoreError> {
+        fn check(name: &'static str, v: u32) -> Result<(), CoreError> {
+            if v == 0 || v > 4096 {
+                return Err(CoreError::InvalidParameter {
+                    name,
+                    value: v.to_string(),
+                    constraint: "1 <= value <= 4096",
+                });
+            }
+            Ok(())
+        }
+        check("n", n)?;
+        check("m", m)?;
+        check("r", r)?;
+        Ok(SystemParams { n, m, r, p: 1.0 })
+    }
+
+    /// Returns a copy with request probability `p` (hypothesis *f*).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] unless `0 < p ≤ 1`.
+    pub fn with_request_probability(mut self, p: f64) -> Result<Self, CoreError> {
+        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "p",
+                value: p.to_string(),
+                constraint: "0 < p <= 1",
+            });
+        }
+        self.p = p;
+        Ok(self)
+    }
+
+    /// Number of processors `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of memory modules `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Memory cycle in bus cycles, `r`.
+    pub fn r(&self) -> u32 {
+        self.r
+    }
+
+    /// Request probability `p` after each completed service.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The processor cycle `(r + 2)` in bus cycles (hypothesis *d*).
+    pub fn processor_cycle(&self) -> u32 {
+        self.r + 2
+    }
+
+    /// `min(n, m)`, the paper's `v`.
+    pub fn min_nm(&self) -> u32 {
+        self.n.min(self.m)
+    }
+
+    /// The EBW ceiling `(r + 2) / 2` of a fully multiplexed bus.
+    pub fn max_ebw(&self) -> f64 {
+        f64::from(self.r + 2) / 2.0
+    }
+
+    /// Returns a copy with `n` and `m` swapped (used by the symmetric
+    /// approximate model and symmetry tests).
+    pub fn transposed(&self) -> SystemParams {
+        SystemParams { n: self.m, m: self.n, r: self.r, p: self.p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_roundtrip() {
+        let p = SystemParams::new(8, 16, 8).unwrap();
+        assert_eq!((p.n(), p.m(), p.r()), (8, 16, 8));
+        assert_eq!(p.p(), 1.0);
+        assert_eq!(p.processor_cycle(), 10);
+        assert_eq!(p.min_nm(), 8);
+        assert_eq!(p.max_ebw(), 5.0);
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        assert!(SystemParams::new(0, 1, 1).is_err());
+        assert!(SystemParams::new(1, 0, 1).is_err());
+        assert!(SystemParams::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn oversized_values_rejected() {
+        assert!(SystemParams::new(5000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn request_probability_bounds() {
+        let p = SystemParams::new(2, 2, 2).unwrap();
+        assert!(p.with_request_probability(0.0).is_err());
+        assert!(p.with_request_probability(-0.5).is_err());
+        assert!(p.with_request_probability(1.5).is_err());
+        assert!(p.with_request_probability(f64::NAN).is_err());
+        assert_eq!(p.with_request_probability(0.25).unwrap().p(), 0.25);
+    }
+
+    #[test]
+    fn transpose_swaps_n_and_m() {
+        let p = SystemParams::new(4, 6, 3).unwrap().transposed();
+        assert_eq!((p.n(), p.m()), (6, 4));
+        assert_eq!(p.r(), 3);
+    }
+
+    #[test]
+    fn error_message_names_parameter() {
+        let err = SystemParams::new(0, 1, 1).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains('n'), "message should name the parameter: {text}");
+    }
+}

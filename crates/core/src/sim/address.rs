@@ -1,0 +1,124 @@
+//! Memory-addressing patterns.
+//!
+//! The paper's hypothesis *e* assumes requests are uniformly
+//! distributed over the `m` modules. The hot-spot pattern relaxes that
+//! assumption — the natural "what if the workload is skewed?"
+//! sensitivity study for the paper's conclusions (interleaved-memory
+//! uniformity was already questioned by the paper's own reference 21).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::error::CoreError;
+
+/// How a processor picks the module for its next request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum AddressPattern {
+    /// Hypothesis *e*: uniform over all `m` modules.
+    #[default]
+    Uniform,
+    /// A fraction of requests concentrates on the first `hot_modules`
+    /// modules; the rest spread uniformly over all modules.
+    HotSpot {
+        /// Number of "hot" modules (must be ≥ 1 and ≤ m at run time).
+        hot_modules: u32,
+        /// Probability that a request is directed at the hot set.
+        hot_probability: f64,
+    },
+}
+
+impl AddressPattern {
+    /// Validates the pattern against a module count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the hot set is empty, larger
+    /// than `m`, or the probability is outside `[0, 1]`.
+    pub fn validate(&self, m: u32) -> Result<(), CoreError> {
+        if let AddressPattern::HotSpot { hot_modules, hot_probability } = *self {
+            if hot_modules == 0 || hot_modules > m {
+                return Err(CoreError::InvalidParameter {
+                    name: "hot_modules",
+                    value: hot_modules.to_string(),
+                    constraint: "1 <= hot_modules <= m",
+                });
+            }
+            if !(hot_probability.is_finite() && (0.0..=1.0).contains(&hot_probability)) {
+                return Err(CoreError::InvalidParameter {
+                    name: "hot_probability",
+                    value: hot_probability.to_string(),
+                    constraint: "0 <= hot_probability <= 1",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws a module index in `0..m`.
+    pub fn sample(&self, m: usize, rng: &mut SmallRng) -> usize {
+        match *self {
+            AddressPattern::Uniform => rng.gen_range(0..m),
+            AddressPattern::HotSpot { hot_modules, hot_probability } => {
+                if rng.gen_bool(hot_probability) {
+                    rng.gen_range(0..hot_modules as usize)
+                } else {
+                    rng.gen_range(0..m)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_modules() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[AddressPattern::Uniform.sample(8, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hot_spot_concentrates_mass() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pattern = AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.5 };
+        let n = 100_000;
+        let hits = (0..n).filter(|_| pattern.sample(8, &mut rng) == 0).count();
+        // P(module 0) = 0.5 + 0.5/8 = 0.5625.
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.5625).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hot_spot_zero_probability_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pattern = AddressPattern::HotSpot { hot_modules: 2, hot_probability: 0.0 };
+        let n = 50_000;
+        let hits = (0..n).filter(|_| pattern.sample(4, &mut rng) < 2).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn validation_bounds() {
+        assert!(AddressPattern::Uniform.validate(4).is_ok());
+        assert!(AddressPattern::HotSpot { hot_modules: 0, hot_probability: 0.5 }
+            .validate(4)
+            .is_err());
+        assert!(AddressPattern::HotSpot { hot_modules: 5, hot_probability: 0.5 }
+            .validate(4)
+            .is_err());
+        assert!(AddressPattern::HotSpot { hot_modules: 2, hot_probability: 1.5 }
+            .validate(4)
+            .is_err());
+        assert!(AddressPattern::HotSpot { hot_modules: 2, hot_probability: 0.9 }
+            .validate(4)
+            .is_ok());
+    }
+}

@@ -1,0 +1,1000 @@
+//! The multiplexed single-bus simulator (paper §§2, 6).
+//!
+//! One step = one bus cycle. Normative dynamics (DESIGN.md §5):
+//!
+//! 1. Processors whose think timer expired flip a Bernoulli(`p`) coin:
+//!    success issues a request to a module drawn from the
+//!    [`AddressPattern`], failure waits one processor cycle and flips
+//!    again (hypothesis *f*).
+//! 2. If a bus channel is free, arbitration: memory candidates are
+//!    modules holding a finished result; processor candidates are
+//!    pending requests whose target can accept them — an *idle* module
+//!    (hypothesis *h*) or, with buffering, a module with spare input
+//!    capacity. The favoured side (policy *g′*/*g″*) wins; ties break
+//!    per the [`ArbitrationKind`] (uniform random in the paper).
+//! 3. End of cycle: transfers land (requests start service, returns
+//!    release their processor), services progress, completed modules
+//!    deposit results (buffered modules then pull their input queue).
+//!
+//! ## Extensions beyond the paper
+//!
+//! The builder exposes three studied generalizations (defaults
+//! reproduce the paper exactly):
+//!
+//! * [`BusSimBuilder::channels`] — `b` multiplexed bus channels,
+//!   the system the paper's reference 5 hints at ("four buses…");
+//! * [`BusSimBuilder::buffer_depth`] — FIFO input/output buffers deeper
+//!   than the paper's one-deep proposal;
+//! * [`BusSimBuilder::addressing`] — hot-spot request skew, relaxing
+//!   hypothesis *e*.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use busnet_sim::histogram::Histogram;
+use busnet_sim::stats::RunningStats;
+
+use crate::metrics::Metrics;
+use crate::params::{Buffering, BusPolicy, SystemParams};
+use crate::sim::address::AddressPattern;
+use crate::sim::service::ServiceTime;
+
+/// A processor's request token, carried through module buffers and bus
+/// transfers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Token {
+    proc: usize,
+    issued: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ProcPhase {
+    /// Internal processing; flips the request coin when `until` is
+    /// reached.
+    Thinking { until: u64 },
+    /// Holds a request to `module`, waiting to win the bus.
+    Pending { module: usize, since: u64, issued: u64 },
+    /// Request delivered; waiting for the result.
+    Waiting,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct ModuleService {
+    token: Token,
+    /// Remaining service cycles; 0 means finished but blocked on a full
+    /// output buffer (buffered mode only).
+    remaining: u32,
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Module {
+    /// Input FIFO (buffered mode only; capacity = buffer depth).
+    input: VecDeque<Token>,
+    service: Option<ModuleService>,
+    /// Output FIFO of finished results waiting for the bus (capacity =
+    /// buffer depth; length ≤ 1 when unbuffered).
+    output: VecDeque<Token>,
+}
+
+impl Module {
+    /// Whether one more request may be routed here, given `depth`
+    /// (0 = unbuffered) and the number of requests already in flight on
+    /// the bus toward this module.
+    fn can_accept(&self, depth: u32, inflight: u32) -> bool {
+        if depth == 0 {
+            self.service.is_none()
+                && self.output.is_empty()
+                && self.input.is_empty()
+                && inflight == 0
+        } else {
+            // Capacity: the input FIFO plus the service stage if idle.
+            let used = self.input.len() as u32 + inflight;
+            used < depth + u32::from(self.service.is_none())
+        }
+    }
+
+    fn is_serving(&self) -> bool {
+        matches!(self.service, Some(s) if s.remaining > 0)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Transfer {
+    Request { token: Token, module: usize },
+    Return { token: Token },
+}
+
+/// Tie-breaking rule among same-side bus candidates.
+///
+/// The paper's hypothesis *h* specifies uniform random arbitration;
+/// round-robin is the common hardware alternative, exposed for the
+/// sensitivity ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ArbitrationKind {
+    /// Uniform random among candidates (the paper's assumption).
+    #[default]
+    Random,
+    /// Rotating-pointer round robin (separate pointers for the
+    /// processor and memory sides).
+    RoundRobin,
+}
+
+/// Builder for [`BusSim`].
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::{BusPolicy, Buffering, SystemParams};
+/// use busnet_core::sim::bus::BusSimBuilder;
+///
+/// let report = BusSimBuilder::new(SystemParams::new(8, 16, 8)?)
+///     .policy(BusPolicy::ProcessorPriority)
+///     .buffering(Buffering::Buffered)
+///     .seed(7)
+///     .warmup_cycles(1_000)
+///     .measure_cycles(10_000)
+///     .build()
+///     .run();
+/// assert!(report.ebw() > 0.0);
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BusSimBuilder {
+    params: SystemParams,
+    policy: BusPolicy,
+    buffering: Buffering,
+    buffer_depth: u32,
+    channels: u32,
+    addressing: AddressPattern,
+    arbitration: ArbitrationKind,
+    memory_service: Option<ServiceTime>,
+    bus_transfer: ServiceTime,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+}
+
+impl BusSimBuilder {
+    /// Starts a builder with the paper's defaults: priority to
+    /// processors, no buffering, one bus channel, uniform addressing,
+    /// random arbitration, constant service times, 200 000 measured
+    /// cycles after 20 000 warmup cycles.
+    pub fn new(params: SystemParams) -> Self {
+        BusSimBuilder {
+            params,
+            policy: BusPolicy::ProcessorPriority,
+            buffering: Buffering::Unbuffered,
+            buffer_depth: 1,
+            channels: 1,
+            addressing: AddressPattern::Uniform,
+            arbitration: ArbitrationKind::Random,
+            memory_service: None,
+            bus_transfer: ServiceTime::Constant(1),
+            seed: 0x5EED,
+            warmup: 20_000,
+            measure: 200_000,
+        }
+    }
+
+    /// Sets the arbitration policy (hypothesis *g*).
+    pub fn policy(mut self, policy: BusPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the buffering scheme (§6).
+    pub fn buffering(mut self, buffering: Buffering) -> Self {
+        self.buffering = buffering;
+        self
+    }
+
+    /// Sets the input/output FIFO depth used when buffering is enabled
+    /// (the paper's §6 proposal is depth 1, the default). Values are
+    /// clamped to at least 1.
+    pub fn buffer_depth(mut self, depth: u32) -> Self {
+        self.buffer_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the number of multiplexed bus channels (extension; the
+    /// paper's system has 1). Values are clamped to at least 1.
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.channels = channels.max(1);
+        self
+    }
+
+    /// Sets the request addressing pattern (hypothesis *e* relaxation).
+    pub fn addressing(mut self, addressing: AddressPattern) -> Self {
+        self.addressing = addressing;
+        self
+    }
+
+    /// Sets the candidate tie-breaking rule (hypothesis *h*
+    /// alternative).
+    pub fn arbitration(mut self, arbitration: ArbitrationKind) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// Overrides the memory service-time distribution (default:
+    /// `Constant(r)`).
+    pub fn memory_service(mut self, service: ServiceTime) -> Self {
+        self.memory_service = Some(service);
+        self
+    }
+
+    /// Overrides the bus transfer-time distribution (default:
+    /// `Constant(1)`).
+    pub fn bus_transfer(mut self, service: ServiceTime) -> Self {
+        self.bus_transfer = service;
+        self
+    }
+
+    /// Sets the RNG seed (runs are fully deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of discarded warmup cycles.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Sets the number of measured cycles.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.measure = cycles.max(1);
+        self
+    }
+
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicitly supplied service-time distribution or
+    /// address pattern is invalid (validate beforehand with
+    /// [`ServiceTime::validate`] / [`AddressPattern::validate`]).
+    pub fn build(self) -> BusSim {
+        let memory_service =
+            self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()));
+        memory_service.validate().expect("invalid memory service time");
+        self.bus_transfer.validate().expect("invalid bus transfer time");
+        self.addressing.validate(self.params.m()).expect("invalid address pattern");
+        let n = self.params.n() as usize;
+        let m = self.params.m() as usize;
+        let depth = match self.buffering {
+            Buffering::Unbuffered => 0,
+            Buffering::Buffered => self.buffer_depth,
+        };
+        BusSim {
+            params: self.params,
+            policy: self.policy,
+            buffering: self.buffering,
+            depth,
+            addressing: self.addressing,
+            arbitration: self.arbitration,
+            memory_service,
+            bus_transfer: self.bus_transfer,
+            warmup: self.warmup,
+            measure: self.measure,
+            rng: SmallRng::seed_from_u64(self.seed),
+            cycle: 0,
+            procs: vec![ProcPhase::Thinking { until: 0 }; n],
+            modules: vec![Module::default(); m],
+            bus: vec![None; self.channels as usize],
+            rr_proc: 0,
+            rr_module: 0,
+            stats: Counters::new(n, self.params.processor_cycle()),
+            candidate_scratch: Vec::with_capacity(n.max(m)),
+            inflight_scratch: vec![0; m],
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Counters {
+    returns: u64,
+    requests_granted: u64,
+    bus_busy_channel_cycles: u64,
+    module_busy_cycles: u64,
+    measured_cycles: u64,
+    wait: RunningStats,
+    round_trip: RunningStats,
+    wait_histogram: Histogram,
+    per_proc_returns: Vec<u64>,
+}
+
+impl Counters {
+    fn new(n: usize, processor_cycle: u32) -> Self {
+        Counters {
+            returns: 0,
+            requests_granted: 0,
+            bus_busy_channel_cycles: 0,
+            module_busy_cycles: 0,
+            measured_cycles: 0,
+            wait: RunningStats::new(),
+            round_trip: RunningStats::new(),
+            // One bucket per bus cycle up to 16 processor cycles of
+            // waiting; the tail saturates.
+            wait_histogram: Histogram::new(1.0, 16 * processor_cycle as usize),
+            per_proc_returns: vec![0; n],
+        }
+    }
+}
+
+/// The single-bus (or multi-channel) simulator. Create via
+/// [`BusSimBuilder`].
+#[derive(Clone, Debug)]
+pub struct BusSim {
+    params: SystemParams,
+    policy: BusPolicy,
+    buffering: Buffering,
+    depth: u32,
+    addressing: AddressPattern,
+    arbitration: ArbitrationKind,
+    memory_service: ServiceTime,
+    bus_transfer: ServiceTime,
+    warmup: u64,
+    measure: u64,
+    rng: SmallRng,
+    cycle: u64,
+    procs: Vec<ProcPhase>,
+    modules: Vec<Module>,
+    bus: Vec<Option<(Transfer, u64)>>,
+    rr_proc: usize,
+    rr_module: usize,
+    stats: Counters,
+    candidate_scratch: Vec<usize>,
+    inflight_scratch: Vec<u32>,
+}
+
+impl BusSim {
+    /// The parameters this simulator was built with.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of bus channels.
+    pub fn channels(&self) -> u32 {
+        self.bus.len() as u32
+    }
+
+    /// Runs warmup + measurement and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let total = self.warmup + self.measure;
+        while self.cycle < total {
+            self.step();
+        }
+        SimReport {
+            params: self.params,
+            policy: self.policy,
+            buffering: self.buffering,
+            channels: self.bus.len() as u32,
+            returns: self.stats.returns,
+            requests_granted: self.stats.requests_granted,
+            measured_cycles: self.stats.measured_cycles,
+            bus_busy_channel_cycles: self.stats.bus_busy_channel_cycles,
+            module_busy_cycles: self.stats.module_busy_cycles,
+            wait: self.stats.wait,
+            round_trip: self.stats.round_trip,
+            wait_histogram: self.stats.wait_histogram,
+            per_processor_returns: self.stats.per_proc_returns,
+        }
+    }
+
+    /// Advances the simulation by one bus cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        let measuring = t >= self.warmup;
+        self.wake_processors(t);
+        self.arbitrate(t, measuring);
+        if measuring {
+            self.stats.measured_cycles += 1;
+            self.stats.bus_busy_channel_cycles +=
+                self.bus.iter().filter(|c| c.is_some()).count() as u64;
+            self.stats.module_busy_cycles +=
+                self.modules.iter().filter(|md| md.is_serving()).count() as u64;
+        }
+
+        // End-of-cycle: returns land first, then service progress, then
+        // request delivery (so a fresh service is not decremented in its
+        // arrival cycle).
+        let mut completed_requests: Vec<(Token, usize)> = Vec::new();
+        for slot in &mut self.bus {
+            if let Some((transfer, until)) = *slot {
+                if until == t {
+                    *slot = None;
+                    match transfer {
+                        Transfer::Return { token } => {
+                            debug_assert!(matches!(self.procs[token.proc], ProcPhase::Waiting));
+                            if measuring {
+                                self.stats.returns += 1;
+                                self.stats.per_proc_returns[token.proc] += 1;
+                                self.stats.round_trip.push((t + 1 - token.issued) as f64);
+                            }
+                            self.procs[token.proc] = ProcPhase::Thinking { until: t + 1 };
+                        }
+                        Transfer::Request { token, module } => {
+                            completed_requests.push((token, module));
+                        }
+                    }
+                }
+            }
+        }
+        self.progress_modules();
+        for (token, module) in completed_requests {
+            self.deliver_request(token, module);
+        }
+        self.cycle += 1;
+    }
+
+    fn wake_processors(&mut self, t: u64) {
+        let rc = u64::from(self.params.processor_cycle());
+        let p = self.params.p();
+        let m = self.params.m() as usize;
+        for proc in &mut self.procs {
+            if let ProcPhase::Thinking { until } = *proc {
+                if until <= t {
+                    if p >= 1.0 || self.rng.gen_bool(p) {
+                        let module = self.addressing.sample(m, &mut self.rng);
+                        *proc = ProcPhase::Pending { module, since: t, issued: t };
+                    } else {
+                        *proc = ProcPhase::Thinking { until: until + rc };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks a candidate index per the arbitration kind; `pointer` is
+    /// the round-robin cursor for the relevant side.
+    fn pick(
+        rng: &mut SmallRng,
+        kind: ArbitrationKind,
+        candidates: &[usize],
+        pointer: &mut usize,
+    ) -> usize {
+        debug_assert!(!candidates.is_empty());
+        match kind {
+            ArbitrationKind::Random => candidates[rng.gen_range(0..candidates.len())],
+            ArbitrationKind::RoundRobin => {
+                let chosen = candidates
+                    .iter()
+                    .copied()
+                    .find(|&c| c >= *pointer)
+                    .unwrap_or(candidates[0]);
+                *pointer = chosen + 1;
+                chosen
+            }
+        }
+    }
+
+    fn arbitrate(&mut self, t: u64, measuring: bool) {
+        // Requests already in flight per module (multi-cycle transfers
+        // and sibling channels granted this cycle).
+        self.inflight_scratch.iter_mut().for_each(|x| *x = 0);
+        for slot in self.bus.iter().flatten() {
+            if let (Transfer::Request { module, .. }, _) = slot {
+                self.inflight_scratch[*module] += 1;
+            }
+        }
+        for ch in 0..self.bus.len() {
+            if self.bus[ch].is_some() {
+                continue;
+            }
+            // Memory side.
+            let memory_ready = self.modules.iter().any(|md| !md.output.is_empty());
+            // Processor side.
+            self.candidate_scratch.clear();
+            for (i, proc) in self.procs.iter().enumerate() {
+                if let ProcPhase::Pending { module, .. } = *proc {
+                    if self.modules[module].can_accept(self.depth, self.inflight_scratch[module]) {
+                        self.candidate_scratch.push(i);
+                    }
+                }
+            }
+            let proc_ready = !self.candidate_scratch.is_empty();
+            let grant_memory = match self.policy {
+                BusPolicy::ProcessorPriority => memory_ready && !proc_ready,
+                BusPolicy::MemoryPriority => memory_ready,
+            };
+            if !grant_memory && !proc_ready {
+                break; // nothing left for the remaining channels either
+            }
+            let duration = u64::from(self.bus_transfer.sample(&mut self.rng));
+            if grant_memory {
+                let ready: Vec<usize> = self
+                    .modules
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, md)| (!md.output.is_empty()).then_some(j))
+                    .collect();
+                let j =
+                    Self::pick(&mut self.rng, self.arbitration, &ready, &mut self.rr_module);
+                let token = self.modules[j].output.pop_front().expect("candidate had output");
+                self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
+            } else {
+                let candidates = std::mem::take(&mut self.candidate_scratch);
+                let pick =
+                    Self::pick(&mut self.rng, self.arbitration, &candidates, &mut self.rr_proc);
+                self.candidate_scratch = candidates;
+                let (module, since, issued) = match self.procs[pick] {
+                    ProcPhase::Pending { module, since, issued } => (module, since, issued),
+                    _ => unreachable!("candidate list holds only pending processors"),
+                };
+                if measuring {
+                    self.stats.requests_granted += 1;
+                    self.stats.wait.push((t - since) as f64);
+                    self.stats.wait_histogram.record((t - since) as f64);
+                }
+                self.procs[pick] = ProcPhase::Waiting;
+                self.inflight_scratch[module] += 1;
+                self.bus[ch] = Some((
+                    Transfer::Request { token: Token { proc: pick, issued }, module },
+                    t + duration - 1,
+                ));
+            }
+        }
+    }
+
+    fn progress_modules(&mut self) {
+        let depth = self.depth.max(1) as usize; // output capacity (1 when unbuffered)
+        for md in &mut self.modules {
+            if let Some(service) = &mut md.service {
+                if service.remaining > 0 {
+                    service.remaining -= 1;
+                }
+                if service.remaining == 0 && md.output.len() < depth {
+                    md.output.push_back(service.token);
+                    md.service = md.input.pop_front().map(|token| ModuleService {
+                        token,
+                        remaining: self.memory_service.sample(&mut self.rng),
+                    });
+                }
+            }
+        }
+    }
+
+    fn deliver_request(&mut self, token: Token, module: usize) {
+        let md = &mut self.modules[module];
+        if md.service.is_none() {
+            debug_assert!(md.input.is_empty(), "idle module with queued input");
+            md.service = Some(ModuleService {
+                token,
+                remaining: self.memory_service.sample(&mut self.rng),
+            });
+        } else {
+            debug_assert!(
+                self.depth > 0 && (md.input.len() as u32) < self.depth,
+                "input buffer overrun"
+            );
+            md.input.push_back(token);
+        }
+    }
+
+    /// Checks conservation invariants; used by property tests. Returns a
+    /// description of the first violation, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut token_owner = vec![0usize; self.params.n() as usize];
+        let mut count = |token: &Token, what: &str| -> Result<(), String> {
+            if token.proc >= token_owner.len() {
+                return Err(format!("{what}: token for unknown processor {}", token.proc));
+            }
+            token_owner[token.proc] += 1;
+            Ok(())
+        };
+        for (j, md) in self.modules.iter().enumerate() {
+            for tk in &md.input {
+                count(tk, &format!("module {j} input"))?;
+            }
+            if let Some(s) = &md.service {
+                count(&s.token, &format!("module {j} service"))?;
+            }
+            for tk in &md.output {
+                count(tk, &format!("module {j} output"))?;
+            }
+            if self.depth == 0 {
+                if !md.input.is_empty() {
+                    return Err(format!("module {j}: unbuffered module has input tokens"));
+                }
+                let busy = usize::from(md.service.is_some()) + md.output.len();
+                if busy > 1 {
+                    return Err(format!("module {j}: unbuffered module double-occupied"));
+                }
+            } else {
+                if md.input.len() as u32 > self.depth {
+                    return Err(format!("module {j}: input beyond depth"));
+                }
+                if md.output.len() as u32 > self.depth {
+                    return Err(format!("module {j}: output beyond depth"));
+                }
+            }
+        }
+        for slot in self.bus.iter().flatten() {
+            match &slot.0 {
+                Transfer::Request { token, .. } | Transfer::Return { token } => {
+                    count(token, "bus")?;
+                }
+            }
+        }
+        for (i, proc) in self.procs.iter().enumerate() {
+            let expected = usize::from(matches!(proc, ProcPhase::Waiting));
+            if token_owner[i] != expected {
+                return Err(format!(
+                    "processor {i} in phase {proc:?} owns {} tokens, expected {expected}",
+                    token_owner[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Measured results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    params: SystemParams,
+    policy: BusPolicy,
+    buffering: Buffering,
+    channels: u32,
+    /// Results delivered to processors during measurement.
+    pub returns: u64,
+    /// Requests granted the bus during measurement.
+    pub requests_granted: u64,
+    /// Number of measured cycles.
+    pub measured_cycles: u64,
+    /// Channel-cycles carrying a transfer (equals busy cycles when
+    /// `channels == 1`).
+    pub bus_busy_channel_cycles: u64,
+    /// Module-cycles spent actively serving.
+    pub module_busy_cycles: u64,
+    /// Request waiting times (issue → bus grant), in cycles.
+    pub wait: RunningStats,
+    /// Round-trip times (issue → result delivered), in cycles.
+    pub round_trip: RunningStats,
+    /// Distribution of request waiting times (1-cycle buckets,
+    /// saturating at 16 processor cycles).
+    pub wait_histogram: Histogram,
+    /// Returns delivered to each processor (fairness analysis).
+    pub per_processor_returns: Vec<u64>,
+}
+
+impl SimReport {
+    /// Effective bandwidth: requests serviced per processor cycle.
+    pub fn ebw(&self) -> f64 {
+        self.returns as f64 * f64::from(self.params.processor_cycle())
+            / self.measured_cycles as f64
+    }
+
+    /// Measured mean bus utilization per channel.
+    pub fn bus_utilization(&self) -> f64 {
+        self.bus_busy_channel_cycles as f64
+            / (self.measured_cycles as f64 * f64::from(self.channels))
+    }
+
+    /// Measured mean memory-module utilization.
+    pub fn memory_utilization(&self) -> f64 {
+        self.module_busy_cycles as f64
+            / (self.measured_cycles as f64 * f64::from(self.params.m()))
+    }
+
+    /// Jain's fairness index over per-processor service counts
+    /// (1 = perfectly fair, `1/n` = one processor hogs the bus).
+    pub fn fairness_index(&self) -> f64 {
+        let total: f64 = self.per_processor_returns.iter().map(|&x| x as f64).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let sum_sq: f64 =
+            self.per_processor_returns.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        total * total / (self.per_processor_returns.len() as f64 * sum_sq)
+    }
+
+    /// The parameters of the run.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// The arbitration policy of the run.
+    pub fn policy(&self) -> BusPolicy {
+        self.policy
+    }
+
+    /// The buffering scheme of the run.
+    pub fn buffering(&self) -> Buffering {
+        self.buffering
+    }
+
+    /// Number of bus channels of the run.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// §2 derived measures computed from the measured EBW.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::from_ebw(self.params, self.ebw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_run(
+        n: u32,
+        m: u32,
+        r: u32,
+        policy: BusPolicy,
+        buffering: Buffering,
+        seed: u64,
+    ) -> SimReport {
+        BusSimBuilder::new(SystemParams::new(n, m, r).unwrap())
+            .policy(policy)
+            .buffering(buffering)
+            .seed(seed)
+            .warmup_cycles(5_000)
+            .measure_cycles(60_000)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn single_processor_round_trip_exact() {
+        // One processor never contends: EBW must be exactly 1.
+        for buffering in [Buffering::Unbuffered, Buffering::Buffered] {
+            let report = quick_run(1, 4, 6, BusPolicy::ProcessorPriority, buffering, 11);
+            assert!(
+                (report.ebw() - 1.0).abs() < 0.01,
+                "{buffering:?}: ebw = {}",
+                report.ebw()
+            );
+            // Waiting time is zero: the bus is always free.
+            assert_eq!(report.wait.mean(), 0.0);
+            assert_eq!(report.round_trip.mean(), f64::from(6 + 2));
+        }
+    }
+
+    #[test]
+    fn golden_two_procs_one_module_unbuffered() {
+        // Hand-traced: n=2, m=1, r=2. Exactly one request completes
+        // every 4 cycles (request, 2 service cycles, return), so with a
+        // window that is a multiple of 4 the counters are exact.
+        let report = BusSimBuilder::new(SystemParams::new(2, 1, 2).unwrap())
+            .seed(3)
+            .warmup_cycles(40)
+            .measure_cycles(4_000)
+            .build()
+            .run();
+        assert_eq!(report.returns, 1_000, "one return every 4 cycles");
+        assert!((report.ebw() - 1.0).abs() < 1e-12);
+        assert!((report.bus_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_two_procs_one_module_buffered_saturates() {
+        // Hand-traced: with one-deep buffers the module pipelines
+        // back-to-back and the bus alternates request/return every
+        // cycle: EBW = (r+2)/2 = 2 exactly.
+        let report = BusSimBuilder::new(SystemParams::new(2, 1, 2).unwrap())
+            .buffering(Buffering::Buffered)
+            .seed(3)
+            .warmup_cycles(40)
+            .measure_cycles(4_000)
+            .build()
+            .run();
+        assert_eq!(report.returns, 2_000, "one return every 2 cycles");
+        assert!((report.ebw() - 2.0).abs() < 1e-12);
+        assert!((report.bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ebw_bounded_by_ceiling() {
+        for (n, m, r) in [(8, 8, 4), (16, 16, 8), (8, 4, 12)] {
+            let report =
+                quick_run(n, m, r, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 3);
+            let cap = f64::from(r + 2) / 2.0;
+            assert!(report.ebw() <= cap + 1e-9, "({n},{m},{r}): {}", report.ebw());
+        }
+    }
+
+    #[test]
+    fn processor_priority_beats_memory_priority() {
+        // The paper's §3 simulation finding (Fig 2): policy g' > g''.
+        let gp = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 5);
+        let gm = quick_run(8, 8, 8, BusPolicy::MemoryPriority, Buffering::Unbuffered, 5);
+        assert!(
+            gp.ebw() > gm.ebw(),
+            "processor priority {} should beat memory priority {}",
+            gp.ebw(),
+            gm.ebw()
+        );
+    }
+
+    #[test]
+    fn buffering_improves_ebw() {
+        let plain = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 9);
+        let buffered = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 9);
+        assert!(
+            buffered.ebw() > plain.ebw(),
+            "buffered {} vs unbuffered {}",
+            buffered.ebw(),
+            plain.ebw()
+        );
+    }
+
+    #[test]
+    fn deeper_buffers_do_not_hurt() {
+        let ebw_at_depth = |depth| {
+            BusSimBuilder::new(SystemParams::new(8, 4, 8).unwrap())
+                .buffering(Buffering::Buffered)
+                .buffer_depth(depth)
+                .seed(29)
+                .warmup_cycles(5_000)
+                .measure_cycles(60_000)
+                .build()
+                .run()
+                .ebw()
+        };
+        let d1 = ebw_at_depth(1);
+        let d4 = ebw_at_depth(4);
+        assert!(d4 >= d1 - 0.03, "depth 4 ({d4}) vs depth 1 ({d1})");
+    }
+
+    #[test]
+    fn extra_channels_raise_saturated_ebw() {
+        let ebw_with = |channels| {
+            BusSimBuilder::new(SystemParams::new(16, 16, 8).unwrap())
+                .buffering(Buffering::Buffered)
+                .channels(channels)
+                .seed(31)
+                .warmup_cycles(5_000)
+                .measure_cycles(60_000)
+                .build()
+                .run()
+                .ebw()
+        };
+        let one = ebw_with(1);
+        let two = ebw_with(2);
+        assert!(two > one * 1.3, "2 channels ({two}) should beat 1 ({one}) when bus-bound");
+        // And respect the widened ceiling b(r+2)/2.
+        assert!(two <= 2.0 * 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn hot_spot_degrades_ebw() {
+        let uniform = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 7);
+        let hot = BusSimBuilder::new(SystemParams::new(8, 8, 8).unwrap())
+            .addressing(AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.6 })
+            .seed(7)
+            .warmup_cycles(5_000)
+            .measure_cycles(60_000)
+            .build()
+            .run();
+        assert!(
+            hot.ebw() < uniform.ebw() * 0.8,
+            "hot spot {} should clearly degrade uniform {}",
+            hot.ebw(),
+            uniform.ebw()
+        );
+    }
+
+    #[test]
+    fn round_robin_matches_random_throughput() {
+        // Arbitration tie-breaking should not change aggregate EBW
+        // appreciably (it changes fairness, not capacity).
+        let random = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 13);
+        let rr = BusSimBuilder::new(SystemParams::new(8, 8, 8).unwrap())
+            .arbitration(ArbitrationKind::RoundRobin)
+            .seed(13)
+            .warmup_cycles(5_000)
+            .measure_cycles(60_000)
+            .build()
+            .run();
+        let rel = (random.ebw() - rr.ebw()).abs() / random.ebw();
+        assert!(rel < 0.03, "random {} vs round-robin {}", random.ebw(), rr.ebw());
+    }
+
+    #[test]
+    fn fairness_near_one_for_symmetric_system() {
+        let report = quick_run(8, 8, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 17);
+        let fairness = report.fairness_index();
+        assert!(fairness > 0.99, "symmetric system should be fair: {fairness}");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let a = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 42);
+        let b = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 42);
+        assert_eq!(a.returns, b.returns);
+        assert_eq!(a.bus_busy_channel_cycles, b.bus_busy_channel_cycles);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 1);
+        let b = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Buffered, 2);
+        assert_ne!(a.returns, b.returns);
+    }
+
+    #[test]
+    fn invariants_hold_throughout() {
+        let mut sim = BusSimBuilder::new(SystemParams::new(6, 5, 7).unwrap())
+            .buffering(Buffering::Buffered)
+            .buffer_depth(2)
+            .channels(2)
+            .seed(13)
+            .build();
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.cycle().is_multiple_of(97) {
+                sim.check_invariants().expect("invariant violated");
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_unbuffered_memory_priority() {
+        let mut sim = BusSimBuilder::new(SystemParams::new(5, 6, 4).unwrap())
+            .policy(BusPolicy::MemoryPriority)
+            .seed(17)
+            .build();
+        for _ in 0..20_000 {
+            sim.step();
+            if sim.cycle().is_multiple_of(89) {
+                sim.check_invariants().expect("invariant violated");
+            }
+        }
+    }
+
+    #[test]
+    fn low_p_reduces_load() {
+        let full = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 21);
+        let light = BusSimBuilder::new(
+            SystemParams::new(8, 16, 8)
+                .unwrap()
+                .with_request_probability(0.3)
+                .unwrap(),
+        )
+        .seed(21)
+        .warmup_cycles(5_000)
+        .measure_cycles(60_000)
+        .build()
+        .run();
+        assert!(light.ebw() < full.ebw());
+        // Offered load n·p bounds the EBW.
+        assert!(light.ebw() <= 8.0 * 0.3 + 0.2, "ebw = {}", light.ebw());
+    }
+
+    #[test]
+    fn bus_utilization_matches_ebw_identity() {
+        // EBW = Pb (r+2)/2 exactly (every service = 2 bus cycles).
+        let report = quick_run(8, 8, 6, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 33);
+        let identity = report.bus_utilization() * f64::from(8) / 2.0;
+        assert!(
+            (report.ebw() - identity).abs() < 0.05,
+            "ebw {} vs Pb(r+2)/2 = {identity}",
+            report.ebw()
+        );
+    }
+
+    #[test]
+    fn geometric_service_runs() {
+        let report = BusSimBuilder::new(SystemParams::new(8, 8, 8).unwrap())
+            .memory_service(ServiceTime::Geometric { mean: 8.0 })
+            .buffering(Buffering::Buffered)
+            .seed(3)
+            .warmup_cycles(2_000)
+            .measure_cycles(40_000)
+            .build()
+            .run();
+        assert!(report.ebw() > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Synchronous crossbar / multiple-bus simulator (references 1 and 5).
+//!
+//! One step = one crossbar cycle = one processor cycle `(r+2)·t`. Every
+//! cycle each requesting processor addresses its module; each module
+//! serves one of its requesters (chosen uniformly); with a bus cap `b`,
+//! only `min(x, b)` busy modules (chosen uniformly) may serve. Rejected
+//! requests persist. Served processors re-request with probability `p`
+//! per subsequent cycle.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::SystemParams;
+
+/// Builder/runner for the crossbar (and multiple-bus) baseline.
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::SystemParams;
+/// use busnet_core::sim::crossbar::CrossbarSim;
+///
+/// let ebw = CrossbarSim::new(SystemParams::new(8, 8, 1)?)
+///     .seed(1)
+///     .warmup_cycles(500)
+///     .measure_cycles(20_000)
+///     .run_ebw();
+/// assert!((ebw - 4.94).abs() < 0.1); // exact chain value ≈ 4.94
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CrossbarSim {
+    params: SystemParams,
+    buses: Option<u32>,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+}
+
+impl CrossbarSim {
+    /// Creates a crossbar simulator (no bus cap).
+    pub fn new(params: SystemParams) -> Self {
+        CrossbarSim { params, buses: None, seed: 0x5EED, warmup: 1_000, measure: 100_000 }
+    }
+
+    /// Caps concurrent services at `buses` per cycle, turning the
+    /// crossbar into the multiple-bus network of reference 5.
+    pub fn with_buses(mut self, buses: u32) -> Self {
+        self.buses = Some(buses);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets discarded warmup cycles (crossbar cycles).
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Sets measured cycles (crossbar cycles).
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.measure = cycles.max(1);
+        self
+    }
+
+    /// Runs and returns the EBW: mean requests served per cycle.
+    pub fn run_ebw(&self) -> f64 {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            Thinking,
+            Requesting(usize),
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.params.n() as usize;
+        let m = self.params.m() as usize;
+        let p = self.params.p();
+        let mut procs = vec![Phase::Thinking; n];
+        let mut served_total: u64 = 0;
+        let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut busy: Vec<usize> = Vec::with_capacity(m);
+        for cycle in 0..(self.warmup + self.measure) {
+            // Thinking processors flip the request coin.
+            for proc in &mut procs {
+                if *proc == Phase::Thinking && (p >= 1.0 || rng.gen_bool(p)) {
+                    *proc = Phase::Requesting(rng.gen_range(0..m));
+                }
+            }
+            // Gather per-module requester lists.
+            for list in &mut requesters {
+                list.clear();
+            }
+            for (i, proc) in procs.iter().enumerate() {
+                if let Phase::Requesting(j) = proc {
+                    requesters[*j].push(i);
+                }
+            }
+            busy.clear();
+            busy.extend((0..m).filter(|&j| !requesters[j].is_empty()));
+            // Bus cap: choose which busy modules may serve.
+            let cap = self.buses.map_or(busy.len(), |b| busy.len().min(b as usize));
+            // Partial Fisher–Yates: the first `cap` entries are a
+            // uniform subset.
+            for k in 0..cap {
+                let swap = rng.gen_range(k..busy.len());
+                busy.swap(k, swap);
+            }
+            for &j in &busy[..cap] {
+                let winners = &requesters[j];
+                let lucky = winners[rng.gen_range(0..winners.len())];
+                procs[lucky] = Phase::Thinking;
+                if cycle >= self.warmup {
+                    served_total += 1;
+                }
+            }
+        }
+        served_total as f64 / self.measure as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::crossbar::crossbar_ebw_exact;
+    use crate::analytic::multibus::multibus_bw_exact;
+
+    fn params(n: u32, m: u32) -> SystemParams {
+        SystemParams::new(n, m, 1).unwrap()
+    }
+
+    #[test]
+    fn matches_exact_chain() {
+        for (n, m) in [(2, 2), (4, 4), (8, 8), (8, 4)] {
+            let sim = CrossbarSim::new(params(n, m))
+                .seed(7)
+                .warmup_cycles(2_000)
+                .measure_cycles(200_000)
+                .run_ebw();
+            let exact = crossbar_ebw_exact(n, m).unwrap();
+            assert!(
+                (sim - exact).abs() / exact < 0.01,
+                "({n},{m}): sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn multibus_matches_exact_chain() {
+        let sim = CrossbarSim::new(params(8, 8))
+            .with_buses(3)
+            .seed(11)
+            .warmup_cycles(2_000)
+            .measure_cycles(200_000)
+            .run_ebw();
+        let exact = multibus_bw_exact(8, 8, 3).unwrap();
+        assert!((sim - exact).abs() / exact < 0.01, "sim {sim} vs exact {exact}");
+    }
+
+    #[test]
+    fn think_probability_lowers_throughput() {
+        let full = CrossbarSim::new(params(8, 8)).seed(3).run_ebw();
+        let half = CrossbarSim::new(
+            params(8, 8).with_request_probability(0.5).unwrap(),
+        )
+        .seed(3)
+        .run_ebw();
+        assert!(half < full);
+        assert!(half <= 4.0 + 0.1, "offered load bound: {half}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CrossbarSim::new(params(4, 4)).seed(9).measure_cycles(5_000).run_ebw();
+        let b = CrossbarSim::new(params(4, 4)).seed(9).measure_cycles(5_000).run_ebw();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,19 @@
+//! Cycle-accurate simulators.
+//!
+//! * [`bus`] — the multiplexed single-bus system of §2 (and its §6
+//!   buffered variant): one bus cycle per step, explicit arbitration,
+//!   per-module state machines. This is the engine behind Figs 2, 3, 5,
+//!   6 and Tables 3a and 4.
+//! * [`crossbar`] — the synchronous crossbar / multiple-bus baseline
+//!   with one step per processor cycle (references 1 and 5).
+//! * [`service`] — service-time distributions: the paper's constant
+//!   times, plus geometric (discrete exponential) variants for the §6
+//!   product-form comparison.
+//! * [`runner`] — replication drivers yielding EBW estimates with
+//!   confidence intervals.
+
+pub mod address;
+pub mod bus;
+pub mod crossbar;
+pub mod runner;
+pub mod service;

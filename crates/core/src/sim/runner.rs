@@ -1,0 +1,191 @@
+//! Replicated-run drivers producing EBW estimates with confidence
+//! intervals.
+
+use busnet_sim::replication::{run_replications, ReplicationPlan};
+
+use crate::params::{Buffering, BusPolicy, SystemParams};
+use crate::sim::bus::BusSimBuilder;
+use crate::sim::service::ServiceTime;
+
+/// An EBW point estimate with its 95% confidence half width.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EbwEstimate {
+    /// Mean EBW over replications.
+    pub ebw: f64,
+    /// Half width of the 95% confidence interval.
+    pub half_width_95: f64,
+    /// Number of independent replications.
+    pub replications: u32,
+}
+
+impl EbwEstimate {
+    /// Whether `value` lies inside the 95% interval widened by
+    /// `slack` (useful when comparing against 3-decimal paper prints).
+    pub fn covers(&self, value: f64, slack: f64) -> bool {
+        (value - self.ebw).abs() <= self.half_width_95 + slack
+    }
+}
+
+/// Configuration for replicated single-bus EBW measurements.
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::{BusPolicy, Buffering, SystemParams};
+/// use busnet_core::sim::runner::EbwExperiment;
+///
+/// let est = EbwExperiment::new(SystemParams::new(8, 8, 6)?)
+///     .replications(4)
+///     .measure_cycles(20_000)
+///     .run();
+/// assert!(est.ebw > 0.0 && est.half_width_95 >= 0.0);
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EbwExperiment {
+    params: SystemParams,
+    policy: BusPolicy,
+    buffering: Buffering,
+    memory_service: Option<ServiceTime>,
+    replications: u32,
+    warmup: u64,
+    measure: u64,
+    master_seed: u64,
+}
+
+impl EbwExperiment {
+    /// Creates an experiment with the paper-reproduction defaults
+    /// (8 replications × 200 000 measured cycles, 20 000 warmup).
+    pub fn new(params: SystemParams) -> Self {
+        EbwExperiment {
+            params,
+            policy: BusPolicy::ProcessorPriority,
+            buffering: Buffering::Unbuffered,
+            memory_service: None,
+            replications: 8,
+            warmup: 20_000,
+            measure: 200_000,
+            master_seed: 0x1985_0414, // ISCA'85 flavor
+        }
+    }
+
+    /// Sets the arbitration policy.
+    pub fn policy(mut self, policy: BusPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the buffering scheme.
+    pub fn buffering(mut self, buffering: Buffering) -> Self {
+        self.buffering = buffering;
+        self
+    }
+
+    /// Overrides the memory service-time distribution.
+    pub fn memory_service(mut self, service: ServiceTime) -> Self {
+        self.memory_service = Some(service);
+        self
+    }
+
+    /// Sets the number of replications.
+    pub fn replications(mut self, replications: u32) -> Self {
+        self.replications = replications.max(1);
+        self
+    }
+
+    /// Sets warmup cycles per replication.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Sets measured cycles per replication.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.measure = cycles.max(1);
+        self
+    }
+
+    /// Sets the master seed for the replication seed sequence.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Runs all replications and aggregates.
+    pub fn run(&self) -> EbwEstimate {
+        let plan = ReplicationPlan::new(self.replications, self.master_seed);
+        let summary = run_replications(&plan, |_, seed| {
+            let mut builder = BusSimBuilder::new(self.params)
+                .policy(self.policy)
+                .buffering(self.buffering)
+                .seed(seed)
+                .warmup_cycles(self.warmup)
+                .measure_cycles(self.measure);
+            if let Some(service) = self.memory_service {
+                builder = builder.memory_service(service);
+            }
+            builder.build().run().ebw()
+        });
+        EbwEstimate {
+            ebw: summary.mean(),
+            half_width_95: summary.half_width_95(),
+            replications: self.replications,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_reproducible() {
+        let params = SystemParams::new(4, 4, 4).unwrap();
+        let run = |seed| {
+            EbwExperiment::new(params)
+                .replications(3)
+                .warmup_cycles(500)
+                .measure_cycles(5_000)
+                .master_seed(seed)
+                .run()
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a, b);
+        let c = run(2);
+        assert_ne!(a.ebw, c.ebw);
+    }
+
+    #[test]
+    fn interval_tightens_with_more_cycles() {
+        let params = SystemParams::new(8, 8, 8).unwrap();
+        let short = EbwExperiment::new(params)
+            .replications(6)
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .run();
+        let long = EbwExperiment::new(params)
+            .replications(6)
+            .warmup_cycles(2_000)
+            .measure_cycles(50_000)
+            .run();
+        assert!(
+            long.half_width_95 < short.half_width_95,
+            "long {} vs short {}",
+            long.half_width_95,
+            short.half_width_95
+        );
+    }
+
+    #[test]
+    fn covers_its_own_mean() {
+        let params = SystemParams::new(4, 8, 6).unwrap();
+        let est = EbwExperiment::new(params)
+            .replications(4)
+            .warmup_cycles(500)
+            .measure_cycles(5_000)
+            .run();
+        assert!(est.covers(est.ebw, 0.0));
+        assert!(!est.covers(est.ebw + 1.0, 0.5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Service-time distributions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::error::CoreError;
+
+/// Distribution of a service duration in whole bus cycles (always
+/// ≥ 1 cycle).
+///
+/// The paper's system has *constant* times (hypothesis *b*/*c*); the
+/// geometric variant — the discrete-time memoryless distribution — is
+/// provided to validate the §6 exponential product-form model against
+/// simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceTime {
+    /// Exactly `cycles` bus cycles.
+    Constant(u32),
+    /// Geometric on `{1, 2, 3, …}` with the given mean: the number of
+    /// Bernoulli(1/mean) trials up to and including the first success.
+    Geometric {
+        /// Mean duration in cycles (must be ≥ 1).
+        mean: f64,
+    },
+}
+
+impl ServiceTime {
+    /// Validates the variant's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a zero constant or a
+    /// geometric mean below 1.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            ServiceTime::Constant(0) => Err(CoreError::InvalidParameter {
+                name: "service cycles",
+                value: "0".to_owned(),
+                constraint: "at least 1 cycle",
+            }),
+            ServiceTime::Geometric { mean } if !(mean.is_finite() && mean >= 1.0) => {
+                Err(CoreError::InvalidParameter {
+                    name: "service mean",
+                    value: mean.to_string(),
+                    constraint: "finite and >= 1",
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Mean duration in cycles.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceTime::Constant(c) => f64::from(c),
+            ServiceTime::Geometric { mean } => mean,
+        }
+    }
+
+    /// Draws one duration.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match *self {
+            ServiceTime::Constant(c) => c,
+            ServiceTime::Geometric { mean } => {
+                let q = 1.0 / mean;
+                // Inverse-CDF sampling of the geometric distribution:
+                // ceil(ln U / ln(1−q)), clamped to at least one cycle.
+                if q >= 1.0 {
+                    return 1;
+                }
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let k = (u.ln() / (1.0 - q).ln()).ceil();
+                if k < 1.0 {
+                    1
+                } else if k > f64::from(u32::MAX) {
+                    u32::MAX
+                } else {
+                    k as u32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let st = ServiceTime::Constant(7);
+        for _ in 0..100 {
+            assert_eq!(st.sample(&mut rng), 7);
+        }
+        assert_eq!(st.mean(), 7.0);
+    }
+
+    #[test]
+    fn geometric_mean_converges() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for mean in [1.5, 4.0, 12.0] {
+            let st = ServiceTime::Geometric { mean };
+            let n = 200_000;
+            let total: u64 = (0..n).map(|_| u64::from(st.sample(&mut rng))).sum();
+            let empirical = total as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() / mean < 0.02,
+                "mean {mean}: empirical {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_mean_one_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let st = ServiceTime::Geometric { mean: 1.0 };
+        for _ in 0..50 {
+            assert_eq!(st.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn samples_never_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let st = ServiceTime::Geometric { mean: 1.01 };
+        for _ in 0..10_000 {
+            assert!(st.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ServiceTime::Constant(0).validate().is_err());
+        assert!(ServiceTime::Constant(1).validate().is_ok());
+        assert!(ServiceTime::Geometric { mean: 0.5 }.validate().is_err());
+        assert!(ServiceTime::Geometric { mean: f64::NAN }.validate().is_err());
+        assert!(ServiceTime::Geometric { mean: 8.0 }.validate().is_ok());
+    }
+}

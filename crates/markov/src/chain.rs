@@ -1,0 +1,243 @@
+//! Sparse row-stochastic transition matrices and BFS chain exploration.
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::error::MarkovError;
+use crate::space::StateSpace;
+
+/// Tolerance used when validating that rows sum to one.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+/// A sparse row-stochastic matrix: `rows[i]` lists `(j, p)` with
+/// `Σ_j p = 1`.
+///
+/// Build one with [`ChainBuilder::explore`] or [`TransitionMatrix::from_rows`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransitionMatrix {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl TransitionMatrix {
+    /// Validates and wraps pre-computed rows.
+    ///
+    /// Duplicate column entries within a row are merged.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::NonStochasticRow`] if any row does not sum to 1
+    /// within [`ROW_SUM_TOLERANCE`]; [`MarkovError::InvalidProbability`]
+    /// for negative or non-finite entries; [`MarkovError::EmptySpace`] if
+    /// there are no rows.
+    pub fn from_rows(rows: Vec<Vec<(usize, f64)>>) -> Result<Self, MarkovError> {
+        if rows.is_empty() {
+            return Err(MarkovError::EmptySpace);
+        }
+        let n = rows.len();
+        let mut merged = Vec::with_capacity(n);
+        for (i, row) in rows.into_iter().enumerate() {
+            let mut sum = 0.0;
+            for &(j, p) in &row {
+                if !p.is_finite() || p < -ROW_SUM_TOLERANCE {
+                    return Err(MarkovError::InvalidProbability { row: i, value: p });
+                }
+                debug_assert!(j < n, "column {j} out of bounds in row {i}");
+                sum += p;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(MarkovError::NonStochasticRow { row: i, sum });
+            }
+            let mut row = row;
+            row.sort_by_key(|&(j, _)| j);
+            let mut compact: Vec<(usize, f64)> = Vec::with_capacity(row.len());
+            for (j, p) in row {
+                match compact.last_mut() {
+                    Some(last) if last.0 == j => last.1 += p,
+                    _ => compact.push((j, p)),
+                }
+            }
+            merged.push(compact);
+        }
+        Ok(TransitionMatrix { rows: merged })
+    }
+
+    /// Number of states (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sparse row for state `i`.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Iterates over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[(usize, f64)]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Computes `x · P` (left multiplication by a row vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of states.
+    pub fn left_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows.len(), "vector/matrix size mismatch");
+        let mut out = vec![0.0; x.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for &(j, p) in row {
+                out[j] += xi * p;
+            }
+        }
+        out
+    }
+
+    /// Total number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+/// Builds a chain by breadth-first closure of a transition function.
+#[derive(Debug)]
+pub struct ChainBuilder;
+
+impl ChainBuilder {
+    /// Explores the chain reachable from `seeds` under `transitions` and
+    /// returns the discovered [`StateSpace`] together with its validated
+    /// [`TransitionMatrix`].
+    ///
+    /// `transitions(s)` must return the complete outgoing distribution of
+    /// `s` (entries may repeat a target; they are merged).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the row-validation errors of
+    /// [`TransitionMatrix::from_rows`]; [`MarkovError::EmptySpace`] if
+    /// `seeds` is empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use busnet_markov::chain::ChainBuilder;
+    ///
+    /// // Random walk on a 3-cycle.
+    /// let (space, matrix) = ChainBuilder::explore([0u8], |&s| {
+    ///     vec![((s + 1) % 3, 0.5), ((s + 2) % 3, 0.5)]
+    /// })?;
+    /// assert_eq!(space.len(), 3);
+    /// assert_eq!(matrix.nnz(), 6);
+    /// # Ok::<(), busnet_markov::MarkovError>(())
+    /// ```
+    pub fn explore<S, I, F>(seeds: I, mut transitions: F) -> Result<(StateSpace<S>, TransitionMatrix), MarkovError>
+    where
+        S: Clone + Eq + Hash,
+        I: IntoIterator<Item = S>,
+        F: FnMut(&S) -> Vec<(S, f64)>,
+    {
+        let mut space = StateSpace::new();
+        let mut queue = VecDeque::new();
+        for seed in seeds {
+            let before = space.len();
+            let idx = space.intern(seed);
+            if idx >= before {
+                queue.push_back(idx);
+            }
+        }
+        if space.is_empty() {
+            return Err(MarkovError::EmptySpace);
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        while let Some(i) = queue.pop_front() {
+            debug_assert_eq!(rows.len(), i, "BFS order violated");
+            let current = space.state(i).clone();
+            let outs = transitions(&current);
+            let mut row = Vec::with_capacity(outs.len());
+            for (target, p) in outs {
+                if p == 0.0 {
+                    continue;
+                }
+                let before = space.len();
+                let j = space.intern(target);
+                if j >= before {
+                    queue.push_back(j);
+                }
+                row.push((j, p));
+            }
+            rows.push(row);
+        }
+        let matrix = TransitionMatrix::from_rows(rows)?;
+        Ok((space, matrix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_rejects_bad_sum() {
+        let err = TransitionMatrix::from_rows(vec![vec![(0, 0.5)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::NonStochasticRow { row: 0, .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_negative() {
+        let err = TransitionMatrix::from_rows(vec![vec![(0, 1.5), (0, -0.5)]]).unwrap_err();
+        assert!(matches!(err, MarkovError::InvalidProbability { row: 0, .. }));
+    }
+
+    #[test]
+    fn from_rows_merges_duplicates() {
+        let m = TransitionMatrix::from_rows(vec![vec![(0, 0.25), (0, 0.25), (0, 0.5)]]).unwrap();
+        assert_eq!(m.row(0), &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert_eq!(TransitionMatrix::from_rows(vec![]).unwrap_err(), MarkovError::EmptySpace);
+    }
+
+    #[test]
+    fn explore_discovers_closure() {
+        let (space, matrix) = ChainBuilder::explore([0u32], |&s| {
+            if s < 3 {
+                vec![(s + 1, 1.0)]
+            } else {
+                vec![(0, 1.0)]
+            }
+        })
+        .unwrap();
+        assert_eq!(space.len(), 4);
+        assert_eq!(matrix.len(), 4);
+    }
+
+    #[test]
+    fn left_mul_preserves_mass() {
+        let (_, matrix) = ChainBuilder::explore([0u8], |&s| {
+            vec![((s + 1) % 4, 0.7), ((s + 3) % 4, 0.3)]
+        })
+        .unwrap();
+        let x = vec![0.25; 4];
+        let y = matrix.left_mul(&x);
+        let total: f64 = y.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_edges_are_dropped() {
+        let (space, matrix) =
+            ChainBuilder::explore([0u8], |&s| vec![(s, 1.0), (s + 1, 0.0)]).unwrap();
+        assert_eq!(space.len(), 1);
+        assert_eq!(matrix.nnz(), 1);
+    }
+}

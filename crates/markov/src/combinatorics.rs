@@ -1,0 +1,362 @@
+//! Exact-in-`f64` combinatorics used by the analytic models.
+//!
+//! All counting functions return `f64`. The quantities involved in the
+//! paper's models (n, m ≤ 32 or so) stay far below 2^53 *relative
+//! precision loss* because every recurrence used here has non-negative
+//! terms — no cancellation occurs.
+//!
+//! # Example
+//!
+//! ```
+//! use busnet_markov::combinatorics::{binomial, surjections, stirling2};
+//!
+//! assert_eq!(binomial(8, 3), 56.0);
+//! // 2 processors onto 2 specific modules, both hit: 2 ways.
+//! assert_eq!(surjections(2, 2), 2.0);
+//! assert_eq!(stirling2(4, 2), 7.0);
+//! ```
+
+/// `n!` as an `f64`.
+///
+/// Exact for `n ≤ 22`; above that the result is the correctly rounded
+/// `f64` product (monotone accumulation, no cancellation).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(busnet_markov::combinatorics::factorial(5), 120.0);
+/// ```
+pub fn factorial(n: u32) -> f64 {
+    let mut acc = 1.0;
+    for k in 2..=n {
+        acc *= f64::from(k);
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` as an `f64`; 0 when `k > n`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(busnet_markov::combinatorics::binomial(10, 2), 45.0);
+/// assert_eq!(busnet_markov::combinatorics::binomial(3, 5), 0.0);
+/// ```
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * f64::from(n - i) / f64::from(i + 1);
+    }
+    acc.round()
+}
+
+/// Multinomial coefficient `(Σ parts)! / Π parts!`.
+///
+/// # Example
+///
+/// ```
+/// // 4!/2!1!1! = 12
+/// assert_eq!(busnet_markov::combinatorics::multinomial(&[2, 1, 1]), 12.0);
+/// ```
+pub fn multinomial(parts: &[u32]) -> f64 {
+    let mut acc = 1.0;
+    let mut total: u32 = 0;
+    for &p in parts {
+        for i in 1..=p {
+            total += 1;
+            acc = acc * f64::from(total) / f64::from(i);
+        }
+    }
+    acc.round()
+}
+
+/// Number of surjections from `n` labelled balls onto `k` labelled cells
+/// (`k! · S(n, k)` where `S` is the Stirling number of the second kind).
+///
+/// Computed with the cancellation-free recurrence
+/// `surj(n, k) = k · (surj(n−1, k−1) + surj(n−1, k))`.
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::combinatorics::surjections;
+/// assert_eq!(surjections(3, 2), 6.0);
+/// assert_eq!(surjections(2, 3), 0.0); // cannot cover 3 cells with 2 balls
+/// assert_eq!(surjections(0, 0), 1.0); // the empty map
+/// ```
+pub fn surjections(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if k == 0 {
+        return if n == 0 { 1.0 } else { 0.0 };
+    }
+    // Rolling table over n, indexed by cell count.
+    let kk = k as usize;
+    let mut row = vec![0.0f64; kk + 1];
+    row[0] = 1.0; // surj(0, 0)
+    for _step in 1..=n {
+        // Compute the next row in place from high to low so that
+        // row[j-1] and row[j] still hold the previous step's values.
+        let hi = kk.min(_step as usize);
+        for j in (1..=hi).rev() {
+            row[j] = j as f64 * (row[j - 1] + row[j]);
+        }
+        row[0] = 0.0; // surj(n ≥ 1, 0) = 0
+    }
+    row[kk]
+}
+
+/// Stirling number of the second kind `S(n, k)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(busnet_markov::combinatorics::stirling2(5, 3), 25.0);
+/// ```
+pub fn stirling2(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    surjections(n, k) / factorial(k)
+}
+
+/// Probability that `n` independent uniform choices over `m` cells hit
+/// exactly `x` distinct cells: `C(m, x) · surj(n, x) / m^n`.
+///
+/// This is the request-distinctness distribution used throughout the
+/// paper's combinational models.
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::combinatorics::distinct_cells_pmf;
+/// // two balls, two cells: same cell 1/2, different cells 1/2
+/// assert!((distinct_cells_pmf(2, 2, 1) - 0.5).abs() < 1e-12);
+/// assert!((distinct_cells_pmf(2, 2, 2) - 0.5).abs() < 1e-12);
+/// ```
+pub fn distinct_cells_pmf(n: u32, m: u32, x: u32) -> f64 {
+    if x > n.min(m) {
+        return 0.0;
+    }
+    if n == 0 {
+        return if x == 0 { 1.0 } else { 0.0 };
+    }
+    binomial(m, x) * surjections(n, x) / f64::from(m).powi(n as i32)
+}
+
+/// All partitions of `n` into at most `max_parts` parts, each part at most
+/// `max_part`, listed in non-increasing order, zero parts omitted.
+///
+/// The empty partition is included when `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::combinatorics::partitions;
+/// let p = partitions(4, 2, 4);
+/// assert_eq!(p, vec![vec![4], vec![3, 1], vec![2, 2]]);
+/// ```
+pub fn partitions(n: u32, max_parts: u32, max_part: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(rem: u32, slots: u32, cap: u32, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if rem == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        if slots == 0 {
+            return;
+        }
+        let hi = cap.min(rem);
+        // Largest first keeps the non-increasing invariant.
+        for part in (1..=hi).rev() {
+            // Feasibility: remaining slots must be able to absorb rem - part.
+            if (slots - 1) * part >= rem - part {
+                cur.push(part);
+                rec(rem - part, slots - 1, part, cur, out);
+                cur.pop();
+            }
+        }
+    }
+    rec(n, max_parts, max_part, &mut cur, &mut out);
+    out
+}
+
+/// Number of unrestricted partitions of `n` (OEIS A000041), for testing
+/// the enumerator.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(busnet_markov::combinatorics::partition_count(8), 22.0);
+/// ```
+pub fn partition_count(n: u32) -> f64 {
+    partitions(n, n, n).len() as f64
+}
+
+/// All compositions of `n` into exactly `k` **non-negative** parts
+/// ("weak compositions").
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::combinatorics::weak_compositions;
+/// assert_eq!(weak_compositions(2, 2), vec![vec![0, 2], vec![1, 1], vec![2, 0]]);
+/// ```
+pub fn weak_compositions(n: u32, k: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    if k == 0 {
+        if n == 0 {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    let mut cur = vec![0u32; k as usize];
+    fn rec(rem: u32, idx: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if idx + 1 == cur.len() {
+            cur[idx] = rem;
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..=rem {
+            cur[idx] = v;
+            rec(rem - v, idx + 1, cur, out);
+        }
+    }
+    rec(n, 0, &mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(1), 1.0);
+        assert_eq!(factorial(6), 720.0);
+        assert_eq!(factorial(12), 479_001_600.0);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_edges() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(7, 7), 1.0);
+        assert_eq!(binomial(30, 15), binomial(30, 15));
+        for n in 0..20u32 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..25u32 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert_eq!(lhs, rhs, "Pascal at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn multinomial_matches_factorials() {
+        let parts = [3u32, 2, 1];
+        let expected = factorial(6) / (factorial(3) * factorial(2) * factorial(1));
+        assert_eq!(multinomial(&parts), expected);
+        assert_eq!(multinomial(&[]), 1.0);
+        assert_eq!(multinomial(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn surjections_known_values() {
+        // n=4 onto k=2 cells: 2^4 - 2 = 14.
+        assert_eq!(surjections(4, 2), 14.0);
+        // n=4 onto 3: 36; n=4 onto 4: 24.
+        assert_eq!(surjections(4, 3), 36.0);
+        assert_eq!(surjections(4, 4), 24.0);
+        assert_eq!(surjections(5, 1), 1.0);
+    }
+
+    #[test]
+    fn surjections_sum_identity() {
+        // sum_k C(m,k) surj(n,k) = m^n
+        for n in 0..=10u32 {
+            for m in 1..=8u32 {
+                let total: f64 = (0..=m).map(|k| binomial(m, k) * surjections(n, k)).sum();
+                let expect = f64::from(m).powi(n as i32);
+                assert!(
+                    (total - expect).abs() / expect < 1e-12,
+                    "identity fails at n={n}, m={m}: {total} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stirling2_triangle() {
+        assert_eq!(stirling2(0, 0), 1.0);
+        assert_eq!(stirling2(3, 2), 3.0);
+        assert_eq!(stirling2(6, 3), 90.0);
+    }
+
+    #[test]
+    fn distinct_cells_pmf_normalizes() {
+        for n in 1..=9u32 {
+            for m in 1..=9u32 {
+                let total: f64 = (0..=n.min(m)).map(|x| distinct_cells_pmf(n, m, x)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "pmf not normalized n={n} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_counts_match_a000041() {
+        let expected = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42, 56, 77, 101, 135, 176, 231];
+        for (n, &e) in expected.iter().enumerate() {
+            assert_eq!(partition_count(n as u32), f64::from(e), "p({n})");
+        }
+    }
+
+    #[test]
+    fn partitions_respect_bounds() {
+        for part in partitions(10, 3, 5) {
+            assert!(part.len() <= 3);
+            assert!(part.iter().all(|&p| (1..=5).contains(&p)));
+            assert_eq!(part.iter().sum::<u32>(), 10);
+            assert!(part.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+        }
+    }
+
+    #[test]
+    fn partitions_zero_is_empty_partition() {
+        assert_eq!(partitions(0, 4, 4), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn weak_compositions_count() {
+        // C(n + k - 1, k - 1) weak compositions of n into k parts.
+        for n in 0..=6u32 {
+            for k in 1..=4u32 {
+                let got = weak_compositions(n, k).len() as f64;
+                assert_eq!(got, binomial(n + k - 1, k - 1), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn weak_compositions_sum_invariant() {
+        for comp in weak_compositions(7, 3) {
+            assert_eq!(comp.iter().sum::<u32>(), 7);
+        }
+    }
+}

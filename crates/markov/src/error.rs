@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving Markov chains.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A transition row does not sum to 1 within tolerance.
+    NonStochasticRow {
+        /// Index of the offending row.
+        row: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A transition probability is negative or non-finite.
+    InvalidProbability {
+        /// Index of the row containing the probability.
+        row: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The chain has more than one terminal (recurrent) class, so the
+    /// stationary distribution is not unique.
+    MultipleRecurrentClasses(usize),
+    /// The linear system for the stationary distribution is singular.
+    SingularSystem,
+    /// The state space is empty.
+    EmptySpace,
+    /// Power iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the final iterate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NonStochasticRow { row, sum } => {
+                write!(f, "transition row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::InvalidProbability { row, value } => {
+                write!(f, "row {row} contains invalid probability {value}")
+            }
+            MarkovError::MultipleRecurrentClasses(k) => {
+                write!(f, "chain has {k} recurrent classes, stationary distribution not unique")
+            }
+            MarkovError::SingularSystem => {
+                write!(f, "stationary linear system is singular")
+            }
+            MarkovError::EmptySpace => write!(f, "state space is empty"),
+            MarkovError::NoConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl Error for MarkovError {}

@@ -1,0 +1,49 @@
+//! Finite Markov-chain toolkit for the `busnet` reproduction.
+//!
+//! This crate is the analytic substrate of the ISCA'85 multiplexed
+//! single-bus study: it provides the machinery the paper's exact and
+//! approximate models are built on, with no domain knowledge of buses or
+//! memories.
+//!
+//! * [`combinatorics`] — factorials, binomials, multinomials, surjection
+//!   and Stirling numbers, integer partition/composition enumerators.
+//! * [`space`] — hash-indexed state spaces built by breadth-first closure
+//!   of a transition function.
+//! * [`chain`] — sparse row-stochastic transition matrices with
+//!   validation.
+//! * [`solve`] — stationary distributions (dense Gaussian elimination,
+//!   power iteration with Cesàro averaging) and strongly-connected
+//!   component analysis (Tarjan) for locating the recurrent class.
+//!
+//! # Example
+//!
+//! A two-state weather chain:
+//!
+//! ```
+//! use busnet_markov::chain::ChainBuilder;
+//! use busnet_markov::solve::stationary_dense;
+//!
+//! // 0 = sunny, 1 = rainy.
+//! let (space, matrix) = ChainBuilder::explore([0u8], |&s| match s {
+//!     0 => vec![(0u8, 0.9), (1, 0.1)],
+//!     _ => vec![(0, 0.5), (1, 0.5)],
+//! })?;
+//! let pi = stationary_dense(&matrix)?;
+//! let sunny = pi[space.index_of(&0).unwrap()];
+//! assert!((sunny - 5.0 / 6.0).abs() < 1e-12);
+//! # Ok::<(), busnet_markov::MarkovError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod combinatorics;
+pub mod solve;
+pub mod space;
+
+mod error;
+
+pub use chain::{ChainBuilder, TransitionMatrix};
+pub use error::MarkovError;
+pub use space::StateSpace;

@@ -1,0 +1,650 @@
+//! Stationary-distribution solvers and graph analysis.
+//!
+//! Two solvers are provided:
+//!
+//! * [`stationary_dense`] — Gaussian elimination on `π(P − I) = 0` with a
+//!   normalization row. Exact up to floating point; handles **periodic**
+//!   chains (the bus models here are strongly periodic for small
+//!   populations) and transient states, as long as a single recurrent
+//!   class exists.
+//! * [`stationary_power`] — Cesàro-averaged power iteration; cheaper for
+//!   very large sparse chains, used as a cross-check.
+//!
+//! [`terminal_sccs`] (Tarjan) identifies recurrent classes so callers can
+//! detect ill-posed chains before solving.
+
+use crate::chain::TransitionMatrix;
+use crate::error::MarkovError;
+
+/// Computes the unique stationary distribution of `matrix` by dense
+/// Gaussian elimination.
+///
+/// Works for periodic chains and chains with transient states, provided
+/// there is exactly one recurrent class (verified internally via
+/// [`terminal_sccs`]).
+///
+/// # Errors
+///
+/// * [`MarkovError::MultipleRecurrentClasses`] when the stationary
+///   distribution is not unique.
+/// * [`MarkovError::SingularSystem`] if elimination breaks down
+///   numerically.
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::chain::TransitionMatrix;
+/// use busnet_markov::solve::stationary_dense;
+///
+/// // Periodic two-cycle: uniform stationary distribution.
+/// let m = TransitionMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]])?;
+/// let pi = stationary_dense(&m)?;
+/// assert!((pi[0] - 0.5).abs() < 1e-12);
+/// # Ok::<(), busnet_markov::MarkovError>(())
+/// ```
+pub fn stationary_dense(matrix: &TransitionMatrix) -> Result<Vec<f64>, MarkovError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(MarkovError::EmptySpace);
+    }
+    let recurrent = terminal_sccs(matrix);
+    if recurrent.len() != 1 {
+        return Err(MarkovError::MultipleRecurrentClasses(recurrent.len()));
+    }
+
+    // Build A = Pᵀ − I, then replace the last row with the normalization
+    // Σ π_i = 1. Solve A x = b with b = (0, …, 0, 1).
+    let mut a = vec![0.0f64; n * n];
+    for (i, row) in matrix.iter_rows().enumerate() {
+        for &(j, p) in row {
+            a[j * n + i] += p;
+        }
+    }
+    for i in 0..n {
+        a[i * n + i] -= 1.0;
+    }
+    for j in 0..n {
+        a[(n - 1) * n + j] = 1.0;
+    }
+    let mut b = vec![0.0f64; n];
+    b[n - 1] = 1.0;
+
+    gaussian_solve(&mut a, &mut b, n)?;
+
+    // Clamp tiny negatives from rounding on transient states.
+    for x in &mut b {
+        if *x < 0.0 {
+            if *x < -1e-8 {
+                return Err(MarkovError::SingularSystem);
+            }
+            *x = 0.0;
+        }
+    }
+    let total: f64 = b.iter().sum();
+    if !(total.is_finite()) || total <= 0.0 {
+        return Err(MarkovError::SingularSystem);
+    }
+    for x in &mut b {
+        *x /= total;
+    }
+    Ok(b)
+}
+
+/// In-place Gaussian elimination with partial pivoting on a dense
+/// row-major `n × n` system.
+fn gaussian_solve(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), MarkovError> {
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-13 {
+            return Err(MarkovError::SingularSystem);
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(pivot * n + j, col * n + j);
+            }
+            b.swap(pivot, col);
+        }
+        let diag = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            a[row * n + col] = 0.0;
+            for j in col + 1..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for j in col + 1..n {
+            acc -= a[col * n + j] * b[j];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+    Ok(())
+}
+
+/// Cesàro-averaged power iteration.
+///
+/// Averages iterates over a window so that periodic chains converge to
+/// the stationary distribution of the embedded average.
+///
+/// # Errors
+///
+/// [`MarkovError::NoConvergence`] if the residual `‖x̄P − x̄‖₁` stays above
+/// `tol` after `max_iters` sweeps; [`MarkovError::EmptySpace`] for an
+/// empty matrix.
+pub fn stationary_power(
+    matrix: &TransitionMatrix,
+    max_iters: usize,
+    tol: f64,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(MarkovError::EmptySpace);
+    }
+    let mut x = vec![1.0 / n as f64; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    while iterations < max_iters {
+        // One averaging window: advance and accumulate.
+        let window = 32.min(max_iters - iterations).max(1);
+        let mut acc = vec![0.0f64; n];
+        for _ in 0..window {
+            x = matrix.left_mul(&x);
+            for (a, &v) in acc.iter_mut().zip(&x) {
+                *a += v;
+            }
+            iterations += 1;
+        }
+        for a in &mut acc {
+            *a /= window as f64;
+        }
+        let next = matrix.left_mul(&acc);
+        residual = acc.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        let mut avg = acc;
+        if residual < tol {
+            let total: f64 = avg.iter().sum();
+            for v in &mut avg {
+                *v /= total;
+            }
+            return Ok(avg);
+        }
+        x = avg;
+    }
+    Err(MarkovError::NoConvergence { iterations, residual })
+}
+
+/// Returns the **terminal** strongly-connected components of the chain's
+/// directed graph — the recurrent classes.
+///
+/// A component is terminal when no edge leaves it. Uses an iterative
+/// Tarjan SCC so deep chains cannot overflow the stack.
+///
+/// # Example
+///
+/// ```
+/// use busnet_markov::chain::TransitionMatrix;
+/// use busnet_markov::solve::terminal_sccs;
+///
+/// // 0 is transient, {1, 2} is the recurrent cycle.
+/// let m = TransitionMatrix::from_rows(vec![
+///     vec![(1, 1.0)],
+///     vec![(2, 1.0)],
+///     vec![(1, 1.0)],
+/// ])?;
+/// let t = terminal_sccs(&m);
+/// assert_eq!(t.len(), 1);
+/// assert_eq!(t[0], vec![1, 2]);
+/// # Ok::<(), busnet_markov::MarkovError>(())
+/// ```
+pub fn terminal_sccs(matrix: &TransitionMatrix) -> Vec<Vec<usize>> {
+    let n = matrix.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Iterative Tarjan with an explicit work stack of (node, edge cursor).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            if *cursor == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let row = matrix.row(v);
+            if *cursor < row.len() {
+                let w = row[*cursor].0;
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = comps.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+
+    // A component is terminal iff all outgoing edges stay inside it.
+    let mut terminal = vec![true; comps.len()];
+    for (v, row) in matrix.iter_rows().enumerate() {
+        for &(w, _) in row {
+            if comp_of[v] != comp_of[w] {
+                terminal[comp_of[v]] = false;
+            }
+        }
+    }
+    comps
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, c)| terminal[i].then_some(c))
+        .collect()
+}
+
+/// Expectation `Σ_i π_i f(i)` of a function over a distribution.
+///
+/// # Panics
+///
+/// Panics in debug builds if `pi` is not approximately normalized.
+pub fn expectation(pi: &[f64], mut f: impl FnMut(usize) -> f64) -> f64 {
+    debug_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-6, "pi not normalized");
+    pi.iter().enumerate().map(|(i, &p)| p * f(i)).sum()
+}
+
+/// Expected number of steps to first reach any state in `targets`,
+/// from every state.
+///
+/// Solves the first-passage system `h_i = 0` for targets and
+/// `h_i = 1 + Σ_j P_ij h_j` otherwise. States that cannot reach a
+/// target make the system singular.
+///
+/// # Errors
+///
+/// * [`MarkovError::EmptySpace`] for an empty matrix or empty target
+///   set.
+/// * [`MarkovError::SingularSystem`] when some state cannot reach the
+///   target set (infinite expected hitting time).
+///
+/// # Example
+///
+/// Symmetric gambler's ruin on `{0, 1, 2, 3}` with absorbing ends:
+/// from state 1, the expected time to hit a boundary is `1·(3−1) = 2`.
+///
+/// ```
+/// use busnet_markov::chain::TransitionMatrix;
+/// use busnet_markov::solve::expected_hitting_times;
+///
+/// let m = TransitionMatrix::from_rows(vec![
+///     vec![(0, 1.0)],
+///     vec![(0, 0.5), (2, 0.5)],
+///     vec![(1, 0.5), (3, 0.5)],
+///     vec![(3, 1.0)],
+/// ])?;
+/// let h = expected_hitting_times(&m, &[0, 3])?;
+/// assert!((h[1] - 2.0).abs() < 1e-12);
+/// assert_eq!(h[0], 0.0);
+/// # Ok::<(), busnet_markov::MarkovError>(())
+/// ```
+pub fn expected_hitting_times(
+    matrix: &TransitionMatrix,
+    targets: &[usize],
+) -> Result<Vec<f64>, MarkovError> {
+    let n = matrix.len();
+    if n == 0 || targets.is_empty() {
+        return Err(MarkovError::EmptySpace);
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(MarkovError::EmptySpace);
+        }
+        is_target[t] = true;
+    }
+    // Unknowns: non-target states. System: (I − Q) h = 1 where Q is the
+    // sub-matrix over non-target states.
+    let free: Vec<usize> = (0..n).filter(|&i| !is_target[i]).collect();
+    let index_of: Vec<usize> = {
+        let mut v = vec![usize::MAX; n];
+        for (k, &i) in free.iter().enumerate() {
+            v[i] = k;
+        }
+        v
+    };
+    let k = free.len();
+    if k == 0 {
+        return Ok(vec![0.0; n]);
+    }
+    let mut a = vec![0.0f64; k * k];
+    let mut b = vec![1.0f64; k];
+    for (row, &i) in free.iter().enumerate() {
+        a[row * k + row] += 1.0;
+        for &(j, p) in matrix.row(i) {
+            if !is_target[j] {
+                a[row * k + index_of[j]] -= p;
+            }
+        }
+    }
+    gaussian_solve(&mut a, &mut b, k)?;
+    let mut h = vec![0.0; n];
+    for (row, &i) in free.iter().enumerate() {
+        if !(b[row].is_finite() && b[row] >= -1e-9) {
+            return Err(MarkovError::SingularSystem);
+        }
+        h[i] = b[row].max(0.0);
+    }
+    Ok(h)
+}
+
+/// Probability of hitting `target_a` before `target_b`, from every
+/// state (absorption probabilities of the two-boundary problem).
+///
+/// # Errors
+///
+/// As for [`expected_hitting_times`].
+///
+/// # Example
+///
+/// Unbiased gambler's ruin on `{0..4}`: from 1, ruin (state 0) before
+/// fortune (state 4) has probability `3/4`.
+///
+/// ```
+/// use busnet_markov::chain::TransitionMatrix;
+/// use busnet_markov::solve::hit_before;
+///
+/// let rows = vec![
+///     vec![(0usize, 1.0)],
+///     vec![(0, 0.5), (2, 0.5)],
+///     vec![(1, 0.5), (3, 0.5)],
+///     vec![(2, 0.5), (4, 0.5)],
+///     vec![(4, 1.0)],
+/// ];
+/// let m = TransitionMatrix::from_rows(rows)?;
+/// let q = hit_before(&m, &[0], &[4])?;
+/// assert!((q[1] - 0.75).abs() < 1e-12);
+/// # Ok::<(), busnet_markov::MarkovError>(())
+/// ```
+pub fn hit_before(
+    matrix: &TransitionMatrix,
+    target_a: &[usize],
+    target_b: &[usize],
+) -> Result<Vec<f64>, MarkovError> {
+    let n = matrix.len();
+    if n == 0 || target_a.is_empty() || target_b.is_empty() {
+        return Err(MarkovError::EmptySpace);
+    }
+    let mut class = vec![0u8; n]; // 0 free, 1 target_a, 2 target_b
+    for &t in target_a {
+        if t >= n {
+            return Err(MarkovError::EmptySpace);
+        }
+        class[t] = 1;
+    }
+    for &t in target_b {
+        if t >= n {
+            return Err(MarkovError::EmptySpace);
+        }
+        class[t] = 2;
+    }
+    let free: Vec<usize> = (0..n).filter(|&i| class[i] == 0).collect();
+    let mut index_of = vec![usize::MAX; n];
+    for (kk, &i) in free.iter().enumerate() {
+        index_of[i] = kk;
+    }
+    let k = free.len();
+    let mut q = vec![0.0; n];
+    for (i, c) in class.iter().enumerate() {
+        if *c == 1 {
+            q[i] = 1.0;
+        }
+    }
+    if k == 0 {
+        return Ok(q);
+    }
+    let mut a = vec![0.0f64; k * k];
+    let mut b = vec![0.0f64; k];
+    for (row, &i) in free.iter().enumerate() {
+        a[row * k + row] += 1.0;
+        for &(j, p) in matrix.row(i) {
+            match class[j] {
+                0 => a[row * k + index_of[j]] -= p,
+                1 => b[row] += p,
+                _ => {}
+            }
+        }
+    }
+    gaussian_solve(&mut a, &mut b, k)?;
+    for (row, &i) in free.iter().enumerate() {
+        q[i] = b[row].clamp(0.0, 1.0);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+
+    fn two_state(a: f64, b: f64) -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![
+            vec![(0, 1.0 - a), (1, a)],
+            vec![(0, b), (1, 1.0 - b)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_two_state_closed_form() {
+        let m = two_state(0.1, 0.5);
+        let pi = stationary_dense(&m).unwrap();
+        // π = (b, a) / (a + b)
+        assert!((pi[0] - 0.5 / 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.1 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_handles_periodic_cycle() {
+        let m = TransitionMatrix::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+            vec![(0, 1.0)],
+        ])
+        .unwrap();
+        let pi = stationary_dense(&m).unwrap();
+        for p in pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_puts_zero_mass_on_transient_states() {
+        // 0 -> 1 <-> 2 ; 0 is transient.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+            vec![(1, 1.0)],
+        ])
+        .unwrap();
+        let pi = stationary_dense(&m).unwrap();
+        assert!(pi[0].abs() < 1e-12);
+        assert!((pi[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_rejects_two_recurrent_classes() {
+        let m = TransitionMatrix::from_rows(vec![vec![(0, 1.0)], vec![(1, 1.0)]]).unwrap();
+        assert_eq!(
+            stationary_dense(&m).unwrap_err(),
+            MarkovError::MultipleRecurrentClasses(2)
+        );
+    }
+
+    #[test]
+    fn power_matches_dense_on_aperiodic_chain() {
+        let (_, m) = ChainBuilder::explore([0u8], |&s| {
+            let nxt = (s + 1) % 5;
+            vec![(s, 0.3), (nxt, 0.5), ((s + 3) % 5, 0.2)]
+        })
+        .unwrap();
+        let d = stationary_dense(&m).unwrap();
+        let p = stationary_power(&m, 100_000, 1e-12).unwrap();
+        for (x, y) in d.iter().zip(&p) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn power_converges_on_periodic_chain_via_cesaro() {
+        let m = TransitionMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]).unwrap();
+        let p = stationary_power(&m, 100_000, 1e-10).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn terminal_scc_of_strongly_connected_chain_is_whole() {
+        let m = two_state(0.2, 0.7);
+        let t = terminal_sccs(&m);
+        assert_eq!(t, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn expectation_weighted_sum() {
+        let pi = vec![0.25, 0.75];
+        let e = expectation(&pi, |i| (i as f64) * 4.0);
+        assert!((e - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index IS the formula variable
+    fn hitting_times_gamblers_ruin_closed_form() {
+        // Unbiased walk on {0..L} with absorbing ends: h_i = i(L−i).
+        let l = 6usize;
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        rows.push(vec![(0, 1.0)]);
+        for i in 1..l {
+            rows.push(vec![(i - 1, 0.5), (i + 1, 0.5)]);
+        }
+        rows.push(vec![(l, 1.0)]);
+        let m = TransitionMatrix::from_rows(rows).unwrap();
+        let h = expected_hitting_times(&m, &[0, l]).unwrap();
+        for i in 0..=l {
+            let expect = (i * (l - i)) as f64;
+            assert!((h[i] - expect).abs() < 1e-10, "h[{i}] = {} vs {expect}", h[i]);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index IS the formula variable
+    fn hit_before_linear_in_position() {
+        // Unbiased ruin: P(hit L before 0 | start i) = i/L.
+        let l = 5usize;
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        rows.push(vec![(0, 1.0)]);
+        for i in 1..l {
+            rows.push(vec![(i - 1, 0.5), (i + 1, 0.5)]);
+        }
+        rows.push(vec![(l, 1.0)]);
+        let m = TransitionMatrix::from_rows(rows).unwrap();
+        let q = hit_before(&m, &[l], &[0]).unwrap();
+        for i in 0..=l {
+            let expect = i as f64 / l as f64;
+            assert!((q[i] - expect).abs() < 1e-10, "q[{i}] = {} vs {expect}", q[i]);
+        }
+    }
+
+    #[test]
+    fn hitting_time_of_cycle_is_distance() {
+        // Deterministic cycle 0→1→2→3→0: hitting time of {0} from i is
+        // (4 − i) mod 4.
+        let m = TransitionMatrix::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(2, 1.0)],
+            vec![(3, 1.0)],
+            vec![(0, 1.0)],
+        ])
+        .unwrap();
+        let h = expected_hitting_times(&m, &[0]).unwrap();
+        assert_eq!(h[0], 0.0);
+        assert!((h[1] - 3.0).abs() < 1e-12);
+        assert!((h[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_singular() {
+        // 1 cannot reach 0.
+        let m = TransitionMatrix::from_rows(vec![vec![(0, 1.0)], vec![(1, 1.0)]]).unwrap();
+        assert!(expected_hitting_times(&m, &[0]).is_err());
+    }
+
+    #[test]
+    fn hitting_empty_inputs_rejected() {
+        let m = two_state(0.5, 0.5);
+        assert!(expected_hitting_times(&m, &[]).is_err());
+        assert!(expected_hitting_times(&m, &[7]).is_err());
+        assert!(hit_before(&m, &[0], &[]).is_err());
+    }
+
+    #[test]
+    fn big_random_chain_dense_vs_power() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 40;
+        let rows: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|_| {
+                let mut w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let s: f64 = w.iter().sum();
+                for x in &mut w {
+                    *x /= s;
+                }
+                w.into_iter().enumerate().collect()
+            })
+            .collect();
+        let m = TransitionMatrix::from_rows(rows).unwrap();
+        let d = stationary_dense(&m).unwrap();
+        let p = stationary_power(&m, 200_000, 1e-12).unwrap();
+        for (x, y) in d.iter().zip(&p) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or solving a closed queueing network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// A station parameter is non-positive or non-finite.
+    InvalidStation {
+        /// The station's name.
+        name: String,
+        /// Explanation of what is wrong.
+        reason: &'static str,
+    },
+    /// The network has no stations.
+    EmptyNetwork,
+    /// The requested population is zero.
+    ZeroPopulation,
+    /// A numeric overflow/underflow occurred in the convolution.
+    NumericalFailure(&'static str),
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidStation { name, reason } => {
+                write!(f, "invalid station `{name}`: {reason}")
+            }
+            QueueingError::EmptyNetwork => write!(f, "network has no stations"),
+            QueueingError::ZeroPopulation => write!(f, "population must be at least 1"),
+            QueueingError::NumericalFailure(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl Error for QueueingError {}

@@ -1,0 +1,48 @@
+//! Closed product-form queueing networks.
+//!
+//! The ISCA'85 paper (§6) observes that if bus and memory service times
+//! were exponential, the buffered single-bus system "could be modeled
+//! with a product form queueing network (18) and thus its performance
+//! evaluated using standard well established techniques (19), (20)" —
+//! references 19 and 20 are Buzen's convolution algorithm and
+//! Reiser–Lavenberg Mean Value Analysis. This crate implements both, so
+//! the reproduction can quantify the paper's ">25% discrepancy" claim
+//! between the exponential model and the constant-service simulation.
+//!
+//! Supported: single-class closed networks of
+//!
+//! * fixed-rate FIFO stations (exponential single server), and
+//! * delay (infinite-server) stations,
+//!
+//! which is exactly the BCMP subset needed for the central-server model
+//! of a bus + memory-module system.
+//!
+//! # Example
+//!
+//! A machine-repairman style network: one FIFO "bus" visited twice per
+//! job, four FIFO "memories" visited uniformly:
+//!
+//! ```
+//! use busnet_queueing::{ClosedNetwork, Station, StationKind};
+//!
+//! let mut net = ClosedNetwork::new();
+//! net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0)?);
+//! for i in 0..4 {
+//!     net.add_station(Station::new(format!("mem{i}"), StationKind::Queueing, 0.25, 8.0)?);
+//! }
+//! let mva = net.mva(8)?;
+//! let buzen = net.buzen(8)?;
+//! assert!((mva.throughput - buzen.throughput).abs() < 1e-10);
+//! # Ok::<(), busnet_queueing::QueueingError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+mod solvers;
+
+pub use error::QueueingError;
+pub use network::{ClosedNetwork, Station, StationKind};
+pub use solvers::{NetworkSolution, StationMetrics};

@@ -1,0 +1,173 @@
+//! Network description types.
+
+use crate::error::QueueingError;
+
+/// Queueing discipline of a station.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StationKind {
+    /// Single exponential server with FIFO queueing.
+    Queueing,
+    /// Infinite-server (pure delay) station: no queueing, every customer
+    /// is served immediately.
+    Delay,
+    /// `servers` identical exponential servers sharing one FIFO queue
+    /// (M/M/c). `MultiServer { servers: 1 }` behaves exactly like
+    /// [`StationKind::Queueing`]; very large `servers` approaches
+    /// [`StationKind::Delay`].
+    MultiServer {
+        /// Number of parallel servers (≥ 1).
+        servers: u32,
+    },
+}
+
+impl StationKind {
+    /// Service-rate multiplier with `j` customers present (the
+    /// load-dependence function `α(j)`; `j ≥ 1`).
+    pub fn rate_multiplier(&self, j: u32) -> f64 {
+        match *self {
+            StationKind::Queueing => 1.0,
+            StationKind::Delay => f64::from(j),
+            StationKind::MultiServer { servers } => f64::from(j.min(servers)),
+        }
+    }
+}
+
+/// One service station of a closed network.
+///
+/// `visit_ratio` is relative to an arbitrary reference "job cycle"; the
+/// solved throughput is reported in job cycles per unit time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Station {
+    name: String,
+    kind: StationKind,
+    visit_ratio: f64,
+    service_time: f64,
+}
+
+impl Station {
+    /// Creates a station.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::InvalidStation`] when `visit_ratio` or
+    /// `service_time` is non-positive or non-finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use busnet_queueing::{Station, StationKind};
+    /// let s = Station::new("cpu", StationKind::Queueing, 1.0, 0.02)?;
+    /// assert_eq!(s.demand(), 0.02);
+    /// # Ok::<(), busnet_queueing::QueueingError>(())
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        kind: StationKind,
+        visit_ratio: f64,
+        service_time: f64,
+    ) -> Result<Self, QueueingError> {
+        let name = name.into();
+        if !(visit_ratio.is_finite() && visit_ratio > 0.0) {
+            return Err(QueueingError::InvalidStation { name, reason: "visit ratio must be positive and finite" });
+        }
+        if !(service_time.is_finite() && service_time > 0.0) {
+            return Err(QueueingError::InvalidStation { name, reason: "service time must be positive and finite" });
+        }
+        if let StationKind::MultiServer { servers: 0 } = kind {
+            return Err(QueueingError::InvalidStation { name, reason: "multi-server station needs at least one server" });
+        }
+        Ok(Station { name, kind, visit_ratio, service_time })
+    }
+
+    /// Station name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Queueing discipline.
+    pub fn kind(&self) -> StationKind {
+        self.kind
+    }
+
+    /// Visits per job cycle.
+    pub fn visit_ratio(&self) -> f64 {
+        self.visit_ratio
+    }
+
+    /// Mean service time per visit.
+    pub fn service_time(&self) -> f64 {
+        self.service_time
+    }
+
+    /// Service demand per job cycle (`visit_ratio · service_time`).
+    pub fn demand(&self) -> f64 {
+        self.visit_ratio * self.service_time
+    }
+}
+
+/// A single-class closed queueing network.
+///
+/// Build with [`ClosedNetwork::add_station`], then solve with
+/// [`ClosedNetwork::mva`] or [`ClosedNetwork::buzen`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClosedNetwork {
+    stations: Vec<Station>,
+}
+
+impl ClosedNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        ClosedNetwork { stations: Vec::new() }
+    }
+
+    /// Appends a station and returns its index.
+    pub fn add_station(&mut self, station: Station) -> usize {
+        self.stations.push(station);
+        self.stations.len() - 1
+    }
+
+    /// The stations in insertion order.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// Number of stations.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Whether the network has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn station_validation() {
+        assert!(Station::new("x", StationKind::Queueing, 0.0, 1.0).is_err());
+        assert!(Station::new("x", StationKind::Queueing, 1.0, -1.0).is_err());
+        assert!(Station::new("x", StationKind::Delay, f64::NAN, 1.0).is_err());
+        assert!(Station::new("x", StationKind::Delay, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn demand_is_product() {
+        let s = Station::new("m", StationKind::Queueing, 0.25, 8.0).unwrap();
+        assert_eq!(s.demand(), 2.0);
+    }
+
+    #[test]
+    fn network_accumulates_stations() {
+        let mut net = ClosedNetwork::new();
+        assert!(net.is_empty());
+        let i = net.add_station(Station::new("a", StationKind::Delay, 1.0, 1.0).unwrap());
+        let j = net.add_station(Station::new("b", StationKind::Queueing, 2.0, 0.5).unwrap());
+        assert_eq!((i, j), (0, 1));
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.stations()[1].name(), "b");
+    }
+}

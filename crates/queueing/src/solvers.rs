@@ -1,0 +1,505 @@
+//! Exact MVA and Buzen convolution for single-class closed networks.
+
+use crate::error::QueueingError;
+use crate::network::{ClosedNetwork, StationKind};
+
+/// Per-station results of a solved network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StationMetrics {
+    /// Station name (copied from the network).
+    pub name: String,
+    /// Server utilization (queueing stations) or expected number of busy
+    /// servers (delay stations).
+    pub utilization: f64,
+    /// Time-average number of customers at the station.
+    pub mean_queue_length: f64,
+    /// Mean residence time per **visit** (waiting + service).
+    pub residence_per_visit: f64,
+    /// Service demand per job cycle (`visit_ratio · service_time`).
+    pub demand: f64,
+}
+
+/// Solution of a closed network at a fixed population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkSolution {
+    /// System throughput in job cycles per unit time.
+    pub throughput: f64,
+    /// Mean time for one full job cycle (`population / throughput`).
+    pub cycle_time: f64,
+    /// Population the network was solved for.
+    pub population: u32,
+    /// Per-station metrics, in station insertion order.
+    pub stations: Vec<StationMetrics>,
+}
+
+impl NetworkSolution {
+    /// Total residual: `|Σ_k Q_k − population|`, a Little's-law/mass
+    /// conservation diagnostic (≈ 0 for an exact solution).
+    pub fn population_residual(&self) -> f64 {
+        let total: f64 = self.stations.iter().map(|s| s.mean_queue_length).sum();
+        (total - f64::from(self.population)).abs()
+    }
+}
+
+impl ClosedNetwork {
+    /// Solves the network by exact Mean Value Analysis
+    /// (Reiser–Lavenberg; the paper's reference 20).
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::EmptyNetwork`] / [`QueueingError::ZeroPopulation`]
+    /// on degenerate inputs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use busnet_queueing::{ClosedNetwork, Station, StationKind};
+    /// let mut net = ClosedNetwork::new();
+    /// net.add_station(Station::new("only", StationKind::Queueing, 1.0, 2.0)?);
+    /// // A single-station closed network always has one job in service:
+    /// let sol = net.mva(5)?;
+    /// assert!((sol.throughput - 0.5).abs() < 1e-12);
+    /// # Ok::<(), busnet_queueing::QueueingError>(())
+    /// ```
+    pub fn mva(&self, population: u32) -> Result<NetworkSolution, QueueingError> {
+        if self.is_empty() {
+            return Err(QueueingError::EmptyNetwork);
+        }
+        if population == 0 {
+            return Err(QueueingError::ZeroPopulation);
+        }
+        let k = self.len();
+        let cap = population as usize;
+        // Marginal queue-length distributions p_k(j | n), exact
+        // load-dependent MVA (Reiser–Lavenberg). marginals[i][j] holds
+        // p_i(j | n) for the population n of the current sweep.
+        let mut marginals: Vec<Vec<f64>> = vec![{
+            let mut v = vec![0.0; cap + 1];
+            v[0] = 1.0;
+            v
+        }; k];
+        let mut residence = vec![0.0f64; k];
+        let mut throughput = 0.0;
+        for n in 1..=population {
+            let mut cycle = 0.0;
+            for (i, st) in self.stations().iter().enumerate() {
+                // R_k(n) = t_k · Σ_j (j / α(j)) · p_k(j−1 | n−1)
+                let mut r = 0.0;
+                for j in 1..=n {
+                    let prev = marginals[i][(j - 1) as usize];
+                    if prev > 0.0 {
+                        r += f64::from(j) / st.kind().rate_multiplier(j) * prev;
+                    }
+                }
+                residence[i] = st.service_time() * r;
+                cycle += st.visit_ratio() * residence[i];
+            }
+            throughput = f64::from(n) / cycle;
+            // Update marginals in place from high j to low so that
+            // p(j−1 | n−1) is still available.
+            for (i, st) in self.stations().iter().enumerate() {
+                let demand_rate = throughput * st.demand();
+                let mut mass = 0.0;
+                for j in (1..=n as usize).rev() {
+                    let p = demand_rate / st.kind().rate_multiplier(j as u32)
+                        * marginals[i][j - 1];
+                    marginals[i][j] = p;
+                    mass += p;
+                }
+                marginals[i][0] = (1.0 - mass).max(0.0);
+            }
+        }
+        let stations = self
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let queue: f64 = marginals[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| j as f64 * p)
+                    .sum();
+                StationMetrics {
+                    name: st.name().to_owned(),
+                    utilization: per_server_utilization(st, throughput),
+                    mean_queue_length: queue,
+                    residence_per_visit: residence[i],
+                    demand: st.demand(),
+                }
+            })
+            .collect();
+        Ok(NetworkSolution {
+            throughput,
+            cycle_time: f64::from(population) / throughput,
+            population,
+            stations,
+        })
+    }
+
+    /// Solves the network with Buzen's convolution algorithm (the
+    /// paper's reference 19).
+    ///
+    /// Demands are normalized by the largest demand for numerical range;
+    /// results are identical to [`ClosedNetwork::mva`] up to rounding.
+    ///
+    /// # Errors
+    ///
+    /// Degenerate-input errors as for [`ClosedNetwork::mva`], plus
+    /// [`QueueingError::NumericalFailure`] if the normalization constant
+    /// over- or under-flows.
+    pub fn buzen(&self, population: u32) -> Result<NetworkSolution, QueueingError> {
+        if self.is_empty() {
+            return Err(QueueingError::EmptyNetwork);
+        }
+        if population == 0 {
+            return Err(QueueingError::ZeroPopulation);
+        }
+        let n = population as usize;
+        let alpha = self
+            .stations()
+            .iter()
+            .map(|s| s.demand())
+            .fold(f64::MIN, f64::max);
+        debug_assert!(alpha > 0.0);
+
+        // Per-station factor sequences g_k(j) = d^j / Π_{i≤j} α(i),
+        // with demands scaled by 1/alpha (ratios are scale-invariant;
+        // throughput is un-scaled at the end).
+        let sequences: Vec<Vec<f64>> = self
+            .stations()
+            .iter()
+            .map(|st| {
+                let d = st.demand() / alpha;
+                let mut seq = vec![0.0f64; n + 1];
+                seq[0] = 1.0;
+                for j in 1..=n {
+                    seq[j] = seq[j - 1] * d / st.kind().rate_multiplier(j as u32);
+                }
+                seq
+            })
+            .collect();
+
+        let convolve = |a: &[f64], b: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0f64; n + 1];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for l in 0..=j {
+                    acc += a[l] * b[j - l];
+                }
+                *slot = acc;
+            }
+            out
+        };
+
+        let mut g_all = vec![0.0f64; n + 1];
+        g_all[0] = 1.0;
+        for seq in &sequences {
+            g_all = convolve(&g_all, seq);
+        }
+        if !g_all.iter().all(|x| x.is_finite()) || g_all[n] <= 0.0 {
+            return Err(QueueingError::NumericalFailure("normalization constant out of range"));
+        }
+
+        let ratio = g_all[n - 1] / g_all[n]; // scaled G(N−1)/G(N)
+        let throughput = ratio / alpha;
+
+        let stations = self
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                // Complement network (all stations but this one) gives
+                // the exact marginal p_k(j|N) = g_k(j)·G_¬k(N−j)/G(N).
+                let mut g_rest = vec![0.0f64; n + 1];
+                g_rest[0] = 1.0;
+                for (l, seq) in sequences.iter().enumerate() {
+                    if l != i {
+                        g_rest = convolve(&g_rest, seq);
+                    }
+                }
+                let mut queue = 0.0;
+                for j in 1..=n {
+                    let p = sequences[i][j] * g_rest[n - j] / g_all[n];
+                    queue += j as f64 * p;
+                }
+                StationMetrics {
+                    name: st.name().to_owned(),
+                    utilization: per_server_utilization(st, throughput),
+                    mean_queue_length: queue,
+                    residence_per_visit: if throughput > 0.0 {
+                        queue / (throughput * st.visit_ratio())
+                    } else {
+                        0.0
+                    },
+                    demand: st.demand(),
+                }
+            })
+            .collect();
+
+        Ok(NetworkSolution {
+            throughput,
+            cycle_time: f64::from(population) / throughput,
+            population,
+            stations,
+        })
+    }
+}
+
+/// Utilization convention shared by both solvers: per-server busy
+/// fraction for queueing and multi-server stations (Little's law on the
+/// server pool), expected busy servers for delay stations.
+fn per_server_utilization(st: &crate::network::Station, throughput: f64) -> f64 {
+    let busy = throughput * st.demand();
+    match st.kind() {
+        StationKind::Queueing | StationKind::Delay => busy,
+        StationKind::MultiServer { servers } => busy / f64::from(servers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn central_server(m: usize, r: f64) -> ClosedNetwork {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0).unwrap());
+        for i in 0..m {
+            net.add_station(
+                Station::new(format!("mem{i}"), StationKind::Queueing, 1.0 / m as f64, r)
+                    .unwrap(),
+            )
+            ;
+        }
+        net
+    }
+
+    #[test]
+    fn single_station_throughput_is_service_rate() {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("s", StationKind::Queueing, 1.0, 4.0).unwrap());
+        for pop in 1..6 {
+            let sol = net.mva(pop).unwrap();
+            assert!((sol.throughput - 0.25).abs() < 1e-12);
+            let sol = net.buzen(pop).unwrap();
+            assert!((sol.throughput - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn population_one_has_no_queueing() {
+        let net = central_server(4, 8.0);
+        let sol = net.mva(1).unwrap();
+        // X = 1 / sum of demands = 1 / (2 + 8)
+        assert!((sol.throughput - 0.1).abs() < 1e-12);
+        assert!(sol.population_residual() < 1e-12);
+    }
+
+    #[test]
+    fn mva_equals_buzen_on_central_server() {
+        for m in [2usize, 4, 8] {
+            for r in [2.0, 8.0, 16.0] {
+                for pop in [1u32, 3, 8, 16] {
+                    let net = central_server(m, r);
+                    let a = net.mva(pop).unwrap();
+                    let b = net.buzen(pop).unwrap();
+                    assert!(
+                        (a.throughput - b.throughput).abs() < 1e-9 * a.throughput,
+                        "m={m} r={r} pop={pop}: {} vs {}",
+                        a.throughput,
+                        b.throughput
+                    );
+                    for (x, y) in a.stations.iter().zip(&b.stations) {
+                        assert!((x.utilization - y.utilization).abs() < 1e-8);
+                        assert!(
+                            (x.mean_queue_length - y.mean_queue_length).abs() < 1e-7,
+                            "{}: {} vs {}",
+                            x.name,
+                            x.mean_queue_length,
+                            y.mean_queue_length
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delay_station_matches_mva() {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, 10.0).unwrap());
+        net.add_station(Station::new("cpu", StationKind::Queueing, 1.0, 1.0).unwrap());
+        for pop in [1u32, 2, 5, 12] {
+            let a = net.mva(pop).unwrap();
+            let b = net.buzen(pop).unwrap();
+            assert!(
+                (a.throughput - b.throughput).abs() < 1e-9,
+                "pop={pop}: {} vs {}",
+                a.throughput,
+                b.throughput
+            );
+            assert!(a.population_residual() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn balanced_network_closed_form() {
+        // central_server(4, 8.0) is balanced: all 5 stations have demand
+        // 2.0, so X(N) = N / (d · (N + K − 1)) exactly.
+        let net = central_server(4, 8.0);
+        for pop in [1u32, 5, 50, 200] {
+            let sol = net.mva(pop).unwrap();
+            let expect = f64::from(pop) / (2.0 * (f64::from(pop) + 4.0));
+            assert!(
+                (sol.throughput - expect).abs() < 1e-12,
+                "pop={pop}: X = {} expected {expect}",
+                sol.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_approaches_bottleneck_rate() {
+        // Unbalanced: bus demand 2.0 dominates memory demand 1.0 each.
+        let net = central_server(8, 8.0);
+        let sol = net.mva(400).unwrap();
+        assert!((sol.throughput - 0.5).abs() < 1e-6, "X = {}", sol.throughput);
+    }
+
+    #[test]
+    fn utilization_below_one() {
+        let net = central_server(8, 8.0);
+        for pop in 1..=32 {
+            let sol = net.mva(pop).unwrap();
+            for st in &sol.stations {
+                assert!(st.utilization <= 1.0 + 1e-9, "{}: {}", st.name, st.utilization);
+            }
+        }
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let empty = ClosedNetwork::new();
+        assert_eq!(empty.mva(3).unwrap_err(), QueueingError::EmptyNetwork);
+        assert_eq!(empty.buzen(3).unwrap_err(), QueueingError::EmptyNetwork);
+        let net = central_server(2, 4.0);
+        assert_eq!(net.mva(0).unwrap_err(), QueueingError::ZeroPopulation);
+        assert_eq!(net.buzen(0).unwrap_err(), QueueingError::ZeroPopulation);
+    }
+
+    #[test]
+    fn monotone_throughput_in_population() {
+        let net = central_server(4, 12.0);
+        let mut prev = 0.0;
+        for pop in 1..=40 {
+            let x = net.mva(pop).unwrap().throughput;
+            assert!(x >= prev - 1e-12, "throughput decreased at pop={pop}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn multi_server_one_equals_queueing() {
+        let mut a = ClosedNetwork::new();
+        a.add_station(Station::new("s", StationKind::Queueing, 1.0, 3.0).unwrap());
+        a.add_station(Station::new("t", StationKind::Queueing, 2.0, 1.0).unwrap());
+        let mut b = ClosedNetwork::new();
+        b.add_station(Station::new("s", StationKind::MultiServer { servers: 1 }, 1.0, 3.0).unwrap());
+        b.add_station(Station::new("t", StationKind::MultiServer { servers: 1 }, 2.0, 1.0).unwrap());
+        for pop in [1u32, 4, 9] {
+            let x = a.mva(pop).unwrap();
+            let y = b.mva(pop).unwrap();
+            assert!((x.throughput - y.throughput).abs() < 1e-12, "pop {pop}");
+            for (p, q) in x.stations.iter().zip(&y.stations) {
+                assert!((p.mean_queue_length - q.mean_queue_length).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn many_servers_approach_delay() {
+        let mut servers = ClosedNetwork::new();
+        servers
+            .add_station(Station::new("s", StationKind::MultiServer { servers: 64 }, 1.0, 5.0).unwrap());
+        servers.add_station(Station::new("cpu", StationKind::Queueing, 1.0, 1.0).unwrap());
+        let mut delay = ClosedNetwork::new();
+        delay.add_station(Station::new("s", StationKind::Delay, 1.0, 5.0).unwrap());
+        delay.add_station(Station::new("cpu", StationKind::Queueing, 1.0, 1.0).unwrap());
+        let a = servers.mva(12).unwrap();
+        let b = delay.mva(12).unwrap();
+        assert!((a.throughput - b.throughput).abs() < 1e-9, "{} vs {}", a.throughput, b.throughput);
+    }
+
+    #[test]
+    fn single_multiserver_station_saturates_at_server_count() {
+        // One M/M/2 station alone: X(N) = min(N, 2)/t exactly.
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("s", StationKind::MultiServer { servers: 2 }, 1.0, 4.0).unwrap());
+        assert!((net.mva(1).unwrap().throughput - 0.25).abs() < 1e-12);
+        for pop in [2u32, 3, 10] {
+            let x = net.mva(pop).unwrap().throughput;
+            assert!((x - 0.5).abs() < 1e-12, "pop {pop}: {x}");
+        }
+    }
+
+    #[test]
+    fn multi_server_mva_equals_buzen() {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("bus", StationKind::MultiServer { servers: 2 }, 2.0, 1.0).unwrap());
+        for i in 0..4 {
+            net.add_station(
+                Station::new(format!("mem{i}"), StationKind::Queueing, 0.25, 8.0).unwrap(),
+            );
+        }
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, 6.0).unwrap());
+        for pop in [1u32, 3, 8, 16] {
+            let a = net.mva(pop).unwrap();
+            let b = net.buzen(pop).unwrap();
+            assert!(
+                (a.throughput - b.throughput).abs() < 1e-9 * a.throughput,
+                "pop {pop}: {} vs {}",
+                a.throughput,
+                b.throughput
+            );
+            for (x, y) in a.stations.iter().zip(&b.stations) {
+                assert!(
+                    (x.mean_queue_length - y.mean_queue_length).abs() < 1e-7,
+                    "pop {pop} {}: {} vs {}",
+                    x.name,
+                    x.mean_queue_length,
+                    y.mean_queue_length
+                );
+                assert!((x.utilization - y.utilization).abs() < 1e-8);
+            }
+            assert!(a.population_residual() < 1e-8);
+            assert!(b.population_residual() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn more_servers_never_reduce_throughput() {
+        let make = |servers| {
+            let mut net = ClosedNetwork::new();
+            net.add_station(
+                Station::new("bus", StationKind::MultiServer { servers }, 2.0, 1.0).unwrap(),
+            );
+            for i in 0..8 {
+                net.add_station(
+                    Station::new(format!("m{i}"), StationKind::Queueing, 0.125, 8.0).unwrap(),
+                );
+            }
+            net
+        };
+        let mut prev = 0.0;
+        for servers in 1..=4 {
+            let x = make(servers).mva(16).unwrap().throughput;
+            assert!(x >= prev - 1e-12, "servers {servers}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn zero_server_station_rejected() {
+        assert!(Station::new("bad", StationKind::MultiServer { servers: 0 }, 1.0, 1.0).is_err());
+    }
+}

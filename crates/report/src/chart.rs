@@ -1,0 +1,168 @@
+//! ASCII line charts for regenerating the paper's figures in a
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// A figure: several series over a shared x axis, rendered as an ASCII
+/// scatter/line chart plus a CSV dump.
+///
+/// # Example
+///
+/// ```
+/// use busnet_report::chart::{Chart, Series};
+///
+/// let mut chart = Chart::new("EBW vs r", "r", "EBW");
+/// chart.add(Series::new("8x8", vec![(2.0, 1.9), (4.0, 2.9), (8.0, 4.4)]));
+/// let text = chart.render(40, 10);
+/// assert!(text.contains("EBW vs r"));
+/// assert!(text.contains("8x8"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Chart {
+    title: String,
+    x_name: String,
+    y_name: String,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_name: impl Into<String>,
+        y_name: impl Into<String>,
+    ) -> Self {
+        Chart { title: title.into(), x_name: x_name.into(), y_name: y_name.into(), series: Vec::new() }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// The series added so far.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Renders an ASCII chart of approximately `width × height`
+    /// characters (plus axes and legend).
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let width = width.max(8);
+        let height = height.max(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "{} [{} vs {}]", self.title, self.y_name, self.x_name);
+        let points: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        if points.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+        let glyphs = ['o', '*', '+', 'x', '#', '@', '%', '&', '$', '~'];
+        let mut canvas = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = glyphs[si % glyphs.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy;
+                canvas[row][cx] = glyph;
+            }
+        }
+        let _ = writeln!(out, "{y_max:>9.3} +{}", "-".repeat(width));
+        for row in canvas {
+            let line: String = row.into_iter().collect();
+            let _ = writeln!(out, "{:>9} |{line}", "");
+        }
+        let _ = writeln!(out, "{y_min:>9.3} +{}", "-".repeat(width));
+        let _ = writeln!(out, "{:>10}{x_min:<8.1}{}{x_max:>8.1}", "", " ".repeat(width.saturating_sub(16)));
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", glyphs[si % glyphs.len()], s.label);
+        }
+        out
+    }
+
+    /// Emits all series as long-form CSV (`series,x,y`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.label);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        let mut c = Chart::new("t", "x", "y");
+        c.add(Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]));
+        c.add(Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]));
+        c
+    }
+
+    #[test]
+    fn render_includes_legend_and_bounds() {
+        let text = chart().render(30, 8);
+        assert!(text.contains("o a"));
+        assert!(text.contains("* b"));
+        assert!(text.contains("1.000"));
+        assert!(text.contains("0.000"));
+    }
+
+    #[test]
+    fn empty_chart_renders_gracefully() {
+        let c = Chart::new("empty", "x", "y");
+        assert!(c.render(20, 5).contains("no data"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut c = Chart::new("flat", "x", "y");
+        c.add(Series::new("s", vec![(1.0, 2.0), (1.0, 2.0)]));
+        let _ = c.render(20, 5);
+    }
+
+    #[test]
+    fn csv_long_form() {
+        let csv = chart().to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("series,x,y"));
+        assert!(csv.contains("a,0,0"));
+    }
+}

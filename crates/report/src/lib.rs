@@ -1,0 +1,41 @@
+//! Experiment registry and rendering for the `busnet` reproduction.
+//!
+//! This crate regenerates **every table and figure** of the paper's
+//! evaluation:
+//!
+//! | id | paper content | runner |
+//! |----|---------------|--------|
+//! | `table1` | exact chain, priority to memories | [`experiments::table1`] |
+//! | `table2` | combinational approximation | [`experiments::table2`] |
+//! | `table3` | simulation + reduced chain, priority to processors | [`experiments::table3`] |
+//! | `table4` | buffered simulation | [`experiments::table4`] |
+//! | `fig2` | EBW vs `r`, both priorities + crossbar | [`experiments::fig2`] |
+//! | `fig3` | processor utilization vs `p` | [`experiments::fig3`] |
+//! | `fig5` | buffered vs unbuffered EBW vs `r` | [`experiments::fig5`] |
+//! | `fig6` | buffered processor utilization vs `p` | [`experiments::fig6`] |
+//!
+//! plus the §5/§6 validation claims ([`experiments::model_validation`])
+//! and the §7 design-space claims ([`experiments::design_space`]).
+//!
+//! [`paper`] embeds the paper's printed numbers so runners can report
+//! paper-vs-measured deltas; [`table`] and [`chart`] render grids and
+//! series as text.
+//!
+//! # Example
+//!
+//! ```
+//! use busnet_report::experiments::{self, Effort};
+//!
+//! let t1 = experiments::table1().expect("analytic model");
+//! let rendered = t1.render();
+//! assert!(rendered.contains("1.417")); // the paper's 2×2 corner
+//! # let _ = Effort::Quick;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod paper;
+pub mod table;

@@ -1,0 +1,249 @@
+//! Text rendering of parameter grids in the paper's layout.
+
+use std::fmt::Write as _;
+
+/// A labelled 2-D grid of values (e.g. EBW over `m × r`), rendered in
+/// the paper's row/column layout.
+///
+/// # Example
+///
+/// ```
+/// use busnet_report::table::Grid;
+///
+/// let mut g = Grid::new("demo", "m", "r", vec![4, 6], vec![2, 4]);
+/// g.set(0, 0, 1.0);
+/// g.set(0, 1, 2.0);
+/// g.set(1, 0, 3.0);
+/// g.set(1, 1, 4.0);
+/// let text = g.render();
+/// assert!(text.contains("m=4"));
+/// assert!(text.contains("4.000"));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    title: String,
+    row_name: String,
+    col_name: String,
+    row_labels: Vec<u32>,
+    col_labels: Vec<u32>,
+    cells: Vec<Option<f64>>,
+}
+
+impl Grid {
+    /// Creates an empty grid with the given axes.
+    pub fn new(
+        title: impl Into<String>,
+        row_name: impl Into<String>,
+        col_name: impl Into<String>,
+        row_labels: Vec<u32>,
+        col_labels: Vec<u32>,
+    ) -> Self {
+        let cells = vec![None; row_labels.len() * col_labels.len()];
+        Grid {
+            title: title.into(),
+            row_name: row_name.into(),
+            col_name: col_name.into(),
+            row_labels,
+            col_labels,
+            cells,
+        }
+    }
+
+    /// The grid title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Row labels.
+    pub fn row_labels(&self) -> &[u32] {
+        &self.row_labels
+    }
+
+    /// Column labels.
+    pub fn col_labels(&self) -> &[u32] {
+        &self.col_labels
+    }
+
+    /// Sets the cell at (row index, column index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.row_labels.len() && col < self.col_labels.len(), "cell out of range");
+        self.cells[row * self.col_labels.len() + col] = Some(value);
+    }
+
+    /// The cell at (row index, column index), if filled.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        self.cells.get(row * self.col_labels.len() + col).copied().flatten()
+    }
+
+    /// Iterates `(row_label, col_label, value)` over filled cells.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.row_labels.iter().enumerate().flat_map(move |(i, &rl)| {
+            self.col_labels.iter().enumerate().filter_map(move |(j, &cl)| {
+                self.get(i, j).map(|v| (rl, cl, v))
+            })
+        })
+    }
+
+    /// Renders the grid as fixed-width text in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:>4} \\ {:<3} !", self.row_name, self.col_name);
+        for c in &self.col_labels {
+            let _ = write!(out, " {c:>7}");
+        }
+        let _ = writeln!(out);
+        let width = 11 + 8 * self.col_labels.len();
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        for (i, r) in self.row_labels.iter().enumerate() {
+            let _ = write!(out, "{}={:<7} !", self.row_name, r);
+            for j in 0..self.col_labels.len() {
+                match self.get(i, j) {
+                    Some(v) => {
+                        let _ = write!(out, " {v:>7.3}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>7}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders this grid side by side with a reference grid of the same
+    /// shape, showing relative deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn render_vs(&self, reference: &Grid) -> String {
+        assert_eq!(self.row_labels, reference.row_labels, "shape mismatch");
+        assert_eq!(self.col_labels, reference.col_labels, "shape mismatch");
+        let mut out = String::new();
+        let _ = writeln!(out, "{} (measured vs {}):", self.title, reference.title);
+        for (i, r) in self.row_labels.iter().enumerate() {
+            let _ = write!(out, "{}={:<4} !", self.row_name, r);
+            for j in 0..self.col_labels.len() {
+                match (self.get(i, j), reference.get(i, j)) {
+                    (Some(a), Some(b)) if b != 0.0 => {
+                        let _ = write!(out, " {a:>6.3}({:+5.1}%)", (a - b) / b * 100.0);
+                    }
+                    (Some(a), _) => {
+                        let _ = write!(out, " {a:>6.3}(  n/a )");
+                    }
+                    (None, _) => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Largest relative deviation against a same-shape reference grid,
+    /// over cells filled in both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn worst_relative_deviation(&self, reference: &Grid) -> f64 {
+        assert_eq!(self.row_labels, reference.row_labels, "shape mismatch");
+        assert_eq!(self.col_labels, reference.col_labels, "shape mismatch");
+        let mut worst: f64 = 0.0;
+        for i in 0..self.row_labels.len() {
+            for j in 0..self.col_labels.len() {
+                if let (Some(a), Some(b)) = (self.get(i, j), reference.get(i, j)) {
+                    if b != 0.0 {
+                        worst = worst.max(((a - b) / b).abs());
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Emits the grid as CSV (`row,col,value` triples with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{},{},value", self.row_name, self.col_name);
+        for (r, c, v) in self.iter() {
+            let _ = writeln!(out, "{r},{c},{v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grid {
+        let mut g = Grid::new("t", "m", "r", vec![4, 6], vec![2, 4, 6]);
+        for i in 0..2 {
+            for j in 0..3 {
+                g.set(i, j, (i * 3 + j) as f64);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn roundtrip_get_set() {
+        let g = sample();
+        assert_eq!(g.get(1, 2), Some(5.0));
+        assert_eq!(g.get(0, 0), Some(0.0));
+    }
+
+    #[test]
+    fn iter_yields_labels() {
+        let g = sample();
+        let items: Vec<_> = g.iter().collect();
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[0], (4, 2, 0.0));
+        assert_eq!(items[5], (6, 6, 5.0));
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let text = sample().render();
+        for v in ["0.000", "1.000", "5.000"] {
+            assert!(text.contains(v), "{v} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn missing_cells_render_as_dash() {
+        let g = Grid::new("t", "a", "b", vec![1], vec![1, 2]);
+        let text = g.render();
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn worst_deviation_computed() {
+        let a = sample();
+        let mut b = sample();
+        b.set(1, 2, 10.0); // reference 10 vs measured 5 => 50%
+        assert!((a.worst_relative_deviation(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "m,r,value");
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        sample().set(5, 0, 1.0);
+    }
+}

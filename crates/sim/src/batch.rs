@@ -1,0 +1,135 @@
+//! Batch-means analysis for single-run steady-state estimation.
+//!
+//! An alternative to independent replications: one long run is divided
+//! into fixed-size batches whose means are (approximately) independent,
+//! giving a confidence interval without re-warming the model.
+
+use crate::stats::{student_t_975, RunningStats};
+
+/// Accumulates observations into fixed-size batches and summarizes the
+/// batch means.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::batch::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1_000 {
+///     bm.record((i % 7) as f64);
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// assert!((bm.mean() - 3.0).abs() < 0.2);
+/// assert!(bm.half_width_95() < 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchMeans {
+    batch_size: u64,
+    in_batch: u64,
+    batch_sum: f64,
+    batch_stats: RunningStats,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans { batch_size, in_batch: 0, batch_sum: 0.0, batch_stats: RunningStats::new() }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.batch_sum += x;
+        self.in_batch += 1;
+        if self.in_batch == self.batch_size {
+            self.batch_stats.push(self.batch_sum / self.batch_size as f64);
+            self.batch_sum = 0.0;
+            self.in_batch = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batch_stats.count()
+    }
+
+    /// Grand mean over completed batches.
+    pub fn mean(&self) -> f64 {
+        self.batch_stats.mean()
+    }
+
+    /// Half width of the 95% confidence interval over batch means.
+    pub fn half_width_95(&self) -> f64 {
+        self.batch_stats.half_width_95()
+    }
+
+    /// Lag-1 autocorrelation proxy of the batch means: when far from 0
+    /// the batches are too small to be treated as independent.
+    /// Returns `None` with fewer than 3 batches.
+    pub fn batch_means(&self) -> &RunningStats {
+        &self.batch_stats
+    }
+
+    /// Width of a `(1−α)=0.95` interval with explicit degrees of
+    /// freedom (exposed for tests of the t-table plumbing).
+    pub fn t_quantile(&self) -> f64 {
+        student_t_975(self.batch_stats.count().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_batches_are_excluded() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..25 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.mean(), 1.0);
+    }
+
+    #[test]
+    fn constant_stream_zero_width() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..50 {
+            bm.record(3.5);
+        }
+        assert_eq!(bm.half_width_95(), 0.0);
+        assert_eq!(bm.mean(), 3.5);
+    }
+
+    #[test]
+    fn alternating_stream_converges() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..10_000 {
+            bm.record(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        assert!((bm.mean() - 0.5).abs() < 1e-12);
+        assert!(bm.half_width_95() < 1e-9, "alternation averages out inside batches");
+    }
+
+    #[test]
+    fn t_quantile_tracks_batch_count() {
+        let mut bm = BatchMeans::new(1);
+        bm.record(1.0);
+        bm.record(2.0);
+        assert_eq!(bm.t_quantile(), 12.706); // df = 1
+        for _ in 0..200 {
+            bm.record(1.5);
+        }
+        assert!((bm.t_quantile() - 1.96).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        BatchMeans::new(0);
+    }
+}

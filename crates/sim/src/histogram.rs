@@ -1,0 +1,160 @@
+//! Fixed-width histograms for waiting-time and queue-length
+//! distributions.
+
+/// A histogram over `[0, bucket_width · buckets)` with saturating
+/// overflow into the last bucket.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::histogram::Histogram;
+///
+/// let mut h = Histogram::new(1.0, 4);
+/// for x in [0.2, 0.9, 1.5, 7.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_counts(), &[2, 1, 0, 1]); // 7.0 saturates
+/// assert!((h.quantile(0.5) - 1.0).abs() < 1.01);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bucket_width: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive and finite, or
+    /// `buckets == 0`.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width.is_finite() && bucket_width > 0.0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram { bucket_width, counts: vec![0; buckets], total: 0, sum: 0.0 }
+    }
+
+    /// Records a non-negative observation (negative values clamp to 0).
+    pub fn record(&mut self, x: f64) {
+        let x = x.max(0.0);
+        let idx = ((x / self.bucket_width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the raw observations (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate `q`-quantile (bucket upper edge), `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.counts.len() as f64 * self.bucket_width
+    }
+
+    /// Fraction of observations at or beyond `threshold`.
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let first = ((threshold / self.bucket_width) as usize).min(self.counts.len() - 1);
+        let tail: u64 = self.counts[first..].iter().sum();
+        tail as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_right_buckets() {
+        let mut h = Histogram::new(2.0, 3);
+        for x in [0.0, 1.9, 2.0, 3.9, 4.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(1.0, 10);
+        for x in [1.0, 2.0, 3.0] {
+            h.record(x);
+        }
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(f64::from(i));
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q25 <= q50 && q50 <= q99);
+        assert!((q50 - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn tail_fraction_counts_upper_mass() {
+        let mut h = Histogram::new(1.0, 10);
+        for i in 0..10 {
+            h.record(f64::from(i));
+        }
+        assert!((h.tail_fraction(8.0) - 0.2).abs() < 1e-12);
+        assert_eq!(h.tail_fraction(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.tail_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        Histogram::new(0.0, 4);
+    }
+}

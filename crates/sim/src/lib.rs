@@ -1,0 +1,50 @@
+//! Cycle-level discrete simulation kernel for the `busnet` reproduction.
+//!
+//! The ISCA'85 study is evaluated with synchronous, bus-cycle-granular
+//! simulation. This crate supplies the domain-independent machinery:
+//!
+//! * [`seeds`] — deterministic seed derivation (SplitMix64) so that every
+//!   replication and every component gets an independent, reproducible
+//!   stream.
+//! * [`stats`] — running statistics (Welford), time-weighted averages,
+//!   batch means, and Student-t confidence intervals.
+//! * [`clock`] — a measurement window: warmup + measurement phases over a
+//!   cycle counter.
+//! * [`replication`] — independent-replications experiment driver with
+//!   summary statistics.
+//! * [`batch`] — batch-means analysis for single-run estimation.
+//! * [`histogram`] — fixed-width histograms for waiting-time
+//!   distributions.
+//!
+//! # Example
+//!
+//! Estimate the mean of a noisy per-replication metric:
+//!
+//! ```
+//! use busnet_sim::replication::{ReplicationPlan, run_replications};
+//!
+//! let plan = ReplicationPlan::new(8, 0xBEEF);
+//! let summary = run_replications(&plan, |_, seed| {
+//!     // A "simulation" that just hashes its seed into [0, 1).
+//!     (seed % 1000) as f64 / 1000.0
+//! });
+//! assert_eq!(summary.replications(), 8);
+//! assert!(summary.half_width_95() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod clock;
+pub mod histogram;
+pub mod replication;
+pub mod seeds;
+pub mod stats;
+
+pub use batch::BatchMeans;
+pub use clock::MeasurementWindow;
+pub use histogram::Histogram;
+pub use replication::{run_replications, ReplicationPlan, ReplicationSummary};
+pub use seeds::SeedSequence;
+pub use stats::{RunningStats, TimeWeighted};

@@ -1,0 +1,156 @@
+//! Independent-replications experiment driver.
+
+use crate::seeds::SeedSequence;
+use crate::stats::RunningStats;
+
+/// How many independent replications to run and from which master seed.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::replication::ReplicationPlan;
+///
+/// let plan = ReplicationPlan::new(8, 1234);
+/// assert_eq!(plan.replications(), 8);
+/// let seeds: Vec<u64> = plan.seeds().collect();
+/// assert_eq!(seeds.len(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReplicationPlan {
+    replications: u32,
+    seeds: SeedSequence,
+}
+
+impl ReplicationPlan {
+    /// A plan with `replications` runs derived from `master_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replications == 0`.
+    pub fn new(replications: u32, master_seed: u64) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        ReplicationPlan { replications, seeds: SeedSequence::new(master_seed) }
+    }
+
+    /// Number of replications.
+    pub fn replications(&self) -> u32 {
+        self.replications
+    }
+
+    /// Iterator over the per-replication seeds.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..u64::from(self.replications)).map(|i| self.seeds.stream(i))
+    }
+}
+
+/// Aggregated result of a replicated experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicationSummary {
+    values: Vec<f64>,
+    stats: RunningStats,
+}
+
+impl ReplicationSummary {
+    /// Builds a summary from raw per-replication values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        let stats = values.iter().copied().collect();
+        ReplicationSummary { values, stats }
+    }
+
+    /// Per-replication values in run order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of replications.
+    pub fn replications(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Point estimate: mean over replications.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Half width of the 95% confidence interval of the mean.
+    pub fn half_width_95(&self) -> f64 {
+        self.stats.half_width_95()
+    }
+
+    /// Relative 95% half width (`half_width / |mean|`; 0 for zero mean).
+    pub fn relative_error_95(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.half_width_95() / self.mean().abs()
+        }
+    }
+
+    /// The underlying statistics accumulator.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+}
+
+/// Runs `experiment(replication_index, seed)` for every replication of
+/// `plan` and summarizes the returned scalar metric.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::replication::{ReplicationPlan, run_replications};
+///
+/// let plan = ReplicationPlan::new(4, 7);
+/// let summary = run_replications(&plan, |i, _seed| i as f64);
+/// assert_eq!(summary.mean(), 1.5);
+/// ```
+pub fn run_replications(
+    plan: &ReplicationPlan,
+    mut experiment: impl FnMut(u32, u64) -> f64,
+) -> ReplicationSummary {
+    let values: Vec<f64> =
+        plan.seeds().enumerate().map(|(i, seed)| experiment(i as u32, seed)).collect();
+    ReplicationSummary::from_values(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_seeds_are_deterministic() {
+        let a: Vec<u64> = ReplicationPlan::new(5, 99).seeds().collect();
+        let b: Vec<u64> = ReplicationPlan::new(5, 99).seeds().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_master_seed_changes_streams() {
+        let a: Vec<u64> = ReplicationPlan::new(5, 1).seeds().collect();
+        let b: Vec<u64> = ReplicationPlan::new(5, 2).seeds().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = ReplicationSummary::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.replications(), 4);
+        assert!(s.half_width_95() > 0.0);
+        assert!(s.relative_error_95() > 0.0);
+    }
+
+    #[test]
+    fn constant_metric_has_zero_half_width() {
+        let plan = ReplicationPlan::new(6, 3);
+        let s = run_replications(&plan, |_, _| 2.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.half_width_95(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        ReplicationPlan::new(0, 1);
+    }
+}

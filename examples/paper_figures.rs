@@ -1,0 +1,28 @@
+//! Regenerates Figures 2, 3, 5 and 6 of the paper as ASCII charts and
+//! CSV series.
+//!
+//! Run with: `cargo run --release --example paper_figures [-- --quick] [-- --csv]`
+
+use busnet::report::experiments::{self, Effort};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let figures = [
+        ("fig2", experiments::fig2(effort)?),
+        ("fig3", experiments::fig3(effort)?),
+        ("fig5", experiments::fig5(effort)?),
+        ("fig6", experiments::fig6(effort)?),
+    ];
+    for (name, chart) in figures {
+        println!("================ {name} ================");
+        if csv {
+            println!("{}", chart.to_csv());
+        } else {
+            println!("{}", chart.render(72, 22));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Regenerates Tables 1–4 of the paper, printing our values side by
+//! side with the paper's printed numbers.
+//!
+//! Run with: `cargo run --release --example paper_tables [-- --quick]`
+//!
+//! `--quick` uses a small simulation budget (for smoke runs); the
+//! default budget is paper-grade (6 replications × 200 000 cycles per
+//! cell).
+
+use busnet::report::experiments::{Effort, ExperimentId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let effort = if std::env::args().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Paper
+    };
+    for id in [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+    ] {
+        println!("================ {} ================", id.name());
+        println!("{}", id.run_rendered(effort)?);
+    }
+    Ok(())
+}

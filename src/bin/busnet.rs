@@ -1,0 +1,136 @@
+//! `busnet` command-line interface: regenerate any of the paper's
+//! experiments from a terminal.
+//!
+//! ```text
+//! busnet list
+//! busnet run table1
+//! busnet run table3 --quick
+//! busnet run all --quick
+//! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5] [--seed 7]
+//! ```
+
+use std::process::ExitCode;
+
+use busnet::core::params::{Buffering, BusPolicy, SystemParams};
+use busnet::core::sim::bus::BusSimBuilder;
+use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available experiments:");
+            for id in ALL_EXPERIMENTS {
+                println!("  {}", id.name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_experiments(&args[1..]),
+        Some("sim") => run_sim(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: busnet <list | run <experiment|all> [--quick] | sim --n N --m M --r R \
+                 [--p P] [--buffered] [--memory-priority] [--seed S] [--cycles C]>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_experiments(args: &[String]) -> ExitCode {
+    let Some(which) = args.first() else {
+        eprintln!("usage: busnet run <experiment|all> [--quick]");
+        return ExitCode::FAILURE;
+    };
+    let effort =
+        if args.iter().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
+    let ids: Vec<ExperimentId> = if which == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        match ExperimentId::from_name(which) {
+            Some(id) => vec![id],
+            None => {
+                eprintln!("unknown experiment `{which}`; try `busnet list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for id in ids {
+        println!("================ {} ================", id.name());
+        match id.run_rendered(effort) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("experiment {} failed: {e}", id.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run_sim(args: &[String]) -> ExitCode {
+    let parse_u32 = |name: &str, default: u32| -> Option<u32> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| eprintln!("bad value for {name}: {v}")).ok(),
+            None => Some(default),
+        }
+    };
+    let (Some(n), Some(m), Some(r)) =
+        (parse_u32("--n", 8), parse_u32("--m", 16), parse_u32("--r", 8))
+    else {
+        return ExitCode::FAILURE;
+    };
+    let p: f64 = match flag_value(args, "--p") {
+        Some(v) => match v.parse() {
+            Ok(x) => x,
+            Err(_) => {
+                eprintln!("bad value for --p: {v}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1.0,
+    };
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let cycles: u64 =
+        flag_value(args, "--cycles").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+
+    let params = match SystemParams::new(n, m, r).and_then(|q| q.with_request_probability(p)) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = if args.iter().any(|a| a == "--memory-priority") {
+        BusPolicy::MemoryPriority
+    } else {
+        BusPolicy::ProcessorPriority
+    };
+    let buffering = if args.iter().any(|a| a == "--buffered") {
+        Buffering::Buffered
+    } else {
+        Buffering::Unbuffered
+    };
+
+    let report = BusSimBuilder::new(params)
+        .policy(policy)
+        .buffering(buffering)
+        .seed(seed)
+        .warmup_cycles(cycles / 10)
+        .measure_cycles(cycles)
+        .build()
+        .run();
+    let metrics = report.metrics();
+    println!("n={n} m={m} r={r} p={p} {policy:?} {buffering:?} seed={seed}");
+    println!("  EBW                  {:.4}", metrics.ebw);
+    println!("  bus utilization      {:.4}", metrics.bus_utilization);
+    println!("  memory utilization   {:.4}", metrics.memory_utilization);
+    println!("  processor efficiency {:.4}", metrics.processor_efficiency);
+    println!("  mean wait (cycles)   {:.4}", report.wait.mean());
+    println!("  mean round trip      {:.4}", report.round_trip.mean());
+    ExitCode::SUCCESS
+}

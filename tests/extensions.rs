@@ -1,0 +1,136 @@
+//! Integration tests for the beyond-the-paper extensions: multiplexed
+//! channels, deeper buffers, hot-spot addressing, round-robin
+//! arbitration, and the waiting-time distribution machinery.
+
+use busnet::core::analytic::crossbar::crossbar_ebw_exact;
+use busnet::core::params::{Buffering, SystemParams};
+use busnet::core::sim::address::AddressPattern;
+use busnet::core::sim::bus::{ArbitrationKind, BusSimBuilder};
+
+fn base(n: u32, m: u32, r: u32) -> BusSimBuilder {
+    BusSimBuilder::new(SystemParams::new(n, m, r).unwrap())
+        .buffering(Buffering::Buffered)
+        .seed(1717)
+        .warmup_cycles(5_000)
+        .measure_cycles(60_000)
+}
+
+#[test]
+fn two_multiplexed_channels_outrun_the_8x8_crossbar() {
+    // The resolution of the paper's §7 "four buses" remark: with
+    // multiplexed channels, even two exceed the crossbar.
+    let crossbar = crossbar_ebw_exact(8, 8).unwrap();
+    let two = base(8, 8, 4).channels(2).build().run().ebw();
+    assert!(two > crossbar, "2 channels {two:.3} should beat crossbar {crossbar:.3}");
+    let one = base(8, 8, 4).build().run().ebw();
+    assert!(one < crossbar, "1 channel {one:.3} should be below crossbar {crossbar:.3}");
+}
+
+#[test]
+fn channel_scaling_saturates_at_memory_bound() {
+    // Once the bus stops being the bottleneck, extra channels buy
+    // nothing: the memory bound is m/r services per cycle.
+    let four = base(8, 8, 8).channels(4).build().run().ebw();
+    let eight = base(8, 8, 8).channels(8).build().run().ebw();
+    assert!((four - eight).abs() / four < 0.05, "4ch {four:.3} vs 8ch {eight:.3}");
+    // Memory bound: m/r per cycle → (r+2)·m/r per processor cycle... with
+    // n = 8 processors the request-population bound dominates; just
+    // check the ceiling ordering holds.
+    assert!(eight <= 8.0 + 1e-9, "population bound violated: {eight}");
+}
+
+#[test]
+fn deeper_buffers_monotone_not_worse() {
+    let mut prev = 0.0;
+    for depth in [1u32, 2, 4] {
+        let measured = base(8, 4, 8).buffer_depth(depth).build().run().ebw();
+        assert!(measured >= prev - 0.05, "depth {depth}: {measured:.3} after {prev:.3}");
+        prev = measured;
+    }
+}
+
+#[test]
+fn hot_spot_monotonically_degrades_ebw() {
+    let mut prev = f64::INFINITY;
+    for hot in [0.0, 0.3, 0.6, 0.9] {
+        let builder = if hot == 0.0 {
+            base(8, 8, 8)
+        } else {
+            base(8, 8, 8)
+                .addressing(AddressPattern::HotSpot { hot_modules: 1, hot_probability: hot })
+        };
+        let measured = builder.build().run().ebw();
+        assert!(measured <= prev + 0.05, "hot={hot}: {measured:.3} after {prev:.3}");
+        prev = measured;
+    }
+    // At 90% hot the single module serializes everything: EBW ≈
+    // (r+2)/r per processor cycle ≈ 1.25.
+    assert!(prev < 1.6, "90% hot spot should serialize: {prev:.3}");
+}
+
+#[test]
+fn hot_spot_with_all_modules_hot_is_uniform() {
+    // Degenerate hot set = every module → statistically uniform.
+    let uniform = base(8, 8, 8).build().run().ebw();
+    let degenerate = base(8, 8, 8)
+        .addressing(AddressPattern::HotSpot { hot_modules: 8, hot_probability: 0.7 })
+        .build()
+        .run()
+        .ebw();
+    assert!((uniform - degenerate).abs() / uniform < 0.02, "{uniform:.3} vs {degenerate:.3}");
+}
+
+#[test]
+fn round_robin_is_fair_and_equally_fast() {
+    let random = base(8, 8, 8).build().run();
+    let rr = base(8, 8, 8).arbitration(ArbitrationKind::RoundRobin).build().run();
+    assert!((random.ebw() - rr.ebw()).abs() / random.ebw() < 0.03);
+    assert!(rr.fairness_index() > 0.999, "round robin fairness {}", rr.fairness_index());
+    assert!(random.fairness_index() > 0.99, "random fairness {}", random.fairness_index());
+}
+
+#[test]
+fn wait_histogram_consistent_with_mean() {
+    let report = base(8, 16, 8).build().run();
+    let h = &report.wait_histogram;
+    assert_eq!(h.count(), report.requests_granted);
+    assert!((h.mean() - report.wait.mean()).abs() < 1e-9);
+    // Quantiles bracket the mean sanely.
+    assert!(h.quantile(0.99) + 1.0 >= h.mean());
+}
+
+#[test]
+fn unbuffered_mode_ignores_buffer_depth() {
+    let a = BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap())
+        .seed(3)
+        .warmup_cycles(1_000)
+        .measure_cycles(20_000)
+        .build()
+        .run();
+    let b = BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap())
+        .buffer_depth(8)
+        .seed(3)
+        .warmup_cycles(1_000)
+        .measure_cycles(20_000)
+        .build()
+        .run();
+    assert_eq!(a.returns, b.returns, "depth must be inert without buffering");
+}
+
+#[test]
+fn invariants_hold_with_all_extensions_combined() {
+    let mut sim = BusSimBuilder::new(SystemParams::new(7, 5, 6).unwrap())
+        .buffering(Buffering::Buffered)
+        .buffer_depth(3)
+        .channels(3)
+        .addressing(AddressPattern::HotSpot { hot_modules: 2, hot_probability: 0.5 })
+        .arbitration(ArbitrationKind::RoundRobin)
+        .seed(23)
+        .build();
+    for _ in 0..30_000 {
+        sim.step();
+        if sim.cycle().is_multiple_of(101) {
+            sim.check_invariants().expect("invariant violated");
+        }
+    }
+}

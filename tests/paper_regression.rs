@@ -1,0 +1,110 @@
+//! Regression of the analytic models against the paper's printed
+//! numbers (Tables 1, 2, 3b) — cross-crate: models from `busnet-core`,
+//! reference data from `busnet-report`.
+
+use busnet::core::analytic::approx::{ApproxModel, ApproxVariant};
+use busnet::core::analytic::exact_chain::ExactChain;
+use busnet::core::analytic::reduced::ReducedChain;
+use busnet::core::params::SystemParams;
+use busnet::report::paper;
+
+#[test]
+fn table1_full_grid() {
+    for (i, &n) in paper::TABLE_1_2_NM.iter().enumerate() {
+        for (j, &m) in paper::TABLE_1_2_NM.iter().enumerate() {
+            let params = SystemParams::new(n, m, n.min(m) + 7).unwrap();
+            let ebw = ExactChain::new(params).ebw().unwrap();
+            assert!(
+                (ebw - paper::TABLE_1[i][j]).abs() < 7.5e-4,
+                "Table 1 ({n},{m}): {ebw:.4} vs {}",
+                paper::TABLE_1[i][j]
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_full_grid() {
+    for (i, &n) in paper::TABLE_1_2_NM.iter().enumerate() {
+        for (j, &m) in paper::TABLE_1_2_NM.iter().enumerate() {
+            let params = SystemParams::new(n, m, n.min(m) + 7).unwrap();
+            let ebw = ApproxModel::new(params, ApproxVariant::Plain).ebw();
+            assert!(
+                (ebw - paper::TABLE_2[i][j]).abs() < 7.5e-4,
+                "Table 2 ({n},{m}): {ebw:.4} vs {}",
+                paper::TABLE_2[i][j]
+            );
+        }
+    }
+}
+
+#[test]
+fn table3b_full_grid_within_documented_bounds() {
+    let mut total = 0.0;
+    let mut count = 0u32;
+    for (i, &m) in paper::TABLE_3_M.iter().enumerate() {
+        for (j, &r) in paper::TABLE_3_R.iter().enumerate() {
+            let Some(expect) = paper::TABLE_3B[i][j] else { continue };
+            let params = SystemParams::new(8, m, r).unwrap();
+            let ebw = ReducedChain::new(params).ebw().unwrap();
+            let rel = (ebw - expect).abs() / expect;
+            total += rel;
+            count += 1;
+            assert!(rel < 0.09, "Table 3b (m={m},r={r}): {ebw:.3} vs {expect} ({rel:.3})");
+        }
+    }
+    let mean = total / f64::from(count);
+    assert!(mean < 0.025, "mean Table 3b deviation {mean:.4}");
+}
+
+#[test]
+fn table1_symmetry_as_paper_observes() {
+    // §5: "the results are symmetrical on m and n".
+    for &n in &paper::TABLE_1_2_NM {
+        for &m in &paper::TABLE_1_2_NM {
+            let r = n.min(m) + 7;
+            let a = ExactChain::new(SystemParams::new(n, m, r).unwrap()).ebw().unwrap();
+            let b = ExactChain::new(SystemParams::new(m, n, r).unwrap()).ebw().unwrap();
+            assert!((a - b).abs() < 5e-4, "({n},{m}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn crossbar_is_the_large_r_limit_of_the_exact_chain() {
+    // Analytically, once r + 1 ≥ min(n,m) the chain's transitions equal
+    // the crossbar chain's and the stretched-cycle weight
+    // x(r+2)/(r+1+x) → x as r → ∞, so the memory-priority EBW
+    // converges to the crossbar bandwidth *from below*, monotonically.
+    // (§7's "crossbar EBW acts as a lower bound" describes the
+    // processor-priority simulation of Fig 2, pinned elsewhere.)
+    use busnet::core::analytic::crossbar::crossbar_ebw_exact;
+    for (n, m) in [(4u32, 4u32), (6, 4), (4, 8)] {
+        let crossbar = crossbar_ebw_exact(n, m).unwrap();
+        let mut prev_gap = f64::INFINITY;
+        for r in [8u32, 32, 128, 512, 2048] {
+            let ebw = ExactChain::new(SystemParams::new(n, m, r).unwrap()).ebw().unwrap();
+            let gap = crossbar - ebw;
+            assert!(gap >= -1e-9, "({n},{m},r={r}): chain {ebw} above crossbar {crossbar}");
+            assert!(gap <= prev_gap + 1e-12, "({n},{m},r={r}): gap not shrinking");
+            prev_gap = gap;
+        }
+        // Convergence is O(1/r): gap ≈ E[x(x−1)]/r.
+        assert!(
+            prev_gap < 0.005 * crossbar,
+            "({n},{m}): limit not reached, gap {prev_gap}"
+        );
+    }
+}
+
+#[test]
+fn symmetric_approximation_matches_exact_better_than_plain_where_n_exceeds_m() {
+    // The §5 suggestion behind Table 1's symmetry remark.
+    for (n, m) in [(6u32, 2u32), (8, 4), (6, 4)] {
+        let params = SystemParams::new(n, m, n.min(m) + 7).unwrap();
+        let exact = ExactChain::new(params).ebw().unwrap();
+        let plain = (ApproxModel::new(params, ApproxVariant::Plain).ebw() - exact).abs();
+        let symm = (ApproxModel::new(params, ApproxVariant::Symmetric).ebw() - exact).abs();
+        assert!(symm < plain, "({n},{m}): symmetric {symm} vs plain {plain}");
+    }
+}
