@@ -52,11 +52,16 @@ fn ablation_priority_and_buffering(c: &mut Criterion) {
 
 fn ablation_reduced_chain_readings(c: &mut Criterion) {
     println!("--- ablation: reduced-chain scan readings (8x16, r=8) ---");
-    for arb in [ReducedArbitration::StrictProcessorPriority, ReducedArbitration::CompletionStealsBus] {
-        for comp in
-            [CompletionModel::Proportional, CompletionModel::SingleSlot, CompletionModel::Independent]
-        {
-            let chain = ReducedChain::new(params()).with_arbitration(arb).with_completion_model(comp);
+    for arb in
+        [ReducedArbitration::StrictProcessorPriority, ReducedArbitration::CompletionStealsBus]
+    {
+        for comp in [
+            CompletionModel::Proportional,
+            CompletionModel::SingleSlot,
+            CompletionModel::Independent,
+        ] {
+            let chain =
+                ReducedChain::new(params()).with_arbitration(arb).with_completion_model(comp);
             println!(
                 "  {arb:?} / {comp:?}: EBW = {:.3}, |S| = {}",
                 chain.ebw().expect("solvable"),
@@ -65,7 +70,9 @@ fn ablation_reduced_chain_readings(c: &mut Criterion) {
         }
     }
     let mut group = c.benchmark_group("ablation_reduced_chain");
-    for arb in [ReducedArbitration::StrictProcessorPriority, ReducedArbitration::CompletionStealsBus] {
+    for arb in
+        [ReducedArbitration::StrictProcessorPriority, ReducedArbitration::CompletionStealsBus]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(format!("{arb:?}")), &arb, |b, &arb| {
             b.iter(|| {
                 black_box(
@@ -107,7 +114,10 @@ fn ablation_extensions(c: &mut Criterion) {
         "  hot spot 40% on 1 mod : {:.3}",
         run(base().addressing(AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.4 }))
     );
-    println!("  round-robin arbiter   : {:.3}", run(base().arbitration(ArbitrationKind::RoundRobin)));
+    println!(
+        "  round-robin arbiter   : {:.3}",
+        run(base().arbitration(ArbitrationKind::RoundRobin))
+    );
     let mut group = c.benchmark_group("ablation_extensions");
     group.sample_size(10);
     group.bench_function("baseline", |b| b.iter(|| black_box(run(base()))));
@@ -115,8 +125,9 @@ fn ablation_extensions(c: &mut Criterion) {
     group.bench_function("channels2", |b| b.iter(|| black_box(run(base().channels(2)))));
     group.bench_function("hotspot", |b| {
         b.iter(|| {
-            black_box(run(base()
-                .addressing(AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.4 })))
+            black_box(run(
+                base().addressing(AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.4 })
+            ))
         })
     });
     group.bench_function("round_robin", |b| {

@@ -15,18 +15,22 @@ fn bench_sim_cycle_rate(c: &mut Criterion) {
     for (n, m) in [(8u32, 8u32), (16, 16), (32, 32)] {
         let cycles: u64 = 50_000;
         group.throughput(Throughput::Elements(cycles));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &(n, m), |b, &(n, m)| {
-            b.iter(|| {
-                let report = BusSimBuilder::new(SystemParams::new(n, m, 8).expect("valid"))
-                    .buffering(Buffering::Buffered)
-                    .seed(3)
-                    .warmup_cycles(0)
-                    .measure_cycles(cycles)
-                    .build()
-                    .run();
-                black_box(report.returns)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                b.iter(|| {
+                    let report = BusSimBuilder::new(SystemParams::new(n, m, 8).expect("valid"))
+                        .buffering(Buffering::Buffered)
+                        .seed(3)
+                        .warmup_cycles(0)
+                        .measure_cycles(cycles)
+                        .build()
+                        .run();
+                    black_box(report.returns)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of the `criterion` crate API this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so `cargo bench`
+//! runs against this minimal vendored harness: each bench is timed for
+//! a fixed number of iterations after a short warmup and the mean/min
+//! wall-clock per iteration is printed. There are no statistical
+//! comparisons, plots, or baselines — just honest timings with the same
+//! source-level API (`Criterion`, benchmark groups, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Declared throughput of one bench, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A bench identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one bench body repeatedly and records timings.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: u64,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warmup, then `samples` measured
+    /// iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let ns = start.elapsed().as_secs_f64() * 1e9;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+        }
+        self.mean_ns = total_ns / self.samples as f64;
+        self.min_ns = min_ns;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of benches sharing sample-size and throughput
+/// settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured iterations each bench runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput (echoed in the report).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher { samples: self.sample_size, mean_ns: 0.0, min_ns: 0.0 };
+        f(&mut bencher);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / (bencher.mean_ns / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / (bencher.mean_ns / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {} / iter, min {} ({} samples){rate}",
+            self.name,
+            human(bencher.mean_ns),
+            human(bencher.min_ns),
+            bencher.samples,
+        );
+    }
+
+    /// Times a named closure.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    /// Times a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this harness).
+    pub fn finish(&mut self) {}
+}
+
+/// The bench driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Times a named closure outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let group = BenchmarkGroup {
+            name: "bench".to_owned(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        };
+        group.run(id, f);
+        self
+    }
+}
+
+/// Bundles bench functions into one runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_timings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "bench body should have run: {ran}");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter("8x8").to_string(), "8x8");
+        assert_eq!(BenchmarkId::new("solve", 16).to_string(), "solve/16");
+    }
+}

@@ -132,8 +132,7 @@ impl OccupancyChain {
         // Seed: all processors queued on one module (always a valid
         // occupancy state); BFS reaches the full recurrent class.
         let seed: OccupancyState = vec![n];
-        let (space, matrix) =
-            ChainBuilder::explore([seed], |state| self.transitions(state, n, m))?;
+        let (space, matrix) = ChainBuilder::explore([seed], |state| self.transitions(state, n, m))?;
         Ok((space, matrix))
     }
 
@@ -195,7 +194,8 @@ impl OccupancyChain {
 
         let mut out: Vec<(OccupancyState, f64)> = Vec::new();
         // Enumerate how many modules of each busy group get serviced.
-        let selections = bounded_compositions(cap, &busy_groups.iter().map(|g| g.1).collect::<Vec<_>>());
+        let selections =
+            bounded_compositions(cap, &busy_groups.iter().map(|g| g.1).collect::<Vec<_>>());
         let total_ways = binomial(x, cap);
         for sel in selections {
             let mut sel_weight = 1.0;
@@ -376,8 +376,7 @@ mod tests {
     fn two_by_two_hand_computed() {
         // n=2, m=2, r=9: states (2) and (1,1); EBW worked out by hand
         // from the paper's formula = 1.41666…
-        let chain =
-            OccupancyChain::new(params(2, 2, 9), Discipline::MultiplexedMemoryPriority);
+        let chain = OccupancyChain::new(params(2, 2, 9), Discipline::MultiplexedMemoryPriority);
         let ebw = chain.ebw().unwrap();
         assert!((ebw - 17.0 / 12.0).abs() < 1e-12, "ebw = {ebw}");
     }
@@ -412,9 +411,7 @@ mod tests {
 
     #[test]
     fn multiple_bus_caps_at_bus_count() {
-        let unlimited = OccupancyChain::new(params(8, 8, 1), Discipline::Crossbar)
-            .ebw()
-            .unwrap();
+        let unlimited = OccupancyChain::new(params(8, 8, 1), Discipline::Crossbar).ebw().unwrap();
         let capped = OccupancyChain::new(params(8, 8, 1), Discipline::MultipleBus { buses: 2 })
             .ebw()
             .unwrap();
@@ -426,10 +423,9 @@ mod tests {
     fn multiplexed_ebw_increases_with_r() {
         let mut prev = 0.0;
         for r in [2, 4, 8, 16] {
-            let ebw =
-                OccupancyChain::new(params(4, 4, r), Discipline::MultiplexedMemoryPriority)
-                    .ebw()
-                    .unwrap();
+            let ebw = OccupancyChain::new(params(4, 4, r), Discipline::MultiplexedMemoryPriority)
+                .ebw()
+                .unwrap();
             assert!(ebw > prev, "EBW should grow with r: {ebw} after {prev}");
             prev = ebw;
         }

@@ -108,12 +108,7 @@ pub fn multichannel_network(
         });
     }
     let mut net = ClosedNetwork::new();
-    net.add_station(Station::new(
-        "bus",
-        StationKind::MultiServer { servers: channels },
-        2.0,
-        1.0,
-    )?);
+    net.add_station(Station::new("bus", StationKind::MultiServer { servers: channels }, 2.0, 1.0)?);
     let m = params.m();
     for j in 0..m {
         net.add_station(Station::new(
@@ -180,10 +175,7 @@ mod tests {
     #[test]
     fn think_time_reduces_ebw() {
         let full = pfqn_ebw(&params(8, 16, 8)).unwrap();
-        let half = pfqn_ebw(
-            &params(8, 16, 8).with_request_probability(0.5).unwrap(),
-        )
-        .unwrap();
+        let half = pfqn_ebw(&params(8, 16, 8).with_request_probability(0.5).unwrap()).unwrap();
         assert!(half < full);
     }
 

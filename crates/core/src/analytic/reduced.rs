@@ -201,11 +201,8 @@ impl ReducedChain {
     pub fn ebw(&self) -> Result<f64, CoreError> {
         let (space, matrix) = self.build()?;
         let pi = stationary_dense(&matrix)?;
-        let p_return: f64 = space
-            .iter()
-            .filter(|(_, s)| s.bus == BusPhase::Return)
-            .map(|(i, _)| pi[i])
-            .sum();
+        let p_return: f64 =
+            space.iter().filter(|(_, s)| s.bus == BusPhase::Return).map(|(i, _)| pi[i]).sum();
         Ok(f64::from(self.params.processor_cycle()) * p_return)
     }
 
@@ -217,11 +214,7 @@ impl ReducedChain {
     pub fn bus_utilization(&self) -> Result<f64, CoreError> {
         let (space, matrix) = self.build()?;
         let pi = stationary_dense(&matrix)?;
-        Ok(space
-            .iter()
-            .filter(|(_, s)| s.bus != BusPhase::Idle)
-            .map(|(i, _)| pi[i])
-            .sum())
+        Ok(space.iter().filter(|(_, s)| s.bus != BusPhase::Idle).map(|(i, _)| pi[i]).sum())
     }
 
     /// Number of reachable states (the paper prints a closed form
@@ -380,10 +373,8 @@ impl ReducedChain {
                         continue;
                     }
                     if completes {
-                        let steal = matches!(
-                            self.arbitration,
-                            ReducedArbitration::CompletionStealsBus
-                        );
+                        let steal =
+                            matches!(self.arbitration, ReducedArbitration::CompletionStealsBus);
                         if steal {
                             // The completing module takes the bus: i is
                             // unchanged net (+1 starts, −1 done), e
@@ -454,19 +445,17 @@ mod tests {
     use super::*;
 
     fn ebw(n: u32, m: u32, r: u32, arb: ReducedArbitration) -> f64 {
-        ReducedChain::new(SystemParams::new(n, m, r).unwrap())
-            .with_arbitration(arb)
-            .ebw()
-            .unwrap()
+        ReducedChain::new(SystemParams::new(n, m, r).unwrap()).with_arbitration(arb).ebw().unwrap()
     }
 
     #[test]
     fn single_processor_round_trip_is_exact() {
         // n = 1: deterministic cycle of length r + 2 ⇒ EBW = 1.
         for r in [2u32, 5, 9] {
-            for arb in
-                [ReducedArbitration::CompletionStealsBus, ReducedArbitration::StrictProcessorPriority]
-            {
+            for arb in [
+                ReducedArbitration::CompletionStealsBus,
+                ReducedArbitration::StrictProcessorPriority,
+            ] {
                 let e = ebw(1, 4, r, arb);
                 assert!((e - 1.0).abs() < 1e-9, "r={r}: {e}");
             }
@@ -532,13 +521,8 @@ mod tests {
     /// strong evidence the reconstruction is the paper's model.
     #[test]
     fn table_3b_exact_cells() {
-        let exact = [
-            (10u32, 10u32, 5.000),
-            (10, 8, 4.633),
-            (8, 4, 2.994),
-            (10, 6, 3.947),
-            (12, 4, 2.999),
-        ];
+        let exact =
+            [(10u32, 10u32, 5.000), (10, 8, 4.633), (8, 4, 2.994), (10, 6, 3.947), (12, 4, 2.999)];
         for (m, r, paper) in exact {
             let got = ebw(8, m, r, ReducedArbitration::StrictProcessorPriority);
             assert!(
@@ -611,10 +595,8 @@ mod tests {
         for (n, m, r) in [(8u32, 16u32, 8u32), (4, 4, 6)] {
             for p10 in [3u32, 6, 9] {
                 let p = f64::from(p10) / 10.0;
-                let params = SystemParams::new(n, m, r)
-                    .unwrap()
-                    .with_request_probability(p)
-                    .unwrap();
+                let params =
+                    SystemParams::new(n, m, r).unwrap().with_request_probability(p).unwrap();
                 let model = ReducedChain::new(params).ebw().unwrap();
                 let sim = EbwExperiment::new(params)
                     .replications(2)
@@ -638,8 +620,7 @@ mod tests {
         let mut prev = 0.0;
         for p10 in 1..=10u32 {
             let p = f64::from(p10) / 10.0;
-            let params =
-                SystemParams::new(8, 16, 8).unwrap().with_request_probability(p).unwrap();
+            let params = SystemParams::new(8, 16, 8).unwrap().with_request_probability(p).unwrap();
             let ebw = ReducedChain::new(params).ebw().unwrap();
             assert!(ebw >= prev - 1e-9, "p={p}: {ebw} after {prev}");
             // The aggregate wake approximation (geometric think time)
@@ -649,10 +630,7 @@ mod tests {
             prev = ebw;
         }
         // Light load: nearly all offered requests are served.
-        let light = SystemParams::new(8, 16, 8)
-            .unwrap()
-            .with_request_probability(0.1)
-            .unwrap();
+        let light = SystemParams::new(8, 16, 8).unwrap().with_request_probability(0.1).unwrap();
         let ebw = ReducedChain::new(light).ebw().unwrap();
         assert!(ebw > 0.8 * 0.95, "light load should be nearly loss-free: {ebw}");
     }

@@ -21,6 +21,14 @@ pub enum CoreError {
     Markov(MarkovError),
     /// The product-form model failed.
     Queueing(QueueingError),
+    /// An evaluator was asked for a scenario outside its domain (e.g.
+    /// the §3.1.1 exact chain under processor priority).
+    UnsupportedScenario {
+        /// The evaluator that refused.
+        evaluator: &'static str,
+        /// Which scenario aspect is out of domain.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +39,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Markov(e) => write!(f, "markov model failure: {e}"),
             CoreError::Queueing(e) => write!(f, "queueing model failure: {e}"),
+            CoreError::UnsupportedScenario { evaluator, reason } => {
+                write!(f, "evaluator `{evaluator}` does not support this scenario: {reason}")
+            }
         }
     }
 }
@@ -40,7 +51,7 @@ impl Error for CoreError {
         match self {
             CoreError::Markov(e) => Some(e),
             CoreError::Queueing(e) => Some(e),
-            CoreError::InvalidParameter { .. } => None,
+            CoreError::InvalidParameter { .. } | CoreError::UnsupportedScenario { .. } => None,
         }
     }
 }

@@ -23,6 +23,11 @@
 //! * [`params`] / [`metrics`] — validated system parameters and the
 //!   derived performance measures of §2 (bus utilization, memory
 //!   utilization, processor efficiency, waiting time).
+//! * [`scenario`] — the unified scenario engine: a [`Scenario`] names an
+//!   operating point once, every vehicle above implements the same
+//!   [`Evaluator`] trait, and [`scenario::run_sweep`] fans
+//!   [`ScenarioGrid`] cartesian sweeps out across evaluators, serially
+//!   or in parallel.
 //!
 //! # Example
 //!
@@ -45,10 +50,12 @@
 pub mod analytic;
 pub mod metrics;
 pub mod params;
+pub mod scenario;
 pub mod sim;
 
 mod error;
 
 pub use error::CoreError;
 pub use metrics::Metrics;
-pub use params::{BusPolicy, Buffering, SystemParams};
+pub use params::{Buffering, BusPolicy, SystemParams};
+pub use scenario::{Evaluation, Evaluator, Scenario, ScenarioGrid};

@@ -1,0 +1,961 @@
+//! The unified scenario engine: one operating-point descriptor, many
+//! evaluation vehicles.
+//!
+//! The paper evaluates the same `(n, m, r, p, policy, buffering)`
+//! operating points through five different vehicles — the §3.1.1 exact
+//! chain, the §4 reduced chain, the §3.2 combinational approximation,
+//! the §6 product-form model, and cycle-accurate simulation. This
+//! module makes that plurality first-class:
+//!
+//! * a [`Scenario`] names an operating point once;
+//! * an [`Evaluator`] turns a scenario into [`Evaluation`] metrics —
+//!   every vehicle implements the same trait, so model-vs-sim
+//!   comparison is a one-liner;
+//! * a [`ScenarioGrid`] expands cartesian parameter sweeps into
+//!   scenario lists, and [`run_sweep`] fans them out across any set of
+//!   evaluators with per-point progress, serially or in parallel.
+//!
+//! # Example
+//!
+//! Compare the reduced chain against a quick simulation on one point:
+//!
+//! ```
+//! use busnet_core::params::SystemParams;
+//! use busnet_core::scenario::{BusSimEval, Evaluator, ReducedChainEval, Scenario, SimBudget};
+//!
+//! let scenario = Scenario::new(SystemParams::new(8, 16, 8)?);
+//! let model = ReducedChainEval.evaluate(&scenario)?;
+//! let sim = BusSimEval::new(SimBudget::quick()).evaluate(&scenario)?;
+//! let gap = (sim.ebw() - model.ebw()).abs() / model.ebw();
+//! assert!(gap < 0.10, "sim {} vs model {}", sim.ebw(), model.ebw());
+//! # Ok::<(), busnet_core::CoreError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use busnet_sim::exec::{parallel_map_progress, ExecutionMode};
+use busnet_sim::replication::{run_replications_with, ReplicationPlan};
+
+use crate::analytic::approx::{ApproxModel, ApproxVariant};
+use crate::analytic::crossbar::crossbar_ebw_exact;
+use crate::analytic::exact_chain::ExactChain;
+use crate::analytic::pfqn::{pfqn_ebw, pfqn_ebw_buzen};
+use crate::analytic::reduced::ReducedChain;
+use crate::error::CoreError;
+use crate::metrics::Metrics;
+use crate::params::{Buffering, BusPolicy, SystemParams};
+use crate::sim::bus::BusSimBuilder;
+use crate::sim::crossbar::CrossbarSim;
+use crate::sim::service::ServiceTime;
+
+/// One operating point of the system under study: parameters plus the
+/// mode knobs every evaluation vehicle understands.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scenario {
+    /// System parameters `(n, m, r, p)`.
+    pub params: SystemParams,
+    /// Bus-granting priority (hypothesis *g*).
+    pub policy: BusPolicy,
+    /// Memory-module buffering scheme (§6).
+    pub buffering: Buffering,
+    /// Memory service-time distribution; `None` means the paper's
+    /// constant `r` cycles.
+    pub memory_service: Option<ServiceTime>,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: priority to processors,
+    /// unbuffered modules, constant service.
+    pub fn new(params: SystemParams) -> Self {
+        Scenario {
+            params,
+            policy: BusPolicy::ProcessorPriority,
+            buffering: Buffering::Unbuffered,
+            memory_service: None,
+        }
+    }
+
+    /// Returns a copy with the given arbitration policy.
+    pub fn with_policy(mut self, policy: BusPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given buffering scheme.
+    pub fn with_buffering(mut self, buffering: Buffering) -> Self {
+        self.buffering = buffering;
+        self
+    }
+
+    /// Returns a copy with an explicit memory service-time distribution.
+    pub fn with_memory_service(mut self, service: ServiceTime) -> Self {
+        self.memory_service = Some(service);
+        self
+    }
+
+    /// The effective memory service distribution (constant `r` unless
+    /// overridden).
+    pub fn service(&self) -> ServiceTime {
+        self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()))
+    }
+
+    /// Whether the scenario uses the paper's constant-`r` service.
+    pub fn has_paper_service(&self) -> bool {
+        self.service() == ServiceTime::Constant(self.params.r())
+    }
+
+    /// A compact, stable human-readable identifier, e.g.
+    /// `n=8 m=16 r=8 p=1 proc unbuf`.
+    pub fn label(&self) -> String {
+        let policy = match self.policy {
+            BusPolicy::ProcessorPriority => "proc",
+            BusPolicy::MemoryPriority => "mem",
+        };
+        let buffering = match self.buffering {
+            Buffering::Unbuffered => "unbuf",
+            Buffering::Buffered => "buf",
+        };
+        format!(
+            "n={} m={} r={} p={} {policy} {buffering}",
+            self.params.n(),
+            self.params.m(),
+            self.params.r(),
+            self.params.p(),
+        )
+    }
+}
+
+/// The outcome of evaluating one scenario with one vehicle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Which evaluator produced this.
+    pub evaluator: &'static str,
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// §2 derived measures at the estimated EBW.
+    pub metrics: Metrics,
+    /// Half width of the 95% confidence interval of the EBW estimate
+    /// (0 for deterministic analytic models).
+    pub half_width_95: f64,
+    /// Number of independent replications behind the estimate (1 for
+    /// analytic models).
+    pub replications: u32,
+}
+
+impl Evaluation {
+    /// The effective-bandwidth point estimate.
+    pub fn ebw(&self) -> f64 {
+        self.metrics.ebw
+    }
+
+    /// Whether `value` lies inside the 95% interval widened by `slack`.
+    pub fn covers(&self, value: f64, slack: f64) -> bool {
+        (value - self.metrics.ebw).abs() <= self.half_width_95 + slack
+    }
+}
+
+/// An evaluation vehicle: anything that can score a [`Scenario`].
+///
+/// Implementations must be `Sync` so sweeps can fan scenarios out
+/// across threads.
+pub trait Evaluator: Sync {
+    /// Stable identifier (`"sim"`, `"exact"`, `"reduced"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the scenario lies inside this vehicle's domain.
+    fn supports(&self, scenario: &Scenario) -> bool;
+
+    /// Evaluates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedScenario`] outside the vehicle's domain;
+    /// otherwise propagates model failures.
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError>;
+}
+
+fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -> Evaluation {
+    Evaluation {
+        evaluator,
+        scenario: *scenario,
+        metrics: Metrics::from_ebw(scenario.params, ebw),
+        half_width_95: 0.0,
+        replications: 1,
+    }
+}
+
+/// Metrics for the crossbar baselines. The single-bus identities do not
+/// apply — there is no shared bus, and a serviced request occupies its
+/// module for one full crossbar cycle — so utilization is reported as
+/// concurrency (`EBW / min(n, m)`) and module occupancy as `EBW / m`.
+fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -> Evaluation {
+    let params = scenario.params;
+    let mut metrics = Metrics::from_ebw(params, ebw);
+    metrics.bus_utilization = ebw / f64::from(params.min_nm());
+    metrics.memory_utilization = ebw / f64::from(params.m());
+    Evaluation { evaluator, scenario: *scenario, metrics, half_width_95: 0.0, replications: 1 }
+}
+
+fn require(
+    evaluator: &'static str,
+    scenario: &Scenario,
+    ok: bool,
+    reason: &str,
+) -> Result<(), CoreError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(CoreError::UnsupportedScenario {
+            evaluator,
+            reason: format!("{reason} (scenario: {})", scenario.label()),
+        })
+    }
+}
+
+/// §3.1.1 exact occupancy chain: memory priority, unbuffered, `p = 1`,
+/// constant service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactChainEval;
+
+impl Evaluator for ExactChainEval {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.policy == BusPolicy::MemoryPriority
+            && s.buffering == Buffering::Unbuffered
+            && s.params.p() >= 1.0
+            && s.has_paper_service()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the exact chain is defined for memory priority, no buffers, p = 1, constant service",
+        )?;
+        let ebw = ExactChain::new(scenario.params).ebw()?;
+        Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// §4 reduced `(i, c, e, b)` chain: processor priority, unbuffered,
+/// constant service (`p < 1` via the documented extension).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReducedChainEval;
+
+impl Evaluator for ReducedChainEval {
+    fn name(&self) -> &'static str {
+        "reduced"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.policy == BusPolicy::ProcessorPriority
+            && s.buffering == Buffering::Unbuffered
+            && s.has_paper_service()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the reduced chain is defined for processor priority, no buffers, constant service",
+        )?;
+        let ebw = ReducedChain::new(scenario.params).ebw()?;
+        Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// §3.2 combinational approximation of the memory-priority system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ApproxEval {
+    /// Plain (Table 2) or symmetrized (§5) variant.
+    pub variant: ApproxVariant,
+}
+
+impl Evaluator for ApproxEval {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            ApproxVariant::Plain => "approx",
+            ApproxVariant::Symmetric => "approx-sym",
+        }
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.policy == BusPolicy::MemoryPriority
+            && s.buffering == Buffering::Unbuffered
+            && s.params.p() >= 1.0
+            && s.has_paper_service()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the combinational model approximates the memory-priority unbuffered system at p = 1",
+        )?;
+        let ebw = ApproxModel::new(scenario.params, self.variant).ebw();
+        Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// Which product-form algorithm [`PfqnEval`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PfqnAlgorithm {
+    /// Reiser–Lavenberg exact Mean Value Analysis.
+    #[default]
+    Mva,
+    /// Buzen's convolution algorithm.
+    Buzen,
+}
+
+/// §6 product-form (exponential-service) model of the buffered system.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PfqnEval {
+    /// Solution algorithm (the two must agree; both are exposed so the
+    /// validation suite can cross-check them).
+    pub algorithm: PfqnAlgorithm,
+}
+
+impl Evaluator for PfqnEval {
+    fn name(&self) -> &'static str {
+        match self.algorithm {
+            PfqnAlgorithm::Mva => "pfqn",
+            PfqnAlgorithm::Buzen => "pfqn-buzen",
+        }
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.buffering == Buffering::Buffered
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the product-form model describes the buffered system",
+        )?;
+        let ebw = match self.algorithm {
+            PfqnAlgorithm::Mva => pfqn_ebw(&scenario.params)?,
+            PfqnAlgorithm::Buzen => pfqn_ebw_buzen(&scenario.params)?,
+        };
+        Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// Exact crossbar baseline (references 1/17): the target network the
+/// paper designs the single bus against. Ignores policy and buffering.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CrossbarExactEval;
+
+impl Evaluator for CrossbarExactEval {
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.params.p() >= 1.0
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the exact crossbar chain is defined for p = 1",
+        )?;
+        let ebw = crossbar_ebw_exact(scenario.params.n(), scenario.params.m())?;
+        Ok(crossbar_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// Simulation budget shared by the stochastic evaluators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimBudget {
+    /// Independent replications per scenario.
+    pub replications: u32,
+    /// Discarded warmup cycles per replication.
+    pub warmup: u64,
+    /// Measured cycles per replication.
+    pub measure: u64,
+    /// Master seed of the per-replication seed sequence.
+    pub master_seed: u64,
+    /// How replications execute (parallel is bit-identical to serial).
+    pub mode: ExecutionMode,
+}
+
+impl SimBudget {
+    /// Paper-grade budget: 6 replications × 200 000 measured cycles.
+    pub fn paper() -> Self {
+        SimBudget {
+            replications: 6,
+            warmup: 20_000,
+            measure: 200_000,
+            master_seed: 0x1985_0414, // ISCA'85 flavor
+            mode: ExecutionMode::Parallel,
+        }
+    }
+
+    /// Small budget for tests and smoke runs: 2 × 20 000 cycles.
+    pub fn quick() -> Self {
+        SimBudget { replications: 2, warmup: 2_000, measure: 20_000, ..SimBudget::paper() }
+    }
+
+    /// Returns a copy with the given execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given master seed.
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+}
+
+impl Default for SimBudget {
+    fn default() -> Self {
+        SimBudget::paper()
+    }
+}
+
+/// The cycle-accurate single-bus simulator behind the replication
+/// driver. Supports every scenario.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BusSimEval {
+    /// Replication budget and execution mode.
+    pub budget: SimBudget,
+}
+
+impl BusSimEval {
+    /// An evaluator with the given budget.
+    pub fn new(budget: SimBudget) -> Self {
+        BusSimEval { budget }
+    }
+}
+
+impl Evaluator for BusSimEval {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn supports(&self, _scenario: &Scenario) -> bool {
+        true
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        scenario.service().validate()?;
+        let plan = ReplicationPlan::new(self.budget.replications.max(1), self.budget.master_seed);
+        let summary = run_replications_with(&plan, self.budget.mode, |_, seed| {
+            let mut builder = BusSimBuilder::new(scenario.params)
+                .policy(scenario.policy)
+                .buffering(scenario.buffering)
+                .seed(seed)
+                .warmup_cycles(self.budget.warmup)
+                .measure_cycles(self.budget.measure);
+            if let Some(service) = scenario.memory_service {
+                builder = builder.memory_service(service);
+            }
+            builder.build().run().ebw()
+        });
+        Ok(Evaluation {
+            evaluator: self.name(),
+            scenario: *scenario,
+            metrics: Metrics::from_ebw(scenario.params, summary.mean()),
+            half_width_95: summary.half_width_95(),
+            replications: summary.replications() as u32,
+        })
+    }
+}
+
+/// The synchronous crossbar simulator baseline (handles `p < 1`, where
+/// the exact crossbar chain does not). Ignores policy, buffering, and
+/// service overrides.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossbarSimEval {
+    /// RNG seed.
+    pub seed: u64,
+    /// Discarded warmup cycles (crossbar cycles).
+    pub warmup: u64,
+    /// Measured cycles (crossbar cycles).
+    pub measure: u64,
+}
+
+impl CrossbarSimEval {
+    /// An evaluator drawing its seed and cycle counts from `budget`
+    /// (one processor-cycle step per `r + 2` bus cycles, so the warmup
+    /// is scaled down by 10 as in the paper-reproduction runners).
+    pub fn new(budget: SimBudget) -> Self {
+        CrossbarSimEval {
+            seed: budget.master_seed ^ 0xF16,
+            warmup: (budget.warmup / 10).max(100),
+            measure: budget.measure,
+        }
+    }
+}
+
+impl Evaluator for CrossbarSimEval {
+    fn name(&self) -> &'static str {
+        "crossbar-sim"
+    }
+
+    fn supports(&self, _scenario: &Scenario) -> bool {
+        true
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        let ebw = CrossbarSim::new(scenario.params)
+            .seed(self.seed)
+            .warmup_cycles(self.warmup)
+            .measure_cycles(self.measure)
+            .run_ebw();
+        Ok(crossbar_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// Nameable evaluator kinds, for CLIs and config surfaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EvaluatorKind {
+    /// Cycle-accurate single-bus simulation.
+    Sim,
+    /// §3.1.1 exact chain.
+    Exact,
+    /// §4 reduced chain.
+    Reduced,
+    /// §3.2 combinational approximation (plain).
+    Approx,
+    /// §3.2 approximation, symmetrized.
+    ApproxSymmetric,
+    /// §6 product-form model via MVA.
+    Pfqn,
+    /// §6 product-form model via Buzen's convolution.
+    PfqnBuzen,
+    /// Exact crossbar baseline.
+    CrossbarExact,
+    /// Crossbar simulator baseline.
+    CrossbarSim,
+}
+
+/// Every evaluator kind, in presentation order.
+pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 9] = [
+    EvaluatorKind::Sim,
+    EvaluatorKind::Exact,
+    EvaluatorKind::Reduced,
+    EvaluatorKind::Approx,
+    EvaluatorKind::ApproxSymmetric,
+    EvaluatorKind::Pfqn,
+    EvaluatorKind::PfqnBuzen,
+    EvaluatorKind::CrossbarExact,
+    EvaluatorKind::CrossbarSim,
+];
+
+impl EvaluatorKind {
+    /// Stable textual id (`sim`, `exact`, `reduced`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvaluatorKind::Sim => "sim",
+            EvaluatorKind::Exact => "exact",
+            EvaluatorKind::Reduced => "reduced",
+            EvaluatorKind::Approx => "approx",
+            EvaluatorKind::ApproxSymmetric => "approx-sym",
+            EvaluatorKind::Pfqn => "pfqn",
+            EvaluatorKind::PfqnBuzen => "pfqn-buzen",
+            EvaluatorKind::CrossbarExact => "crossbar",
+            EvaluatorKind::CrossbarSim => "crossbar-sim",
+        }
+    }
+
+    /// Parses a textual id.
+    pub fn from_name(name: &str) -> Option<EvaluatorKind> {
+        ALL_EVALUATOR_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the evaluator, drawing simulation budgets from
+    /// `budget`.
+    pub fn build(self, budget: SimBudget) -> Box<dyn Evaluator> {
+        match self {
+            EvaluatorKind::Sim => Box::new(BusSimEval::new(budget)),
+            EvaluatorKind::Exact => Box::new(ExactChainEval),
+            EvaluatorKind::Reduced => Box::new(ReducedChainEval),
+            EvaluatorKind::Approx => Box::new(ApproxEval { variant: ApproxVariant::Plain }),
+            EvaluatorKind::ApproxSymmetric => {
+                Box::new(ApproxEval { variant: ApproxVariant::Symmetric })
+            }
+            EvaluatorKind::Pfqn => Box::new(PfqnEval { algorithm: PfqnAlgorithm::Mva }),
+            EvaluatorKind::PfqnBuzen => Box::new(PfqnEval { algorithm: PfqnAlgorithm::Buzen }),
+            EvaluatorKind::CrossbarExact => Box::new(CrossbarExactEval),
+            EvaluatorKind::CrossbarSim => Box::new(CrossbarSimEval::new(budget)),
+        }
+    }
+}
+
+/// The `r` axis of a [`ScenarioGrid`]: explicit values or the paper's
+/// recurring `r = min(n, m) + k` rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RAxis {
+    /// Explicit values.
+    Values(Vec<u32>),
+    /// `r = min(n, m) + k` per grid point (Tables 1 and 2 use `k = 7`).
+    MinNmPlus(u32),
+}
+
+/// A cartesian sweep over system parameters and mode knobs.
+///
+/// Axes default to a single paper-typical value each, so a grid only
+/// names the axes it actually sweeps:
+///
+/// ```
+/// use busnet_core::scenario::ScenarioGrid;
+///
+/// let grid = ScenarioGrid::new()
+///     .n_values([4, 8])
+///     .r_values([2, 6, 10]);
+/// let scenarios = grid.scenarios()?;
+/// assert_eq!(scenarios.len(), 6);
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioGrid {
+    n: Vec<u32>,
+    m: Vec<u32>,
+    r: RAxis,
+    p: Vec<f64>,
+    policies: Vec<BusPolicy>,
+    bufferings: Vec<Buffering>,
+    memory_service: Option<ServiceTime>,
+}
+
+impl ScenarioGrid {
+    /// A single-point grid at the paper's reference configuration
+    /// (`n = 8, m = 16, r = 8, p = 1`, processor priority, unbuffered).
+    pub fn new() -> Self {
+        ScenarioGrid {
+            n: vec![8],
+            m: vec![16],
+            r: RAxis::Values(vec![8]),
+            p: vec![1.0],
+            policies: vec![BusPolicy::ProcessorPriority],
+            bufferings: vec![Buffering::Unbuffered],
+            memory_service: None,
+        }
+    }
+
+    /// Sets the processor-count axis.
+    pub fn n_values(mut self, values: impl Into<Vec<u32>>) -> Self {
+        self.n = values.into();
+        self
+    }
+
+    /// Sets the module-count axis.
+    pub fn m_values(mut self, values: impl Into<Vec<u32>>) -> Self {
+        self.m = values.into();
+        self
+    }
+
+    /// Sets explicit `r` values.
+    pub fn r_values(mut self, values: impl Into<Vec<u32>>) -> Self {
+        self.r = RAxis::Values(values.into());
+        self
+    }
+
+    /// Derives `r = min(n, m) + k` at every point (the Table 1/2 rule).
+    pub fn r_min_nm_plus(mut self, k: u32) -> Self {
+        self.r = RAxis::MinNmPlus(k);
+        self
+    }
+
+    /// Sets the request-probability axis.
+    pub fn p_values(mut self, values: impl Into<Vec<f64>>) -> Self {
+        self.p = values.into();
+        self
+    }
+
+    /// Sets the arbitration-policy axis.
+    pub fn policies(mut self, values: impl Into<Vec<BusPolicy>>) -> Self {
+        self.policies = values.into();
+        self
+    }
+
+    /// Sets the buffering axis.
+    pub fn bufferings(mut self, values: impl Into<Vec<Buffering>>) -> Self {
+        self.bufferings = values.into();
+        self
+    }
+
+    /// Applies an explicit service distribution to every point.
+    pub fn memory_service(mut self, service: ServiceTime) -> Self {
+        self.memory_service = Some(service);
+        self
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        let r = match &self.r {
+            RAxis::Values(v) => v.len(),
+            RAxis::MinNmPlus(_) => 1,
+        };
+        self.n.len() * self.m.len() * r * self.p.len() * self.policies.len() * self.bufferings.len()
+    }
+
+    /// Whether the grid is degenerate (some axis has no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid, in row-major axis order
+    /// `n → m → r → p → policy → buffering`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if any point violates the
+    /// parameter invariants.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, CoreError> {
+        let mut out = Vec::with_capacity(self.len());
+        for &n in &self.n {
+            for &m in &self.m {
+                let rs: Vec<u32> = match &self.r {
+                    RAxis::Values(v) => v.clone(),
+                    RAxis::MinNmPlus(k) => vec![n.min(m) + k],
+                };
+                for &r in &rs {
+                    for &p in &self.p {
+                        let params = SystemParams::new(n, m, r)?.with_request_probability(p)?;
+                        for &policy in &self.policies {
+                            for &buffering in &self.bufferings {
+                                let mut scenario = Scenario::new(params)
+                                    .with_policy(policy)
+                                    .with_buffering(buffering);
+                                if let Some(service) = self.memory_service {
+                                    scenario = scenario.with_memory_service(service);
+                                }
+                                out.push(scenario);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid::new()
+    }
+}
+
+/// One `(scenario, evaluator)` outcome of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRecord {
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// The evaluator's stable name.
+    pub evaluator: &'static str,
+    /// The evaluation, or why this pair is out of domain / failed.
+    pub result: Result<Evaluation, CoreError>,
+}
+
+/// Fans `scenarios × evaluators` out under `mode` and returns all
+/// records in deterministic scenario-major order.
+///
+/// `on_record(done, total, record)` streams each record **in that same
+/// order** as soon as it (and every record before it) is available, so
+/// callers can render progressively even under parallel execution.
+/// Out-of-domain pairs surface as `Err(UnsupportedScenario)` records
+/// rather than aborting the sweep.
+///
+/// Under `ExecutionMode::Parallel`, pair the sweep with serial-mode
+/// simulation evaluators (e.g. `SimBudget::with_mode(Serial)`) so the
+/// two levels don't oversubscribe the machine.
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    evaluators: &[&dyn Evaluator],
+    mode: ExecutionMode,
+    mut on_record: impl FnMut(usize, usize, &SweepRecord),
+) -> Vec<SweepRecord> {
+    let pairs: Vec<(usize, usize)> =
+        (0..scenarios.len()).flat_map(|s| (0..evaluators.len()).map(move |e| (s, e))).collect();
+    let total = pairs.len();
+    let mut held: BTreeMap<usize, SweepRecord> = BTreeMap::new();
+    let mut next = 0usize;
+    parallel_map_progress(
+        &pairs,
+        mode,
+        |_, &(s, e)| SweepRecord {
+            scenario: scenarios[s],
+            evaluator: evaluators[e].name(),
+            result: evaluators[e].evaluate(&scenarios[s]),
+        },
+        |i, record| {
+            held.insert(i, record.clone());
+            while let Some(record) = held.remove(&next) {
+                next += 1;
+                on_record(next, total, &record);
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u32, m: u32, r: u32) -> SystemParams {
+        SystemParams::new(n, m, r).unwrap()
+    }
+
+    #[test]
+    fn scenario_defaults_match_paper() {
+        let s = Scenario::new(params(8, 16, 8));
+        assert_eq!(s.policy, BusPolicy::ProcessorPriority);
+        assert_eq!(s.buffering, Buffering::Unbuffered);
+        assert_eq!(s.service(), ServiceTime::Constant(8));
+        assert!(s.has_paper_service());
+        assert_eq!(s.label(), "n=8 m=16 r=8 p=1 proc unbuf");
+    }
+
+    #[test]
+    fn evaluator_domains_are_enforced() {
+        let mem = Scenario::new(params(4, 4, 11)).with_policy(BusPolicy::MemoryPriority);
+        let proc = Scenario::new(params(4, 4, 11));
+        assert!(ExactChainEval.supports(&mem));
+        assert!(!ExactChainEval.supports(&proc));
+        assert!(ExactChainEval.evaluate(&proc).is_err());
+        assert!(ReducedChainEval.supports(&proc));
+        assert!(!ReducedChainEval.supports(&mem));
+        let buffered = proc.with_buffering(Buffering::Buffered);
+        assert!(PfqnEval::default().supports(&buffered));
+        assert!(!PfqnEval::default().supports(&proc));
+    }
+
+    #[test]
+    fn exact_evaluator_reproduces_table1_corner() {
+        let s = Scenario::new(params(2, 2, 9)).with_policy(BusPolicy::MemoryPriority);
+        let e = ExactChainEval.evaluate(&s).unwrap();
+        assert!((e.ebw() - 1.417).abs() < 5e-4, "ebw = {}", e.ebw());
+        assert_eq!(e.half_width_95, 0.0);
+        assert_eq!(e.replications, 1);
+    }
+
+    #[test]
+    fn sim_evaluator_reports_interval() {
+        let s = Scenario::new(params(4, 4, 4));
+        let e = BusSimEval::new(SimBudget::quick()).evaluate(&s).unwrap();
+        assert!(e.ebw() > 0.0);
+        assert!(e.half_width_95 >= 0.0);
+        assert_eq!(e.replications, 2);
+        assert!(e.covers(e.ebw(), 0.0));
+    }
+
+    #[test]
+    fn sim_evaluator_parallel_matches_serial_bitwise() {
+        let s = Scenario::new(params(8, 8, 6)).with_buffering(Buffering::Buffered);
+        let budget =
+            SimBudget { replications: 4, warmup: 500, measure: 5_000, ..SimBudget::quick() };
+        let serial = BusSimEval::new(budget.with_mode(ExecutionMode::Serial)).evaluate(&s).unwrap();
+        let parallel =
+            BusSimEval::new(budget.with_mode(ExecutionMode::Parallel)).evaluate(&s).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn grid_expansion_order_and_rule() {
+        let grid = ScenarioGrid::new()
+            .n_values([2, 4])
+            .m_values([2])
+            .r_min_nm_plus(7)
+            .bufferings([Buffering::Unbuffered, Buffering::Buffered]);
+        assert_eq!(grid.len(), 4);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].params.r(), 9); // min(2,2)+7
+        assert_eq!(scenarios[3].params.r(), 9); // min(4,2)+7
+        assert_eq!(scenarios[0].buffering, Buffering::Unbuffered);
+        assert_eq!(scenarios[1].buffering, Buffering::Buffered);
+        assert_eq!(scenarios[2].params.n(), 4);
+    }
+
+    #[test]
+    fn grid_rejects_invalid_points() {
+        assert!(ScenarioGrid::new().n_values([0]).scenarios().is_err());
+        assert!(ScenarioGrid::new().p_values([1.5]).scenarios().is_err());
+    }
+
+    #[test]
+    fn sweep_streams_in_order_and_reports_domain_misses() {
+        let scenarios = ScenarioGrid::new()
+            .n_values([2])
+            .m_values([2])
+            .r_values([2])
+            .policies([BusPolicy::ProcessorPriority, BusPolicy::MemoryPriority])
+            .scenarios()
+            .unwrap();
+        let sim = BusSimEval::new(SimBudget { measure: 2_000, warmup: 200, ..SimBudget::quick() });
+        let evaluators: [&dyn Evaluator; 2] = [&ExactChainEval, &sim];
+        let mut seen = Vec::new();
+        let records =
+            run_sweep(&scenarios, &evaluators, ExecutionMode::Parallel, |done, total, r| {
+                assert_eq!(total, 4);
+                seen.push((done, r.evaluator));
+            });
+        assert_eq!(records.len(), 4);
+        assert_eq!(seen.len(), 4);
+        // Streaming is in scenario-major order: (proc, exact), (proc, sim), ...
+        assert_eq!(seen[0], (1, "exact"));
+        assert_eq!(seen[1], (2, "sim"));
+        // Exact chain under processor priority is out of domain.
+        assert!(matches!(
+            records[0].result,
+            Err(CoreError::UnsupportedScenario { evaluator: "exact", .. })
+        ));
+        assert!(records[1].result.is_ok());
+        assert!(records[2].result.is_ok(), "{:?}", records[2].result);
+    }
+
+    #[test]
+    fn evaluator_kinds_roundtrip_and_build() {
+        for kind in ALL_EVALUATOR_KINDS {
+            assert_eq!(EvaluatorKind::from_name(kind.name()), Some(kind));
+            let built = kind.build(SimBudget::quick());
+            assert_eq!(built.name(), kind.name());
+        }
+        assert_eq!(EvaluatorKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn crossbar_evaluators_agree_roughly() {
+        let s = Scenario::new(params(8, 8, 8));
+        let exact = CrossbarExactEval.evaluate(&s).unwrap();
+        let sim = CrossbarSimEval::new(SimBudget::quick()).evaluate(&s).unwrap();
+        let rel = (exact.ebw() - sim.ebw()).abs() / exact.ebw();
+        assert!(rel < 0.05, "exact {} vs sim {}", exact.ebw(), sim.ebw());
+    }
+
+    #[test]
+    fn crossbar_metrics_stay_physical_at_small_r() {
+        // The crossbar EBW is r-independent; the single-bus identity
+        // 2·EBW/(r+2) would exceed 1 at r = 2. The crossbar evaluators
+        // must report concurrency utilization instead.
+        let s = Scenario::new(params(8, 8, 2));
+        for eval in [
+            CrossbarExactEval.evaluate(&s).unwrap(),
+            CrossbarSimEval::new(SimBudget::quick()).evaluate(&s).unwrap(),
+        ] {
+            assert!(
+                eval.metrics.bus_utilization <= 1.0 + 1e-9,
+                "{}: utilization {}",
+                eval.evaluator,
+                eval.metrics.bus_utilization
+            );
+            assert!(eval.metrics.memory_utilization <= 1.0 + 1e-9);
+            assert!((eval.metrics.bus_utilization - eval.ebw() / 8.0).abs() < 1e-12);
+        }
+    }
+}

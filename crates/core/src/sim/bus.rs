@@ -258,8 +258,7 @@ impl BusSimBuilder {
     /// address pattern is invalid (validate beforehand with
     /// [`ServiceTime::validate`] / [`AddressPattern::validate`]).
     pub fn build(self) -> BusSim {
-        let memory_service =
-            self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()));
+        let memory_service = self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()));
         memory_service.validate().expect("invalid memory service time");
         self.bus_transfer.validate().expect("invalid bus transfer time");
         self.addressing.validate(self.params.m()).expect("invalid address pattern");
@@ -466,11 +465,8 @@ impl BusSim {
         match kind {
             ArbitrationKind::Random => candidates[rng.gen_range(0..candidates.len())],
             ArbitrationKind::RoundRobin => {
-                let chosen = candidates
-                    .iter()
-                    .copied()
-                    .find(|&c| c >= *pointer)
-                    .unwrap_or(candidates[0]);
+                let chosen =
+                    candidates.iter().copied().find(|&c| c >= *pointer).unwrap_or(candidates[0]);
                 *pointer = chosen + 1;
                 chosen
             }
@@ -517,8 +513,7 @@ impl BusSim {
                     .enumerate()
                     .filter_map(|(j, md)| (!md.output.is_empty()).then_some(j))
                     .collect();
-                let j =
-                    Self::pick(&mut self.rng, self.arbitration, &ready, &mut self.rr_module);
+                let j = Self::pick(&mut self.rng, self.arbitration, &ready, &mut self.rr_module);
                 let token = self.modules[j].output.pop_front().expect("candidate had output");
                 self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
             } else {
@@ -567,10 +562,8 @@ impl BusSim {
         let md = &mut self.modules[module];
         if md.service.is_none() {
             debug_assert!(md.input.is_empty(), "idle module with queued input");
-            md.service = Some(ModuleService {
-                token,
-                remaining: self.memory_service.sample(&mut self.rng),
-            });
+            md.service =
+                Some(ModuleService { token, remaining: self.memory_service.sample(&mut self.rng) });
         } else {
             debug_assert!(
                 self.depth > 0 && (md.input.len() as u32) < self.depth,
@@ -670,8 +663,7 @@ pub struct SimReport {
 impl SimReport {
     /// Effective bandwidth: requests serviced per processor cycle.
     pub fn ebw(&self) -> f64 {
-        self.returns as f64 * f64::from(self.params.processor_cycle())
-            / self.measured_cycles as f64
+        self.returns as f64 * f64::from(self.params.processor_cycle()) / self.measured_cycles as f64
     }
 
     /// Measured mean bus utilization per channel.
@@ -682,8 +674,7 @@ impl SimReport {
 
     /// Measured mean memory-module utilization.
     pub fn memory_utilization(&self) -> f64 {
-        self.module_busy_cycles as f64
-            / (self.measured_cycles as f64 * f64::from(self.params.m()))
+        self.module_busy_cycles as f64 / (self.measured_cycles as f64 * f64::from(self.params.m()))
     }
 
     /// Jain's fairness index over per-processor service counts
@@ -693,8 +684,7 @@ impl SimReport {
         if total == 0.0 {
             return 1.0;
         }
-        let sum_sq: f64 =
-            self.per_processor_returns.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let sum_sq: f64 = self.per_processor_returns.iter().map(|&x| (x as f64) * (x as f64)).sum();
         total * total / (self.per_processor_returns.len() as f64 * sum_sq)
     }
 
@@ -751,11 +741,7 @@ mod tests {
         // One processor never contends: EBW must be exactly 1.
         for buffering in [Buffering::Unbuffered, Buffering::Buffered] {
             let report = quick_run(1, 4, 6, BusPolicy::ProcessorPriority, buffering, 11);
-            assert!(
-                (report.ebw() - 1.0).abs() < 0.01,
-                "{buffering:?}: ebw = {}",
-                report.ebw()
-            );
+            assert!((report.ebw() - 1.0).abs() < 0.01, "{buffering:?}: ebw = {}", report.ebw());
             // Waiting time is zero: the bus is always free.
             assert_eq!(report.wait.mean(), 0.0);
             assert_eq!(report.round_trip.mean(), f64::from(6 + 2));
@@ -798,8 +784,7 @@ mod tests {
     #[test]
     fn ebw_bounded_by_ceiling() {
         for (n, m, r) in [(8, 8, 4), (16, 16, 8), (8, 4, 12)] {
-            let report =
-                quick_run(n, m, r, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 3);
+            let report = quick_run(n, m, r, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 3);
             let cap = f64::from(r + 2) / 2.0;
             assert!(report.ebw() <= cap + 1e-9, "({n},{m},{r}): {}", report.ebw());
         }
@@ -958,10 +943,7 @@ mod tests {
     fn low_p_reduces_load() {
         let full = quick_run(8, 16, 8, BusPolicy::ProcessorPriority, Buffering::Unbuffered, 21);
         let light = BusSimBuilder::new(
-            SystemParams::new(8, 16, 8)
-                .unwrap()
-                .with_request_probability(0.3)
-                .unwrap(),
+            SystemParams::new(8, 16, 8).unwrap().with_request_probability(0.3).unwrap(),
         )
         .seed(21)
         .warmup_cycles(5_000)

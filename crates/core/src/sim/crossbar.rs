@@ -141,10 +141,7 @@ mod tests {
                 .measure_cycles(200_000)
                 .run_ebw();
             let exact = crossbar_ebw_exact(n, m).unwrap();
-            assert!(
-                (sim - exact).abs() / exact < 0.01,
-                "({n},{m}): sim {sim} vs exact {exact}"
-            );
+            assert!((sim - exact).abs() / exact < 0.01, "({n},{m}): sim {sim} vs exact {exact}");
         }
     }
 
@@ -163,11 +160,8 @@ mod tests {
     #[test]
     fn think_probability_lowers_throughput() {
         let full = CrossbarSim::new(params(8, 8)).seed(3).run_ebw();
-        let half = CrossbarSim::new(
-            params(8, 8).with_request_probability(0.5).unwrap(),
-        )
-        .seed(3)
-        .run_ebw();
+        let half =
+            CrossbarSim::new(params(8, 8).with_request_probability(0.5).unwrap()).seed(3).run_ebw();
         assert!(half < full);
         assert!(half <= 4.0 + 0.1, "offered load bound: {half}");
     }

@@ -1,7 +1,8 @@
 //! Replicated-run drivers producing EBW estimates with confidence
 //! intervals.
 
-use busnet_sim::replication::{run_replications, ReplicationPlan};
+use busnet_sim::exec::ExecutionMode;
+use busnet_sim::replication::{run_replications_with, ReplicationPlan};
 
 use crate::params::{Buffering, BusPolicy, SystemParams};
 use crate::sim::bus::BusSimBuilder;
@@ -51,6 +52,7 @@ pub struct EbwExperiment {
     warmup: u64,
     measure: u64,
     master_seed: u64,
+    execution: ExecutionMode,
 }
 
 impl EbwExperiment {
@@ -66,6 +68,7 @@ impl EbwExperiment {
             warmup: 20_000,
             measure: 200_000,
             master_seed: 0x1985_0414, // ISCA'85 flavor
+            execution: ExecutionMode::Parallel,
         }
     }
 
@@ -111,10 +114,18 @@ impl EbwExperiment {
         self
     }
 
+    /// Sets how replications execute. Parallel execution (the default)
+    /// is bit-identical to serial: each replication is a pure function
+    /// of its seed.
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
     /// Runs all replications and aggregates.
     pub fn run(&self) -> EbwEstimate {
         let plan = ReplicationPlan::new(self.replications, self.master_seed);
-        let summary = run_replications(&plan, |_, seed| {
+        let summary = run_replications_with(&plan, self.execution, |_, seed| {
             let mut builder = BusSimBuilder::new(self.params)
                 .policy(self.policy)
                 .buffering(self.buffering)

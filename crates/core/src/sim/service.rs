@@ -105,10 +105,7 @@ mod tests {
             let n = 200_000;
             let total: u64 = (0..n).map(|_| u64::from(st.sample(&mut rng))).sum();
             let empirical = total as f64 / n as f64;
-            assert!(
-                (empirical - mean).abs() / mean < 0.02,
-                "mean {mean}: empirical {empirical}"
-            );
+            assert!((empirical - mean).abs() / mean < 0.02, "mean {mean}: empirical {empirical}");
         }
     }
 

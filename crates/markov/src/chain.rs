@@ -138,7 +138,10 @@ impl ChainBuilder {
     /// assert_eq!(matrix.nnz(), 6);
     /// # Ok::<(), busnet_markov::MarkovError>(())
     /// ```
-    pub fn explore<S, I, F>(seeds: I, mut transitions: F) -> Result<(StateSpace<S>, TransitionMatrix), MarkovError>
+    pub fn explore<S, I, F>(
+        seeds: I,
+        mut transitions: F,
+    ) -> Result<(StateSpace<S>, TransitionMatrix), MarkovError>
     where
         S: Clone + Eq + Hash,
         I: IntoIterator<Item = S>,
@@ -209,24 +212,27 @@ mod tests {
 
     #[test]
     fn explore_discovers_closure() {
-        let (space, matrix) = ChainBuilder::explore([0u32], |&s| {
-            if s < 3 {
-                vec![(s + 1, 1.0)]
-            } else {
-                vec![(0, 1.0)]
-            }
-        })
-        .unwrap();
+        let (space, matrix) =
+            ChainBuilder::explore(
+                [0u32],
+                |&s| {
+                    if s < 3 {
+                        vec![(s + 1, 1.0)]
+                    } else {
+                        vec![(0, 1.0)]
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(space.len(), 4);
         assert_eq!(matrix.len(), 4);
     }
 
     #[test]
     fn left_mul_preserves_mass() {
-        let (_, matrix) = ChainBuilder::explore([0u8], |&s| {
-            vec![((s + 1) % 4, 0.7), ((s + 3) % 4, 0.3)]
-        })
-        .unwrap();
+        let (_, matrix) =
+            ChainBuilder::explore([0u8], |&s| vec![((s + 1) % 4, 0.7), ((s + 3) % 4, 0.3)])
+                .unwrap();
         let x = vec![0.25; 4];
         let y = matrix.left_mul(&x);
         let total: f64 = y.iter().sum();

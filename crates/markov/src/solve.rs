@@ -276,11 +276,7 @@ pub fn terminal_sccs(matrix: &TransitionMatrix) -> Vec<Vec<usize>> {
             }
         }
     }
-    comps
-        .into_iter()
-        .enumerate()
-        .filter_map(|(i, c)| terminal[i].then_some(c))
-        .collect()
+    comps.into_iter().enumerate().filter_map(|(i, c)| terminal[i].then_some(c)).collect()
 }
 
 /// Expectation `Σ_i π_i f(i)` of a function over a distribution.
@@ -467,11 +463,8 @@ mod tests {
     use crate::chain::ChainBuilder;
 
     fn two_state(a: f64, b: f64) -> TransitionMatrix {
-        TransitionMatrix::from_rows(vec![
-            vec![(0, 1.0 - a), (1, a)],
-            vec![(0, b), (1, 1.0 - b)],
-        ])
-        .unwrap()
+        TransitionMatrix::from_rows(vec![vec![(0, 1.0 - a), (1, a)], vec![(0, b), (1, 1.0 - b)]])
+            .unwrap()
     }
 
     #[test]
@@ -485,12 +478,8 @@ mod tests {
 
     #[test]
     fn dense_handles_periodic_cycle() {
-        let m = TransitionMatrix::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(2, 1.0)],
-            vec![(0, 1.0)],
-        ])
-        .unwrap();
+        let m = TransitionMatrix::from_rows(vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(0, 1.0)]])
+            .unwrap();
         let pi = stationary_dense(&m).unwrap();
         for p in pi {
             assert!((p - 1.0 / 3.0).abs() < 1e-12);
@@ -500,12 +489,8 @@ mod tests {
     #[test]
     fn dense_puts_zero_mass_on_transient_states() {
         // 0 -> 1 <-> 2 ; 0 is transient.
-        let m = TransitionMatrix::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(2, 1.0)],
-            vec![(1, 1.0)],
-        ])
-        .unwrap();
+        let m = TransitionMatrix::from_rows(vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(1, 1.0)]])
+            .unwrap();
         let pi = stationary_dense(&m).unwrap();
         assert!(pi[0].abs() < 1e-12);
         assert!((pi[1] - 0.5).abs() < 1e-12);
@@ -514,10 +499,7 @@ mod tests {
     #[test]
     fn dense_rejects_two_recurrent_classes() {
         let m = TransitionMatrix::from_rows(vec![vec![(0, 1.0)], vec![(1, 1.0)]]).unwrap();
-        assert_eq!(
-            stationary_dense(&m).unwrap_err(),
-            MarkovError::MultipleRecurrentClasses(2)
-        );
+        assert_eq!(stationary_dense(&m).unwrap_err(), MarkovError::MultipleRecurrentClasses(2));
     }
 
     #[test]

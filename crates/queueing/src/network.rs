@@ -68,13 +68,22 @@ impl Station {
     ) -> Result<Self, QueueingError> {
         let name = name.into();
         if !(visit_ratio.is_finite() && visit_ratio > 0.0) {
-            return Err(QueueingError::InvalidStation { name, reason: "visit ratio must be positive and finite" });
+            return Err(QueueingError::InvalidStation {
+                name,
+                reason: "visit ratio must be positive and finite",
+            });
         }
         if !(service_time.is_finite() && service_time > 0.0) {
-            return Err(QueueingError::InvalidStation { name, reason: "service time must be positive and finite" });
+            return Err(QueueingError::InvalidStation {
+                name,
+                reason: "service time must be positive and finite",
+            });
         }
         if let StationKind::MultiServer { servers: 0 } = kind {
-            return Err(QueueingError::InvalidStation { name, reason: "multi-server station needs at least one server" });
+            return Err(QueueingError::InvalidStation {
+                name,
+                reason: "multi-server station needs at least one server",
+            });
         }
         Ok(Station { name, kind, visit_ratio, service_time })
     }

@@ -73,11 +73,14 @@ impl ClosedNetwork {
         // Marginal queue-length distributions p_k(j | n), exact
         // load-dependent MVA (Reiser–Lavenberg). marginals[i][j] holds
         // p_i(j | n) for the population n of the current sweep.
-        let mut marginals: Vec<Vec<f64>> = vec![{
-            let mut v = vec![0.0; cap + 1];
-            v[0] = 1.0;
-            v
-        }; k];
+        let mut marginals: Vec<Vec<f64>> = vec![
+            {
+                let mut v = vec![0.0; cap + 1];
+                v[0] = 1.0;
+                v
+            };
+            k
+        ];
         let mut residence = vec![0.0f64; k];
         let mut throughput = 0.0;
         for n in 1..=population {
@@ -101,8 +104,7 @@ impl ClosedNetwork {
                 let demand_rate = throughput * st.demand();
                 let mut mass = 0.0;
                 for j in (1..=n as usize).rev() {
-                    let p = demand_rate / st.kind().rate_multiplier(j as u32)
-                        * marginals[i][j - 1];
+                    let p = demand_rate / st.kind().rate_multiplier(j as u32) * marginals[i][j - 1];
                     marginals[i][j] = p;
                     mass += p;
                 }
@@ -114,11 +116,7 @@ impl ClosedNetwork {
             .iter()
             .enumerate()
             .map(|(i, st)| {
-                let queue: f64 = marginals[i]
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &p)| j as f64 * p)
-                    .sum();
+                let queue: f64 = marginals[i].iter().enumerate().map(|(j, &p)| j as f64 * p).sum();
                 StationMetrics {
                     name: st.name().to_owned(),
                     utilization: per_server_utilization(st, throughput),
@@ -155,11 +153,7 @@ impl ClosedNetwork {
             return Err(QueueingError::ZeroPopulation);
         }
         let n = population as usize;
-        let alpha = self
-            .stations()
-            .iter()
-            .map(|s| s.demand())
-            .fold(f64::MIN, f64::max);
+        let alpha = self.stations().iter().map(|s| s.demand()).fold(f64::MIN, f64::max);
         debug_assert!(alpha > 0.0);
 
         // Per-station factor sequences g_k(j) = d^j / Π_{i≤j} α(i),
@@ -266,10 +260,8 @@ mod tests {
         net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0).unwrap());
         for i in 0..m {
             net.add_station(
-                Station::new(format!("mem{i}"), StationKind::Queueing, 1.0 / m as f64, r)
-                    .unwrap(),
-            )
-            ;
+                Station::new(format!("mem{i}"), StationKind::Queueing, 1.0 / m as f64, r).unwrap(),
+            );
         }
         net
     }
@@ -404,8 +396,12 @@ mod tests {
         a.add_station(Station::new("s", StationKind::Queueing, 1.0, 3.0).unwrap());
         a.add_station(Station::new("t", StationKind::Queueing, 2.0, 1.0).unwrap());
         let mut b = ClosedNetwork::new();
-        b.add_station(Station::new("s", StationKind::MultiServer { servers: 1 }, 1.0, 3.0).unwrap());
-        b.add_station(Station::new("t", StationKind::MultiServer { servers: 1 }, 2.0, 1.0).unwrap());
+        b.add_station(
+            Station::new("s", StationKind::MultiServer { servers: 1 }, 1.0, 3.0).unwrap(),
+        );
+        b.add_station(
+            Station::new("t", StationKind::MultiServer { servers: 1 }, 2.0, 1.0).unwrap(),
+        );
         for pop in [1u32, 4, 9] {
             let x = a.mva(pop).unwrap();
             let y = b.mva(pop).unwrap();
@@ -419,8 +415,9 @@ mod tests {
     #[test]
     fn many_servers_approach_delay() {
         let mut servers = ClosedNetwork::new();
-        servers
-            .add_station(Station::new("s", StationKind::MultiServer { servers: 64 }, 1.0, 5.0).unwrap());
+        servers.add_station(
+            Station::new("s", StationKind::MultiServer { servers: 64 }, 1.0, 5.0).unwrap(),
+        );
         servers.add_station(Station::new("cpu", StationKind::Queueing, 1.0, 1.0).unwrap());
         let mut delay = ClosedNetwork::new();
         delay.add_station(Station::new("s", StationKind::Delay, 1.0, 5.0).unwrap());
@@ -434,7 +431,9 @@ mod tests {
     fn single_multiserver_station_saturates_at_server_count() {
         // One M/M/2 station alone: X(N) = min(N, 2)/t exactly.
         let mut net = ClosedNetwork::new();
-        net.add_station(Station::new("s", StationKind::MultiServer { servers: 2 }, 1.0, 4.0).unwrap());
+        net.add_station(
+            Station::new("s", StationKind::MultiServer { servers: 2 }, 1.0, 4.0).unwrap(),
+        );
         assert!((net.mva(1).unwrap().throughput - 0.25).abs() < 1e-12);
         for pop in [2u32, 3, 10] {
             let x = net.mva(pop).unwrap().throughput;
@@ -445,7 +444,9 @@ mod tests {
     #[test]
     fn multi_server_mva_equals_buzen() {
         let mut net = ClosedNetwork::new();
-        net.add_station(Station::new("bus", StationKind::MultiServer { servers: 2 }, 2.0, 1.0).unwrap());
+        net.add_station(
+            Station::new("bus", StationKind::MultiServer { servers: 2 }, 2.0, 1.0).unwrap(),
+        );
         for i in 0..4 {
             net.add_station(
                 Station::new(format!("mem{i}"), StationKind::Queueing, 0.25, 8.0).unwrap(),

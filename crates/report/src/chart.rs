@@ -48,7 +48,12 @@ impl Chart {
         x_name: impl Into<String>,
         y_name: impl Into<String>,
     ) -> Self {
-        Chart { title: title.into(), x_name: x_name.into(), y_name: y_name.into(), series: Vec::new() }
+        Chart {
+            title: title.into(),
+            x_name: x_name.into(),
+            y_name: y_name.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Adds a series.
@@ -106,7 +111,12 @@ impl Chart {
             let _ = writeln!(out, "{:>9} |{line}", "");
         }
         let _ = writeln!(out, "{y_min:>9.3} +{}", "-".repeat(width));
-        let _ = writeln!(out, "{:>10}{x_min:<8.1}{}{x_max:>8.1}", "", " ".repeat(width.saturating_sub(16)));
+        let _ = writeln!(
+            out,
+            "{:>10}{x_min:<8.1}{}{x_max:>8.1}",
+            "",
+            " ".repeat(width.saturating_sub(16))
+        );
         for (si, s) in self.series.iter().enumerate() {
             let _ = writeln!(out, "  {} {}", glyphs[si % glyphs.len()], s.label);
         }

@@ -1,5 +1,11 @@
 //! Runners that regenerate every table and figure of the paper.
 //!
+//! Every runner is a *declaration*: a [`ScenarioGrid`] (or scenario
+//! list) plus the [`Evaluator`]s to fan it out across. No experiment
+//! constructs a simulator or analytic model directly — the scenario
+//! engine in `busnet_core::scenario` owns that wiring, so adding a
+//! workload here is a data change, not new plumbing.
+//!
 //! Each runner returns structured data ([`Grid`] or [`Chart`]) that
 //! renders to text in the paper's layout; where the paper prints
 //! reference numbers, the runner also returns the embedded [`paper`]
@@ -9,19 +15,19 @@
 //! [`Chart`]: crate::chart::Chart
 //! [`paper`]: crate::paper
 
-use busnet_core::analytic::approx::{ApproxModel, ApproxVariant};
-use busnet_core::analytic::crossbar::crossbar_ebw_exact;
-use busnet_core::analytic::exact_chain::ExactChain;
-use busnet_core::analytic::pfqn::{pfqn_ebw, pfqn_ebw_buzen};
-use busnet_core::analytic::reduced::ReducedChain;
 use busnet_core::params::{Buffering, BusPolicy, SystemParams};
-use busnet_core::sim::crossbar::CrossbarSim;
-use busnet_core::sim::runner::{EbwEstimate, EbwExperiment};
+use busnet_core::scenario::{
+    run_sweep, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval, Evaluation, Evaluator,
+    ExactChainEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid, SimBudget,
+};
 use busnet_core::CoreError;
+use busnet_sim::exec::ExecutionMode;
 
 use crate::chart::{Chart, Series};
 use crate::paper;
 use crate::table::Grid;
+
+use busnet_core::analytic::approx::ApproxVariant;
 
 /// Simulation budget per experiment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -35,48 +41,83 @@ pub enum Effort {
 }
 
 impl Effort {
-    fn replications(self) -> u32 {
+    /// The scenario-engine budget this effort level maps to.
+    pub fn budget(self) -> SimBudget {
         match self {
-            Effort::Quick => 2,
-            Effort::Paper => 6,
-        }
-    }
-
-    fn warmup(self) -> u64 {
-        match self {
-            Effort::Quick => 2_000,
-            Effort::Paper => 20_000,
-        }
-    }
-
-    fn measure(self) -> u64 {
-        match self {
-            Effort::Quick => 20_000,
-            Effort::Paper => 200_000,
-        }
-    }
-
-    fn crossbar_cycles(self) -> u64 {
-        match self {
-            Effort::Quick => 20_000,
-            Effort::Paper => 200_000,
+            Effort::Quick => SimBudget::quick(),
+            Effort::Paper => SimBudget::paper(),
         }
     }
 }
 
-fn bus_ebw(
-    params: SystemParams,
-    policy: BusPolicy,
-    buffering: Buffering,
-    effort: Effort,
-) -> EbwEstimate {
-    EbwExperiment::new(params)
-        .policy(policy)
-        .buffering(buffering)
-        .replications(effort.replications())
-        .warmup_cycles(effort.warmup())
-        .measure_cycles(effort.measure())
-        .run()
+/// The bus simulator at this effort level.
+fn sim_eval(effort: Effort) -> BusSimEval {
+    BusSimEval::new(effort.budget())
+}
+
+/// The crossbar simulator at this effort level.
+fn crossbar_sim_eval(effort: Effort) -> CrossbarSimEval {
+    CrossbarSimEval::new(effort.budget())
+}
+
+/// Runs `evaluators` over `scenarios` (scenario-major order) and
+/// collects the evaluations, propagating the first failure. The outer
+/// loop is serial; the simulation evaluators parallelize their own
+/// replications.
+fn evaluate_all(
+    scenarios: &[Scenario],
+    evaluators: &[&dyn Evaluator],
+) -> Result<Vec<Evaluation>, CoreError> {
+    run_sweep(scenarios, evaluators, ExecutionMode::Serial, |_, _, _| {})
+        .into_iter()
+        .map(|record| record.result)
+        .collect()
+}
+
+/// Evaluates one scenario with one evaluator and returns the EBW.
+fn ebw_of(evaluator: &dyn Evaluator, scenario: Scenario) -> Result<f64, CoreError> {
+    Ok(evaluator.evaluate(&scenario)?.ebw())
+}
+
+/// Fills `grid` from `evaluations`, locating each cell by
+/// `key(scenario) = (row_label, col_label)`.
+fn fill_grid(grid: &mut Grid, evaluations: &[Evaluation], key: impl Fn(&Scenario) -> (u32, u32)) {
+    for e in evaluations {
+        let (row, col) = key(&e.scenario);
+        let i = grid
+            .row_labels()
+            .iter()
+            .position(|&l| l == row)
+            .expect("scenario row outside grid labels");
+        let j = grid
+            .col_labels()
+            .iter()
+            .position(|&l| l == col)
+            .expect("scenario column outside grid labels");
+        grid.set(i, j, e.ebw());
+    }
+}
+
+/// The Table 1/2 scenario grid: `n × m` over the paper's sizes,
+/// `r = min(n, m) + 7`, priority to memories.
+fn table12_scenarios() -> Result<Vec<Scenario>, CoreError> {
+    ScenarioGrid::new()
+        .n_values(paper::TABLE_1_2_NM)
+        .m_values(paper::TABLE_1_2_NM)
+        .r_min_nm_plus(7)
+        .policies([BusPolicy::MemoryPriority])
+        .scenarios()
+}
+
+/// The Table 3 scenario grid: `m × r` at `n = 8`, priority to
+/// processors.
+fn table3_scenarios(buffering: Buffering) -> Result<Vec<Scenario>, CoreError> {
+    ScenarioGrid::new()
+        .n_values([8])
+        .m_values(paper::TABLE_3_M)
+        .r_values(paper::TABLE_3_R)
+        .bufferings([buffering])
+        .scenarios()
 }
 
 /// Table 1 — exact chain, priority to memories, `r = min(n,m)+7`.
@@ -93,12 +134,8 @@ pub fn table1() -> Result<Grid, CoreError> {
         labels.clone(),
         labels,
     );
-    for (i, &n) in paper::TABLE_1_2_NM.iter().enumerate() {
-        for (j, &m) in paper::TABLE_1_2_NM.iter().enumerate() {
-            let params = SystemParams::new(n, m, n.min(m) + 7)?;
-            grid.set(i, j, ExactChain::new(params).ebw()?);
-        }
-    }
+    let evaluations = evaluate_all(&table12_scenarios()?, &[&ExactChainEval])?;
+    fill_grid(&mut grid, &evaluations, |s| (s.params.n(), s.params.m()));
     Ok(grid)
 }
 
@@ -128,12 +165,9 @@ pub fn table2() -> Result<Grid, CoreError> {
         labels.clone(),
         labels,
     );
-    for (i, &n) in paper::TABLE_1_2_NM.iter().enumerate() {
-        for (j, &m) in paper::TABLE_1_2_NM.iter().enumerate() {
-            let params = SystemParams::new(n, m, n.min(m) + 7)?;
-            grid.set(i, j, ApproxModel::new(params, ApproxVariant::Plain).ebw());
-        }
-    }
+    let approx = ApproxEval { variant: ApproxVariant::Plain };
+    let evaluations = evaluate_all(&table12_scenarios()?, &[&approx])?;
+    fill_grid(&mut grid, &evaluations, |s| (s.params.n(), s.params.m()));
     Ok(grid)
 }
 
@@ -163,7 +197,7 @@ pub struct Table3 {
     pub paper_model: Grid,
 }
 
-/// Table 3 — both halves.
+/// Table 3 — both halves, from one sweep over the shared grid.
 ///
 /// # Errors
 ///
@@ -185,15 +219,15 @@ pub fn table3(effort: Effort) -> Result<Table3, CoreError> {
         rows.clone(),
         cols.clone(),
     );
-    for (i, &m) in paper::TABLE_3_M.iter().enumerate() {
-        for (j, &r) in paper::TABLE_3_R.iter().enumerate() {
-            let params = SystemParams::new(8, m, r)?;
-            let est =
-                bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Unbuffered, effort);
-            sim.set(i, j, est.ebw);
-            model.set(i, j, ReducedChain::new(params).ebw()?);
-        }
-    }
+    let bus_sim = sim_eval(effort);
+    let evaluations =
+        evaluate_all(&table3_scenarios(Buffering::Unbuffered)?, &[&bus_sim, &ReducedChainEval])?;
+    let key = |s: &Scenario| (s.params.m(), s.params.r());
+    let (sim_evals, model_evals): (Vec<Evaluation>, Vec<Evaluation>) =
+        evaluations.into_iter().partition(|e| e.evaluator == "sim");
+    fill_grid(&mut sim, &sim_evals, key);
+    fill_grid(&mut model, &model_evals, key);
+
     let mut paper_sim = Grid::new("Table 3a (paper)", "m", "r", rows.clone(), cols.clone());
     let mut paper_model = Grid::new("Table 3b (paper)", "m", "r", rows, cols);
     for i in 0..paper::TABLE_3_M.len() {
@@ -231,13 +265,16 @@ pub fn table4(effort: Effort) -> Result<Table4, CoreError> {
         rows.clone(),
         cols.clone(),
     );
-    for (i, &m) in paper::TABLE_4_M.iter().enumerate() {
-        for (j, &r) in paper::TABLE_4_R.iter().enumerate() {
-            let params = SystemParams::new(8, m, r)?;
-            let est = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Buffered, effort);
-            sim.set(i, j, est.ebw);
-        }
-    }
+    let scenarios = ScenarioGrid::new()
+        .n_values([8])
+        .m_values(paper::TABLE_4_M)
+        .r_values(paper::TABLE_4_R)
+        .bufferings([Buffering::Buffered])
+        .scenarios()?;
+    let bus_sim = sim_eval(effort);
+    let evaluations = evaluate_all(&scenarios, &[&bus_sim])?;
+    fill_grid(&mut sim, &evaluations, |s| (s.params.m(), s.params.r()));
+
     let mut paper_grid = Grid::new("Table 4 (paper)", "m", "r", rows, cols);
     for i in 0..paper::TABLE_4_M.len() {
         for j in 0..paper::TABLE_4_R.len() {
@@ -245,6 +282,11 @@ pub fn table4(effort: Effort) -> Result<Table4, CoreError> {
         }
     }
     Ok(Table4 { sim, paper: paper_grid })
+}
+
+/// The `r` values the figure sweeps share.
+fn fig_r_values() -> Vec<u32> {
+    (1..=12).map(|k| 2 * k).collect()
 }
 
 /// Fig 2 — EBW vs `r` for representative systems under both priorities,
@@ -255,21 +297,25 @@ pub fn table4(effort: Effort) -> Result<Table4, CoreError> {
 /// Propagates model failures.
 pub fn fig2(effort: Effort) -> Result<Chart, CoreError> {
     let mut chart = Chart::new("Fig 2: multiplexed single-bus EBW vs r (p = 1)", "r", "EBW");
-    let rs: Vec<u32> = (1..=12).map(|k| 2 * k).collect();
+    let rs = fig_r_values();
+    let bus_sim = sim_eval(effort);
     for (n, m) in [(4u32, 4u32), (8, 8), (16, 16), (8, 4)] {
         for (policy, tag) in [
             (BusPolicy::ProcessorPriority, "priority to processors"),
             (BusPolicy::MemoryPriority, "priority to memories"),
         ] {
-            let mut points = Vec::with_capacity(rs.len());
-            for &r in &rs {
-                let params = SystemParams::new(n, m, r)?;
-                let est = bus_ebw(params, policy, Buffering::Unbuffered, effort);
-                points.push((f64::from(r), est.ebw));
-            }
+            let scenarios = ScenarioGrid::new()
+                .n_values([n])
+                .m_values([m])
+                .r_values(rs.clone())
+                .policies([policy])
+                .scenarios()?;
+            let evaluations = evaluate_all(&scenarios, &[&bus_sim])?;
+            let points =
+                evaluations.iter().map(|e| (f64::from(e.scenario.params.r()), e.ebw())).collect();
             chart.add(Series::new(format!("{n}x{m} {tag}"), points));
         }
-        let xb = crossbar_ebw_exact(n, m)?;
+        let xb = ebw_of(&CrossbarExactEval, Scenario::new(SystemParams::new(n, m, 8)?))?;
         chart.add(Series::new(
             format!("{n}x{m} crossbar"),
             rs.iter().map(|&r| (f64::from(r), xb)).collect(),
@@ -308,25 +354,30 @@ fn utilization_chart(
         "EBW/(n*p)",
     );
     let ps: Vec<f64> = (1..=10).map(|k| f64::from(k) / 10.0).collect();
+    let bus_sim = sim_eval(effort);
     for r in [4u32, 8, 12, 16] {
-        let mut points = Vec::with_capacity(ps.len());
-        for &p in &ps {
-            let params = SystemParams::new(8, 16, r)?.with_request_probability(p)?;
-            let est = bus_ebw(params, BusPolicy::ProcessorPriority, buffering, effort);
-            points.push((p, est.ebw / (8.0 * p)));
-        }
+        let scenarios = ScenarioGrid::new()
+            .r_values([r])
+            .p_values(ps.clone())
+            .bufferings([buffering])
+            .scenarios()?;
+        let evaluations = evaluate_all(&scenarios, &[&bus_sim])?;
+        let points = evaluations
+            .iter()
+            .map(|e| {
+                let p = e.scenario.params.p();
+                (p, e.ebw() / (8.0 * p))
+            })
+            .collect();
         chart.add(Series::new(format!("single bus r={r}"), points));
     }
     // Crossbar reference at the same (r+2) basic cycle; its utilization
     // is r-independent, shown once.
+    let crossbar = crossbar_sim_eval(effort);
     let mut xb_points = Vec::with_capacity(ps.len());
     for &p in &ps {
-        let params = SystemParams::new(8, 16, 8)?.with_request_probability(p)?;
-        let ebw = CrossbarSim::new(params)
-            .seed(0xF16)
-            .warmup_cycles(effort.warmup() / 10)
-            .measure_cycles(effort.crossbar_cycles())
-            .run_ebw();
+        let scenario = Scenario::new(SystemParams::new(8, 16, 8)?.with_request_probability(p)?);
+        let ebw = ebw_of(&crossbar, scenario)?;
         xb_points.push((p, ebw / (8.0 * p)));
     }
     chart.add(Series::new("8x16 crossbar", xb_points));
@@ -342,20 +393,23 @@ fn utilization_chart(
 pub fn fig5(effort: Effort) -> Result<Chart, CoreError> {
     let mut chart =
         Chart::new("Fig 5: effect of memory-module buffers on EBW (p = 1, n = 8)", "r", "EBW");
-    let rs: Vec<u32> = (1..=12).map(|k| 2 * k).collect();
+    let rs = fig_r_values();
+    let bus_sim = sim_eval(effort);
     for m in [8u32, 16] {
         for (buffering, tag) in
             [(Buffering::Buffered, "with buffers"), (Buffering::Unbuffered, "without buffers")]
         {
-            let mut points = Vec::with_capacity(rs.len());
-            for &r in &rs {
-                let params = SystemParams::new(8, m, r)?;
-                let est = bus_ebw(params, BusPolicy::ProcessorPriority, buffering, effort);
-                points.push((f64::from(r), est.ebw));
-            }
+            let scenarios = ScenarioGrid::new()
+                .m_values([m])
+                .r_values(rs.clone())
+                .bufferings([buffering])
+                .scenarios()?;
+            let evaluations = evaluate_all(&scenarios, &[&bus_sim])?;
+            let points =
+                evaluations.iter().map(|e| (f64::from(e.scenario.params.r()), e.ebw())).collect();
             chart.add(Series::new(format!("8x{m} {tag}"), points));
         }
-        let xb = crossbar_ebw_exact(8, m)?;
+        let xb = ebw_of(&CrossbarExactEval, Scenario::new(SystemParams::new(8, m, 8)?))?;
         chart.add(Series::new(
             format!("8x{m} crossbar"),
             rs.iter().map(|&r| (f64::from(r), xb)).collect(),
@@ -417,56 +471,65 @@ impl std::fmt::Display for ValidationReport {
     }
 }
 
-/// Runs the §5/§6 validation suite.
+/// Runs the §5/§6 validation suite: four evaluator-agreement sweeps
+/// over shared scenario lists.
 ///
 /// # Errors
 ///
 /// Propagates model failures.
 pub fn model_validation(effort: Effort) -> Result<ValidationReport, CoreError> {
+    let bus_sim = sim_eval(effort);
+
     // Approximate vs exact over the Table 1/2 grid.
+    let approx = ApproxEval { variant: ApproxVariant::Plain };
     let mut approx_worst: f64 = 0.0;
-    for &n in &paper::TABLE_1_2_NM {
-        for &m in &paper::TABLE_1_2_NM {
-            let params = SystemParams::new(n, m, n.min(m) + 7)?;
-            let exact = ExactChain::new(params).ebw()?;
-            let approx = ApproxModel::new(params, ApproxVariant::Plain).ebw();
-            approx_worst = approx_worst.max(((approx - exact) / exact).abs());
-        }
+    for pair in evaluate_all(&table12_scenarios()?, &[&ExactChainEval, &approx])?.chunks(2) {
+        let (exact, approx) = (pair[0].ebw(), pair[1].ebw());
+        approx_worst = approx_worst.max(((approx - exact) / exact).abs());
     }
 
     // Reduced chain vs our simulation over the Table 3 grid.
     let mut devs: Vec<f64> = Vec::new();
-    for &m in &paper::TABLE_3_M {
-        for &r in &paper::TABLE_3_R {
-            let params = SystemParams::new(8, m, r)?;
-            let sim = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Unbuffered, effort);
-            let model = ReducedChain::new(params).ebw()?;
-            devs.push(((model - sim.ebw) / sim.ebw).abs());
-        }
+    for pair in
+        evaluate_all(&table3_scenarios(Buffering::Unbuffered)?, &[&bus_sim, &ReducedChainEval])?
+            .chunks(2)
+    {
+        let (sim, model) = (pair[0].ebw(), pair[1].ebw());
+        devs.push(((model - sim) / sim).abs());
     }
     devs.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
     let reduced_vs_sim = (devs[0], devs[1]);
 
     // Exponential model pessimism over a buffered sweep; MVA/Buzen
     // cross-check on the same networks.
+    let buffered: Vec<Scenario> = [(8u32, 4u32, 8u32), (8, 8, 8), (12, 16, 16), (16, 8, 12)]
+        .into_iter()
+        .map(|(n, m, r)| {
+            Ok(Scenario::new(SystemParams::new(n, m, r)?).with_buffering(Buffering::Buffered))
+        })
+        .collect::<Result<_, CoreError>>()?;
+    let mva = PfqnEval { algorithm: PfqnAlgorithm::Mva };
+    let buzen = PfqnEval { algorithm: PfqnAlgorithm::Buzen };
     let mut exp_gap: f64 = 0.0;
     let mut mva_buzen: f64 = 0.0;
-    for (n, m, r) in [(8u32, 4u32, 8u32), (8, 8, 8), (12, 16, 16), (16, 8, 12)] {
-        let params = SystemParams::new(n, m, r)?;
-        let mva = pfqn_ebw(&params)?;
-        let buzen = pfqn_ebw_buzen(&params)?;
+    for triple in evaluate_all(&buffered, &[&mva, &buzen, &bus_sim])?.chunks(3) {
+        let (mva, buzen, sim) = (triple[0].ebw(), triple[1].ebw(), triple[2].ebw());
         mva_buzen = mva_buzen.max(((mva - buzen) / mva).abs());
-        let sim = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Buffered, effort);
-        exp_gap = exp_gap.max((sim.ebw - mva) / sim.ebw);
+        exp_gap = exp_gap.max((sim - mva) / sim);
     }
 
     // DES vs exact chain (memory priority).
+    let memory: Vec<Scenario> = [(4u32, 4u32), (8, 8), (8, 4)]
+        .into_iter()
+        .map(|(n, m)| {
+            Ok(Scenario::new(SystemParams::new(n, m, n.min(m) + 7)?)
+                .with_policy(BusPolicy::MemoryPriority))
+        })
+        .collect::<Result<_, CoreError>>()?;
     let mut chain_worst: f64 = 0.0;
-    for (n, m) in [(4u32, 4u32), (8, 8), (8, 4)] {
-        let params = SystemParams::new(n, m, n.min(m) + 7)?;
-        let exact = ExactChain::new(params).ebw()?;
-        let sim = bus_ebw(params, BusPolicy::MemoryPriority, Buffering::Unbuffered, effort);
-        chain_worst = chain_worst.max(((sim.ebw - exact) / exact).abs());
+    for pair in evaluate_all(&memory, &[&ExactChainEval, &bus_sim])?.chunks(2) {
+        let (exact, sim) = (pair[0].ebw(), pair[1].ebw());
+        chain_worst = chain_worst.max(((sim - exact) / exact).abs());
     }
 
     Ok(ValidationReport {
@@ -510,10 +573,9 @@ impl std::fmt::Display for DesignSpaceReport {
         writeln!(f, "Design-space findings (paper section 7):")?;
         writeln!(f, "  8x8 crossbar EBW: {:.3}", self.crossbar_8x8)?;
         match self.m_matching_crossbar_at_r8 {
-            Some(m) => writeln!(
-                f,
-                "  single bus r=8 matches it (within 1%) at m = {m}  [paper: m = 14]"
-            )?,
+            Some(m) => {
+                writeln!(f, "  single bus r=8 matches it (within 1%) at m = {m}  [paper: m = 14]")?
+            }
             None => writeln!(f, "  single bus r=8 never matches it up to m = 16")?,
         }
         writeln!(
@@ -550,39 +612,34 @@ impl std::fmt::Display for DesignSpaceReport {
 ///
 /// Propagates model failures.
 pub fn design_space(effort: Effort) -> Result<DesignSpaceReport, CoreError> {
-    let crossbar_8x8 = crossbar_ebw_exact(8, 8)?;
+    let bus_sim = sim_eval(effort);
+    let crossbar_sim = crossbar_sim_eval(effort);
+    let crossbar_8x8 = ebw_of(&CrossbarExactEval, Scenario::new(SystemParams::new(8, 8, 8)?))?;
 
     let mut m_matching = None;
     for m in [10u32, 12, 14, 16] {
-        let params = SystemParams::new(8, m, 8)?;
-        let est = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Unbuffered, effort);
-        if est.ebw >= crossbar_8x8 * 0.99 {
+        let ebw = ebw_of(&bus_sim, Scenario::new(SystemParams::new(8, m, 8)?))?;
+        if ebw >= crossbar_8x8 * 0.99 {
             m_matching = Some(m);
             break;
         }
     }
 
-    let est_8x10 = bus_ebw(
-        SystemParams::new(8, 10, 8)?,
-        BusPolicy::ProcessorPriority,
-        Buffering::Unbuffered,
-        effort,
-    );
-    let degradation_8x10_r8 = (crossbar_8x8 - est_8x10.ebw) / crossbar_8x8;
+    let ebw_8x10 = ebw_of(&bus_sim, Scenario::new(SystemParams::new(8, 10, 8)?))?;
+    let degradation_8x10_r8 = (crossbar_8x8 - ebw_8x10) / crossbar_8x8;
 
-    let xb16 = crossbar_ebw_exact(16, 16)?;
-    let buf16 = bus_ebw(
-        SystemParams::new(16, 16, 18)?,
-        BusPolicy::ProcessorPriority,
-        Buffering::Buffered,
-        effort,
-    );
+    let xb16 = ebw_of(&CrossbarExactEval, Scenario::new(SystemParams::new(16, 16, 18)?))?;
+    let buf16 = ebw_of(
+        &bus_sim,
+        Scenario::new(SystemParams::new(16, 16, 18)?).with_buffering(Buffering::Buffered),
+    )?;
 
     let mut buffered_saturation_r = 0;
     for r in (2..=16).step_by(2) {
-        let params = SystemParams::new(8, 16, r)?;
-        let est = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Buffered, effort);
-        if est.ebw >= params.max_ebw() * 0.98 {
+        let scenario =
+            Scenario::new(SystemParams::new(8, 16, r)?).with_buffering(Buffering::Buffered);
+        let ebw = ebw_of(&bus_sim, scenario)?;
+        if ebw >= scenario.params.max_ebw() * 0.98 {
             buffered_saturation_r = r;
         }
     }
@@ -590,14 +647,15 @@ pub fn design_space(effort: Effort) -> Result<DesignSpaceReport, CoreError> {
     let mut crossover = 1.0;
     for tenth in (1..=10).rev() {
         let p = f64::from(tenth) / 10.0;
-        let params = SystemParams::new(8, 16, 8)?.with_request_probability(p)?;
-        let bus = bus_ebw(params, BusPolicy::ProcessorPriority, Buffering::Unbuffered, effort);
-        let xbar = CrossbarSim::new(SystemParams::new(8, 8, 8)?.with_request_probability(p)?)
-            .seed(0xD51)
-            .warmup_cycles(effort.warmup() / 10)
-            .measure_cycles(effort.crossbar_cycles())
-            .run_ebw();
-        if bus.ebw >= xbar * 0.995 {
+        let bus = ebw_of(
+            &bus_sim,
+            Scenario::new(SystemParams::new(8, 16, 8)?.with_request_probability(p)?),
+        )?;
+        let xbar = ebw_of(
+            &crossbar_sim,
+            Scenario::new(SystemParams::new(8, 8, 8)?.with_request_probability(p)?),
+        )?;
+        if bus >= xbar * 0.995 {
             crossover = p;
         } else {
             break;
@@ -605,21 +663,17 @@ pub fn design_space(effort: Effort) -> Result<DesignSpaceReport, CoreError> {
     }
 
     let p03 = SystemParams::new(8, 16, 12)?.with_request_probability(0.3)?;
-    let buf_p03 = bus_ebw(p03, BusPolicy::ProcessorPriority, Buffering::Buffered, effort);
-    let xb_p03 = CrossbarSim::new(p03)
-        .seed(0xD52)
-        .warmup_cycles(effort.warmup() / 10)
-        .measure_cycles(effort.crossbar_cycles())
-        .run_ebw();
+    let buf_p03 = ebw_of(&bus_sim, Scenario::new(p03).with_buffering(Buffering::Buffered))?;
+    let xb_p03 = ebw_of(&crossbar_sim, Scenario::new(p03))?;
 
     Ok(DesignSpaceReport {
         crossbar_8x8,
         m_matching_crossbar_at_r8: m_matching,
         degradation_8x10_r8,
-        buffered_16x16_r18_vs_crossbar: (buf16.ebw, xb16),
+        buffered_16x16_r18_vs_crossbar: (buf16, xb16),
         buffered_saturation_r,
         crossover_p_vs_8x8_crossbar: crossover,
-        buffered_p03_r12_vs_crossbar: (buf_p03.ebw, xb_p03),
+        buffered_p03_r12_vs_crossbar: (buf_p03, xb_p03),
     })
 }
 
@@ -767,5 +821,12 @@ mod tests {
             let text = id.run_rendered(Effort::Quick).unwrap();
             assert!(text.contains("EBW"), "{}", id.name());
         }
+    }
+
+    #[test]
+    fn efforts_map_to_budgets() {
+        assert_eq!(Effort::Quick.budget().replications, 2);
+        assert_eq!(Effort::Paper.budget().replications, 6);
+        assert!(Effort::Paper.budget().measure > Effort::Quick.budget().measure);
     }
 }

@@ -82,9 +82,10 @@ impl Grid {
     /// Iterates `(row_label, col_label, value)` over filled cells.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
         self.row_labels.iter().enumerate().flat_map(move |(i, &rl)| {
-            self.col_labels.iter().enumerate().filter_map(move |(j, &cl)| {
-                self.get(i, j).map(|v| (rl, cl, v))
-            })
+            self.col_labels
+                .iter()
+                .enumerate()
+                .filter_map(move |(j, &cl)| self.get(i, j).map(|v| (rl, cl, v)))
         })
     }
 

@@ -1,0 +1,191 @@
+//! Deterministic serial/parallel fan-out of independent work items.
+//!
+//! Simulation workloads here are embarrassingly parallel (independent
+//! replications, grid sweeps), and every item is a pure function of its
+//! index and inputs. [`parallel_map`] exploits that: results are
+//! returned **in item order** regardless of which worker computed them
+//! or when, so a parallel run is bit-identical to a serial one — the
+//! property the replication driver's determinism tests pin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// How a batch of independent items is executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecutionMode {
+    /// One item at a time on the calling thread.
+    Serial,
+    /// One worker per available CPU (`std::thread::available_parallelism`).
+    #[default]
+    Parallel,
+    /// Exactly this many workers (clamped to at least 1).
+    Threads(usize),
+}
+
+impl ExecutionMode {
+    /// Number of worker threads this mode resolves to.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Parallel => thread::available_parallelism().map_or(1, |n| n.get()),
+            ExecutionMode::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Parses `serial` / `parallel` / a thread count.
+    pub fn from_name(name: &str) -> Option<ExecutionMode> {
+        match name {
+            "serial" => Some(ExecutionMode::Serial),
+            "parallel" => Some(ExecutionMode::Parallel),
+            n => n.parse().ok().map(ExecutionMode::Threads),
+        }
+    }
+}
+
+/// Maps `f` over `items`, possibly in parallel, returning results in
+/// item order. `f` must be deterministic in `(index, item)` for the
+/// serial/parallel bit-identity guarantee to hold.
+pub fn parallel_map<T, U, F>(items: &[T], mode: ExecutionMode, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_progress(items, mode, f, |_, _| {})
+}
+
+/// [`parallel_map`] with a completion callback.
+///
+/// `on_done(index, &result)` runs on the calling thread, once per item,
+/// in **completion order** (which under parallel execution need not be
+/// item order — the returned `Vec` always is).
+///
+/// # Panics
+///
+/// A panic inside `f` is propagated to the caller once in-flight items
+/// finish.
+pub fn parallel_map_progress<T, U, F, P>(
+    items: &[T],
+    mode: ExecutionMode,
+    f: F,
+    mut on_done: P,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    P: FnMut(usize, &U),
+{
+    let workers = mode.threads().min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let u = f(i, item);
+                on_done(i, &u);
+                u
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, U)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx); // the receive loop ends when the last worker exits
+        for (i, u) in rx {
+            on_done(i, &u);
+            slots[i] = Some(u);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker panicked before delivering its item"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn modes_resolve_to_positive_thread_counts() {
+        assert_eq!(ExecutionMode::Serial.threads(), 1);
+        assert!(ExecutionMode::Parallel.threads() >= 1);
+        assert_eq!(ExecutionMode::Threads(0).threads(), 1);
+        assert_eq!(ExecutionMode::Threads(5).threads(), 5);
+    }
+
+    #[test]
+    fn mode_names_parse() {
+        assert_eq!(ExecutionMode::from_name("serial"), Some(ExecutionMode::Serial));
+        assert_eq!(ExecutionMode::from_name("parallel"), Some(ExecutionMode::Parallel));
+        assert_eq!(ExecutionMode::from_name("3"), Some(ExecutionMode::Threads(3)));
+        assert_eq!(ExecutionMode::from_name("warp"), None);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(i as u32);
+        let serial = parallel_map(&items, ExecutionMode::Serial, f);
+        let parallel = parallel_map(&items, ExecutionMode::Threads(8), f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, ExecutionMode::Parallel, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], ExecutionMode::Parallel, |_, &x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn progress_reports_every_item_exactly_once() {
+        let items: Vec<u32> = (0..100).collect();
+        let mut seen = HashSet::new();
+        let out = parallel_map_progress(
+            &items,
+            ExecutionMode::Threads(4),
+            |_, &x| x + 1,
+            |i, &u| {
+                assert_eq!(u, items[i] + 1);
+                assert!(seen.insert(i), "item {i} reported twice");
+            },
+        );
+        assert_eq!(seen.len(), items.len());
+        assert_eq!(out, (1..=100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // With more items than threads, every worker should pick up at
+        // least one item (probabilistically certain with 4 threads and
+        // blocking work; we only assert the batch completes and counts).
+        let counter = AtomicU32::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, ExecutionMode::Threads(4), |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed)
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+}

@@ -10,8 +10,10 @@
 //!   batch means, and Student-t confidence intervals.
 //! * [`clock`] — a measurement window: warmup + measurement phases over a
 //!   cycle counter.
+//! * [`exec`] — deterministic serial/parallel fan-out of independent
+//!   work items (parallel results are bit-identical to serial).
 //! * [`replication`] — independent-replications experiment driver with
-//!   summary statistics.
+//!   summary statistics, serial or parallel.
 //! * [`batch`] — batch-means analysis for single-run estimation.
 //! * [`histogram`] — fixed-width histograms for waiting-time
 //!   distributions.
@@ -37,6 +39,7 @@
 
 pub mod batch;
 pub mod clock;
+pub mod exec;
 pub mod histogram;
 pub mod replication;
 pub mod seeds;
@@ -44,7 +47,10 @@ pub mod stats;
 
 pub use batch::BatchMeans;
 pub use clock::MeasurementWindow;
+pub use exec::{parallel_map, parallel_map_progress, ExecutionMode};
 pub use histogram::Histogram;
-pub use replication::{run_replications, ReplicationPlan, ReplicationSummary};
+pub use replication::{
+    run_replications, run_replications_with, ReplicationPlan, ReplicationSummary,
+};
 pub use seeds::SeedSequence;
 pub use stats::{RunningStats, TimeWeighted};

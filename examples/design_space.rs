@@ -10,11 +10,8 @@ use busnet::core::sim::bus::BusSimBuilder;
 use busnet::report::experiments::{design_space, Effort};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::Quick
-    } else {
-        Effort::Paper
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
 
     println!("{}", design_space(effort)?);
 
@@ -38,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Extension: multiplexed multi-channel bus (this repository's
     // generalization of the paper's single bus) — how many *multiplexed*
     // channels does it take to reach the 8x8 crossbar at small r?
-    println!("\nMultiplexed channels on 8x8, r = 4 (buffered, vs crossbar {:.3}):", crossbar_ebw_exact(8, 8)?);
+    println!(
+        "\nMultiplexed channels on 8x8, r = 4 (buffered, vs crossbar {:.3}):",
+        crossbar_ebw_exact(8, 8)?
+    );
     for channels in 1..=4u32 {
         let report = BusSimBuilder::new(SystemParams::new(8, 8, 4)?)
             .buffering(Buffering::Buffered)

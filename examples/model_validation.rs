@@ -11,11 +11,8 @@ use busnet::core::sim::service::ServiceTime;
 use busnet::report::experiments::{model_validation, Effort};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::Quick
-    } else {
-        Effort::Paper
-    };
+    let effort =
+        if std::env::args().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
 
     println!("{}", model_validation(effort)?);
 

@@ -10,17 +10,11 @@
 use busnet::report::experiments::{Effort, ExperimentId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let effort = if std::env::args().any(|a| a == "--quick") {
-        Effort::Quick
-    } else {
-        Effort::Paper
-    };
-    for id in [
-        ExperimentId::Table1,
-        ExperimentId::Table2,
-        ExperimentId::Table3,
-        ExperimentId::Table4,
-    ] {
+    let effort =
+        if std::env::args().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
+    for id in
+        [ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Table3, ExperimentId::Table4]
+    {
         println!("================ {} ================", id.name());
         println!("{}", id.run_rendered(effort)?);
     }

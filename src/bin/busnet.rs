@@ -1,19 +1,29 @@
-//! `busnet` command-line interface: regenerate any of the paper's
-//! experiments from a terminal.
+//! `busnet` command-line interface: regenerate the paper's experiments
+//! or sweep arbitrary scenario grids across evaluators.
 //!
 //! ```text
 //! busnet list
 //! busnet run table1
 //! busnet run table3 --quick
 //! busnet run all --quick
-//! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5] [--seed 7]
+//! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5]
+//!            [--seed 7] [--cycles 200000] [--warmup 20000]
+//! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
+//! busnet bench-sweep [--out BENCH_sweep.json]
 //! ```
 
+use std::collections::HashSet;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use busnet::core::params::{Buffering, BusPolicy, SystemParams};
+use busnet::core::scenario::{
+    run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, SweepRecord, ALL_EVALUATOR_KINDS,
+};
 use busnet::core::sim::bus::BusSimBuilder;
+use busnet::core::CoreError;
 use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
+use busnet::sim::exec::ExecutionMode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,14 +33,30 @@ fn main() -> ExitCode {
             for id in ALL_EXPERIMENTS {
                 println!("  {}", id.name());
             }
+            println!("available evaluators (for `sweep --evaluator`):");
+            for kind in ALL_EVALUATOR_KINDS {
+                println!("  {}", kind.name());
+            }
             ExitCode::SUCCESS
         }
         Some("run") => run_experiments(&args[1..]),
         Some("sim") => run_sim(&args[1..]),
+        Some("sweep") => run_sweep_cmd(&args[1..]),
+        Some("bench-sweep") => run_bench_sweep(&args[1..]),
         _ => {
             eprintln!(
-                "usage: busnet <list | run <experiment|all> [--quick] | sim --n N --m M --r R \
-                 [--p P] [--buffered] [--memory-priority] [--seed S] [--cycles C]>"
+                "usage: busnet <list | run <experiment|all> [--quick] | sim ... | sweep ... | \
+                 bench-sweep [--out FILE]>\n\
+                 \n\
+                 sim   --n N --m M --r R [--p P] [--buffered] [--memory-priority] [--seed S]\n      \
+                 [--cycles C] [--warmup W]\n\
+                 sweep --n SPEC --m SPEC --r SPEC [--p LIST] [--policy proc|mem|both]\n      \
+                 [--buffering unbuffered|buffered|both] [--evaluator LIST]\n      \
+                 [--format csv|json] [--replications K] [--cycles C] [--warmup W]\n      \
+                 [--seed S] [--serial]\n\
+                 \n\
+                 SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
+                 range (2..16:2)."
             );
             ExitCode::FAILURE
         }
@@ -42,8 +68,7 @@ fn run_experiments(args: &[String]) -> ExitCode {
         eprintln!("usage: busnet run <experiment|all> [--quick]");
         return ExitCode::FAILURE;
     };
-    let effort =
-        if args.iter().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
+    let effort = if args.iter().any(|a| a == "--quick") { Effort::Quick } else { Effort::Paper };
     let ids: Vec<ExperimentId> = if which == "all" {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -68,35 +93,97 @@ fn run_experiments(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+/// Strict flag cursor: every flag must be known, every value must
+/// parse, and leftovers are an error.
+struct Flags<'a> {
+    args: &'a [String],
+    used: HashSet<usize>,
+    errors: Vec<String>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args, used: HashSet::new(), errors: Vec::new() }
+    }
+
+    /// Consumes a boolean flag, returning whether it was present.
+    fn switch(&mut self, name: &str) -> bool {
+        let mut present = false;
+        for (i, a) in self.args.iter().enumerate() {
+            if a == name {
+                self.used.insert(i);
+                present = true;
+            }
+        }
+        present
+    }
+
+    /// Consumes `name VALUE`, returning the raw value if present.
+    fn value(&mut self, name: &str) -> Option<&'a str> {
+        let i = self.args.iter().position(|a| a == name)?;
+        self.used.insert(i);
+        match self.args.get(i + 1) {
+            Some(v) => {
+                self.used.insert(i + 1);
+                Some(v)
+            }
+            None => {
+                self.errors.push(format!("flag {name} expects a value"));
+                None
+            }
+        }
+    }
+
+    /// Consumes and parses `name VALUE`, with a default.
+    fn parse<T: std::str::FromStr>(&mut self, name: &str, default: T) -> T {
+        match self.value(name) {
+            Some(raw) => match raw.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    self.errors.push(format!("bad value for {name}: {raw}"));
+                    default
+                }
+            },
+            None => default,
+        }
+    }
+
+    /// Fails on any unconsumed argument or accumulated error.
+    fn finish(self) -> Result<(), String> {
+        let mut errors = self.errors;
+        for (i, a) in self.args.iter().enumerate() {
+            if !self.used.contains(&i) {
+                errors.push(format!("unknown flag or stray argument: {a}"));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.join("\n"))
+        }
+    }
 }
 
 fn run_sim(args: &[String]) -> ExitCode {
-    let parse_u32 = |name: &str, default: u32| -> Option<u32> {
-        match flag_value(args, name) {
-            Some(v) => v.parse().map_err(|_| eprintln!("bad value for {name}: {v}")).ok(),
-            None => Some(default),
-        }
-    };
-    let (Some(n), Some(m), Some(r)) =
-        (parse_u32("--n", 8), parse_u32("--m", 16), parse_u32("--r", 8))
-    else {
+    let mut flags = Flags::new(args);
+    let n: u32 = flags.parse("--n", 8);
+    let m: u32 = flags.parse("--m", 16);
+    let r: u32 = flags.parse("--r", 8);
+    let p: f64 = flags.parse("--p", 1.0);
+    let seed: u64 = flags.parse("--seed", 42);
+    let cycles: u64 = flags.parse("--cycles", 200_000);
+    // Explicit warmup control; the historical default remains a tenth
+    // of the measured window.
+    let warmup: u64 = flags.parse("--warmup", cycles / 10);
+    let memory_priority = flags.switch("--memory-priority");
+    let buffered = flags.switch("--buffered");
+    if let Err(e) = flags.finish() {
+        eprintln!(
+            "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
+                   [--memory-priority] [--seed S] [--cycles C] [--warmup W]"
+        );
         return ExitCode::FAILURE;
-    };
-    let p: f64 = match flag_value(args, "--p") {
-        Some(v) => match v.parse() {
-            Ok(x) => x,
-            Err(_) => {
-                eprintln!("bad value for --p: {v}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => 1.0,
-    };
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let cycles: u64 =
-        flag_value(args, "--cycles").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    }
 
     let params = match SystemParams::new(n, m, r).and_then(|q| q.with_request_probability(p)) {
         Ok(q) => q,
@@ -105,27 +192,20 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let policy = if args.iter().any(|a| a == "--memory-priority") {
-        BusPolicy::MemoryPriority
-    } else {
-        BusPolicy::ProcessorPriority
-    };
-    let buffering = if args.iter().any(|a| a == "--buffered") {
-        Buffering::Buffered
-    } else {
-        Buffering::Unbuffered
-    };
+    let policy =
+        if memory_priority { BusPolicy::MemoryPriority } else { BusPolicy::ProcessorPriority };
+    let buffering = if buffered { Buffering::Buffered } else { Buffering::Unbuffered };
 
     let report = BusSimBuilder::new(params)
         .policy(policy)
         .buffering(buffering)
         .seed(seed)
-        .warmup_cycles(cycles / 10)
+        .warmup_cycles(warmup)
         .measure_cycles(cycles)
         .build()
         .run();
     let metrics = report.metrics();
-    println!("n={n} m={m} r={r} p={p} {policy:?} {buffering:?} seed={seed}");
+    println!("n={n} m={m} r={r} p={p} {policy:?} {buffering:?} seed={seed} warmup={warmup}");
     println!("  EBW                  {:.4}", metrics.ebw);
     println!("  bus utilization      {:.4}", metrics.bus_utilization);
     println!("  memory utilization   {:.4}", metrics.memory_utilization);
@@ -133,4 +213,330 @@ fn run_sim(args: &[String]) -> ExitCode {
     println!("  mean wait (cycles)   {:.4}", report.wait.mean());
     println!("  mean round trip      {:.4}", report.round_trip.mean());
     ExitCode::SUCCESS
+}
+
+/// Parses an axis spec: `2,6,10`, `2..64` (inclusive), or `2..16:2`.
+fn parse_u32_spec(spec: &str) -> Result<Vec<u32>, String> {
+    let bad = |why: &str| Err(format!("bad axis spec `{spec}`: {why}"));
+    if let Some((range, step)) = spec.split_once(':') {
+        let step: u32 = match step.parse() {
+            Ok(0) | Err(_) => return bad("step must be a positive integer"),
+            Ok(s) => s,
+        };
+        let Ok(mut values) = parse_u32_spec(range) else {
+            return bad("expected LO..HI before the step");
+        };
+        if !range.contains("..") {
+            return bad("a step requires a LO..HI range");
+        }
+        let lo = *values.first().expect("non-empty range");
+        values.retain(|v| (v - lo) % step == 0);
+        return Ok(values);
+    }
+    if let Some((lo, hi)) = spec.split_once("..") {
+        let (Ok(lo), Ok(hi)) = (lo.parse::<u32>(), hi.parse::<u32>()) else {
+            return bad("expected integers around `..`");
+        };
+        if lo > hi {
+            return bad("range is empty");
+        }
+        return Ok((lo..=hi).collect());
+    }
+    spec.split(',')
+        .map(|v| v.parse().map_err(|_| format!("bad axis spec `{spec}`: `{v}` is not an integer")))
+        .collect()
+}
+
+fn parse_f64_list(spec: &str) -> Result<Vec<f64>, String> {
+    spec.split(',')
+        .map(|v| v.parse().map_err(|_| format!("bad value list `{spec}`: `{v}` is not a number")))
+        .collect()
+}
+
+/// Output encoding of sweep rows.
+#[derive(Clone, Copy, PartialEq)]
+enum SweepFormat {
+    Csv,
+    Json,
+}
+
+fn policy_name(policy: BusPolicy) -> &'static str {
+    match policy {
+        BusPolicy::ProcessorPriority => "proc",
+        BusPolicy::MemoryPriority => "mem",
+    }
+}
+
+fn buffering_name(buffering: Buffering) -> &'static str {
+    match buffering {
+        Buffering::Unbuffered => "unbuffered",
+        Buffering::Buffered => "buffered",
+    }
+}
+
+fn emit_record(record: &SweepRecord, format: SweepFormat) {
+    let s = &record.scenario;
+    match &record.result {
+        Ok(eval) => {
+            let m = &eval.metrics;
+            match format {
+                SweepFormat::Csv => println!(
+                    "{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+                    s.params.n(),
+                    s.params.m(),
+                    s.params.r(),
+                    s.params.p(),
+                    policy_name(s.policy),
+                    buffering_name(s.buffering),
+                    record.evaluator,
+                    m.ebw,
+                    eval.half_width_95,
+                    m.bus_utilization,
+                    m.memory_utilization,
+                    m.processor_efficiency,
+                    eval.replications,
+                ),
+                SweepFormat::Json => println!(
+                    "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
+                     \"buffering\":\"{}\",\"evaluator\":\"{}\",\"ebw\":{:.6},\
+                     \"half_width_95\":{:.6},\"bus_utilization\":{:.6},\
+                     \"memory_utilization\":{:.6},\"processor_efficiency\":{:.6},\
+                     \"replications\":{}}}",
+                    s.params.n(),
+                    s.params.m(),
+                    s.params.r(),
+                    s.params.p(),
+                    policy_name(s.policy),
+                    buffering_name(s.buffering),
+                    record.evaluator,
+                    m.ebw,
+                    eval.half_width_95,
+                    m.bus_utilization,
+                    m.memory_utilization,
+                    m.processor_efficiency,
+                    eval.replications,
+                ),
+            }
+        }
+        Err(CoreError::UnsupportedScenario { .. }) => {
+            eprintln!(
+                "# skipped [{} @ {}]: outside the evaluator's domain",
+                record.evaluator,
+                s.label()
+            );
+        }
+        Err(e) => eprintln!("# FAILED [{} @ {}]: {e}", record.evaluator, s.label()),
+    }
+}
+
+/// Classifies a sweep record for the exit summary.
+fn record_outcome(record: &SweepRecord) -> (bool, bool) {
+    match &record.result {
+        Ok(_) => (true, false),
+        Err(CoreError::UnsupportedScenario { .. }) => (false, false),
+        Err(_) => (false, true),
+    }
+}
+
+fn run_sweep_cmd(args: &[String]) -> ExitCode {
+    let mut flags = Flags::new(args);
+    let n_spec = flags.value("--n").unwrap_or("8").to_owned();
+    let m_spec = flags.value("--m").unwrap_or("16").to_owned();
+    let r_spec = flags.value("--r").unwrap_or("8").to_owned();
+    let p_spec = flags.value("--p").unwrap_or("1").to_owned();
+    let policy_spec = flags.value("--policy").unwrap_or("proc").to_owned();
+    let buffering_spec = flags.value("--buffering").unwrap_or("unbuffered").to_owned();
+    let evaluator_spec = flags.value("--evaluator").unwrap_or("sim").to_owned();
+    let format_spec = flags.value("--format").unwrap_or("csv").to_owned();
+    let replications: u32 = flags.parse("--replications", 4);
+    let cycles: u64 = flags.parse("--cycles", 50_000);
+    let warmup: u64 = flags.parse("--warmup", 5_000);
+    let seed: u64 = flags.parse("--seed", 0x1985_0414);
+    let serial = flags.switch("--serial");
+    if let Err(e) = flags.finish() {
+        eprintln!("{e}\nrun `busnet` without arguments for usage");
+        return ExitCode::FAILURE;
+    }
+
+    let fail = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    };
+    let (n, m, r) =
+        match (parse_u32_spec(&n_spec), parse_u32_spec(&m_spec), parse_u32_spec(&r_spec)) {
+            (Ok(n), Ok(m), Ok(r)) => (n, m, r),
+            (n, m, r) => {
+                return fail(
+                    [n.err(), m.err(), r.err()]
+                        .into_iter()
+                        .flatten()
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                )
+            }
+        };
+    let p = match parse_f64_list(&p_spec) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let policies = match policy_spec.as_str() {
+        "proc" => vec![BusPolicy::ProcessorPriority],
+        "mem" => vec![BusPolicy::MemoryPriority],
+        "both" => vec![BusPolicy::ProcessorPriority, BusPolicy::MemoryPriority],
+        other => return fail(format!("bad --policy `{other}` (expected proc|mem|both)")),
+    };
+    let bufferings = match buffering_spec.as_str() {
+        "unbuffered" => vec![Buffering::Unbuffered],
+        "buffered" => vec![Buffering::Buffered],
+        "both" => vec![Buffering::Unbuffered, Buffering::Buffered],
+        other => {
+            return fail(format!("bad --buffering `{other}` (expected unbuffered|buffered|both)"))
+        }
+    };
+    let format = match format_spec.as_str() {
+        "csv" => SweepFormat::Csv,
+        "json" => SweepFormat::Json,
+        other => return fail(format!("bad --format `{other}` (expected csv|json)")),
+    };
+    let kinds: Vec<EvaluatorKind> = match evaluator_spec
+        .split(',')
+        .map(|name| {
+            EvaluatorKind::from_name(name)
+                .ok_or_else(|| format!("unknown evaluator `{name}`; try `busnet list`"))
+        })
+        .collect()
+    {
+        Ok(kinds) => kinds,
+        Err(e) => return fail(e),
+    };
+
+    let grid = ScenarioGrid::new()
+        .n_values(n)
+        .m_values(m)
+        .r_values(r)
+        .p_values(p)
+        .policies(policies)
+        .bufferings(bufferings);
+    let scenarios = match grid.scenarios() {
+        Ok(s) => s,
+        Err(e) => return fail(format!("invalid sweep point: {e}")),
+    };
+
+    // Outer-parallel over grid points with serial replications inside;
+    // `--serial` collapses both levels for timing comparisons.
+    let sweep_mode = if serial { ExecutionMode::Serial } else { ExecutionMode::Parallel };
+    let budget = SimBudget {
+        replications,
+        warmup,
+        measure: cycles,
+        master_seed: seed,
+        mode: ExecutionMode::Serial,
+    };
+    let evaluators: Vec<Box<dyn Evaluator>> = kinds.iter().map(|k| k.build(budget)).collect();
+    let refs: Vec<&dyn Evaluator> = evaluators.iter().map(AsRef::as_ref).collect();
+
+    if format == SweepFormat::Csv {
+        println!(
+            "n,m,r,p,policy,buffering,evaluator,ebw,half_width_95,bus_utilization,\
+             memory_utilization,processor_efficiency,replications"
+        );
+    }
+    // Live progress only when stderr is a terminal; piped stderr gets
+    // just the skip reports and the final summary.
+    let live_progress = std::io::IsTerminal::is_terminal(&std::io::stderr());
+    let start = Instant::now();
+    let records = run_sweep(&scenarios, &refs, sweep_mode, |done, total, record| {
+        emit_record(record, format);
+        if live_progress {
+            eprint!("\r# {done}/{total} points");
+        }
+    });
+    let evaluated = records.iter().filter(|r| record_outcome(r).0).count();
+    let failed = records.iter().filter(|r| record_outcome(r).1).count();
+    eprintln!(
+        "{}# swept {} points x {} evaluators: {evaluated} evaluated, {} out of domain, \
+         {failed} failed, {:.2}s",
+        if live_progress { "\r" } else { "" },
+        scenarios.len(),
+        refs.len(),
+        records.len() - evaluated - failed,
+        start.elapsed().as_secs_f64()
+    );
+    if failed > 0 {
+        eprintln!("# {failed} evaluation(s) failed hard");
+        return ExitCode::FAILURE;
+    }
+    if evaluated == 0 {
+        eprintln!("# no scenario/evaluator pair was in domain; nothing evaluated");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fixed 32-point sweep timed serial vs parallel; writes the JSON
+/// baseline consumed by BENCH_sweep.json.
+fn run_bench_sweep(args: &[String]) -> ExitCode {
+    let mut flags = Flags::new(args);
+    let out: String = flags.parse("--out", "BENCH_sweep.json".to_owned());
+    if let Err(e) = flags.finish() {
+        eprintln!("{e}\nusage: busnet bench-sweep [--out FILE]");
+        return ExitCode::FAILURE;
+    }
+
+    // 32 points: m x r x buffering at n = 8 — the Table 3/4 style grid.
+    let grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([4, 8, 12, 16])
+        .r_values([2, 6, 10, 14])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered]);
+    let scenarios = grid.scenarios().expect("static grid is valid");
+    assert_eq!(scenarios.len(), 32);
+    let budget = SimBudget {
+        replications: 4,
+        warmup: 5_000,
+        measure: 50_000,
+        master_seed: 0x1985_0414,
+        mode: ExecutionMode::Serial,
+    };
+    let sim = busnet::core::scenario::BusSimEval::new(budget);
+    let evaluators: [&dyn Evaluator; 1] = [&sim];
+
+    let time = |mode: ExecutionMode| {
+        let start = Instant::now();
+        let records = run_sweep(&scenarios, &evaluators, mode, |_, _, _| {});
+        let secs = start.elapsed().as_secs_f64();
+        (secs, records)
+    };
+    eprintln!("# timing 32-point sweep, serial...");
+    let (serial_secs, serial_records) = time(ExecutionMode::Serial);
+    eprintln!("# serial: {serial_secs:.2}s; parallel...");
+    let (parallel_secs, parallel_records) = time(ExecutionMode::Parallel);
+    let identical =
+        serial_records.iter().zip(&parallel_records).all(|(a, b)| match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => x == y,
+            _ => false,
+        });
+    let threads = ExecutionMode::Parallel.threads();
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "# parallel: {parallel_secs:.2}s on {threads} threads -> {speedup:.2}x, bit-identical: {identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"32-point scenario sweep (n=8, m in 4..16, r in 2..14, both bufferings)\",\n  \
+         \"replications\": 4,\n  \"measure_cycles\": 50000,\n  \"threads\": {threads},\n  \
+         \"serial_seconds\": {serial_secs:.3},\n  \"parallel_seconds\": {parallel_secs:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"bit_identical\": {identical}\n}}\n"
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => {
+            println!("{json}");
+            println!("# written to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

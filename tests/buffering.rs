@@ -17,14 +17,9 @@ fn sim(params: SystemParams, buffering: Buffering) -> f64 {
 
 #[test]
 fn buffering_never_hurts() {
-    for (n, m, r) in [
-        (8u32, 4u32, 8u32),
-        (8, 8, 8),
-        (8, 16, 8),
-        (8, 16, 16),
-        (4, 4, 4),
-        (16, 8, 12),
-    ] {
+    for (n, m, r) in
+        [(8u32, 4u32, 8u32), (8, 8, 8), (8, 16, 8), (8, 16, 16), (4, 4, 4), (16, 8, 12)]
+    {
         let params = SystemParams::new(n, m, r).unwrap();
         let plain = sim(params, Buffering::Unbuffered);
         let buffered = sim(params, Buffering::Buffered);
@@ -101,10 +96,7 @@ fn buffers_help_less_at_light_load() {
     // §7: "the positive influence of buffering becomes less effective
     // as p decreases".
     let gain_at = |p: f64| {
-        let params = SystemParams::new(8, 8, 8)
-            .unwrap()
-            .with_request_probability(p)
-            .unwrap();
+        let params = SystemParams::new(8, 8, 8).unwrap().with_request_probability(p).unwrap();
         sim(params, Buffering::Buffered) - sim(params, Buffering::Unbuffered)
     };
     let heavy = gain_at(1.0);

@@ -74,10 +74,7 @@ fn processor_priority_dominates_memory_priority_across_grid() {
 fn ebw_never_exceeds_offered_load_or_ceiling() {
     for p10 in [3u32, 6, 10] {
         let p = f64::from(p10) / 10.0;
-        let params = SystemParams::new(8, 16, 8)
-            .unwrap()
-            .with_request_probability(p)
-            .unwrap();
+        let params = SystemParams::new(8, 16, 8).unwrap().with_request_probability(p).unwrap();
         let measured = sim(params, BusPolicy::ProcessorPriority, Buffering::Buffered);
         assert!(measured <= params.max_ebw() + 1e-9);
         // Offered load: n·p requests per processor cycle (plus sampling

@@ -90,10 +90,7 @@ fn crossbar_is_the_large_r_limit_of_the_exact_chain() {
             prev_gap = gap;
         }
         // Convergence is O(1/r): gap ≈ E[x(x−1)]/r.
-        assert!(
-            prev_gap < 0.005 * crossbar,
-            "({n},{m}): limit not reached, gap {prev_gap}"
-        );
+        assert!(prev_gap < 0.005 * crossbar, "({n},{m}): limit not reached, gap {prev_gap}");
     }
 }
 

@@ -110,10 +110,7 @@ fn multichannel_pfqn_matches_multichannel_des() {
             .run()
             .ebw();
         let rel = (sim - model).abs() / model;
-        assert!(
-            rel < 0.08,
-            "channels={channels}: geo-sim {sim:.3} vs MVA {model:.3} ({rel:.3})"
-        );
+        assert!(rel < 0.08, "channels={channels}: geo-sim {sim:.3} vs MVA {model:.3} ({rel:.3})");
     }
 }
 
