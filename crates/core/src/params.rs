@@ -2,6 +2,12 @@
 
 use crate::error::CoreError;
 
+/// Candidate tie-breaking rule (paper hypothesis *h* and its
+/// relaxations), re-exported from the simulation kernel so every layer
+/// — [`Scenario`](crate::scenario::Scenario) axes, evaluators, CLIs —
+/// names one type.
+pub use busnet_sim::arbiter::ArbitrationKind;
+
 /// Bus-granting priority when both processors and memory modules want
 /// the bus in the same cycle (paper hypothesis *g*).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]

@@ -33,8 +33,10 @@
 
 use std::collections::BTreeMap;
 
-use busnet_sim::exec::{parallel_map_progress, ExecutionMode};
-use busnet_sim::replication::{run_replications_with, ReplicationPlan};
+use busnet_sim::event::EngineKind;
+use busnet_sim::exec::{parallel_map, parallel_map_progress, ExecutionMode};
+use busnet_sim::replication::{ReplicationPlan, ReplicationSummary};
+use busnet_sim::stats::jain_fairness_index;
 
 use crate::analytic::approx::{ApproxModel, ApproxVariant};
 use crate::analytic::crossbar::crossbar_ebw_exact;
@@ -43,7 +45,7 @@ use crate::analytic::pfqn::{pfqn_ebw, pfqn_ebw_buzen};
 use crate::analytic::reduced::ReducedChain;
 use crate::error::CoreError;
 use crate::metrics::Metrics;
-use crate::params::{Buffering, BusPolicy, SystemParams};
+use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
 use crate::sim::bus::BusSimBuilder;
 use crate::sim::crossbar::CrossbarSim;
 use crate::sim::service::ServiceTime;
@@ -58,6 +60,10 @@ pub struct Scenario {
     pub policy: BusPolicy,
     /// Memory-module buffering scheme (§6).
     pub buffering: Buffering,
+    /// Candidate tie-breaking rule (hypothesis *h* and relaxations).
+    /// The analytic vehicles assume the paper's uniform random;
+    /// simulation honors every kind.
+    pub arbitration: ArbitrationKind,
     /// Memory service-time distribution; `None` means the paper's
     /// constant `r` cycles.
     pub memory_service: Option<ServiceTime>,
@@ -65,12 +71,13 @@ pub struct Scenario {
 
 impl Scenario {
     /// A scenario with the paper's defaults: priority to processors,
-    /// unbuffered modules, constant service.
+    /// unbuffered modules, random arbitration, constant service.
     pub fn new(params: SystemParams) -> Self {
         Scenario {
             params,
             policy: BusPolicy::ProcessorPriority,
             buffering: Buffering::Unbuffered,
+            arbitration: ArbitrationKind::Random,
             memory_service: None,
         }
     }
@@ -84,6 +91,12 @@ impl Scenario {
     /// Returns a copy with the given buffering scheme.
     pub fn with_buffering(mut self, buffering: Buffering) -> Self {
         self.buffering = buffering;
+        self
+    }
+
+    /// Returns a copy with the given arbitration kind.
+    pub fn with_arbitration(mut self, arbitration: ArbitrationKind) -> Self {
+        self.arbitration = arbitration;
         self
     }
 
@@ -105,7 +118,8 @@ impl Scenario {
     }
 
     /// A compact, stable human-readable identifier, e.g.
-    /// `n=8 m=16 r=8 p=1 proc unbuf`.
+    /// `n=8 m=16 r=8 p=1 proc unbuf` (non-default arbitration kinds
+    /// append their name).
     pub fn label(&self) -> String {
         let policy = match self.policy {
             BusPolicy::ProcessorPriority => "proc",
@@ -115,8 +129,12 @@ impl Scenario {
             Buffering::Unbuffered => "unbuf",
             Buffering::Buffered => "buf",
         };
+        let arbitration = match self.arbitration {
+            ArbitrationKind::Random => String::new(),
+            kind => format!(" {}", kind.name()),
+        };
         format!(
-            "n={} m={} r={} p={} {policy} {buffering}",
+            "n={} m={} r={} p={} {policy} {buffering}{arbitration}",
             self.params.n(),
             self.params.m(),
             self.params.r(),
@@ -140,6 +158,10 @@ pub struct Evaluation {
     /// Number of independent replications behind the estimate (1 for
     /// analytic models).
     pub replications: u32,
+    /// Per-processor EBW contributions (they sum to the total EBW),
+    /// aggregated across replications. `None` for analytic vehicles,
+    /// which assume symmetry and have no per-processor view.
+    pub per_processor_ebw: Option<Vec<f64>>,
 }
 
 impl Evaluation {
@@ -151,6 +173,27 @@ impl Evaluation {
     /// Whether `value` lies inside the 95% interval widened by `slack`.
     pub fn covers(&self, value: f64, slack: f64) -> bool {
         (value - self.metrics.ebw).abs() <= self.half_width_95 + slack
+    }
+
+    /// Jain's fairness index over per-processor EBW (1 = perfectly
+    /// fair, `1/n` = one processor hogs the bus); `None` for vehicles
+    /// without a per-processor view.
+    pub fn fairness_index(&self) -> Option<f64> {
+        let per = self.per_processor_ebw.as_ref()?;
+        Some(jain_fairness_index(per.iter().copied()))
+    }
+
+    /// Per-processor EBW spread `max − min` (the fairness measure the
+    /// arbitration report tabulates); `None` for vehicles without a
+    /// per-processor view.
+    pub fn ebw_spread(&self) -> Option<f64> {
+        let per = self.per_processor_ebw.as_ref()?;
+        if per.is_empty() {
+            return None;
+        }
+        let min = per.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(max - min)
     }
 }
 
@@ -181,6 +224,7 @@ fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         metrics: Metrics::from_ebw(scenario.params, ebw),
         half_width_95: 0.0,
         replications: 1,
+        per_processor_ebw: None,
     }
 }
 
@@ -193,7 +237,14 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
     let mut metrics = Metrics::from_ebw(params, ebw);
     metrics.bus_utilization = ebw / f64::from(params.min_nm());
     metrics.memory_utilization = ebw / f64::from(params.m());
-    Evaluation { evaluator, scenario: *scenario, metrics, half_width_95: 0.0, replications: 1 }
+    Evaluation {
+        evaluator,
+        scenario: *scenario,
+        metrics,
+        half_width_95: 0.0,
+        replications: 1,
+        per_processor_ebw: None,
+    }
 }
 
 fn require(
@@ -225,6 +276,7 @@ impl Evaluator for ExactChainEval {
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::MemoryPriority
             && s.buffering == Buffering::Unbuffered
+            && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
             && s.has_paper_service()
     }
@@ -234,7 +286,8 @@ impl Evaluator for ExactChainEval {
             self.name(),
             scenario,
             self.supports(scenario),
-            "the exact chain is defined for memory priority, no buffers, p = 1, constant service",
+            "the exact chain is defined for memory priority, no buffers, random arbitration, \
+             p = 1, constant service",
         )?;
         let ebw = ExactChain::new(scenario.params).ebw()?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
@@ -254,6 +307,7 @@ impl Evaluator for ReducedChainEval {
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::ProcessorPriority
             && s.buffering == Buffering::Unbuffered
+            && s.arbitration == ArbitrationKind::Random
             && s.has_paper_service()
     }
 
@@ -262,7 +316,8 @@ impl Evaluator for ReducedChainEval {
             self.name(),
             scenario,
             self.supports(scenario),
-            "the reduced chain is defined for processor priority, no buffers, constant service",
+            "the reduced chain is defined for processor priority, no buffers, random \
+             arbitration, constant service",
         )?;
         let ebw = ReducedChain::new(scenario.params).ebw()?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
@@ -287,6 +342,7 @@ impl Evaluator for ApproxEval {
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::MemoryPriority
             && s.buffering == Buffering::Unbuffered
+            && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
             && s.has_paper_service()
     }
@@ -330,7 +386,7 @@ impl Evaluator for PfqnEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.buffering == Buffering::Buffered
+        s.buffering == Buffering::Buffered && s.arbitration == ArbitrationKind::Random
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -359,7 +415,7 @@ impl Evaluator for CrossbarExactEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.params.p() >= 1.0
+        s.params.p() >= 1.0 && s.arbitration == ArbitrationKind::Random
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -387,10 +443,15 @@ pub struct SimBudget {
     pub master_seed: u64,
     /// How replications execute (parallel is bit-identical to serial).
     pub mode: ExecutionMode,
+    /// Which simulation engine advances the model (cycle-stepped vs
+    /// event-driven; statistically equivalent, validated
+    /// differentially).
+    pub engine: EngineKind,
 }
 
 impl SimBudget {
-    /// Paper-grade budget: 6 replications × 200 000 measured cycles.
+    /// Paper-grade budget: 6 replications × 200 000 measured cycles,
+    /// cycle-stepped engine.
     pub fn paper() -> Self {
         SimBudget {
             replications: 6,
@@ -398,6 +459,7 @@ impl SimBudget {
             measure: 200_000,
             master_seed: 0x1985_0414, // ISCA'85 flavor
             mode: ExecutionMode::Parallel,
+            engine: EngineKind::Cycle,
         }
     }
 
@@ -415,6 +477,12 @@ impl SimBudget {
     /// Returns a copy with the given master seed.
     pub fn with_master_seed(mut self, seed: u64) -> Self {
         self.master_seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given simulation engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -452,31 +520,48 @@ impl Evaluator for BusSimEval {
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
         scenario.service().validate()?;
         let plan = ReplicationPlan::new(self.budget.replications.max(1), self.budget.master_seed);
-        let summary = run_replications_with(&plan, self.budget.mode, |_, seed| {
+        let seeds: Vec<u64> = plan.seeds().collect();
+        // Full reports rather than scalars: the per-processor counts
+        // feed the fairness measures. Results stay in seed order, so
+        // parallel execution remains bit-identical to serial.
+        let reports = parallel_map(&seeds, self.budget.mode, |_, &seed| {
             let mut builder = BusSimBuilder::new(scenario.params)
                 .policy(scenario.policy)
                 .buffering(scenario.buffering)
+                .arbitration(scenario.arbitration)
+                .engine(self.budget.engine)
                 .seed(seed)
                 .warmup_cycles(self.budget.warmup)
                 .measure_cycles(self.budget.measure);
             if let Some(service) = scenario.memory_service {
                 builder = builder.memory_service(service);
             }
-            builder.build().run().ebw()
+            builder.run()
         });
+        let summary = ReplicationSummary::from_values(reports.iter().map(|r| r.ebw()).collect());
+        let n = scenario.params.n() as usize;
+        let measured_total: u64 = reports.iter().map(|r| r.measured_cycles).sum();
+        let rc = f64::from(scenario.params.processor_cycle());
+        let per_processor_ebw: Vec<f64> = (0..n)
+            .map(|i| {
+                let returns: u64 = reports.iter().map(|r| r.per_processor_returns[i]).sum();
+                returns as f64 * rc / measured_total as f64
+            })
+            .collect();
         Ok(Evaluation {
             evaluator: self.name(),
             scenario: *scenario,
             metrics: Metrics::from_ebw(scenario.params, summary.mean()),
             half_width_95: summary.half_width_95(),
             replications: summary.replications() as u32,
+            per_processor_ebw: Some(per_processor_ebw),
         })
     }
 }
 
 /// The synchronous crossbar simulator baseline (handles `p < 1`, where
-/// the exact crossbar chain does not). Ignores policy, buffering, and
-/// service overrides.
+/// the exact crossbar chain does not). Honors the scenario's
+/// arbitration kind; ignores policy, buffering, and service overrides.
 #[derive(Clone, Copy, Debug)]
 pub struct CrossbarSimEval {
     /// RNG seed.
@@ -485,17 +570,21 @@ pub struct CrossbarSimEval {
     pub warmup: u64,
     /// Measured cycles (crossbar cycles).
     pub measure: u64,
+    /// Simulation engine (cycle-stepped vs event-driven).
+    pub engine: EngineKind,
 }
 
 impl CrossbarSimEval {
-    /// An evaluator drawing its seed and cycle counts from `budget`
-    /// (one processor-cycle step per `r + 2` bus cycles, so the warmup
-    /// is scaled down by 10 as in the paper-reproduction runners).
+    /// An evaluator drawing its seed, engine, and cycle counts from
+    /// `budget` (one processor-cycle step per `r + 2` bus cycles, so
+    /// the warmup is scaled down by 10 as in the paper-reproduction
+    /// runners).
     pub fn new(budget: SimBudget) -> Self {
         CrossbarSimEval {
             seed: budget.master_seed ^ 0xF16,
             warmup: (budget.warmup / 10).max(100),
             measure: budget.measure,
+            engine: budget.engine,
         }
     }
 }
@@ -510,12 +599,16 @@ impl Evaluator for CrossbarSimEval {
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
-        let ebw = CrossbarSim::new(scenario.params)
+        let report = CrossbarSim::new(scenario.params)
+            .arbitration(scenario.arbitration)
+            .engine(self.engine)
             .seed(self.seed)
             .warmup_cycles(self.warmup)
             .measure_cycles(self.measure)
-            .run_ebw();
-        Ok(crossbar_evaluation(self.name(), scenario, ebw))
+            .run_report();
+        let mut evaluation = crossbar_evaluation(self.name(), scenario, report.ebw());
+        evaluation.per_processor_ebw = Some(report.per_processor_ebw());
+        Ok(evaluation)
     }
 }
 
@@ -628,6 +721,7 @@ pub struct ScenarioGrid {
     p: Vec<f64>,
     policies: Vec<BusPolicy>,
     bufferings: Vec<Buffering>,
+    arbitrations: Vec<ArbitrationKind>,
     memory_service: Option<ServiceTime>,
 }
 
@@ -642,6 +736,7 @@ impl ScenarioGrid {
             p: vec![1.0],
             policies: vec![BusPolicy::ProcessorPriority],
             bufferings: vec![Buffering::Unbuffered],
+            arbitrations: vec![ArbitrationKind::Random],
             memory_service: None,
         }
     }
@@ -688,6 +783,12 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the arbitration axis (hypothesis *h* and its relaxations).
+    pub fn arbitrations(mut self, values: impl Into<Vec<ArbitrationKind>>) -> Self {
+        self.arbitrations = values.into();
+        self
+    }
+
     /// Applies an explicit service distribution to every point.
     pub fn memory_service(mut self, service: ServiceTime) -> Self {
         self.memory_service = Some(service);
@@ -700,7 +801,13 @@ impl ScenarioGrid {
             RAxis::Values(v) => v.len(),
             RAxis::MinNmPlus(_) => 1,
         };
-        self.n.len() * self.m.len() * r * self.p.len() * self.policies.len() * self.bufferings.len()
+        self.n.len()
+            * self.m.len()
+            * r
+            * self.p.len()
+            * self.policies.len()
+            * self.bufferings.len()
+            * self.arbitrations.len()
     }
 
     /// Whether the grid is degenerate (some axis has no values).
@@ -709,7 +816,7 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid, in row-major axis order
-    /// `n → m → r → p → policy → buffering`.
+    /// `n → m → r → p → policy → buffering → arbitration`.
     ///
     /// # Errors
     ///
@@ -728,13 +835,16 @@ impl ScenarioGrid {
                         let params = SystemParams::new(n, m, r)?.with_request_probability(p)?;
                         for &policy in &self.policies {
                             for &buffering in &self.bufferings {
-                                let mut scenario = Scenario::new(params)
-                                    .with_policy(policy)
-                                    .with_buffering(buffering);
-                                if let Some(service) = self.memory_service {
-                                    scenario = scenario.with_memory_service(service);
+                                for &arbitration in &self.arbitrations {
+                                    let mut scenario = Scenario::new(params)
+                                        .with_policy(policy)
+                                        .with_buffering(buffering)
+                                        .with_arbitration(arbitration);
+                                    if let Some(service) = self.memory_service {
+                                        scenario = scenario.with_memory_service(service);
+                                    }
+                                    out.push(scenario);
                                 }
-                                out.push(scenario);
                             }
                         }
                     }

@@ -16,6 +16,38 @@
 //!    release their processor), services progress, completed modules
 //!    deposit results (buffered modules then pull their input queue).
 //!
+//! ## Engines
+//!
+//! Two engines share these dynamics (select via
+//! [`BusSimBuilder::engine`]):
+//!
+//! * [`EngineKind::Cycle`] — this module's [`BusSim`]: one `step()`
+//!   per bus cycle, the paper's original formulation and the reference
+//!   for differential validation.
+//! * [`EngineKind::Event`] — [`super::event_bus::EventBusSim`]: the
+//!   same stochastic process on the discrete-event kernel
+//!   (`busnet_sim::event`), where think timers, memory completions,
+//!   and bus grants are scheduled events and idle cycles cost nothing.
+//!   Statistically equivalent (independent RNG streams), and much
+//!   faster at large `r` / small `p`.
+//!
+//! ## Arbitration and the paper's hypotheses
+//!
+//! [`ArbitrationKind`] makes hypothesis *h* (uniform-random
+//! tie-breaking) a pluggable axis:
+//!
+//! * [`ArbitrationKind::Random`] — the paper's hypothesis *h* exactly;
+//!   the analytic chains assume it.
+//! * [`ArbitrationKind::RoundRobin`] — relaxes *h* to a rotating
+//!   pointer; preserves the symmetric-load EBW (hypothesis *e* keeps
+//!   every candidate statistically identical) while hard-bounding
+//!   per-processor waiting spread.
+//! * [`ArbitrationKind::Lru`] — relaxes *h* toward an explicitly
+//!   fairness-seeking arbiter; the spread-minimizing reference point.
+//! * [`ArbitrationKind::Priority`] — *breaks* the symmetry hypotheses
+//!   on purpose: fixed linear priority is the starvation worst case,
+//!   bounding how unfair the bus can get without changing capacity.
+//!
 //! ## Extensions beyond the paper
 //!
 //! The builder exposes three studied generalizations (defaults
@@ -33,13 +65,20 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use busnet_sim::arbiter::Arbiter;
+use busnet_sim::clock::MeasurementWindow;
+use busnet_sim::counters::SimCounters;
 use busnet_sim::histogram::Histogram;
-use busnet_sim::stats::RunningStats;
+use busnet_sim::stats::{jain_fairness_index, RunningStats};
 
 use crate::metrics::Metrics;
 use crate::params::{Buffering, BusPolicy, SystemParams};
 use crate::sim::address::AddressPattern;
+use crate::sim::event_bus::EventBusSim;
 use crate::sim::service::ServiceTime;
+
+pub use busnet_sim::arbiter::ArbitrationKind;
+pub use busnet_sim::event::EngineKind;
 
 /// A processor's request token, carried through module buffers and bus
 /// transfers.
@@ -83,16 +122,13 @@ impl Module {
     /// (0 = unbuffered) and the number of requests already in flight on
     /// the bus toward this module.
     fn can_accept(&self, depth: u32, inflight: u32) -> bool {
-        if depth == 0 {
-            self.service.is_none()
-                && self.output.is_empty()
-                && self.input.is_empty()
-                && inflight == 0
-        } else {
-            // Capacity: the input FIFO plus the service stage if idle.
-            let used = self.input.len() as u32 + inflight;
-            used < depth + u32::from(self.service.is_none())
-        }
+        module_can_accept(
+            depth,
+            self.service.is_some(),
+            self.input.len(),
+            self.output.len(),
+            inflight,
+        )
     }
 
     fn is_serving(&self) -> bool {
@@ -100,25 +136,38 @@ impl Module {
     }
 }
 
+/// Which side wins a free channel when both want it (hypothesis *g*),
+/// shared by the cycle and event engines so the two cannot drift.
+pub(crate) fn grant_memory_side(policy: BusPolicy, memory_ready: bool, proc_ready: bool) -> bool {
+    match policy {
+        BusPolicy::ProcessorPriority => memory_ready && !proc_ready,
+        BusPolicy::MemoryPriority => memory_ready,
+    }
+}
+
+/// The admission rule (hypothesis *h* plus the §6 buffer capacity),
+/// shared by the cycle and event engines so the two cannot drift:
+/// whether one more request may be routed to a module with the given
+/// queue state and `inflight` requests already on the bus toward it.
+pub(crate) fn module_can_accept(
+    depth: u32,
+    service_occupied: bool,
+    input_len: usize,
+    output_len: usize,
+    inflight: u32,
+) -> bool {
+    if depth == 0 {
+        !service_occupied && output_len == 0 && input_len == 0 && inflight == 0
+    } else {
+        // Capacity: the input FIFO plus the service stage if idle.
+        input_len as u32 + inflight < depth + u32::from(!service_occupied)
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Transfer {
     Request { token: Token, module: usize },
     Return { token: Token },
-}
-
-/// Tie-breaking rule among same-side bus candidates.
-///
-/// The paper's hypothesis *h* specifies uniform random arbitration;
-/// round-robin is the common hardware alternative, exposed for the
-/// sensitivity ablation.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub enum ArbitrationKind {
-    /// Uniform random among candidates (the paper's assumption).
-    #[default]
-    Random,
-    /// Rotating-pointer round robin (separate pointers for the
-    /// processor and memory sides).
-    RoundRobin,
 }
 
 /// Builder for [`BusSim`].
@@ -142,18 +191,19 @@ pub enum ArbitrationKind {
 /// ```
 #[derive(Clone, Debug)]
 pub struct BusSimBuilder {
-    params: SystemParams,
-    policy: BusPolicy,
-    buffering: Buffering,
-    buffer_depth: u32,
-    channels: u32,
-    addressing: AddressPattern,
-    arbitration: ArbitrationKind,
-    memory_service: Option<ServiceTime>,
-    bus_transfer: ServiceTime,
-    seed: u64,
-    warmup: u64,
-    measure: u64,
+    pub(crate) params: SystemParams,
+    pub(crate) policy: BusPolicy,
+    pub(crate) buffering: Buffering,
+    pub(crate) buffer_depth: u32,
+    pub(crate) channels: u32,
+    pub(crate) addressing: AddressPattern,
+    pub(crate) arbitration: ArbitrationKind,
+    pub(crate) engine: EngineKind,
+    pub(crate) memory_service: Option<ServiceTime>,
+    pub(crate) bus_transfer: ServiceTime,
+    pub(crate) seed: u64,
+    pub(crate) warmup: u64,
+    pub(crate) measure: u64,
 }
 
 impl BusSimBuilder {
@@ -170,6 +220,7 @@ impl BusSimBuilder {
             channels: 1,
             addressing: AddressPattern::Uniform,
             arbitration: ArbitrationKind::Random,
+            engine: EngineKind::Cycle,
             memory_service: None,
             bus_transfer: ServiceTime::Constant(1),
             seed: 0x5EED,
@@ -218,6 +269,14 @@ impl BusSimBuilder {
         self
     }
 
+    /// Selects the simulation engine (cycle-stepped vs event-driven)
+    /// used by [`BusSimBuilder::run`]. The engines realize the same
+    /// stochastic process; the event engine skips idle cycles.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Overrides the memory service-time distribution (default:
     /// `Constant(r)`).
     pub fn memory_service(mut self, service: ServiceTime) -> Self {
@@ -250,7 +309,9 @@ impl BusSimBuilder {
         self
     }
 
-    /// Builds the simulator.
+    /// Builds the cycle-stepped simulator (regardless of the
+    /// [`BusSimBuilder::engine`] knob; use [`BusSimBuilder::run`] for
+    /// engine dispatch).
     ///
     /// # Panics
     ///
@@ -274,54 +335,49 @@ impl BusSimBuilder {
             buffering: self.buffering,
             depth,
             addressing: self.addressing,
-            arbitration: self.arbitration,
             memory_service,
             bus_transfer: self.bus_transfer,
-            warmup: self.warmup,
-            measure: self.measure,
             rng: SmallRng::seed_from_u64(self.seed),
             cycle: 0,
             procs: vec![ProcPhase::Thinking { until: 0 }; n],
             modules: vec![Module::default(); m],
             bus: vec![None; self.channels as usize],
-            rr_proc: 0,
-            rr_module: 0,
-            stats: Counters::new(n, self.params.processor_cycle()),
+            proc_arbiter: Arbiter::new(self.arbitration),
+            module_arbiter: Arbiter::new(self.arbitration),
+            stats: new_counters(&self.params, self.warmup, self.measure),
             candidate_scratch: Vec::with_capacity(n.max(m)),
             inflight_scratch: vec![0; m],
         }
     }
-}
 
-#[derive(Clone, Debug)]
-struct Counters {
-    returns: u64,
-    requests_granted: u64,
-    bus_busy_channel_cycles: u64,
-    module_busy_cycles: u64,
-    measured_cycles: u64,
-    wait: RunningStats,
-    round_trip: RunningStats,
-    wait_histogram: Histogram,
-    per_proc_returns: Vec<u64>,
-}
+    /// Builds the event-driven simulator (regardless of the
+    /// [`BusSimBuilder::engine`] knob).
+    ///
+    /// # Panics
+    ///
+    /// As [`BusSimBuilder::build`].
+    pub fn build_event(self) -> EventBusSim {
+        EventBusSim::from_builder(self)
+    }
 
-impl Counters {
-    fn new(n: usize, processor_cycle: u32) -> Self {
-        Counters {
-            returns: 0,
-            requests_granted: 0,
-            bus_busy_channel_cycles: 0,
-            module_busy_cycles: 0,
-            measured_cycles: 0,
-            wait: RunningStats::new(),
-            round_trip: RunningStats::new(),
-            // One bucket per bus cycle up to 16 processor cycles of
-            // waiting; the tail saturates.
-            wait_histogram: Histogram::new(1.0, 16 * processor_cycle as usize),
-            per_proc_returns: vec![0; n],
+    /// Builds and runs the configured engine to completion.
+    pub fn run(self) -> SimReport {
+        match self.engine {
+            EngineKind::Cycle => self.build().run(),
+            EngineKind::Event => self.build_event().run(),
         }
     }
+}
+
+/// The shared counter set both bus engines accumulate into: one bucket
+/// per bus cycle of waiting up to 16 processor cycles (the tail
+/// saturates), one fairness slot per processor.
+pub(crate) fn new_counters(params: &SystemParams, warmup: u64, measure: u64) -> SimCounters {
+    SimCounters::new(
+        MeasurementWindow::new(warmup, measure),
+        params.n() as usize,
+        Histogram::new(1.0, 16 * params.processor_cycle() as usize),
+    )
 }
 
 /// The single-bus (or multi-channel) simulator. Create via
@@ -333,19 +389,16 @@ pub struct BusSim {
     buffering: Buffering,
     depth: u32,
     addressing: AddressPattern,
-    arbitration: ArbitrationKind,
     memory_service: ServiceTime,
     bus_transfer: ServiceTime,
-    warmup: u64,
-    measure: u64,
     rng: SmallRng,
     cycle: u64,
     procs: Vec<ProcPhase>,
     modules: Vec<Module>,
     bus: Vec<Option<(Transfer, u64)>>,
-    rr_proc: usize,
-    rr_module: usize,
-    stats: Counters,
+    proc_arbiter: Arbiter,
+    module_arbiter: Arbiter,
+    stats: SimCounters,
     candidate_scratch: Vec<usize>,
     inflight_scratch: Vec<u32>,
 }
@@ -368,40 +421,29 @@ impl BusSim {
 
     /// Runs warmup + measurement and returns the report.
     pub fn run(mut self) -> SimReport {
-        let total = self.warmup + self.measure;
+        let total = self.stats.window().total_cycles();
         while self.cycle < total {
             self.step();
         }
-        SimReport {
-            params: self.params,
-            policy: self.policy,
-            buffering: self.buffering,
-            channels: self.bus.len() as u32,
-            returns: self.stats.returns,
-            requests_granted: self.stats.requests_granted,
-            measured_cycles: self.stats.measured_cycles,
-            bus_busy_channel_cycles: self.stats.bus_busy_channel_cycles,
-            module_busy_cycles: self.stats.module_busy_cycles,
-            wait: self.stats.wait,
-            round_trip: self.stats.round_trip,
-            wait_histogram: self.stats.wait_histogram,
-            per_processor_returns: self.stats.per_proc_returns,
-        }
+        SimReport::from_counters(
+            self.params,
+            self.policy,
+            self.buffering,
+            self.bus.len() as u32,
+            self.stats,
+        )
     }
 
     /// Advances the simulation by one bus cycle.
     pub fn step(&mut self) {
         let t = self.cycle;
-        let measuring = t >= self.warmup;
         self.wake_processors(t);
-        self.arbitrate(t, measuring);
-        if measuring {
-            self.stats.measured_cycles += 1;
-            self.stats.bus_busy_channel_cycles +=
-                self.bus.iter().filter(|c| c.is_some()).count() as u64;
-            self.stats.module_busy_cycles +=
-                self.modules.iter().filter(|md| md.is_serving()).count() as u64;
-        }
+        self.arbitrate(t);
+        self.stats.tick_busy(
+            t,
+            self.bus.iter().filter(|c| c.is_some()).count() as u64,
+            self.modules.iter().filter(|md| md.is_serving()).count() as u64,
+        );
 
         // End-of-cycle: returns land first, then service progress, then
         // request delivery (so a fresh service is not decremented in its
@@ -414,11 +456,7 @@ impl BusSim {
                     match transfer {
                         Transfer::Return { token } => {
                             debug_assert!(matches!(self.procs[token.proc], ProcPhase::Waiting));
-                            if measuring {
-                                self.stats.returns += 1;
-                                self.stats.per_proc_returns[token.proc] += 1;
-                                self.stats.round_trip.push((t + 1 - token.issued) as f64);
-                            }
+                            self.stats.record_return(t, token.proc, token.issued);
                             self.procs[token.proc] = ProcPhase::Thinking { until: t + 1 };
                         }
                         Transfer::Request { token, module } => {
@@ -453,27 +491,7 @@ impl BusSim {
         }
     }
 
-    /// Picks a candidate index per the arbitration kind; `pointer` is
-    /// the round-robin cursor for the relevant side.
-    fn pick(
-        rng: &mut SmallRng,
-        kind: ArbitrationKind,
-        candidates: &[usize],
-        pointer: &mut usize,
-    ) -> usize {
-        debug_assert!(!candidates.is_empty());
-        match kind {
-            ArbitrationKind::Random => candidates[rng.gen_range(0..candidates.len())],
-            ArbitrationKind::RoundRobin => {
-                let chosen =
-                    candidates.iter().copied().find(|&c| c >= *pointer).unwrap_or(candidates[0]);
-                *pointer = chosen + 1;
-                chosen
-            }
-        }
-    }
-
-    fn arbitrate(&mut self, t: u64, measuring: bool) {
+    fn arbitrate(&mut self, t: u64) {
         // Requests already in flight per module (multi-cycle transfers
         // and sibling channels granted this cycle).
         self.inflight_scratch.iter_mut().for_each(|x| *x = 0);
@@ -498,10 +516,7 @@ impl BusSim {
                 }
             }
             let proc_ready = !self.candidate_scratch.is_empty();
-            let grant_memory = match self.policy {
-                BusPolicy::ProcessorPriority => memory_ready && !proc_ready,
-                BusPolicy::MemoryPriority => memory_ready,
-            };
+            let grant_memory = grant_memory_side(self.policy, memory_ready, proc_ready);
             if !grant_memory && !proc_ready {
                 break; // nothing left for the remaining channels either
             }
@@ -513,23 +528,18 @@ impl BusSim {
                     .enumerate()
                     .filter_map(|(j, md)| (!md.output.is_empty()).then_some(j))
                     .collect();
-                let j = Self::pick(&mut self.rng, self.arbitration, &ready, &mut self.rr_module);
+                let j = self.module_arbiter.pick(t, &ready, &mut self.rng);
                 let token = self.modules[j].output.pop_front().expect("candidate had output");
                 self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
             } else {
                 let candidates = std::mem::take(&mut self.candidate_scratch);
-                let pick =
-                    Self::pick(&mut self.rng, self.arbitration, &candidates, &mut self.rr_proc);
+                let pick = self.proc_arbiter.pick(t, &candidates, &mut self.rng);
                 self.candidate_scratch = candidates;
                 let (module, since, issued) = match self.procs[pick] {
                     ProcPhase::Pending { module, since, issued } => (module, since, issued),
                     _ => unreachable!("candidate list holds only pending processors"),
                 };
-                if measuring {
-                    self.stats.requests_granted += 1;
-                    self.stats.wait.push((t - since) as f64);
-                    self.stats.wait_histogram.record((t - since) as f64);
-                }
+                self.stats.record_grant(t, since);
                 self.procs[pick] = ProcPhase::Waiting;
                 self.inflight_scratch[module] += 1;
                 self.bus[ch] = Some((
@@ -661,6 +671,32 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Assembles a report from the shared counter set (both engines
+    /// finish through here).
+    pub(crate) fn from_counters(
+        params: SystemParams,
+        policy: BusPolicy,
+        buffering: Buffering,
+        channels: u32,
+        stats: SimCounters,
+    ) -> SimReport {
+        SimReport {
+            params,
+            policy,
+            buffering,
+            channels,
+            returns: stats.returns,
+            requests_granted: stats.requests_granted,
+            measured_cycles: stats.measured_cycles(),
+            bus_busy_channel_cycles: stats.bus_busy_channel_cycles,
+            module_busy_cycles: stats.module_busy_cycles,
+            wait: stats.wait,
+            round_trip: stats.round_trip,
+            wait_histogram: stats.wait_histogram,
+            per_processor_returns: stats.per_entity_returns,
+        }
+    }
+
     /// Effective bandwidth: requests serviced per processor cycle.
     pub fn ebw(&self) -> f64 {
         self.returns as f64 * f64::from(self.params.processor_cycle()) / self.measured_cycles as f64
@@ -680,12 +716,7 @@ impl SimReport {
     /// Jain's fairness index over per-processor service counts
     /// (1 = perfectly fair, `1/n` = one processor hogs the bus).
     pub fn fairness_index(&self) -> f64 {
-        let total: f64 = self.per_processor_returns.iter().map(|&x| x as f64).sum();
-        if total == 0.0 {
-            return 1.0;
-        }
-        let sum_sq: f64 = self.per_processor_returns.iter().map(|&x| (x as f64) * (x as f64)).sum();
-        total * total / (self.per_processor_returns.len() as f64 * sum_sq)
+        jain_fairness_index(self.per_processor_returns.iter().map(|&x| x as f64))
     }
 
     /// The parameters of the run.

@@ -2,15 +2,34 @@
 //!
 //! One step = one crossbar cycle = one processor cycle `(r+2)·t`. Every
 //! cycle each requesting processor addresses its module; each module
-//! serves one of its requesters (chosen uniformly); with a bus cap `b`,
-//! only `min(x, b)` busy modules (chosen uniformly) may serve. Rejected
-//! requests persist. Served processors re-request with probability `p`
-//! per subsequent cycle.
+//! serves one of its requesters (per the [`ArbitrationKind`], uniform
+//! random in the references); with a bus cap `b`, only `min(x, b)` busy
+//! modules (chosen uniformly) may serve. Rejected requests persist.
+//! Served processors re-request with probability `p` per subsequent
+//! cycle.
+//!
+//! Like the single-bus simulator, the crossbar runs on either engine
+//! ([`CrossbarSim::engine`]): the cycle-stepped reference, or the
+//! event-driven port where think timers are pre-sampled geometric
+//! events and fully idle cycles (no requester anywhere) are skipped.
+//! Both share the kernel's warmup-gated counters
+//! (`busnet_sim::counters`).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use busnet_sim::arbiter::Arbiter;
+use busnet_sim::clock::MeasurementWindow;
+use busnet_sim::counters::SimCounters;
+use busnet_sim::event::{sample_bernoulli_success, EventQueue};
+use busnet_sim::histogram::Histogram;
+use busnet_sim::seeds::SeedSequence;
+use busnet_sim::stats::jain_fairness_index;
+
 use crate::params::SystemParams;
+
+pub use busnet_sim::arbiter::ArbitrationKind;
+pub use busnet_sim::event::EngineKind;
 
 /// Builder/runner for the crossbar (and multiple-bus) baseline.
 ///
@@ -32,21 +51,74 @@ use crate::params::SystemParams;
 pub struct CrossbarSim {
     params: SystemParams,
     buses: Option<u32>,
+    arbitration: ArbitrationKind,
+    engine: EngineKind,
     seed: u64,
     warmup: u64,
     measure: u64,
 }
 
+/// Measured results of one crossbar run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossbarReport {
+    /// Requests served during measurement.
+    pub served: u64,
+    /// Measured crossbar cycles.
+    pub measured_cycles: u64,
+    /// Requests served per processor (fairness analysis).
+    pub per_processor_served: Vec<u64>,
+}
+
+impl CrossbarReport {
+    /// EBW: mean requests served per crossbar cycle.
+    pub fn ebw(&self) -> f64 {
+        self.served as f64 / self.measured_cycles as f64
+    }
+
+    /// Per-processor EBW contributions (they sum to [`Self::ebw`]).
+    pub fn per_processor_ebw(&self) -> Vec<f64> {
+        self.per_processor_served.iter().map(|&s| s as f64 / self.measured_cycles as f64).collect()
+    }
+
+    /// Jain's fairness index over per-processor served counts.
+    pub fn fairness_index(&self) -> f64 {
+        jain_fairness_index(self.per_processor_served.iter().map(|&x| x as f64))
+    }
+}
+
 impl CrossbarSim {
     /// Creates a crossbar simulator (no bus cap).
     pub fn new(params: SystemParams) -> Self {
-        CrossbarSim { params, buses: None, seed: 0x5EED, warmup: 1_000, measure: 100_000 }
+        CrossbarSim {
+            params,
+            buses: None,
+            arbitration: ArbitrationKind::Random,
+            engine: EngineKind::Cycle,
+            seed: 0x5EED,
+            warmup: 1_000,
+            measure: 100_000,
+        }
     }
 
     /// Caps concurrent services at `buses` per cycle, turning the
     /// crossbar into the multiple-bus network of reference 5.
     pub fn with_buses(mut self, buses: u32) -> Self {
         self.buses = Some(buses);
+        self
+    }
+
+    /// Sets the per-module requester tie-break (the references assume
+    /// uniform random). Stateful kinds (round robin, LRU) share one
+    /// arbiter across modules: the pointer/stamps track processors,
+    /// which is the fairness axis under study.
+    pub fn arbitration(mut self, arbitration: ArbitrationKind) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// Selects the simulation engine (cycle-stepped vs event-driven).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -68,22 +140,51 @@ impl CrossbarSim {
         self
     }
 
+    fn counters(&self) -> SimCounters {
+        // The crossbar records no waiting times; a minimal histogram
+        // keeps the shared counter shape.
+        SimCounters::new(
+            MeasurementWindow::new(self.warmup, self.measure),
+            self.params.n() as usize,
+            Histogram::new(1.0, 1),
+        )
+    }
+
     /// Runs and returns the EBW: mean requests served per cycle.
     pub fn run_ebw(&self) -> f64 {
+        self.run_report().ebw()
+    }
+
+    /// Runs the configured engine and returns the full report.
+    pub fn run_report(&self) -> CrossbarReport {
+        let stats = match self.engine {
+            EngineKind::Cycle => self.run_cycle(),
+            EngineKind::Event => self.run_event(),
+        };
+        CrossbarReport {
+            served: stats.returns,
+            measured_cycles: stats.measured_cycles(),
+            per_processor_served: stats.per_entity_returns,
+        }
+    }
+
+    /// The cycle-stepped reference engine: one pass per crossbar cycle.
+    fn run_cycle(&self) -> SimCounters {
         #[derive(Clone, Copy, PartialEq)]
         enum Phase {
             Thinking,
             Requesting(usize),
         }
         let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut arbiter = Arbiter::new(self.arbitration);
+        let mut stats = self.counters();
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
         let p = self.params.p();
         let mut procs = vec![Phase::Thinking; n];
-        let mut served_total: u64 = 0;
         let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
         let mut busy: Vec<usize> = Vec::with_capacity(m);
-        for cycle in 0..(self.warmup + self.measure) {
+        for cycle in 0..stats.window().total_cycles() {
             // Thinking processors flip the request coin.
             for proc in &mut procs {
                 if *proc == Phase::Thinking && (p >= 1.0 || rng.gen_bool(p)) {
@@ -110,15 +211,95 @@ impl CrossbarSim {
                 busy.swap(k, swap);
             }
             for &j in &busy[..cap] {
-                let winners = &requesters[j];
-                let lucky = winners[rng.gen_range(0..winners.len())];
+                let lucky = arbiter.pick(cycle, &requesters[j], &mut rng);
                 procs[lucky] = Phase::Thinking;
-                if cycle >= self.warmup {
-                    served_total += 1;
-                }
+                stats.record_served(cycle, lucky);
             }
         }
-        served_total as f64 / self.measure as f64
+        stats
+    }
+
+    /// The event-driven engine: think timers become pre-sampled
+    /// geometric `request` events, and cycles with no requester
+    /// anywhere are skipped entirely.
+    fn run_event(&self) -> SimCounters {
+        let mut stats = self.counters();
+        let total = stats.window().total_cycles();
+        let n = self.params.n() as usize;
+        let m = self.params.m() as usize;
+        let p = self.params.p();
+        let seeds = SeedSequence::new(self.seed);
+        let proc_seeds = seeds.child(0);
+        let mut proc_rngs: Vec<SmallRng> =
+            (0..n).map(|i| SmallRng::seed_from_u64(proc_seeds.stream(i as u64))).collect();
+        let mut service_rng = SmallRng::seed_from_u64(seeds.child(1).stream(0));
+        let mut arbiter = Arbiter::new(self.arbitration);
+
+        // The cycle (≥ `from`) at which processor `i`'s per-cycle
+        // Bernoulli(p) coin first succeeds, sampled in one geometric
+        // draw; `None` once beyond the horizon.
+        let sample_request = |i: usize, from: u64, rngs: &mut Vec<SmallRng>| -> Option<u64> {
+            sample_bernoulli_success(&mut rngs[i], p, from, 1, total)
+        };
+
+        // A requesting processor's pending target, or none (thinking).
+        let mut targets: Vec<Option<usize>> = vec![None; n];
+        let mut requesting = 0usize;
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for i in 0..n {
+            if let Some(t) = sample_request(i, 0, &mut proc_rngs) {
+                queue.schedule(t, i);
+            }
+        }
+        let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut busy: Vec<usize> = Vec::with_capacity(m);
+        let mut wake_at: Option<u64> = None;
+        loop {
+            let t = match (wake_at, queue.peek_time()) {
+                (Some(w), Some(e)) => w.min(e),
+                (Some(w), None) => w,
+                (None, Some(e)) => e,
+                (None, None) => break,
+            };
+            if t >= total {
+                break;
+            }
+            wake_at = None;
+            while let Some(i) = queue.pop_at(t) {
+                debug_assert!(targets[i].is_none());
+                targets[i] = Some(proc_rngs[i].gen_range(0..m));
+                requesting += 1;
+            }
+            for list in &mut requesters {
+                list.clear();
+            }
+            for (i, target) in targets.iter().enumerate() {
+                if let Some(j) = target {
+                    requesters[*j].push(i);
+                }
+            }
+            busy.clear();
+            busy.extend((0..m).filter(|&j| !requesters[j].is_empty()));
+            let cap = self.buses.map_or(busy.len(), |b| busy.len().min(b as usize));
+            for k in 0..cap {
+                let swap = service_rng.gen_range(k..busy.len());
+                busy.swap(k, swap);
+            }
+            for &j in &busy[..cap] {
+                let lucky = arbiter.pick(t, &requesters[j], &mut service_rng);
+                targets[lucky] = None;
+                requesting -= 1;
+                stats.record_served(t, lucky);
+                if let Some(next) = sample_request(lucky, t + 1, &mut proc_rngs) {
+                    queue.schedule(next, lucky);
+                }
+            }
+            // Unserved requests persist: the very next cycle is active.
+            if requesting > 0 && t + 1 < total {
+                wake_at = Some(t + 1);
+            }
+        }
+        stats
     }
 }
 
@@ -146,30 +327,93 @@ mod tests {
     }
 
     #[test]
+    fn event_engine_matches_exact_chain() {
+        for (n, m) in [(4, 4), (8, 8), (8, 4)] {
+            let sim = CrossbarSim::new(params(n, m))
+                .engine(EngineKind::Event)
+                .seed(7)
+                .warmup_cycles(2_000)
+                .measure_cycles(200_000)
+                .run_ebw();
+            let exact = crossbar_ebw_exact(n, m).unwrap();
+            assert!((sim - exact).abs() / exact < 0.01, "({n},{m}): sim {sim} vs exact {exact}");
+        }
+    }
+
+    #[test]
     fn multibus_matches_exact_chain() {
-        let sim = CrossbarSim::new(params(8, 8))
-            .with_buses(3)
-            .seed(11)
-            .warmup_cycles(2_000)
-            .measure_cycles(200_000)
-            .run_ebw();
-        let exact = multibus_bw_exact(8, 8, 3).unwrap();
-        assert!((sim - exact).abs() / exact < 0.01, "sim {sim} vs exact {exact}");
+        for engine in [EngineKind::Cycle, EngineKind::Event] {
+            let sim = CrossbarSim::new(params(8, 8))
+                .with_buses(3)
+                .engine(engine)
+                .seed(11)
+                .warmup_cycles(2_000)
+                .measure_cycles(200_000)
+                .run_ebw();
+            let exact = multibus_bw_exact(8, 8, 3).unwrap();
+            assert!((sim - exact).abs() / exact < 0.01, "{engine:?}: sim {sim} vs exact {exact}");
+        }
     }
 
     #[test]
     fn think_probability_lowers_throughput() {
-        let full = CrossbarSim::new(params(8, 8)).seed(3).run_ebw();
-        let half =
-            CrossbarSim::new(params(8, 8).with_request_probability(0.5).unwrap()).seed(3).run_ebw();
-        assert!(half < full);
-        assert!(half <= 4.0 + 0.1, "offered load bound: {half}");
+        for engine in [EngineKind::Cycle, EngineKind::Event] {
+            let full = CrossbarSim::new(params(8, 8)).engine(engine).seed(3).run_ebw();
+            let half = CrossbarSim::new(params(8, 8).with_request_probability(0.5).unwrap())
+                .engine(engine)
+                .seed(3)
+                .run_ebw();
+            assert!(half < full, "{engine:?}");
+            assert!(half <= 4.0 + 0.1, "{engine:?}: offered load bound: {half}");
+        }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = CrossbarSim::new(params(4, 4)).seed(9).measure_cycles(5_000).run_ebw();
-        let b = CrossbarSim::new(params(4, 4)).seed(9).measure_cycles(5_000).run_ebw();
-        assert_eq!(a, b);
+        for engine in [EngineKind::Cycle, EngineKind::Event] {
+            let run =
+                || CrossbarSim::new(params(4, 4)).engine(engine).seed(9).measure_cycles(5_000);
+            assert_eq!(run().run_report(), run().run_report(), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_at_low_load() {
+        let run = |engine| {
+            CrossbarSim::new(params(8, 8).with_request_probability(0.2).unwrap())
+                .engine(engine)
+                .seed(5)
+                .warmup_cycles(2_000)
+                .measure_cycles(200_000)
+                .run_ebw()
+        };
+        let cycle = run(EngineKind::Cycle);
+        let event = run(EngineKind::Event);
+        assert!((cycle - event).abs() / cycle < 0.02, "cycle {cycle} vs event {event}");
+    }
+
+    #[test]
+    fn report_accounts_per_processor_served() {
+        let report = CrossbarSim::new(params(8, 8)).seed(13).measure_cycles(50_000).run_report();
+        assert_eq!(report.per_processor_served.iter().sum::<u64>(), report.served);
+        assert!(report.fairness_index() > 0.99, "symmetric: {}", report.fairness_index());
+        let per = report.per_processor_ebw();
+        let total: f64 = per.iter().sum();
+        assert!((total - report.ebw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_arbitration_is_visibly_unfair() {
+        let report = CrossbarSim::new(params(8, 2))
+            .arbitration(ArbitrationKind::Priority)
+            .seed(13)
+            .measure_cycles(50_000)
+            .run_report();
+        assert!(
+            report.per_processor_served[0] > report.per_processor_served[7],
+            "priority should favor processor 0: {:?}",
+            report.per_processor_served
+        );
+        assert!(report.fairness_index() < 0.999);
     }
 }

@@ -1,0 +1,510 @@
+//! Event-driven single-bus engine (the
+//! [`EngineKind::Event`](crate::sim::bus::EngineKind) path).
+//!
+//! Realizes exactly the stochastic process of the cycle-stepped
+//! [`BusSim`](crate::sim::bus::BusSim) — same dynamics, same
+//! measurement windows — on the discrete-event kernel
+//! (`busnet_sim::event`), so wall-clock cost scales with *activity*
+//! rather than with the cycle count:
+//!
+//! * think timers are pre-sampled: the geometric number of failed
+//!   Bernoulli(`p`) coin flips collapses into one `ProcReady` event,
+//!   so an idle processor costs one event per *request*, not one check
+//!   per processor cycle;
+//! * memory service completions and bus transfer landings are
+//!   scheduled events;
+//! * arbitration runs only in cycles where a grant is actually
+//!   possible: every state change is an event, so if no grant is
+//!   possible after a cycle's events, none is possible until the next
+//!   event fires (the engine proves idleness instead of simulating it).
+//!
+//! Each cycle has two event phases, encoded into the queue key:
+//! *begin* (processors issue) and *end* (transfers land, services
+//! complete) — mirroring the cycle engine's wake → arbitrate →
+//! end-of-cycle order, including the paper's rule that a result lands
+//! before the freed module pulls its input queue.
+//!
+//! Every stochastic entity owns an independent RNG stream derived from
+//! the master seed (`busnet_sim::seeds::SeedSequence`), so results do
+//! not depend on heap pop order among simultaneous events and runs are
+//! bit-reproducible. Statistical equivalence with the cycle engine is
+//! pinned by `tests/engine_equivalence.rs`.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use busnet_sim::arbiter::Arbiter;
+use busnet_sim::counters::SimCounters;
+use busnet_sim::event::{sample_bernoulli_success, EventQueue};
+use busnet_sim::seeds::SeedSequence;
+
+use crate::params::{Buffering, BusPolicy, SystemParams};
+use crate::sim::address::AddressPattern;
+use crate::sim::bus::{
+    grant_memory_side, module_can_accept, new_counters, BusSimBuilder, SimReport,
+};
+use crate::sim::service::ServiceTime;
+
+/// A processor's request token.
+#[derive(Clone, Copy, Debug)]
+struct Token {
+    proc: usize,
+    issued: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ProcPhase {
+    /// Waiting for its scheduled `ProcReady` event (or out of events).
+    Thinking,
+    /// Holds a request to `module`, waiting to win the bus.
+    Pending { module: usize, since: u64, issued: u64 },
+    /// Request delivered; waiting for the result.
+    Waiting,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Service {
+    token: Token,
+    /// End-of-cycle time at which service completes; a slot with
+    /// `done <= now` still present is blocked on a full output buffer.
+    done: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Module {
+    input: VecDeque<Token>,
+    service: Option<Service>,
+    output: VecDeque<Token>,
+}
+
+impl Module {
+    /// The admission rule shared with the cycle engine
+    /// ([`module_can_accept`]).
+    fn can_accept(&self, depth: u32, inflight: u32) -> bool {
+        module_can_accept(
+            depth,
+            self.service.is_some(),
+            self.input.len(),
+            self.output.len(),
+            inflight,
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Transfer {
+    Request { token: Token, module: usize },
+    Return { token: Token },
+}
+
+/// Scheduled occurrences. `ProcReady` fires at the *begin* phase of its
+/// cycle; the others at the *end* phase.
+enum Ev {
+    /// The processor's think timer (with all failed coin flips folded
+    /// in) expires: it issues a request this cycle.
+    ProcReady(usize),
+    /// The transfer on this channel completes at end of cycle.
+    TransferDone(usize),
+    /// The module's service may complete (original completion or a
+    /// recheck after its output buffer drained).
+    ServiceDone(usize),
+}
+
+/// Queue keys: two phases per cycle, begin before end.
+fn begin(t: u64) -> u64 {
+    2 * t
+}
+
+fn end(t: u64) -> u64 {
+    2 * t + 1
+}
+
+/// The event-driven single-bus simulator. Create via
+/// [`BusSimBuilder::build_event`] or run directly through
+/// [`BusSimBuilder::run`] with
+/// [`EngineKind::Event`](crate::sim::bus::EngineKind).
+pub struct EventBusSim {
+    params: SystemParams,
+    policy: BusPolicy,
+    buffering: Buffering,
+    depth: u32,
+    addressing: AddressPattern,
+    memory_service: ServiceTime,
+    bus_transfer: ServiceTime,
+    total: u64,
+    queue: EventQueue<Ev>,
+    /// Arbitration wake for the next cycle, set when a grant is known
+    /// to be possible there.
+    wake_at: Option<u64>,
+    procs: Vec<ProcPhase>,
+    modules: Vec<Module>,
+    bus: Vec<Option<(Transfer, u64)>>,
+    /// Requests currently on the bus, per destination module.
+    inflight: Vec<u32>,
+    proc_arbiter: Arbiter,
+    module_arbiter: Arbiter,
+    /// Per-processor streams: think-coin runs and address sampling.
+    proc_rngs: Vec<SmallRng>,
+    /// Per-module streams: service-time sampling.
+    module_rngs: Vec<SmallRng>,
+    /// Arbitration tie-breaks.
+    arb_rng: SmallRng,
+    /// Bus transfer durations.
+    transfer_rng: SmallRng,
+    stats: SimCounters,
+    candidate_scratch: Vec<usize>,
+}
+
+impl EventBusSim {
+    pub(crate) fn from_builder(b: BusSimBuilder) -> Self {
+        let memory_service = b.memory_service.unwrap_or(ServiceTime::Constant(b.params.r()));
+        memory_service.validate().expect("invalid memory service time");
+        b.bus_transfer.validate().expect("invalid bus transfer time");
+        b.addressing.validate(b.params.m()).expect("invalid address pattern");
+        let n = b.params.n() as usize;
+        let m = b.params.m() as usize;
+        let depth = match b.buffering {
+            Buffering::Unbuffered => 0,
+            Buffering::Buffered => b.buffer_depth,
+        };
+        let seeds = SeedSequence::new(b.seed);
+        let proc_seeds = seeds.child(0);
+        let module_seeds = seeds.child(1);
+        let shared_seeds = seeds.child(2);
+        EventBusSim {
+            params: b.params,
+            policy: b.policy,
+            buffering: b.buffering,
+            depth,
+            addressing: b.addressing,
+            memory_service,
+            bus_transfer: b.bus_transfer,
+            total: b.warmup + b.measure,
+            queue: EventQueue::new(),
+            wake_at: None,
+            procs: vec![ProcPhase::Thinking; n],
+            modules: vec![Module::default(); m],
+            bus: vec![None; b.channels as usize],
+            inflight: vec![0; m],
+            proc_arbiter: Arbiter::new(b.arbitration),
+            module_arbiter: Arbiter::new(b.arbitration),
+            proc_rngs: (0..n)
+                .map(|i| SmallRng::seed_from_u64(proc_seeds.stream(i as u64)))
+                .collect(),
+            module_rngs: (0..m)
+                .map(|j| SmallRng::seed_from_u64(module_seeds.stream(j as u64)))
+                .collect(),
+            arb_rng: SmallRng::seed_from_u64(shared_seeds.stream(0)),
+            transfer_rng: SmallRng::seed_from_u64(shared_seeds.stream(1)),
+            stats: new_counters(&b.params, b.warmup, b.measure),
+            candidate_scratch: Vec::with_capacity(n.max(m)),
+        }
+    }
+
+    /// The parameters this simulator was built with.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Number of bus channels.
+    pub fn channels(&self) -> u32 {
+        self.bus.len() as u32
+    }
+
+    /// The first cycle at or after `from` in which processor `i`'s
+    /// Bernoulli(`p`) coin (flipped once per processor cycle) succeeds;
+    /// `None` once the success falls beyond the simulated horizon.
+    fn sample_ready(&mut self, i: usize, from: u64) -> Option<u64> {
+        sample_bernoulli_success(
+            &mut self.proc_rngs[i],
+            self.params.p(),
+            from,
+            u64::from(self.params.processor_cycle()),
+            self.total,
+        )
+    }
+
+    /// Runs warmup + measurement and returns the report.
+    pub fn run(mut self) -> SimReport {
+        for i in 0..self.procs.len() {
+            if let Some(t) = self.sample_ready(i, 0) {
+                self.queue.schedule(begin(t), Ev::ProcReady(i));
+            }
+        }
+        loop {
+            let t = match (self.wake_at, self.queue.peek_time()) {
+                (Some(w), Some(key)) => w.min(key / 2),
+                (Some(w), None) => w,
+                (None, Some(key)) => key / 2,
+                (None, None) => break,
+            };
+            if t >= self.total {
+                break;
+            }
+            self.wake_at = None;
+            // Begin of cycle: think timers expire, requests are issued.
+            while let Some(ev) = self.queue.pop_at(begin(t)) {
+                match ev {
+                    Ev::ProcReady(i) => {
+                        debug_assert!(matches!(self.procs[i], ProcPhase::Thinking));
+                        let m = self.params.m() as usize;
+                        let module = self.addressing.sample(m, &mut self.proc_rngs[i]);
+                        self.procs[i] = ProcPhase::Pending { module, since: t, issued: t };
+                    }
+                    Ev::TransferDone(_) | Ev::ServiceDone(_) => {
+                        unreachable!("end-phase event at a begin key")
+                    }
+                }
+            }
+            self.arbitrate(t);
+            // End of cycle: transfers land, services complete.
+            while let Some(ev) = self.queue.pop_at(end(t)) {
+                match ev {
+                    Ev::ProcReady(_) => unreachable!("begin-phase event at an end key"),
+                    Ev::TransferDone(ch) => self.land_transfer(ch, t),
+                    Ev::ServiceDone(j) => self.complete_service(j, t),
+                }
+            }
+            // If a grant is possible next cycle, wake for it; otherwise
+            // the next event is the next chance for state to change.
+            if t + 1 < self.total && self.can_grant() {
+                self.wake_at = Some(t + 1);
+            }
+        }
+        SimReport::from_counters(
+            self.params,
+            self.policy,
+            self.buffering,
+            self.bus.len() as u32,
+            self.stats,
+        )
+    }
+
+    /// Same per-cycle arbitration as the cycle engine's `arbitrate`
+    /// (`BusSim::arbitrate` in `bus.rs`): the semantic rules —
+    /// admission ([`module_can_accept`]) and side priority
+    /// ([`grant_memory_side`]) — are shared; only the engine-specific
+    /// plumbing (event scheduling, busy-span accounting) differs.
+    /// Change the two in lockstep.
+    fn arbitrate(&mut self, t: u64) {
+        for ch in 0..self.bus.len() {
+            if self.bus[ch].is_some() {
+                continue;
+            }
+            let memory_ready = self.modules.iter().any(|md| !md.output.is_empty());
+            self.candidate_scratch.clear();
+            for (i, proc) in self.procs.iter().enumerate() {
+                if let ProcPhase::Pending { module, .. } = *proc {
+                    if self.modules[module].can_accept(self.depth, self.inflight[module]) {
+                        self.candidate_scratch.push(i);
+                    }
+                }
+            }
+            let proc_ready = !self.candidate_scratch.is_empty();
+            let grant_memory = grant_memory_side(self.policy, memory_ready, proc_ready);
+            if !grant_memory && !proc_ready {
+                break; // nothing left for the remaining channels either
+            }
+            let duration = u64::from(self.bus_transfer.sample(&mut self.transfer_rng));
+            self.stats.add_channel_busy_span(t, t + duration);
+            if grant_memory {
+                let ready: Vec<usize> = self
+                    .modules
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, md)| (!md.output.is_empty()).then_some(j))
+                    .collect();
+                let j = self.module_arbiter.pick(t, &ready, &mut self.arb_rng);
+                let token = self.modules[j].output.pop_front().expect("candidate had output");
+                if matches!(self.modules[j].service, Some(s) if s.done <= t) {
+                    // A finished service was blocked on this output
+                    // slot; let it retry at the end of this cycle.
+                    self.queue.schedule(end(t), Ev::ServiceDone(j));
+                }
+                self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
+            } else {
+                let candidates = std::mem::take(&mut self.candidate_scratch);
+                let pick = self.proc_arbiter.pick(t, &candidates, &mut self.arb_rng);
+                self.candidate_scratch = candidates;
+                let (module, since, issued) = match self.procs[pick] {
+                    ProcPhase::Pending { module, since, issued } => (module, since, issued),
+                    _ => unreachable!("candidate list holds only pending processors"),
+                };
+                self.stats.record_grant(t, since);
+                self.procs[pick] = ProcPhase::Waiting;
+                self.inflight[module] += 1;
+                self.bus[ch] = Some((
+                    Transfer::Request { token: Token { proc: pick, issued }, module },
+                    t + duration - 1,
+                ));
+            }
+            self.queue.schedule(end(t + duration - 1), Ev::TransferDone(ch));
+        }
+    }
+
+    fn land_transfer(&mut self, ch: usize, t: u64) {
+        let (transfer, until) = self.bus[ch].take().expect("transfer event on an empty channel");
+        debug_assert_eq!(until, t);
+        match transfer {
+            Transfer::Return { token } => {
+                debug_assert!(matches!(self.procs[token.proc], ProcPhase::Waiting));
+                self.stats.record_return(t, token.proc, token.issued);
+                self.procs[token.proc] = ProcPhase::Thinking;
+                if let Some(next) = self.sample_ready(token.proc, t + 1) {
+                    self.queue.schedule(begin(next), Ev::ProcReady(token.proc));
+                }
+            }
+            Transfer::Request { token, module } => {
+                self.inflight[module] -= 1;
+                let md = &mut self.modules[module];
+                if md.service.is_none() {
+                    debug_assert!(md.input.is_empty(), "idle module with queued input");
+                    self.start_service(module, token, t);
+                } else {
+                    debug_assert!(
+                        self.depth > 0 && (md.input.len() as u32) < self.depth,
+                        "input buffer overrun"
+                    );
+                    md.input.push_back(token);
+                }
+            }
+        }
+    }
+
+    /// Completes module `j`'s service if it is due and its output has
+    /// room; stale events (already-completed or not-yet-due rechecks)
+    /// are ignored.
+    fn complete_service(&mut self, j: usize, t: u64) {
+        let out_cap = self.depth.max(1) as usize;
+        let md = &mut self.modules[j];
+        let Some(service) = md.service else { return };
+        if service.done > t || md.output.len() >= out_cap {
+            return; // not due yet, or (still) blocked on the output FIFO
+        }
+        md.output.push_back(service.token);
+        md.service = None;
+        if let Some(token) = self.modules[j].input.pop_front() {
+            self.start_service(j, token, t);
+        }
+    }
+
+    /// Starts serving `token` on module `j` at end of cycle `t`: the
+    /// module is busy for cycles `t+1 ..= done`.
+    fn start_service(&mut self, j: usize, token: Token, t: u64) {
+        let duration = u64::from(self.memory_service.sample(&mut self.module_rngs[j]));
+        let done = t + duration;
+        self.stats.add_module_busy_span(t + 1, done + 1);
+        self.modules[j].service = Some(Service { token, done });
+        self.queue.schedule(end(done), Ev::ServiceDone(j));
+    }
+
+    /// Whether arbitration could grant anything right now. Every state
+    /// change is an event, so when this is false after a cycle's
+    /// events, no grant is possible before the next event fires.
+    fn can_grant(&self) -> bool {
+        if self.bus.iter().all(|c| c.is_some()) {
+            return false;
+        }
+        if self.modules.iter().any(|md| !md.output.is_empty()) {
+            return true;
+        }
+        self.procs.iter().any(|proc| {
+            matches!(*proc, ProcPhase::Pending { module, .. }
+                if self.modules[module].can_accept(self.depth, self.inflight[module]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::bus::{ArbitrationKind, EngineKind};
+
+    fn builder(n: u32, m: u32, r: u32) -> BusSimBuilder {
+        BusSimBuilder::new(SystemParams::new(n, m, r).unwrap())
+            .engine(EngineKind::Event)
+            .warmup_cycles(2_000)
+            .measure_cycles(40_000)
+    }
+
+    #[test]
+    fn single_processor_round_trip_exact() {
+        // One processor never contends: EBW is exactly 1, waits are 0.
+        for buffering in [Buffering::Unbuffered, Buffering::Buffered] {
+            let report = builder(1, 4, 6).buffering(buffering).seed(11).run();
+            assert!((report.ebw() - 1.0).abs() < 0.01, "{buffering:?}: ebw = {}", report.ebw());
+            assert_eq!(report.wait.mean(), 0.0);
+            assert_eq!(report.round_trip.mean(), f64::from(6 + 2));
+        }
+    }
+
+    #[test]
+    fn golden_two_procs_one_module_unbuffered() {
+        // Deterministic saturated pattern: one return every 4 cycles.
+        let report = builder(2, 1, 2).warmup_cycles(40).measure_cycles(4_000).seed(3).run();
+        assert_eq!(report.returns, 1_000, "one return every 4 cycles");
+        assert!((report.ebw() - 1.0).abs() < 1e-12);
+        assert!((report.bus_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_two_procs_one_module_buffered_saturates() {
+        let report = builder(2, 1, 2)
+            .buffering(Buffering::Buffered)
+            .warmup_cycles(40)
+            .measure_cycles(4_000)
+            .seed(3)
+            .run();
+        assert_eq!(report.returns, 2_000, "one return every 2 cycles");
+        assert!((report.ebw() - 2.0).abs() < 1e-12);
+        assert!((report.bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_sensitive_to_it() {
+        let run = |seed| builder(8, 16, 8).buffering(Buffering::Buffered).seed(seed).run();
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.returns, b.returns);
+        assert_eq!(a.bus_busy_channel_cycles, b.bus_busy_channel_cycles);
+        assert_eq!(a.wait.mean(), b.wait.mean());
+        assert_ne!(a.returns, run(43).returns);
+    }
+
+    #[test]
+    fn low_p_load_is_bounded_by_offered_load() {
+        let report =
+            builder(8, 16, 8).memory_service(ServiceTime::Constant(8)).seed(21).run_with_p(0.3);
+        assert!(report.ebw() <= 8.0 * 0.3 + 0.2, "ebw = {}", report.ebw());
+        assert!(report.ebw() > 1.0, "ebw = {}", report.ebw());
+    }
+
+    #[test]
+    fn all_arbitration_kinds_run_and_agree_on_capacity() {
+        let ebw = |kind| builder(8, 8, 8).arbitration(kind).seed(13).run().ebw();
+        let random = ebw(ArbitrationKind::Random);
+        for kind in [ArbitrationKind::RoundRobin, ArbitrationKind::Lru, ArbitrationKind::Priority] {
+            let other = ebw(kind);
+            let rel = (random - other).abs() / random;
+            assert!(rel < 0.05, "{kind:?}: {other} vs random {random}");
+        }
+    }
+
+    #[test]
+    fn priority_arbitration_starves_high_indices() {
+        let report = builder(8, 8, 8).arbitration(ArbitrationKind::Priority).seed(17).run();
+        let per = &report.per_processor_returns;
+        assert!(per[0] > per[7], "priority should favor processor 0: {per:?}");
+        assert!(report.fairness_index() < 0.999);
+    }
+
+    impl BusSimBuilder {
+        /// Test helper: rebuild with request probability `p` and run.
+        fn run_with_p(self, p: f64) -> SimReport {
+            let params = self.params.with_request_probability(p).unwrap();
+            BusSimBuilder { params, ..self }.run()
+        }
+    }
+}

@@ -1,19 +1,31 @@
-//! Cycle-accurate simulators.
+//! Simulators: cycle-accurate and event-driven.
 //!
 //! * [`bus`] — the multiplexed single-bus system of §2 (and its §6
 //!   buffered variant): one bus cycle per step, explicit arbitration,
 //!   per-module state machines. This is the engine behind Figs 2, 3, 5,
 //!   6 and Tables 3a and 4.
+//! * [`event_bus`] — the same single-bus process on the discrete-event
+//!   kernel: think timers, service completions, and bus grants are
+//!   scheduled events, so idle cycles cost nothing. Selected via the
+//!   [`bus::EngineKind`] knob on [`bus::BusSimBuilder`]; the
+//!   cycle-stepped path stays alive for differential validation.
 //! * [`crossbar`] — the synchronous crossbar / multiple-bus baseline
-//!   with one step per processor cycle (references 1 and 5).
+//!   with one step per processor cycle (references 1 and 5), with the
+//!   same engine and arbitration knobs.
 //! * [`service`] — service-time distributions: the paper's constant
 //!   times, plus geometric (discrete exponential) variants for the §6
 //!   product-form comparison.
 //! * [`runner`] — replication drivers yielding EBW estimates with
 //!   confidence intervals.
+//!
+//! Arbitration (`bus::ArbitrationKind`, re-exported from
+//! `busnet_core::params`) is pluggable across both network simulators:
+//! uniform random (the paper's hypothesis *h*), round robin, LRU, and
+//! fixed priority.
 
 pub mod address;
 pub mod bus;
 pub mod crossbar;
+pub mod event_bus;
 pub mod runner;
 pub mod service;

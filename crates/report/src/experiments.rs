@@ -15,12 +15,13 @@
 //! [`Chart`]: crate::chart::Chart
 //! [`paper`]: crate::paper
 
-use busnet_core::params::{Buffering, BusPolicy, SystemParams};
+use busnet_core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
 use busnet_core::scenario::{
     run_sweep, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval, Evaluation, Evaluator,
     ExactChainEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid, SimBudget,
 };
 use busnet_core::CoreError;
+use busnet_sim::event::EngineKind;
 use busnet_sim::exec::ExecutionMode;
 
 use crate::chart::{Chart, Series};
@@ -677,6 +678,111 @@ pub fn design_space(effort: Effort) -> Result<DesignSpaceReport, CoreError> {
     })
 }
 
+/// One row of the arbitration-fairness study: an operating point, an
+/// arbitration kind, and the measured throughput/fairness outcomes.
+#[derive(Clone, Debug)]
+pub struct FairnessRow {
+    /// The evaluated scenario (Table 3/4 operating point × kind).
+    pub scenario: Scenario,
+    /// Mean EBW over replications.
+    pub ebw: f64,
+    /// Jain's fairness index over per-processor EBW.
+    pub fairness: f64,
+    /// Per-processor EBW spread `max − min`.
+    pub spread: f64,
+}
+
+/// Arbitration-fairness study: per-processor EBW spread under every
+/// [`ArbitrationKind`] at Table 3–4 operating points.
+#[derive(Clone, Debug)]
+pub struct ArbitrationReport {
+    /// One row per (operating point, arbitration kind), point-major.
+    pub rows: Vec<FairnessRow>,
+}
+
+impl ArbitrationReport {
+    /// Rows for one arbitration kind, in operating-point order.
+    pub fn rows_for(&self, kind: ArbitrationKind) -> Vec<&FairnessRow> {
+        self.rows.iter().filter(|row| row.scenario.arbitration == kind).collect()
+    }
+}
+
+impl std::fmt::Display for ArbitrationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Arbitration fairness at the Table 3-4 operating points (event engine):")?;
+        writeln!(
+            f,
+            "  {:<28} {:>12} {:>8} {:>9} {:>10}",
+            "operating point", "arbitration", "EBW", "Jain", "spread"
+        )?;
+        for row in &self.rows {
+            let s = &row.scenario;
+            let point = format!(
+                "n={} m={} r={} {}",
+                s.params.n(),
+                s.params.m(),
+                s.params.r(),
+                match s.buffering {
+                    Buffering::Unbuffered => "unbuffered",
+                    Buffering::Buffered => "buffered",
+                }
+            );
+            writeln!(
+                f,
+                "  {:<28} {:>12} {:>8.3} {:>9.4} {:>10.5}",
+                point,
+                s.arbitration.name(),
+                row.ebw,
+                row.fairness,
+                row.spread
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the arbitration-fairness study: every [`ArbitrationKind`] over
+/// Table 3 (unbuffered) and Table 4 (buffered) corner points at
+/// `n = 8`, measured with the event engine (differentially validated
+/// against the cycle engine in the test suite).
+///
+/// # Errors
+///
+/// Propagates parameter/simulation failures.
+pub fn arbitration_fairness(effort: Effort) -> Result<ArbitrationReport, CoreError> {
+    // Corners of the Table 3 and Table 4 grids: low/high module count
+    // at a shared mid-range r, one high-r buffered point.
+    let points = [
+        (4u32, 6u32, Buffering::Unbuffered),
+        (16, 6, Buffering::Unbuffered),
+        (4, 10, Buffering::Buffered),
+        (16, 10, Buffering::Buffered),
+    ];
+    let scenarios = points
+        .into_iter()
+        .flat_map(|(m, r, buffering)| {
+            ArbitrationKind::ALL.into_iter().map(move |kind| (m, r, buffering, kind))
+        })
+        .map(|(m, r, buffering, kind)| {
+            Ok(Scenario::new(SystemParams::new(8, m, r)?)
+                .with_buffering(buffering)
+                .with_arbitration(kind))
+        })
+        .collect::<Result<Vec<Scenario>, CoreError>>()?;
+    let sim = BusSimEval::new(effort.budget().with_engine(EngineKind::Event));
+    let evaluations = evaluate_all(&scenarios, &[&sim])?;
+    let rows = evaluations
+        .into_iter()
+        .map(|e| FairnessRow {
+            scenario: e.scenario,
+            ebw: e.ebw(),
+            fairness: e.fairness_index().expect("simulation reports per-processor EBW"),
+            spread: e.ebw_spread().expect("simulation reports per-processor EBW"),
+        })
+        .collect();
+    Ok(ArbitrationReport { rows })
+}
+
 /// Identifiers for every reproducible experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExperimentId {
@@ -700,10 +806,12 @@ pub enum ExperimentId {
     ModelValidation,
     /// §7 design-space claims.
     DesignSpace,
+    /// Arbitration-fairness study (hypothesis *h* relaxations).
+    Arbitration,
 }
 
 /// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 10] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 11] = [
     ExperimentId::Table1,
     ExperimentId::Table2,
     ExperimentId::Table3,
@@ -714,6 +822,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 10] = [
     ExperimentId::Fig6,
     ExperimentId::ModelValidation,
     ExperimentId::DesignSpace,
+    ExperimentId::Arbitration,
 ];
 
 impl ExperimentId {
@@ -730,6 +839,7 @@ impl ExperimentId {
             ExperimentId::Fig6 => "fig6",
             ExperimentId::ModelValidation => "validation",
             ExperimentId::DesignSpace => "design-space",
+            ExperimentId::Arbitration => "arbitration",
         }
     }
 
@@ -775,6 +885,7 @@ impl ExperimentId {
             ExperimentId::Fig6 => fig6(effort)?.render(64, 20),
             ExperimentId::ModelValidation => model_validation(effort)?.to_string(),
             ExperimentId::DesignSpace => design_space(effort)?.to_string(),
+            ExperimentId::Arbitration => arbitration_fairness(effort)?.to_string(),
         })
     }
 }

@@ -1,0 +1,227 @@
+//! Pluggable arbitration: tie-breaking among same-resource candidates.
+//!
+//! The paper's hypothesis *h* fixes uniform-random arbitration; real
+//! hardware ships round-robin, LRU, and fixed-priority arbiters (cf.
+//! the weighted round-robin NoC literature). An [`Arbiter`] carries the
+//! per-policy state (rotating pointer, last-grant stamps) so the same
+//! candidate list yields a winner under any [`ArbitrationKind`].
+//!
+//! # Example
+//!
+//! ```
+//! use busnet_sim::arbiter::{Arbiter, ArbitrationKind};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut arb = Arbiter::new(ArbitrationKind::RoundRobin);
+//! assert_eq!(arb.pick(0, &[0, 2, 5], &mut rng), 0);
+//! assert_eq!(arb.pick(1, &[0, 2, 5], &mut rng), 2);
+//! assert_eq!(arb.pick(2, &[0, 2, 5], &mut rng), 5);
+//! assert_eq!(arb.pick(3, &[0, 2, 5], &mut rng), 0); // wrapped
+//! ```
+
+use rand::{Rng, RngCore};
+
+/// Tie-breaking rule among candidates contending for one resource.
+///
+/// The paper's hypothesis *h* specifies [`ArbitrationKind::Random`];
+/// the other kinds relax it toward common hardware arbiters, changing
+/// fairness but (by design) not capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ArbitrationKind {
+    /// Uniform random among candidates (the paper's assumption).
+    #[default]
+    Random,
+    /// Rotating-pointer round robin: first candidate at or after the
+    /// pointer wins; the pointer then moves past the winner.
+    RoundRobin,
+    /// Least-recently-used: the candidate whose last grant is oldest
+    /// wins (never-granted candidates first, lowest index breaking
+    /// ties).
+    Lru,
+    /// Fixed linear priority: the lowest-indexed candidate always wins
+    /// (maximally unfair, the starvation worst case).
+    Priority,
+}
+
+impl ArbitrationKind {
+    /// Every arbitration kind, in presentation order.
+    pub const ALL: [ArbitrationKind; 4] = [
+        ArbitrationKind::Random,
+        ArbitrationKind::RoundRobin,
+        ArbitrationKind::Lru,
+        ArbitrationKind::Priority,
+    ];
+
+    /// Stable textual id (`random`, `round-robin`, `lru`, `priority`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbitrationKind::Random => "random",
+            ArbitrationKind::RoundRobin => "round-robin",
+            ArbitrationKind::Lru => "lru",
+            ArbitrationKind::Priority => "priority",
+        }
+    }
+
+    /// Parses a textual id (accepts `rr` as a round-robin shorthand).
+    pub fn from_name(name: &str) -> Option<ArbitrationKind> {
+        if name == "rr" {
+            return Some(ArbitrationKind::RoundRobin);
+        }
+        ArbitrationKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A stateful arbiter for one resource (one side of a bus, one
+/// crossbar module, …).
+#[derive(Clone, Debug, Default)]
+pub struct Arbiter {
+    kind: ArbitrationKind,
+    /// Round-robin cursor.
+    pointer: usize,
+    /// LRU stamps: `0` = never granted, else last grant time + 1.
+    last_grant: Vec<u64>,
+}
+
+impl Arbiter {
+    /// An arbiter applying `kind`.
+    pub fn new(kind: ArbitrationKind) -> Self {
+        Arbiter { kind, pointer: 0, last_grant: Vec::new() }
+    }
+
+    /// The policy this arbiter applies.
+    pub fn kind(&self) -> ArbitrationKind {
+        self.kind
+    }
+
+    /// Picks the winner among `candidates` (ascending entity indices)
+    /// at time `now`, updating policy state. `rng` is consumed only by
+    /// [`ArbitrationKind::Random`] (exactly one draw), so deterministic
+    /// kinds stay RNG-silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn pick<R: RngCore>(&mut self, now: u64, candidates: &[usize], rng: &mut R) -> usize {
+        assert!(!candidates.is_empty(), "arbitration needs at least one candidate");
+        let chosen = match self.kind {
+            ArbitrationKind::Random => candidates[rng.gen_range(0..candidates.len())],
+            ArbitrationKind::RoundRobin => {
+                let chosen = candidates
+                    .iter()
+                    .copied()
+                    .find(|&c| c >= self.pointer)
+                    .unwrap_or(candidates[0]);
+                self.pointer = chosen + 1;
+                chosen
+            }
+            ArbitrationKind::Lru => {
+                let chosen = candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|&c| self.last_grant.get(c).copied().unwrap_or(0))
+                    .expect("non-empty candidates");
+                if self.last_grant.len() <= chosen {
+                    self.last_grant.resize(chosen + 1, 0);
+                }
+                self.last_grant[chosen] = now + 1;
+                chosen
+            }
+            ArbitrationKind::Priority => candidates[0],
+        };
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in ArbitrationKind::ALL {
+            assert_eq!(ArbitrationKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ArbitrationKind::from_name("rr"), Some(ArbitrationKind::RoundRobin));
+        assert_eq!(ArbitrationKind::from_name("fifo"), None);
+        assert_eq!(ArbitrationKind::default(), ArbitrationKind::Random);
+    }
+
+    #[test]
+    fn random_picks_only_candidates() {
+        let mut arb = Arbiter::new(ArbitrationKind::Random);
+        let mut r = rng();
+        let candidates = [1, 4, 6];
+        for t in 0..1_000 {
+            assert!(candidates.contains(&arb.pick(t, &candidates, &mut r)));
+        }
+    }
+
+    #[test]
+    fn random_covers_all_candidates() {
+        let mut arb = Arbiter::new(ArbitrationKind::Random);
+        let mut r = rng();
+        let mut seen = [false; 3];
+        for t in 0..200 {
+            let winner = arb.pick(t, &[0, 1, 2], &mut r);
+            seen[winner] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_wraps() {
+        let mut arb = Arbiter::new(ArbitrationKind::RoundRobin);
+        let mut r = rng();
+        let order: Vec<usize> = (0..6).map(|t| arb.pick(t, &[0, 2, 4], &mut r)).collect();
+        assert_eq!(order, vec![0, 2, 4, 0, 2, 4]);
+    }
+
+    #[test]
+    fn lru_serves_the_longest_waiter() {
+        let mut arb = Arbiter::new(ArbitrationKind::Lru);
+        let mut r = rng();
+        assert_eq!(arb.pick(0, &[0, 1, 2], &mut r), 0); // all fresh: lowest index
+        assert_eq!(arb.pick(1, &[0, 1, 2], &mut r), 1);
+        assert_eq!(arb.pick(2, &[0, 1, 2], &mut r), 2);
+        assert_eq!(arb.pick(3, &[0, 1, 2], &mut r), 0); // oldest grant again
+                                                        // A newcomer (never granted) beats everyone.
+        assert_eq!(arb.pick(4, &[1, 2, 3], &mut r), 3);
+    }
+
+    #[test]
+    fn priority_always_picks_lowest_index() {
+        let mut arb = Arbiter::new(ArbitrationKind::Priority);
+        let mut r = rng();
+        for t in 0..10 {
+            assert_eq!(arb.pick(t, &[3, 5, 9], &mut r), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_kinds_do_not_consume_rng() {
+        for kind in [ArbitrationKind::RoundRobin, ArbitrationKind::Lru, ArbitrationKind::Priority] {
+            let mut arb = Arbiter::new(kind);
+            let mut a = rng();
+            let mut b = rng();
+            for t in 0..50 {
+                arb.pick(t, &[0, 1, 2, 3], &mut a);
+            }
+            use rand::RngCore;
+            assert_eq!(a.next_u64(), b.next_u64(), "{kind:?} consumed randomness");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        Arbiter::new(ArbitrationKind::Random).pick(0, &[], &mut rng());
+    }
+}

@@ -1,0 +1,200 @@
+//! Shared measurement bookkeeping for the network simulators.
+//!
+//! Both the bus engines (cycle-stepped and event-driven) and the
+//! crossbar baseline accumulate the same counters — completions,
+//! grants, busy time, waiting/round-trip statistics, per-entity
+//! fairness counts — gated by one warmup cutover. [`SimCounters`]
+//! centralizes that: every recording method takes the current cycle
+//! and applies the [`MeasurementWindow`] itself, so an engine cannot
+//! get the warmup boundary wrong in one place and right in another.
+//!
+//! Time-integrated quantities (bus-channel and module busy time)
+//! accept half-open cycle *spans*: the cycle engines record
+//! single-cycle spans each step, the event engine records whole
+//! occupancy intervals at scheduling time; both clip against the
+//! window identically.
+
+use crate::clock::MeasurementWindow;
+use crate::histogram::Histogram;
+use crate::stats::RunningStats;
+
+/// Warmup-gated counter set shared by the network simulators.
+#[derive(Clone, Debug)]
+pub struct SimCounters {
+    window: MeasurementWindow,
+    /// Completions (results delivered / requests served) during
+    /// measurement.
+    pub returns: u64,
+    /// Requests granted the shared resource during measurement.
+    pub requests_granted: u64,
+    /// Channel-cycles carrying a transfer during measurement.
+    pub bus_busy_channel_cycles: u64,
+    /// Module-cycles spent actively serving during measurement.
+    pub module_busy_cycles: u64,
+    /// Request waiting times (issue → grant), in cycles.
+    pub wait: RunningStats,
+    /// Round-trip times (issue → completion), in cycles.
+    pub round_trip: RunningStats,
+    /// Distribution of request waiting times.
+    pub wait_histogram: Histogram,
+    /// Completions credited to each entity (fairness analysis).
+    pub per_entity_returns: Vec<u64>,
+}
+
+impl SimCounters {
+    /// Counters over `window` for `entities` fairness-tracked entities,
+    /// recording waits into `wait_histogram`.
+    pub fn new(window: MeasurementWindow, entities: usize, wait_histogram: Histogram) -> Self {
+        SimCounters {
+            window,
+            returns: 0,
+            requests_granted: 0,
+            bus_busy_channel_cycles: 0,
+            module_busy_cycles: 0,
+            wait: RunningStats::new(),
+            round_trip: RunningStats::new(),
+            wait_histogram,
+            per_entity_returns: vec![0; entities],
+        }
+    }
+
+    /// The measurement window the counters are gated by.
+    pub fn window(&self) -> MeasurementWindow {
+        self.window
+    }
+
+    /// Number of measured cycles (the EBW denominator).
+    pub fn measured_cycles(&self) -> u64 {
+        self.window.measured_cycles()
+    }
+
+    /// Whether cycle `t` falls inside the measurement window.
+    pub fn is_measuring(&self, t: u64) -> bool {
+        self.window.is_measuring(t)
+    }
+
+    /// Records a completed round trip landing at the end of cycle `t`:
+    /// the request was issued at `issued`, the result reaches entity
+    /// `entity` at the start of cycle `t + 1`.
+    pub fn record_return(&mut self, t: u64, entity: usize, issued: u64) {
+        if self.window.is_measuring(t) {
+            self.returns += 1;
+            self.per_entity_returns[entity] += 1;
+            self.round_trip.push((t + 1 - issued) as f64);
+        }
+    }
+
+    /// Records a served request at cycle `t` without round-trip
+    /// accounting (the crossbar's requests complete within the cycle).
+    pub fn record_served(&mut self, t: u64, entity: usize) {
+        if self.window.is_measuring(t) {
+            self.returns += 1;
+            self.per_entity_returns[entity] += 1;
+        }
+    }
+
+    /// Records a bus grant at cycle `t` for a request pending since
+    /// `since`.
+    pub fn record_grant(&mut self, t: u64, since: u64) {
+        if self.window.is_measuring(t) {
+            self.requests_granted += 1;
+            self.wait.push((t - since) as f64);
+            self.wait_histogram.record((t - since) as f64);
+        }
+    }
+
+    /// Clips the half-open cycle span `[start, end)` to the window and
+    /// returns the overlap length.
+    fn clipped(&self, start: u64, end: u64) -> u64 {
+        let lo = start.max(self.window.warmup());
+        let hi = end.min(self.window.total_cycles());
+        hi.saturating_sub(lo)
+    }
+
+    /// Adds bus-channel occupancy over the half-open span
+    /// `[start, end)` of cycles.
+    pub fn add_channel_busy_span(&mut self, start: u64, end: u64) {
+        self.bus_busy_channel_cycles += self.clipped(start, end);
+    }
+
+    /// Adds module service occupancy over the half-open span
+    /// `[start, end)` of cycles.
+    pub fn add_module_busy_span(&mut self, start: u64, end: u64) {
+        self.module_busy_cycles += self.clipped(start, end);
+    }
+
+    /// Per-cycle busy accounting for cycle-stepped engines: `channels`
+    /// busy channels and `modules` serving modules at cycle `t`.
+    pub fn tick_busy(&mut self, t: u64, channels: u64, modules: u64) {
+        if self.window.is_measuring(t) {
+            self.bus_busy_channel_cycles += channels;
+            self.module_busy_cycles += modules;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> SimCounters {
+        SimCounters::new(MeasurementWindow::new(10, 20), 3, Histogram::new(1.0, 8))
+    }
+
+    #[test]
+    fn warmup_cutover_gates_every_counter() {
+        let mut c = counters();
+        c.record_return(9, 0, 0); // warmup: dropped
+        c.record_grant(9, 4);
+        c.record_served(9, 1);
+        assert_eq!(c.returns, 0);
+        assert_eq!(c.requests_granted, 0);
+        assert_eq!(c.wait.count(), 0);
+
+        c.record_return(10, 0, 6);
+        c.record_grant(10, 4);
+        c.record_served(29, 2);
+        assert_eq!(c.returns, 2);
+        assert_eq!(c.per_entity_returns, vec![1, 0, 1]);
+        assert_eq!(c.requests_granted, 1);
+        assert_eq!(c.wait.mean(), 6.0);
+        assert_eq!(c.round_trip.mean(), 5.0); // 10 + 1 - 6
+
+        c.record_return(30, 0, 0); // past the window: dropped
+        assert_eq!(c.returns, 2);
+    }
+
+    #[test]
+    fn busy_spans_clip_to_the_window() {
+        let mut c = counters();
+        c.add_channel_busy_span(0, 10); // entirely warmup
+        assert_eq!(c.bus_busy_channel_cycles, 0);
+        c.add_channel_busy_span(8, 12); // straddles the cutover
+        assert_eq!(c.bus_busy_channel_cycles, 2);
+        c.add_module_busy_span(28, 40); // straddles the end
+        assert_eq!(c.module_busy_cycles, 2);
+        c.add_module_busy_span(35, 40); // entirely past the end
+        assert_eq!(c.module_busy_cycles, 2);
+    }
+
+    #[test]
+    fn tick_matches_span_accounting() {
+        let mut by_tick = counters();
+        let mut by_span = counters();
+        for t in 5..25 {
+            by_tick.tick_busy(t, 2, 1);
+        }
+        by_span.add_channel_busy_span(5, 25);
+        by_span.add_channel_busy_span(5, 25);
+        by_span.add_module_busy_span(5, 25);
+        assert_eq!(by_tick.bus_busy_channel_cycles, by_span.bus_busy_channel_cycles);
+        assert_eq!(by_tick.module_busy_cycles, by_span.module_busy_cycles);
+    }
+
+    #[test]
+    fn measured_cycles_come_from_the_window() {
+        assert_eq!(counters().measured_cycles(), 20);
+        assert!(counters().is_measuring(10));
+        assert!(!counters().is_measuring(9));
+    }
+}

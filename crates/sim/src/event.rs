@@ -1,0 +1,319 @@
+//! Discrete-event kernel: a monotonic event clock and a calendar queue
+//! with deterministic FIFO tie-breaking.
+//!
+//! The cycle-stepped simulators pay for every bus cycle even when
+//! nothing happens; the event kernel makes *time-to-next-event* the
+//! unit of work instead. Events are `(time, payload)` pairs held in a
+//! binary heap; among events scheduled for the same time, delivery is
+//! in scheduling order (FIFO), so a run is a pure function of its
+//! inputs — no hidden dependence on heap internals.
+//!
+//! The queue tracks a monotonic `now`: popping advances it, and
+//! scheduling into the past is rejected. Model code that needs
+//! several phases within one logical cycle (e.g. "begin of cycle"
+//! arrivals vs "end of cycle" completions) encodes the phase into the
+//! time key.
+//!
+//! # Example
+//!
+//! ```
+//! use busnet_sim::event::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(5, "late");
+//! q.schedule(2, "first");
+//! q.schedule(2, "second"); // same time: FIFO
+//! assert_eq!(q.pop(), Some((2, "first")));
+//! assert_eq!(q.pop(), Some((2, "second")));
+//! assert_eq!(q.now(), 2);
+//! assert_eq!(q.pop(), Some((5, "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::{Rng, RngCore};
+
+/// Which simulation engine advances the model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Cycle-stepped: one `step()` per bus cycle, the paper's original
+    /// formulation. Cost grows with the cycle count even when almost
+    /// every cycle is idle.
+    #[default]
+    Cycle,
+    /// Event-driven: think timers, service completions, and bus
+    /// transfers are scheduled events; idle cycles cost nothing.
+    /// Statistically equivalent to `Cycle` (same dynamics, independent
+    /// RNG streams).
+    Event,
+}
+
+impl EngineKind {
+    /// Every engine kind, in presentation order.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Cycle, EngineKind::Event];
+
+    /// Stable textual id (`cycle` / `event`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Cycle => "cycle",
+            EngineKind::Event => "event",
+        }
+    }
+
+    /// Parses a textual id.
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// The first cycle at or after `from` at which a Bernoulli(`p`) coin,
+/// flipped once every `stride` cycles, succeeds — the geometric run of
+/// failed flips collapsed into one inverse-CDF draw
+/// (`P(k failures) = (1−p)^k·p ⇒ k = ⌊ln u / ln(1−p)⌋`). This is how
+/// the event engines turn per-cycle think timers into single scheduled
+/// events.
+///
+/// Returns `None` when the success falls at or beyond `horizon` (or
+/// would overflow). `p ≥ 1` succeeds immediately and consumes no
+/// randomness, matching a cycle-stepped engine that short-circuits the
+/// coin flip.
+pub fn sample_bernoulli_success<R: RngCore>(
+    rng: &mut R,
+    p: f64,
+    from: u64,
+    stride: u64,
+    horizon: u64,
+) -> Option<u64> {
+    if p >= 1.0 {
+        return (from < horizon).then_some(from);
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).floor();
+    // NaN, negative, or beyond exact-u64 f64 territory: the success is
+    // unobservably far out.
+    if !(0.0..9.0e15).contains(&k) {
+        return None;
+    }
+    let ready = (k as u64).checked_mul(stride).and_then(|d| from.checked_add(d))?;
+    (ready < horizon).then_some(ready)
+}
+
+/// A scheduled event. Ordered by `(time, seq)` only — the payload does
+/// not participate, so `E` needs no `Ord`.
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) on top.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A calendar event queue with a monotonic clock and FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// The time of the most recently popped event (0 before any pop).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` lies in the past (`time < now()`): the clock is
+    /// monotonic.
+    pub fn schedule(&mut self, time: u64, event: E) {
+        assert!(time >= self.now, "event scheduled in the past: {time} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest event (FIFO among ties), advancing the clock.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Pops the earliest event only if it is scheduled exactly at
+    /// `time`; the idiom for draining one phase of one cycle:
+    ///
+    /// ```
+    /// # use busnet_sim::event::EventQueue;
+    /// # let mut q = EventQueue::new();
+    /// # q.schedule(3, ());
+    /// while let Some(event) = q.pop_at(3) {
+    ///     // handle every event of cycle 3
+    ///     # let _ = event;
+    /// }
+    /// ```
+    pub fn pop_at(&mut self, time: u64) -> Option<E> {
+        if self.peek_time() == Some(time) {
+            self.pop().map(|(_, e)| e)
+        } else {
+            None
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kinds_roundtrip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_name("warp"), None);
+        assert_eq!(EngineKind::default(), EngineKind::Cycle);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(9, 'c');
+        q.schedule(1, 'a');
+        q.schedule(4, 'b');
+        assert_eq!(q.pop(), Some((1, 'a')));
+        assert_eq!(q.pop(), Some((4, 'b')));
+        assert_eq!(q.pop(), Some((9, 'c')));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut q = EventQueue::new();
+        q.schedule(3, ());
+        q.schedule(5, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 3);
+        // Scheduling at the current time is allowed...
+        q.schedule(3, ());
+        assert_eq!(q.pop(), Some((3, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.pop();
+        q.schedule(4, ());
+    }
+
+    #[test]
+    fn pop_at_drains_only_the_given_time() {
+        let mut q = EventQueue::new();
+        q.schedule(2, 'x');
+        q.schedule(2, 'y');
+        q.schedule(3, 'z');
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop_at(2) {
+            drained.push(e);
+        }
+        assert_eq!(drained, vec!['x', 'y']);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop_at(99), None);
+    }
+
+    #[test]
+    fn bernoulli_success_distribution_and_edges() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        // p = 1: immediate, no randomness consumed.
+        assert_eq!(sample_bernoulli_success(&mut rng, 1.0, 5, 10, 100), Some(5));
+        assert_eq!(sample_bernoulli_success(&mut rng, 1.0, 100, 10, 100), None);
+        // p = 0.5, stride 1: mean failures = (1-p)/p = 1.
+        let n = 100_000;
+        let total: u64 =
+            (0..n).map(|_| sample_bernoulli_success(&mut rng, 0.5, 0, 1, u64::MAX).unwrap()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean failures {mean}");
+        // Results honor the stride and the horizon.
+        for _ in 0..1_000 {
+            if let Some(t) = sample_bernoulli_success(&mut rng, 0.3, 7, 10, 200) {
+                assert!((7..200).contains(&t) && (t - 7) % 10 == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, ());
+        q.schedule(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -66,25 +66,39 @@ impl Histogram {
         &self.counts
     }
 
-    /// Approximate `q`-quantile (bucket upper edge), `q ∈ [0, 1]`.
+    /// Approximate `q`-quantile (bucket upper edge), or `None` when the
+    /// histogram is empty or `q` is not a probability.
     ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.total == 0 {
-            return 0.0;
+    /// `q = 0` returns the lower edge (0.0); mass saturated into the
+    /// last bucket resolves to that bucket's upper edge, the honest
+    /// answer for observations the histogram clipped.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
         }
         let target = (q * self.total as f64).ceil() as u64;
+        if target == 0 {
+            return Some(0.0);
+        }
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return (i as f64 + 1.0) * self.bucket_width;
+                return Some((i as f64 + 1.0) * self.bucket_width);
             }
         }
-        self.counts.len() as f64 * self.bucket_width
+        // Unreachable for a consistent histogram (acc ends at total ≥
+        // target), kept as a saturating fallback.
+        Some(self.counts.len() as f64 * self.bucket_width)
+    }
+
+    /// Approximate `q`-quantile (bucket upper edge), saturating instead
+    /// of panicking: `q` is clamped to `[0, 1]` (NaN reads as 0) and an
+    /// empty histogram reports 0.0. Use [`Histogram::try_quantile`] to
+    /// distinguish those cases.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        self.try_quantile(q).unwrap_or(0.0)
     }
 
     /// Fraction of observations at or beyond `threshold`.
@@ -149,7 +163,41 @@ mod tests {
         let h = Histogram::new(1.0, 4);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.9), 0.0);
+        assert_eq!(h.try_quantile(0.9), None);
         assert_eq!(h.tail_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_q_saturates_instead_of_panicking() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(2.5);
+        assert_eq!(h.try_quantile(1.5), None);
+        assert_eq!(h.try_quantile(-0.1), None);
+        assert_eq!(h.try_quantile(f64::NAN), None);
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(-3.0), 0.0);
+        assert_eq!(h.quantile(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(2.5); // third bucket: upper edge 3.0
+        assert_eq!(h.quantile(0.0), 0.0);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.try_quantile(q), Some(3.0), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn all_mass_in_last_bucket_reports_its_upper_edge() {
+        let mut h = Histogram::new(1.0, 4);
+        for _ in 0..10 {
+            h.record(1e9); // saturates into the last bucket
+        }
+        assert_eq!(h.try_quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.bucket_counts(), &[0, 0, 0, 10]);
     }
 
     #[test]

@@ -1,8 +1,20 @@
-//! Cycle-level discrete simulation kernel for the `busnet` reproduction.
+//! Discrete simulation kernel for the `busnet` reproduction.
 //!
 //! The ISCA'85 study is evaluated with synchronous, bus-cycle-granular
-//! simulation. This crate supplies the domain-independent machinery:
+//! simulation; this crate supplies the domain-independent machinery for
+//! both that cycle-stepped style and the event-driven engines layered
+//! on top of it:
 //!
+//! * [`event`] — the discrete-event kernel: a monotonic event clock and
+//!   calendar queue with deterministic FIFO tie-breaking, plus the
+//!   [`event::EngineKind`] knob selecting cycle-stepped vs event-driven
+//!   execution.
+//! * [`arbiter`] — pluggable arbitration ([`arbiter::ArbitrationKind`]:
+//!   uniform random, round robin, LRU, fixed priority) shared by the
+//!   bus and crossbar simulators.
+//! * [`counters`] — warmup-gated measurement bookkeeping shared by
+//!   every network simulator (one warmup cutover, one accumulation
+//!   path).
 //! * [`seeds`] — deterministic seed derivation (SplitMix64) so that every
 //!   replication and every component gets an independent, reproducible
 //!   stream.
@@ -37,16 +49,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod batch;
 pub mod clock;
+pub mod counters;
+pub mod event;
 pub mod exec;
 pub mod histogram;
 pub mod replication;
 pub mod seeds;
 pub mod stats;
 
+pub use arbiter::{Arbiter, ArbitrationKind};
 pub use batch::BatchMeans;
 pub use clock::MeasurementWindow;
+pub use counters::SimCounters;
+pub use event::{EngineKind, EventQueue};
 pub use exec::{parallel_map, parallel_map_progress, ExecutionMode};
 pub use histogram::Histogram;
 pub use replication::{

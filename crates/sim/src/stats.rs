@@ -1,5 +1,33 @@
 //! Running statistics for simulation output analysis.
 
+/// Jain's fairness index of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1 means perfectly fair, `1/n` means one entity
+/// takes everything; empty or all-zero allocations read as fair (1.0).
+/// The fairness measure shared by every simulator report and the
+/// arbitration study.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::stats::jain_fairness_index;
+///
+/// assert_eq!(jain_fairness_index([3.0, 3.0, 3.0]), 1.0);
+/// assert_eq!(jain_fairness_index([6.0, 0.0, 0.0]), 1.0 / 3.0);
+/// assert_eq!(jain_fairness_index([]), 1.0);
+/// ```
+pub fn jain_fairness_index(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut n, mut total, mut sum_sq) = (0u64, 0.0f64, 0.0f64);
+    for x in values {
+        n += 1;
+        total += x;
+        sum_sq += x * x;
+    }
+    if n == 0 || total == 0.0 {
+        return 1.0;
+    }
+    total * total / (n as f64 * sum_sq)
+}
+
 /// Numerically stable running mean/variance (Welford's algorithm) with
 /// min/max tracking.
 ///

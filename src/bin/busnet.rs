@@ -8,21 +8,23 @@
 //! busnet run all --quick
 //! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5]
 //!            [--seed 7] [--cycles 200000] [--warmup 20000]
+//!            [--arbitration random|round-robin|lru|priority] [--engine cycle|event]
 //! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
-//! busnet bench-sweep [--out BENCH_sweep.json]
+//! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event]
 //! ```
 
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use busnet::core::params::{Buffering, BusPolicy, SystemParams};
+use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
 use busnet::core::scenario::{
     run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, SweepRecord, ALL_EVALUATOR_KINDS,
 };
 use busnet::core::sim::bus::BusSimBuilder;
 use busnet::core::CoreError;
 use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
+use busnet::sim::event::EngineKind;
 use busnet::sim::exec::ExecutionMode;
 
 fn main() -> ExitCode {
@@ -46,17 +48,17 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: busnet <list | run <experiment|all> [--quick] | sim ... | sweep ... | \
-                 bench-sweep [--out FILE]>\n\
+                 bench-sweep [--out FILE] [--engine cycle|event]>\n\
                  \n\
                  sim   --n N --m M --r R [--p P] [--buffered] [--memory-priority] [--seed S]\n      \
-                 [--cycles C] [--warmup W]\n\
+                 [--cycles C] [--warmup W] [--arbitration KIND] [--engine cycle|event]\n\
                  sweep --n SPEC --m SPEC --r SPEC [--p LIST] [--policy proc|mem|both]\n      \
-                 [--buffering unbuffered|buffered|both] [--evaluator LIST]\n      \
-                 [--format csv|json] [--replications K] [--cycles C] [--warmup W]\n      \
-                 [--seed S] [--serial]\n\
+                 [--buffering unbuffered|buffered|both] [--arbitration LIST|all]\n      \
+                 [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
+                 [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
-                 range (2..16:2)."
+                 range (2..16:2). KIND is random|round-robin|lru|priority."
             );
             ExitCode::FAILURE
         }
@@ -177,13 +179,26 @@ fn run_sim(args: &[String]) -> ExitCode {
     let warmup: u64 = flags.parse("--warmup", cycles / 10);
     let memory_priority = flags.switch("--memory-priority");
     let buffered = flags.switch("--buffered");
+    let arbitration_spec = flags.value("--arbitration").unwrap_or("random").to_owned();
+    let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     if let Err(e) = flags.finish() {
         eprintln!(
             "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
-                   [--memory-priority] [--seed S] [--cycles C] [--warmup W]"
+                   [--memory-priority] [--seed S] [--cycles C] [--warmup W] \
+                   [--arbitration KIND] [--engine cycle|event]"
         );
         return ExitCode::FAILURE;
     }
+    let Some(arbitration) = ArbitrationKind::from_name(&arbitration_spec) else {
+        eprintln!(
+            "bad --arbitration `{arbitration_spec}` (expected random|round-robin|lru|priority)"
+        );
+        return ExitCode::FAILURE;
+    };
+    let Some(engine) = EngineKind::from_name(&engine_spec) else {
+        eprintln!("bad --engine `{engine_spec}` (expected cycle|event)");
+        return ExitCode::FAILURE;
+    };
 
     let params = match SystemParams::new(n, m, r).and_then(|q| q.with_request_probability(p)) {
         Ok(q) => q,
@@ -199,19 +214,26 @@ fn run_sim(args: &[String]) -> ExitCode {
     let report = BusSimBuilder::new(params)
         .policy(policy)
         .buffering(buffering)
+        .arbitration(arbitration)
+        .engine(engine)
         .seed(seed)
         .warmup_cycles(warmup)
         .measure_cycles(cycles)
-        .build()
         .run();
     let metrics = report.metrics();
-    println!("n={n} m={m} r={r} p={p} {policy:?} {buffering:?} seed={seed} warmup={warmup}");
+    println!(
+        "n={n} m={m} r={r} p={p} {policy:?} {buffering:?} arbitration={} engine={} \
+         seed={seed} warmup={warmup}",
+        arbitration.name(),
+        engine.name()
+    );
     println!("  EBW                  {:.4}", metrics.ebw);
     println!("  bus utilization      {:.4}", metrics.bus_utilization);
     println!("  memory utilization   {:.4}", metrics.memory_utilization);
     println!("  processor efficiency {:.4}", metrics.processor_efficiency);
     println!("  mean wait (cycles)   {:.4}", report.wait.mean());
     println!("  mean round trip      {:.4}", report.round_trip.mean());
+    println!("  fairness (Jain)      {:.4}", report.fairness_index());
     ExitCode::SUCCESS
 }
 
@@ -279,15 +301,21 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
     match &record.result {
         Ok(eval) => {
             let m = &eval.metrics;
+            // Fairness is defined only for vehicles with a
+            // per-processor view (the simulators).
+            let fairness_csv = eval.fairness_index().map_or(String::new(), |f| format!("{f:.6}"));
+            let fairness_json =
+                eval.fairness_index().map_or("null".to_owned(), |f| format!("{f:.6}"));
             match format {
                 SweepFormat::Csv => println!(
-                    "{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
+                    "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
                     s.params.p(),
                     policy_name(s.policy),
                     buffering_name(s.buffering),
+                    s.arbitration.name(),
                     record.evaluator,
                     m.ebw,
                     eval.half_width_95,
@@ -295,19 +323,21 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     m.memory_utilization,
                     m.processor_efficiency,
                     eval.replications,
+                    fairness_csv,
                 ),
                 SweepFormat::Json => println!(
                     "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
-                     \"buffering\":\"{}\",\"evaluator\":\"{}\",\"ebw\":{:.6},\
-                     \"half_width_95\":{:.6},\"bus_utilization\":{:.6},\
+                     \"buffering\":\"{}\",\"arbitration\":\"{}\",\"evaluator\":\"{}\",\
+                     \"ebw\":{:.6},\"half_width_95\":{:.6},\"bus_utilization\":{:.6},\
                      \"memory_utilization\":{:.6},\"processor_efficiency\":{:.6},\
-                     \"replications\":{}}}",
+                     \"replications\":{},\"fairness\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
                     s.params.p(),
                     policy_name(s.policy),
                     buffering_name(s.buffering),
+                    s.arbitration.name(),
                     record.evaluator,
                     m.ebw,
                     eval.half_width_95,
@@ -315,6 +345,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     m.memory_utilization,
                     m.processor_efficiency,
                     eval.replications,
+                    fairness_json,
                 ),
             }
         }
@@ -346,6 +377,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let p_spec = flags.value("--p").unwrap_or("1").to_owned();
     let policy_spec = flags.value("--policy").unwrap_or("proc").to_owned();
     let buffering_spec = flags.value("--buffering").unwrap_or("unbuffered").to_owned();
+    let arbitration_spec = flags.value("--arbitration").unwrap_or("random").to_owned();
+    let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     let evaluator_spec = flags.value("--evaluator").unwrap_or("sim").to_owned();
     let format_spec = flags.value("--format").unwrap_or("csv").to_owned();
     let replications: u32 = flags.parse("--replications", 4);
@@ -393,6 +426,27 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
             return fail(format!("bad --buffering `{other}` (expected unbuffered|buffered|both)"))
         }
     };
+    let arbitrations: Vec<ArbitrationKind> = if arbitration_spec == "all" {
+        ArbitrationKind::ALL.to_vec()
+    } else {
+        match arbitration_spec
+            .split(',')
+            .map(|name| {
+                ArbitrationKind::from_name(name).ok_or_else(|| {
+                    format!(
+                        "bad --arbitration `{name}` (expected random|round-robin|lru|priority|all)"
+                    )
+                })
+            })
+            .collect()
+        {
+            Ok(kinds) => kinds,
+            Err(e) => return fail(e),
+        }
+    };
+    let Some(engine) = EngineKind::from_name(&engine_spec) else {
+        return fail(format!("bad --engine `{engine_spec}` (expected cycle|event)"));
+    };
     let format = match format_spec.as_str() {
         "csv" => SweepFormat::Csv,
         "json" => SweepFormat::Json,
@@ -416,7 +470,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         .r_values(r)
         .p_values(p)
         .policies(policies)
-        .bufferings(bufferings);
+        .bufferings(bufferings)
+        .arbitrations(arbitrations);
     let scenarios = match grid.scenarios() {
         Ok(s) => s,
         Err(e) => return fail(format!("invalid sweep point: {e}")),
@@ -431,14 +486,15 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         measure: cycles,
         master_seed: seed,
         mode: ExecutionMode::Serial,
+        engine,
     };
     let evaluators: Vec<Box<dyn Evaluator>> = kinds.iter().map(|k| k.build(budget)).collect();
     let refs: Vec<&dyn Evaluator> = evaluators.iter().map(AsRef::as_ref).collect();
 
     if format == SweepFormat::Csv {
         println!(
-            "n,m,r,p,policy,buffering,evaluator,ebw,half_width_95,bus_utilization,\
-             memory_utilization,processor_efficiency,replications"
+            "n,m,r,p,policy,buffering,arbitration,evaluator,ebw,half_width_95,bus_utilization,\
+             memory_utilization,processor_efficiency,replications,fairness"
         );
     }
     // Live progress only when stderr is a terminal; piped stderr gets
@@ -473,15 +529,22 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Fixed 32-point sweep timed serial vs parallel; writes the JSON
-/// baseline consumed by BENCH_sweep.json.
+/// Fixed 32-point sweep timed serial vs parallel (on the engine chosen
+/// with `--engine`), plus an event-vs-cycle engine comparison on a
+/// large-`r`, low-`p` slice — the regime the event kernel exists for.
+/// Writes the JSON baseline consumed by BENCH_sweep.json.
 fn run_bench_sweep(args: &[String]) -> ExitCode {
     let mut flags = Flags::new(args);
     let out: String = flags.parse("--out", "BENCH_sweep.json".to_owned());
+    let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     if let Err(e) = flags.finish() {
-        eprintln!("{e}\nusage: busnet bench-sweep [--out FILE]");
+        eprintln!("{e}\nusage: busnet bench-sweep [--out FILE] [--engine cycle|event]");
         return ExitCode::FAILURE;
     }
+    let Some(engine) = EngineKind::from_name(&engine_spec) else {
+        eprintln!("bad --engine `{engine_spec}` (expected cycle|event)");
+        return ExitCode::FAILURE;
+    };
 
     // 32 points: m x r x buffering at n = 8 — the Table 3/4 style grid.
     let grid = ScenarioGrid::new()
@@ -497,6 +560,7 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         measure: 50_000,
         master_seed: 0x1985_0414,
         mode: ExecutionMode::Serial,
+        engine,
     };
     let sim = busnet::core::scenario::BusSimEval::new(budget);
     let evaluators: [&dyn Evaluator; 1] = [&sim];
@@ -507,7 +571,7 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         let secs = start.elapsed().as_secs_f64();
         (secs, records)
     };
-    eprintln!("# timing 32-point sweep, serial...");
+    eprintln!("# timing 32-point sweep ({} engine), serial...", engine.name());
     let (serial_secs, serial_records) = time(ExecutionMode::Serial);
     eprintln!("# serial: {serial_secs:.2}s; parallel...");
     let (parallel_secs, parallel_records) = time(ExecutionMode::Parallel);
@@ -522,11 +586,55 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         "# parallel: {parallel_secs:.2}s on {threads} threads -> {speedup:.2}x, bit-identical: {identical}"
     );
 
+    // Event-vs-cycle slice: large r, low p, where idle cycles dominate
+    // and the event kernel's time-to-next-event pays off.
+    let slice = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([4, 8, 16])
+        .r_values([16, 24, 32])
+        .p_values([0.1, 0.2])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    eprintln!("# timing {}-point large-r/low-p slice, cycle vs event engine...", slice.len());
+    let time_engine = |engine: EngineKind| {
+        let sim = busnet::core::scenario::BusSimEval::new(budget.with_engine(engine));
+        let evaluators: [&dyn Evaluator; 1] = [&sim];
+        let start = Instant::now();
+        let records = run_sweep(&slice, &evaluators, ExecutionMode::Serial, |_, _, _| {});
+        (start.elapsed().as_secs_f64(), records)
+    };
+    let (cycle_secs, cycle_records) = time_engine(EngineKind::Cycle);
+    let (event_secs, event_records) = time_engine(EngineKind::Event);
+    let engine_speedup = cycle_secs / event_secs;
+    // The engines use independent RNG streams: their estimates agree
+    // statistically, not bitwise. Record the worst relative gap.
+    let max_rel_gap = cycle_records
+        .iter()
+        .zip(&event_records)
+        .filter_map(|(a, b)| match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => Some(((x.ebw() - y.ebw()) / x.ebw()).abs()),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "# cycle: {cycle_secs:.2}s, event: {event_secs:.2}s -> {engine_speedup:.2}x, \
+         max relative EBW gap {max_rel_gap:.4}"
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"32-point scenario sweep (n=8, m in 4..16, r in 2..14, both bufferings)\",\n  \
+         \"engine\": \"{engine}\",\n  \
          \"replications\": 4,\n  \"measure_cycles\": 50000,\n  \"threads\": {threads},\n  \
          \"serial_seconds\": {serial_secs:.3},\n  \"parallel_seconds\": {parallel_secs:.3},\n  \
-         \"speedup\": {speedup:.2},\n  \"bit_identical\": {identical}\n}}\n"
+         \"speedup\": {speedup:.2},\n  \"bit_identical\": {identical},\n  \
+         \"event_vs_cycle\": {{\n    \
+         \"slice\": \"n=8, m in {{4,8,16}}, r in {{16,24,32}}, p in {{0.1,0.2}}, both bufferings\",\n    \
+         \"points\": {points},\n    \"cycle_seconds\": {cycle_secs:.3},\n    \
+         \"event_seconds\": {event_secs:.3},\n    \"speedup\": {engine_speedup:.2},\n    \
+         \"max_rel_ebw_gap\": {max_rel_gap:.4}\n  }}\n}}\n",
+        engine = engine.name(),
+        points = slice.len(),
     );
     match std::fs::write(&out, &json) {
         Ok(()) => {
