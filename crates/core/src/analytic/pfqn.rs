@@ -76,6 +76,23 @@ pub fn pfqn_ebw(params: &SystemParams) -> Result<f64, CoreError> {
     Ok(sol.throughput * f64::from(params.processor_cycle()))
 }
 
+/// EBW of the buffered network under *deterministic* (constant)
+/// service, via approximate MVA with the FCFS residual correction
+/// (`scv = 0`). The paper's system serves in exactly `r` cycles, so
+/// this sits between the pessimistic exponential model ([`pfqn_ebw`])
+/// and the simulated constant-service system — it is the
+/// unbounded-buffer limit used by the depth-aware approximation
+/// ([`crate::analytic::approx::depth_aware_ebw`]).
+///
+/// # Errors
+///
+/// Propagates network construction/solution failures.
+pub fn pfqn_ebw_deterministic(params: &SystemParams) -> Result<f64, CoreError> {
+    let net = buffered_network(params)?;
+    let sol = net.amva_scv(params.n(), 0.0)?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
 /// Same model solved by Buzen's convolution — used as a cross-check of
 /// the two classic algorithms on the paper's own workload.
 ///

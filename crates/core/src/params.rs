@@ -21,7 +21,29 @@ pub enum BusPolicy {
     MemoryPriority,
 }
 
-/// Memory-module buffering scheme (paper §6).
+/// Memory-module buffering scheme (paper §6, generalized to depth `k`).
+///
+/// The paper studies two schemes: no buffers (§§2–5) and one-deep
+/// input/output buffers (§6, Fig 4). This enum generalizes the axis to
+/// arbitrary FIFO depth `k`, with the paper's two schemes preserved as
+/// the named variants: [`Buffering::Unbuffered`] ≡ `Depth(0)` and
+/// [`Buffering::Buffered`] ≡ `Depth(1)` (the cycle engine is
+/// bit-identical across each pair, pinned by `tests/buffer_depth.rs`).
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::Buffering;
+///
+/// assert_eq!(Buffering::Unbuffered.effective_depth(8), 0);
+/// assert_eq!(Buffering::Buffered.effective_depth(8), 1);
+/// assert_eq!(Buffering::Depth(4).effective_depth(8), 4);
+/// // At most n requests exist, so depth n behaves as unbounded:
+/// assert_eq!(Buffering::Infinite.effective_depth(8), 8);
+/// assert!(Buffering::Depth(4).is_buffered());
+/// assert!(!Buffering::Depth(0).is_buffered());
+/// assert_eq!(Buffering::from_name("depth4"), Some(Buffering::Depth(4)));
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Buffering {
     /// No buffers: a module holds its result until the bus returns it,
@@ -32,6 +54,87 @@ pub enum Buffering {
     /// service back-to-back requests while results wait for the bus
     /// (paper §6, Fig 4).
     Buffered,
+    /// `k`-deep input and output FIFOs on every module (the buffer
+    /// sizing axis; `Depth(0)` behaves as [`Buffering::Unbuffered`],
+    /// `Depth(1)` as [`Buffering::Buffered`]).
+    Depth(u32),
+    /// Unbounded FIFOs. Since at most `n` requests exist in the closed
+    /// system, this is realized exactly as depth `n`.
+    Infinite,
+}
+
+impl Buffering {
+    /// The FIFO depth this scheme resolves to in a system with `n`
+    /// processors: 0 (unbuffered), 1 (the paper's §6 scheme), `k`, or
+    /// `n` for [`Buffering::Infinite`] (depth `n` is indistinguishable
+    /// from unbounded because the closed system holds at most `n`
+    /// requests).
+    pub fn effective_depth(self, n: u32) -> u32 {
+        match self {
+            Buffering::Unbuffered => 0,
+            Buffering::Buffered => 1,
+            Buffering::Depth(k) => k,
+            Buffering::Infinite => n,
+        }
+    }
+
+    /// Whether modules have any buffering capacity (depth ≥ 1). The
+    /// analytic vehicles for the unbuffered system accept exactly the
+    /// schemes where this is `false`.
+    pub fn is_buffered(self) -> bool {
+        !matches!(self, Buffering::Unbuffered | Buffering::Depth(0))
+    }
+
+    /// Validates the scheme (`Depth(k)` is capped at 4096, the same
+    /// guard as the system parameters).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an implausibly deep buffer.
+    pub fn validate(self) -> Result<(), CoreError> {
+        if let Buffering::Depth(k) = self {
+            if k > 4096 {
+                return Err(CoreError::InvalidParameter {
+                    name: "buffer depth",
+                    value: k.to_string(),
+                    constraint: "depth <= 4096 (use Buffering::Infinite for unbounded)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stable textual id: `unbuffered`, `buffered`, `depthK`,
+    /// `infinite`.
+    pub fn name(self) -> String {
+        match self {
+            Buffering::Unbuffered => "unbuffered".to_owned(),
+            Buffering::Buffered => "buffered".to_owned(),
+            Buffering::Depth(k) => format!("depth{k}"),
+            Buffering::Infinite => "infinite".to_owned(),
+        }
+    }
+
+    /// Parses a textual id as produced by [`Buffering::name`] (also
+    /// accepts `inf` for [`Buffering::Infinite`]).
+    pub fn from_name(name: &str) -> Option<Buffering> {
+        match name {
+            "unbuffered" => Some(Buffering::Unbuffered),
+            "buffered" => Some(Buffering::Buffered),
+            "infinite" | "inf" => Some(Buffering::Infinite),
+            _ => name.strip_prefix("depth")?.parse().ok().map(Buffering::Depth),
+        }
+    }
+
+    /// The depth as a short column label: `0`, `1`, `k`, or `inf`.
+    pub fn depth_label(self) -> String {
+        match self {
+            Buffering::Unbuffered => "0".to_owned(),
+            Buffering::Buffered => "1".to_owned(),
+            Buffering::Depth(k) => k.to_string(),
+            Buffering::Infinite => "inf".to_owned(),
+        }
+    }
 }
 
 /// Validated system parameters: `n` processors, `m` memory modules,
@@ -186,6 +289,34 @@ mod tests {
         let p = SystemParams::new(4, 6, 3).unwrap().transposed();
         assert_eq!((p.n(), p.m()), (6, 4));
         assert_eq!(p.r(), 3);
+    }
+
+    #[test]
+    fn buffering_depths_resolve_and_roundtrip() {
+        assert_eq!(Buffering::Unbuffered.effective_depth(8), 0);
+        assert_eq!(Buffering::Buffered.effective_depth(8), 1);
+        assert_eq!(Buffering::Depth(3).effective_depth(8), 3);
+        assert_eq!(Buffering::Infinite.effective_depth(5), 5);
+        assert!(!Buffering::Unbuffered.is_buffered());
+        assert!(!Buffering::Depth(0).is_buffered());
+        assert!(Buffering::Buffered.is_buffered());
+        assert!(Buffering::Infinite.is_buffered());
+        for b in [
+            Buffering::Unbuffered,
+            Buffering::Buffered,
+            Buffering::Depth(0),
+            Buffering::Depth(7),
+            Buffering::Infinite,
+        ] {
+            assert_eq!(Buffering::from_name(&b.name()), Some(b));
+            assert!(b.validate().is_ok());
+        }
+        assert_eq!(Buffering::from_name("inf"), Some(Buffering::Infinite));
+        assert_eq!(Buffering::from_name("depthx"), None);
+        assert_eq!(Buffering::from_name("nope"), None);
+        assert!(Buffering::Depth(5000).validate().is_err());
+        assert_eq!(Buffering::Depth(4).depth_label(), "4");
+        assert_eq!(Buffering::Infinite.depth_label(), "inf");
     }
 
     #[test]

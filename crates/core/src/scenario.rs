@@ -126,8 +126,10 @@ impl Scenario {
             BusPolicy::MemoryPriority => "mem",
         };
         let buffering = match self.buffering {
-            Buffering::Unbuffered => "unbuf",
-            Buffering::Buffered => "buf",
+            Buffering::Unbuffered => "unbuf".to_owned(),
+            Buffering::Buffered => "buf".to_owned(),
+            Buffering::Depth(k) => format!("buf{k}"),
+            Buffering::Infinite => "buf-inf".to_owned(),
         };
         let arbitration = match self.arbitration {
             ArbitrationKind::Random => String::new(),
@@ -162,6 +164,34 @@ pub struct Evaluation {
     /// aggregated across replications. `None` for analytic vehicles,
     /// which assume symmetry and have no per-processor view.
     pub per_processor_ebw: Option<Vec<f64>>,
+    /// Module buffer-occupancy telemetry aggregated across
+    /// replications. `None` for vehicles without a queue-level view
+    /// (every analytic model and the crossbar baselines).
+    pub occupancy: Option<OccupancySummary>,
+}
+
+/// Aggregated buffer-occupancy telemetry of a simulated scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OccupancySummary {
+    /// The effective FIFO depth `k` of the run (0 when unbuffered, `n`
+    /// for [`Buffering::Infinite`]).
+    pub buffer_depth: u32,
+    /// Mean input-FIFO length over all module-cycles and replications.
+    pub mean_input_queue: f64,
+    /// Mean output-FIFO length over all module-cycles and replications.
+    pub mean_output_queue: f64,
+    /// Normalized input-FIFO occupancy distribution over levels
+    /// `0..=k` (sums to 1).
+    pub input_distribution: Vec<f64>,
+    /// Normalized output-FIFO occupancy distribution over levels
+    /// `0..=max(k, 1)`.
+    pub output_distribution: Vec<f64>,
+    /// Fraction of module-cycles the input FIFO sat full (0 when
+    /// unbuffered).
+    pub input_full_fraction: f64,
+    /// Completed services that found their output FIFO full, summed
+    /// over replications.
+    pub blocked_completions: u64,
 }
 
 impl Evaluation {
@@ -225,6 +255,7 @@ fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         half_width_95: 0.0,
         replications: 1,
         per_processor_ebw: None,
+        occupancy: None,
     }
 }
 
@@ -244,6 +275,7 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         half_width_95: 0.0,
         replications: 1,
         per_processor_ebw: None,
+        occupancy: None,
     }
 }
 
@@ -275,7 +307,7 @@ impl Evaluator for ExactChainEval {
 
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::MemoryPriority
-            && s.buffering == Buffering::Unbuffered
+            && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
             && s.has_paper_service()
@@ -306,7 +338,7 @@ impl Evaluator for ReducedChainEval {
 
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::ProcessorPriority
-            && s.buffering == Buffering::Unbuffered
+            && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.has_paper_service()
     }
@@ -341,7 +373,7 @@ impl Evaluator for ApproxEval {
 
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::MemoryPriority
-            && s.buffering == Buffering::Unbuffered
+            && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
             && s.has_paper_service()
@@ -355,6 +387,39 @@ impl Evaluator for ApproxEval {
             "the combinational model approximates the memory-priority unbuffered system at p = 1",
         )?;
         let ebw = ApproxModel::new(scenario.params, self.variant).ebw();
+        Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+}
+
+/// Depth-aware combinational approximation of the buffered system
+/// ([`crate::analytic::approx::depth_aware_ebw`]): the reduced chain at
+/// depth 0, the clamped product-form limit at depth ∞, geometric
+/// closure in between. Covers the whole buffering axis under processor
+/// priority.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DepthApproxEval;
+
+impl Evaluator for DepthApproxEval {
+    fn name(&self) -> &'static str {
+        "approx-depth"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        s.policy == BusPolicy::ProcessorPriority
+            && s.arbitration == ArbitrationKind::Random
+            && s.has_paper_service()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the depth-aware approximation covers processor priority, random arbitration, \
+             constant service (any buffer depth)",
+        )?;
+        let depth = scenario.buffering.effective_depth(scenario.params.n());
+        let ebw = crate::analytic::approx::depth_aware_ebw(&scenario.params, depth)?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
     }
 }
@@ -386,7 +451,9 @@ impl Evaluator for PfqnEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.buffering == Buffering::Buffered && s.arbitration == ArbitrationKind::Random
+        // The product-form network queues requests at the modules, so
+        // any buffered depth (its queues are unbounded) is in domain.
+        s.buffering.is_buffered() && s.arbitration == ArbitrationKind::Random
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -519,6 +586,7 @@ impl Evaluator for BusSimEval {
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
         scenario.service().validate()?;
+        scenario.buffering.validate()?;
         let plan = ReplicationPlan::new(self.budget.replications.max(1), self.budget.master_seed);
         let seeds: Vec<u64> = plan.seeds().collect();
         // Full reports rather than scalars: the per-processor counts
@@ -548,6 +616,29 @@ impl Evaluator for BusSimEval {
                 returns as f64 * rc / measured_total as f64
             })
             .collect();
+        // Occupancy telemetry: merge the per-replication histograms
+        // (weights are module-cycles, so the merge is the pooled
+        // distribution) and sum the blocking counts.
+        let (first, rest) = reports.split_first().expect("at least one replication");
+        let mut input = first.input_occupancy.clone();
+        let mut output = first.output_occupancy.clone();
+        let mut blocked = first.blocked_completions;
+        for r in rest {
+            input.merge(&r.input_occupancy);
+            output.merge(&r.output_occupancy);
+            blocked += r.blocked_completions;
+        }
+        let depth = first.buffer_depth();
+        let input_full_fraction = crate::sim::bus::input_full_fraction(depth, &input);
+        let occupancy = OccupancySummary {
+            buffer_depth: depth,
+            mean_input_queue: input.mean(),
+            mean_output_queue: output.mean(),
+            input_distribution: input.distribution(),
+            output_distribution: output.distribution(),
+            input_full_fraction,
+            blocked_completions: blocked,
+        };
         Ok(Evaluation {
             evaluator: self.name(),
             scenario: *scenario,
@@ -555,6 +646,7 @@ impl Evaluator for BusSimEval {
             half_width_95: summary.half_width_95(),
             replications: summary.replications() as u32,
             per_processor_ebw: Some(per_processor_ebw),
+            occupancy: Some(occupancy),
         })
     }
 }
@@ -625,6 +717,8 @@ pub enum EvaluatorKind {
     Approx,
     /// §3.2 approximation, symmetrized.
     ApproxSymmetric,
+    /// Depth-aware approximation over the buffering axis.
+    DepthApprox,
     /// §6 product-form model via MVA.
     Pfqn,
     /// §6 product-form model via Buzen's convolution.
@@ -636,12 +730,13 @@ pub enum EvaluatorKind {
 }
 
 /// Every evaluator kind, in presentation order.
-pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 9] = [
+pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 10] = [
     EvaluatorKind::Sim,
     EvaluatorKind::Exact,
     EvaluatorKind::Reduced,
     EvaluatorKind::Approx,
     EvaluatorKind::ApproxSymmetric,
+    EvaluatorKind::DepthApprox,
     EvaluatorKind::Pfqn,
     EvaluatorKind::PfqnBuzen,
     EvaluatorKind::CrossbarExact,
@@ -657,6 +752,7 @@ impl EvaluatorKind {
             EvaluatorKind::Reduced => "reduced",
             EvaluatorKind::Approx => "approx",
             EvaluatorKind::ApproxSymmetric => "approx-sym",
+            EvaluatorKind::DepthApprox => "approx-depth",
             EvaluatorKind::Pfqn => "pfqn",
             EvaluatorKind::PfqnBuzen => "pfqn-buzen",
             EvaluatorKind::CrossbarExact => "crossbar",
@@ -680,6 +776,7 @@ impl EvaluatorKind {
             EvaluatorKind::ApproxSymmetric => {
                 Box::new(ApproxEval { variant: ApproxVariant::Symmetric })
             }
+            EvaluatorKind::DepthApprox => Box::new(DepthApproxEval),
             EvaluatorKind::Pfqn => Box::new(PfqnEval { algorithm: PfqnAlgorithm::Mva }),
             EvaluatorKind::PfqnBuzen => Box::new(PfqnEval { algorithm: PfqnAlgorithm::Buzen }),
             EvaluatorKind::CrossbarExact => Box::new(CrossbarExactEval),
@@ -821,8 +918,11 @@ impl ScenarioGrid {
     /// # Errors
     ///
     /// [`CoreError::InvalidParameter`] if any point violates the
-    /// parameter invariants.
+    /// parameter invariants (including an invalid buffering depth).
     pub fn scenarios(&self) -> Result<Vec<Scenario>, CoreError> {
+        for buffering in &self.bufferings {
+            buffering.validate()?;
+        }
         let mut out = Vec::with_capacity(self.len());
         for &n in &self.n {
             for &m in &self.m {
@@ -996,6 +1096,13 @@ mod tests {
     fn grid_rejects_invalid_points() {
         assert!(ScenarioGrid::new().n_values([0]).scenarios().is_err());
         assert!(ScenarioGrid::new().p_values([1.5]).scenarios().is_err());
+        assert!(ScenarioGrid::new().bufferings([Buffering::Depth(5000)]).scenarios().is_err());
+    }
+
+    #[test]
+    fn sim_evaluator_rejects_invalid_depth_without_panicking() {
+        let s = Scenario::new(params(2, 2, 2)).with_buffering(Buffering::Depth(5000));
+        assert!(BusSimEval::new(SimBudget::quick()).evaluate(&s).is_err());
     }
 
     #[test]
@@ -1027,6 +1134,46 @@ mod tests {
         ));
         assert!(records[1].result.is_ok());
         assert!(records[2].result.is_ok(), "{:?}", records[2].result);
+    }
+
+    #[test]
+    fn depth_axis_flows_through_grid_and_domains() {
+        let grid = ScenarioGrid::new().n_values([4]).m_values([4]).r_values([6]).bufferings([
+            Buffering::Depth(0),
+            Buffering::Depth(2),
+            Buffering::Infinite,
+        ]);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[1].label(), "n=4 m=4 r=6 p=1 proc buf2");
+        assert_eq!(scenarios[2].label(), "n=4 m=4 r=6 p=1 proc buf-inf");
+        // Depth(0) is unbuffered for every analytic domain; deeper
+        // schemes belong to the product-form side.
+        assert!(ReducedChainEval.supports(&scenarios[0]));
+        assert!(!ReducedChainEval.supports(&scenarios[1]));
+        assert!(!PfqnEval::default().supports(&scenarios[0]));
+        assert!(PfqnEval::default().supports(&scenarios[1]));
+        assert!(PfqnEval::default().supports(&scenarios[2]));
+        // The depth-aware approximation spans the whole axis.
+        for s in &scenarios {
+            assert!(DepthApproxEval.supports(s));
+            assert!(DepthApproxEval.evaluate(s).unwrap().ebw() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sim_evaluator_reports_occupancy_telemetry() {
+        let s = Scenario::new(params(8, 4, 6)).with_buffering(Buffering::Depth(2));
+        let e = BusSimEval::new(SimBudget::quick()).evaluate(&s).unwrap();
+        let occ = e.occupancy.expect("simulation carries occupancy");
+        assert_eq!(occ.buffer_depth, 2);
+        assert_eq!(occ.input_distribution.len(), 3);
+        assert!((occ.input_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(occ.mean_input_queue > 0.0 && occ.mean_input_queue <= 2.0);
+        assert!((0.0..=1.0).contains(&occ.input_full_fraction));
+        // Analytic vehicles have no queue-level view.
+        let analytic = ReducedChainEval.evaluate(&Scenario::new(params(8, 4, 6))).unwrap();
+        assert_eq!(analytic.occupancy, None);
     }
 
     #[test]

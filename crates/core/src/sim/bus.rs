@@ -55,8 +55,10 @@
 //!
 //! * [`BusSimBuilder::channels`] — `b` multiplexed bus channels,
 //!   the system the paper's reference 5 hints at ("four buses…");
-//! * [`BusSimBuilder::buffer_depth`] — FIFO input/output buffers deeper
-//!   than the paper's one-deep proposal;
+//! * [`Buffering::Depth`] / [`Buffering::Infinite`] — FIFO
+//!   input/output buffers deeper than the paper's one-deep proposal
+//!   (the buffer-sizing axis), with per-module occupancy telemetry in
+//!   the [`SimReport`];
 //! * [`BusSimBuilder::addressing`] — hot-spot request skew, relaxing
 //!   hypothesis *e*.
 
@@ -194,7 +196,7 @@ pub struct BusSimBuilder {
     pub(crate) params: SystemParams,
     pub(crate) policy: BusPolicy,
     pub(crate) buffering: Buffering,
-    pub(crate) buffer_depth: u32,
+    pub(crate) buffer_depth: Option<u32>,
     pub(crate) channels: u32,
     pub(crate) addressing: AddressPattern,
     pub(crate) arbitration: ArbitrationKind,
@@ -216,7 +218,7 @@ impl BusSimBuilder {
             params,
             policy: BusPolicy::ProcessorPriority,
             buffering: Buffering::Unbuffered,
-            buffer_depth: 1,
+            buffer_depth: None,
             channels: 1,
             addressing: AddressPattern::Uniform,
             arbitration: ArbitrationKind::Random,
@@ -235,18 +237,61 @@ impl BusSimBuilder {
         self
     }
 
-    /// Sets the buffering scheme (§6).
+    /// Sets the buffering scheme (§6, generalized to depth `k` via
+    /// [`Buffering::Depth`] and [`Buffering::Infinite`]).
     pub fn buffering(mut self, buffering: Buffering) -> Self {
         self.buffering = buffering;
         self
     }
 
-    /// Sets the input/output FIFO depth used when buffering is enabled
-    /// (the paper's §6 proposal is depth 1, the default). Values are
-    /// clamped to at least 1.
+    /// Overrides the FIFO depth implied by the buffering scheme (the
+    /// legacy knob for deepening the paper's §6 scheme: valid together
+    /// with [`Buffering::Buffered`], or with a matching
+    /// [`Buffering::Depth`]). Any other combination is rejected at
+    /// build time by [`BusSimBuilder::resolved_depth`] instead of being
+    /// silently ignored — prefer setting the depth directly through
+    /// [`BusSimBuilder::buffering`].
     pub fn buffer_depth(mut self, depth: u32) -> Self {
-        self.buffer_depth = depth.max(1);
+        self.buffer_depth = Some(depth);
         self
+    }
+
+    /// The effective input/output FIFO depth the built simulator will
+    /// use: the depth implied by the [`Buffering`] scheme, checked for
+    /// consistency against any explicit [`BusSimBuilder::buffer_depth`]
+    /// override.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::InvalidParameter`] when the scheme itself is
+    /// invalid (`Depth(k)` with `k > 4096`) or the override contradicts
+    /// it (an override on an unbuffered or infinite scheme, a zero
+    /// override on a buffered one, or a `Depth(k)` mismatch).
+    pub fn resolved_depth(&self) -> Result<u32, crate::CoreError> {
+        self.buffering.validate()?;
+        let implied = self.buffering.effective_depth(self.params.n());
+        let conflict = |value: String, constraint: &'static str| {
+            Err(crate::CoreError::InvalidParameter { name: "buffer_depth", value, constraint })
+        };
+        match (self.buffering, self.buffer_depth) {
+            (_, None) => Ok(implied),
+            (Buffering::Depth(k), Some(d)) if d == k => Ok(k),
+            (Buffering::Depth(_), Some(d)) => {
+                conflict(d.to_string(), "buffer_depth must match Buffering::Depth(k)")
+            }
+            (Buffering::Buffered, Some(0)) => conflict(
+                "0".to_owned(),
+                "the buffered scheme needs depth >= 1 (use Buffering::Unbuffered)",
+            ),
+            (Buffering::Buffered, Some(d)) => {
+                Buffering::Depth(d).validate()?;
+                Ok(d)
+            }
+            (Buffering::Unbuffered | Buffering::Infinite, Some(d)) => conflict(
+                d.to_string(),
+                "buffer_depth applies only to Buffering::Buffered / Buffering::Depth(k)",
+            ),
+        }
     }
 
     /// Sets the number of multiplexed bus channels (extension; the
@@ -315,9 +360,11 @@ impl BusSimBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if an explicitly supplied service-time distribution or
-    /// address pattern is invalid (validate beforehand with
-    /// [`ServiceTime::validate`] / [`AddressPattern::validate`]).
+    /// Panics if an explicitly supplied service-time distribution,
+    /// address pattern, or buffer-depth override is invalid (validate
+    /// beforehand with [`ServiceTime::validate`] /
+    /// [`AddressPattern::validate`] /
+    /// [`BusSimBuilder::resolved_depth`]).
     pub fn build(self) -> BusSim {
         let memory_service = self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()));
         memory_service.validate().expect("invalid memory service time");
@@ -325,10 +372,7 @@ impl BusSimBuilder {
         self.addressing.validate(self.params.m()).expect("invalid address pattern");
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
-        let depth = match self.buffering {
-            Buffering::Unbuffered => 0,
-            Buffering::Buffered => self.buffer_depth,
-        };
+        let depth = self.resolved_depth().expect("inconsistent buffering configuration");
         BusSim {
             params: self.params,
             policy: self.policy,
@@ -344,7 +388,7 @@ impl BusSimBuilder {
             bus: vec![None; self.channels as usize],
             proc_arbiter: Arbiter::new(self.arbitration),
             module_arbiter: Arbiter::new(self.arbitration),
-            stats: new_counters(&self.params, self.warmup, self.measure),
+            stats: new_counters(&self.params, depth, self.warmup, self.measure),
             candidate_scratch: Vec::with_capacity(n.max(m)),
             inflight_scratch: vec![0; m],
         }
@@ -369,15 +413,35 @@ impl BusSimBuilder {
     }
 }
 
+/// The fraction of module-cycles an input FIFO of depth `depth` sat
+/// full (mass of the top occupancy level). Defined as 0 for the
+/// unbuffered scheme, whose admission rule keeps the input empty —
+/// shared by the per-run [`SimReport`] and the replication-merged
+/// summary so the two cannot diverge.
+pub(crate) fn input_full_fraction(depth: u32, occupancy: &Histogram) -> f64 {
+    if depth == 0 {
+        return 0.0;
+    }
+    *occupancy.distribution().last().unwrap_or(&0.0)
+}
+
 /// The shared counter set both bus engines accumulate into: one bucket
 /// per bus cycle of waiting up to 16 processor cycles (the tail
-/// saturates), one fairness slot per processor.
-pub(crate) fn new_counters(params: &SystemParams, warmup: u64, measure: u64) -> SimCounters {
+/// saturates), one fairness slot per processor, and per-module
+/// input/output occupancy trackers sized for FIFO depth `depth`
+/// (input levels `0..=depth`, output levels `0..=max(depth, 1)`).
+pub(crate) fn new_counters(
+    params: &SystemParams,
+    depth: u32,
+    warmup: u64,
+    measure: u64,
+) -> SimCounters {
     SimCounters::new(
         MeasurementWindow::new(warmup, measure),
         params.n() as usize,
         Histogram::new(1.0, 16 * params.processor_cycle() as usize),
     )
+    .with_queue_occupancy(params.m() as usize, depth, depth.max(1))
 }
 
 /// The single-bus (or multi-channel) simulator. Create via
@@ -425,10 +489,12 @@ impl BusSim {
         while self.cycle < total {
             self.step();
         }
+        self.stats.finish_occupancy(total);
         SimReport::from_counters(
             self.params,
             self.policy,
             self.buffering,
+            self.depth,
             self.bus.len() as u32,
             self.stats,
         )
@@ -466,9 +532,9 @@ impl BusSim {
                 }
             }
         }
-        self.progress_modules();
+        self.progress_modules(t);
         for (token, module) in completed_requests {
-            self.deliver_request(token, module);
+            self.deliver_request(token, module, t);
         }
         self.cycle += 1;
     }
@@ -530,6 +596,7 @@ impl BusSim {
                     .collect();
                 let j = self.module_arbiter.pick(t, &ready, &mut self.rng);
                 let token = self.modules[j].output.pop_front().expect("candidate had output");
+                self.stats.set_output_occupancy(j, t + 1, self.modules[j].output.len() as u32);
                 self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
             } else {
                 let candidates = std::mem::take(&mut self.candidate_scratch);
@@ -550,25 +617,37 @@ impl BusSim {
         }
     }
 
-    fn progress_modules(&mut self) {
-        let depth = self.depth.max(1) as usize; // output capacity (1 when unbuffered)
-        for md in &mut self.modules {
+    fn progress_modules(&mut self, t: u64) {
+        let out_cap = self.depth.max(1) as usize; // output capacity (1 when unbuffered)
+        for (j, md) in self.modules.iter_mut().enumerate() {
             if let Some(service) = &mut md.service {
                 if service.remaining > 0 {
                     service.remaining -= 1;
+                    if service.remaining == 0 && md.output.len() >= out_cap {
+                        // Finished this cycle but the output FIFO is
+                        // full: the §6 blocking event.
+                        self.stats.record_blocked_completion(t);
+                    }
                 }
-                if service.remaining == 0 && md.output.len() < depth {
+                if service.remaining == 0 && md.output.len() < out_cap {
                     md.output.push_back(service.token);
-                    md.service = md.input.pop_front().map(|token| ModuleService {
-                        token,
-                        remaining: self.memory_service.sample(&mut self.rng),
-                    });
+                    self.stats.set_output_occupancy(j, t + 1, md.output.len() as u32);
+                    match md.input.pop_front() {
+                        Some(token) => {
+                            self.stats.set_input_occupancy(j, t + 1, md.input.len() as u32);
+                            md.service = Some(ModuleService {
+                                token,
+                                remaining: self.memory_service.sample(&mut self.rng),
+                            });
+                        }
+                        None => md.service = None,
+                    }
                 }
             }
         }
     }
 
-    fn deliver_request(&mut self, token: Token, module: usize) {
+    fn deliver_request(&mut self, token: Token, module: usize, t: u64) {
         let md = &mut self.modules[module];
         if md.service.is_none() {
             debug_assert!(md.input.is_empty(), "idle module with queued input");
@@ -580,6 +659,7 @@ impl BusSim {
                 "input buffer overrun"
             );
             md.input.push_back(token);
+            self.stats.set_input_occupancy(module, t + 1, md.input.len() as u32);
         }
     }
 
@@ -647,6 +727,7 @@ pub struct SimReport {
     params: SystemParams,
     policy: BusPolicy,
     buffering: Buffering,
+    buffer_depth: u32,
     channels: u32,
     /// Results delivered to processors during measurement.
     pub returns: u64,
@@ -668,6 +749,15 @@ pub struct SimReport {
     pub wait_histogram: Histogram,
     /// Returns delivered to each processor (fairness analysis).
     pub per_processor_returns: Vec<u64>,
+    /// Time-weighted input-FIFO occupancy over all module-cycles
+    /// (levels `0..=k`, weights in module-cycles).
+    pub input_occupancy: Histogram,
+    /// Time-weighted output-FIFO occupancy over all module-cycles
+    /// (levels `0..=max(k, 1)`).
+    pub output_occupancy: Histogram,
+    /// Completed services that found their output FIFO full (the §6
+    /// blocking event), during measurement.
+    pub blocked_completions: u64,
 }
 
 impl SimReport {
@@ -677,6 +767,7 @@ impl SimReport {
         params: SystemParams,
         policy: BusPolicy,
         buffering: Buffering,
+        buffer_depth: u32,
         channels: u32,
         stats: SimCounters,
     ) -> SimReport {
@@ -684,6 +775,7 @@ impl SimReport {
             params,
             policy,
             buffering,
+            buffer_depth,
             channels,
             returns: stats.returns,
             requests_granted: stats.requests_granted,
@@ -694,6 +786,9 @@ impl SimReport {
             round_trip: stats.round_trip,
             wait_histogram: stats.wait_histogram,
             per_processor_returns: stats.per_entity_returns,
+            input_occupancy: stats.input_occupancy.histogram().clone(),
+            output_occupancy: stats.output_occupancy.histogram().clone(),
+            blocked_completions: stats.blocked_completions,
         }
     }
 
@@ -732,6 +827,41 @@ impl SimReport {
     /// The buffering scheme of the run.
     pub fn buffering(&self) -> Buffering {
         self.buffering
+    }
+
+    /// The effective input/output FIFO depth of the run (0 when
+    /// unbuffered; `n` for [`Buffering::Infinite`]).
+    pub fn buffer_depth(&self) -> u32 {
+        self.buffer_depth
+    }
+
+    /// Mean input-FIFO length over all module-cycles.
+    pub fn mean_input_queue(&self) -> f64 {
+        self.input_occupancy.mean()
+    }
+
+    /// Mean output-FIFO length over all module-cycles.
+    pub fn mean_output_queue(&self) -> f64 {
+        self.output_occupancy.mean()
+    }
+
+    /// Normalized input-FIFO occupancy distribution over levels
+    /// `0..=k` (sums to 1 whenever any module-cycle was measured).
+    pub fn input_occupancy_distribution(&self) -> Vec<f64> {
+        self.input_occupancy.distribution()
+    }
+
+    /// Normalized output-FIFO occupancy distribution over levels
+    /// `0..=max(k, 1)`.
+    pub fn output_occupancy_distribution(&self) -> Vec<f64> {
+        self.output_occupancy.distribution()
+    }
+
+    /// Fraction of module-cycles the input FIFO sat full (at level
+    /// `k`); 0 for the unbuffered scheme, whose admission rule keeps
+    /// the input empty.
+    pub fn input_full_fraction(&self) -> f64 {
+        input_full_fraction(self.buffer_depth, &self.input_occupancy)
     }
 
     /// Number of bus channels of the run.

@@ -165,10 +165,7 @@ impl EventBusSim {
         b.addressing.validate(b.params.m()).expect("invalid address pattern");
         let n = b.params.n() as usize;
         let m = b.params.m() as usize;
-        let depth = match b.buffering {
-            Buffering::Unbuffered => 0,
-            Buffering::Buffered => b.buffer_depth,
-        };
+        let depth = b.resolved_depth().expect("inconsistent buffering configuration");
         let seeds = SeedSequence::new(b.seed);
         let proc_seeds = seeds.child(0);
         let module_seeds = seeds.child(1);
@@ -198,7 +195,7 @@ impl EventBusSim {
                 .collect(),
             arb_rng: SmallRng::seed_from_u64(shared_seeds.stream(0)),
             transfer_rng: SmallRng::seed_from_u64(shared_seeds.stream(1)),
-            stats: new_counters(&b.params, b.warmup, b.measure),
+            stats: new_counters(&b.params, depth, b.warmup, b.measure),
             candidate_scratch: Vec::with_capacity(n.max(m)),
         }
     }
@@ -273,10 +270,12 @@ impl EventBusSim {
                 self.wake_at = Some(t + 1);
             }
         }
+        self.stats.finish_occupancy(self.total);
         SimReport::from_counters(
             self.params,
             self.policy,
             self.buffering,
+            self.depth,
             self.bus.len() as u32,
             self.stats,
         )
@@ -318,6 +317,7 @@ impl EventBusSim {
                     .collect();
                 let j = self.module_arbiter.pick(t, &ready, &mut self.arb_rng);
                 let token = self.modules[j].output.pop_front().expect("candidate had output");
+                self.stats.set_output_occupancy(j, t + 1, self.modules[j].output.len() as u32);
                 if matches!(self.modules[j].service, Some(s) if s.done <= t) {
                     // A finished service was blocked on this output
                     // slot; let it retry at the end of this cycle.
@@ -368,6 +368,7 @@ impl EventBusSim {
                         "input buffer overrun"
                     );
                     md.input.push_back(token);
+                    self.stats.set_input_occupancy(module, t + 1, md.input.len() as u32);
                 }
             }
         }
@@ -380,12 +381,22 @@ impl EventBusSim {
         let out_cap = self.depth.max(1) as usize;
         let md = &mut self.modules[j];
         let Some(service) = md.service else { return };
-        if service.done > t || md.output.len() >= out_cap {
-            return; // not due yet, or (still) blocked on the output FIFO
+        if service.done > t {
+            return; // not due yet
+        }
+        if md.output.len() >= out_cap {
+            // (Still) blocked on the output FIFO. Count only the first
+            // due event — rechecks fire after the output drained.
+            if service.done == t {
+                self.stats.record_blocked_completion(t);
+            }
+            return;
         }
         md.output.push_back(service.token);
+        self.stats.set_output_occupancy(j, t + 1, md.output.len() as u32);
         md.service = None;
         if let Some(token) = self.modules[j].input.pop_front() {
+            self.stats.set_input_occupancy(j, t + 1, self.modules[j].input.len() as u32);
             self.start_service(j, token, t);
         }
     }

@@ -134,6 +134,87 @@ impl ClosedNetwork {
         })
     }
 
+    /// Approximate MVA with the classic FCFS service-variability
+    /// correction (Reiser): queueing stations serve with squared
+    /// coefficient of variation `scv` instead of the exponential
+    /// `scv = 1`.
+    ///
+    /// An arriving customer waits for the full service of each queued
+    /// customer but only the *residual* of the one in service, whose
+    /// mean is `s·(1 + scv)/2`; the per-visit residence becomes
+    ///
+    /// ```text
+    /// R(n) = s·(1 + Q(n−1) − U(n−1)·(1 − scv)/2)
+    /// ```
+    ///
+    /// which reduces to the exact `s·(1 + Q(n−1))` at `scv = 1` and
+    /// models deterministic service at `scv = 0` (the M/D/1 residual).
+    /// Delay stations are unaffected. Exact for `scv = 1` on
+    /// single-server networks; an approximation otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Degenerate-input errors as for [`ClosedNetwork::mva`], plus
+    /// [`QueueingError::NumericalFailure`] for a negative or
+    /// non-finite `scv`, or if the network contains multi-server
+    /// stations (the correction is defined for single-server FCFS).
+    pub fn amva_scv(&self, population: u32, scv: f64) -> Result<NetworkSolution, QueueingError> {
+        if self.is_empty() {
+            return Err(QueueingError::EmptyNetwork);
+        }
+        if population == 0 {
+            return Err(QueueingError::ZeroPopulation);
+        }
+        if !(scv.is_finite() && scv >= 0.0) {
+            return Err(QueueingError::NumericalFailure("scv must be finite and non-negative"));
+        }
+        if self.stations().iter().any(|s| matches!(s.kind(), StationKind::MultiServer { .. })) {
+            return Err(QueueingError::NumericalFailure(
+                "scv correction is defined for single-server FCFS stations",
+            ));
+        }
+        let k = self.len();
+        let mut queue = vec![0.0f64; k]; // Q_k(n−1)
+        let mut residence = vec![0.0f64; k];
+        let mut throughput = 0.0;
+        for n in 1..=population {
+            let mut cycle = 0.0;
+            for (i, st) in self.stations().iter().enumerate() {
+                residence[i] = match st.kind() {
+                    StationKind::Delay => st.service_time(),
+                    _ => {
+                        let in_service = throughput * st.demand(); // U(n−1)
+                        st.service_time()
+                            * (1.0 + queue[i] - in_service * (1.0 - scv) / 2.0).max(1.0)
+                    }
+                };
+                cycle += st.visit_ratio() * residence[i];
+            }
+            throughput = f64::from(n) / cycle;
+            for (i, st) in self.stations().iter().enumerate() {
+                queue[i] = throughput * st.visit_ratio() * residence[i];
+            }
+        }
+        let stations = self
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| StationMetrics {
+                name: st.name().to_owned(),
+                utilization: per_server_utilization(st, throughput),
+                mean_queue_length: queue[i],
+                residence_per_visit: residence[i],
+                demand: st.demand(),
+            })
+            .collect();
+        Ok(NetworkSolution {
+            throughput,
+            cycle_time: f64::from(population) / throughput,
+            population,
+            stations,
+        })
+    }
+
     /// Solves the network with Buzen's convolution algorithm (the
     /// paper's reference 19).
     ///
@@ -502,5 +583,65 @@ mod tests {
     #[test]
     fn zero_server_station_rejected() {
         assert!(Station::new("bad", StationKind::MultiServer { servers: 0 }, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn amva_at_scv_one_matches_exact_mva() {
+        let net = central_server(4, 8.0);
+        for pop in [1u32, 3, 8, 20] {
+            let exact = net.mva(pop).unwrap();
+            let amva = net.amva_scv(pop, 1.0).unwrap();
+            assert!(
+                (exact.throughput - amva.throughput).abs() < 1e-12,
+                "pop {pop}: {} vs {}",
+                exact.throughput,
+                amva.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_service_raises_throughput() {
+        // Less service variability → less queueing → higher X, bounded
+        // by the bottleneck rate.
+        let net = central_server(4, 8.0);
+        for pop in [2u32, 8, 16] {
+            let exp = net.amva_scv(pop, 1.0).unwrap().throughput;
+            let det = net.amva_scv(pop, 0.0).unwrap().throughput;
+            assert!(det >= exp, "pop {pop}: det {det} < exp {exp}");
+            let bottleneck =
+                1.0 / net.stations().iter().map(|s| s.demand()).fold(f64::MIN, f64::max);
+            assert!(det <= bottleneck + 1e-9, "pop {pop}: det {det}");
+        }
+    }
+
+    #[test]
+    fn amva_scv_handles_delay_and_rejects_bad_inputs() {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, 10.0).unwrap());
+        net.add_station(Station::new("cpu", StationKind::Queueing, 1.0, 1.0).unwrap());
+        // With a delay station present the scv=1 case still matches MVA.
+        let a = net.mva(6).unwrap();
+        let b = net.amva_scv(6, 1.0).unwrap();
+        assert!((a.throughput - b.throughput).abs() < 1e-12);
+        assert!(net.amva_scv(6, f64::NAN).is_err());
+        assert!(net.amva_scv(6, -0.5).is_err());
+        assert!(net.amva_scv(0, 0.0).is_err());
+        let mut multi = ClosedNetwork::new();
+        multi.add_station(
+            Station::new("s", StationKind::MultiServer { servers: 2 }, 1.0, 1.0).unwrap(),
+        );
+        assert!(multi.amva_scv(3, 0.0).is_err());
+    }
+
+    #[test]
+    fn amva_monotone_in_population() {
+        let net = central_server(4, 12.0);
+        let mut prev = 0.0;
+        for pop in 1..=30 {
+            let x = net.amva_scv(pop, 0.0).unwrap().throughput;
+            assert!(x >= prev - 1e-12, "pop {pop}");
+            prev = x;
+        }
     }
 }

@@ -65,6 +65,16 @@ impl ArbitrationKind {
     }
 
     /// Parses a textual id (accepts `rr` as a round-robin shorthand).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use busnet_sim::arbiter::ArbitrationKind;
+    ///
+    /// assert_eq!(ArbitrationKind::from_name("lru"), Some(ArbitrationKind::Lru));
+    /// assert_eq!(ArbitrationKind::from_name("rr"), Some(ArbitrationKind::RoundRobin));
+    /// assert_eq!(ArbitrationKind::from_name("fifo"), None);
+    /// ```
     pub fn from_name(name: &str) -> Option<ArbitrationKind> {
         if name == "rr" {
             return Some(ArbitrationKind::RoundRobin);

@@ -13,10 +13,127 @@
 //! single-cycle spans each step, the event engine records whole
 //! occupancy intervals at scheduling time; both clip against the
 //! window identically.
+//!
+//! ## Queue-occupancy telemetry
+//!
+//! Simulators with finite FIFOs (the depth-`k` buffered bus) also
+//! accumulate *queue-occupancy* distributions here: a
+//! [`QueueOccupancy`] tracker holds each entity's current level and
+//! converts every level change into a time-weighted histogram record,
+//! so the distribution is exact under both engine styles — a
+//! cycle-stepped engine reports a change per cycle, an event-driven
+//! engine reports one span per change, and both integrate to the same
+//! module-cycle weights. Enable it with
+//! [`SimCounters::with_queue_occupancy`]; the plain constructor leaves
+//! the trackers disabled (zero entities), which is what the crossbar
+//! baseline uses.
+//!
+//! # Example
+//!
+//! ```
+//! use busnet_sim::clock::MeasurementWindow;
+//! use busnet_sim::counters::SimCounters;
+//! use busnet_sim::histogram::Histogram;
+//!
+//! // 2 fairness entities, 1 module whose input FIFO holds up to 2.
+//! let window = MeasurementWindow::new(0, 10);
+//! let mut c = SimCounters::new(window, 2, Histogram::new(1.0, 4))
+//!     .with_queue_occupancy(1, 2, 2);
+//! c.set_input_occupancy(0, 4, 1); // level 0 for cycles [0, 4), then 1
+//! c.set_input_occupancy(0, 6, 2); // level 1 for cycles [4, 6), then 2
+//! c.finish_occupancy(10);         // level 2 for cycles [6, 10)
+//! assert_eq!(c.input_occupancy.histogram().bucket_counts(), &[4, 2, 4]);
+//! assert!((c.input_occupancy.histogram().mean() - 1.0).abs() < 1e-12);
+//! ```
 
 use crate::clock::MeasurementWindow;
 use crate::histogram::Histogram;
 use crate::stats::RunningStats;
+
+/// Time-weighted queue-level accounting for one group of FIFOs (e.g.
+/// every memory module's input buffer). Levels are integers in
+/// `0..=max_level`; each level change records the span the old level
+/// was held, clipped to the measurement window, weighted into a
+/// one-cycle-wide [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct QueueOccupancy {
+    /// Current level per entity.
+    levels: Vec<u32>,
+    /// Cycle since which the current level has been held.
+    since: Vec<u64>,
+    histogram: Histogram,
+}
+
+impl QueueOccupancy {
+    /// A tracker for `entities` FIFOs with levels in `0..=max_level`;
+    /// all entities start at level 0 from cycle 0.
+    pub fn new(entities: usize, max_level: u32) -> Self {
+        QueueOccupancy {
+            levels: vec![0; entities],
+            since: vec![0; entities],
+            histogram: Histogram::new(1.0, max_level as usize + 1),
+        }
+    }
+
+    /// A disabled tracker (zero entities): every call is a no-op and
+    /// the histogram stays empty.
+    pub fn disabled() -> Self {
+        QueueOccupancy::new(0, 0)
+    }
+
+    /// Whether the tracker records anything.
+    pub fn is_enabled(&self) -> bool {
+        !self.levels.is_empty()
+    }
+
+    /// The accumulated level histogram (weights are entity-cycles).
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Mean level over all entity-cycles recorded so far.
+    pub fn mean_level(&self) -> f64 {
+        self.histogram.mean()
+    }
+
+    fn record_span(&mut self, window: &MeasurementWindow, level: u32, start: u64, end: u64) {
+        let lo = start.max(window.warmup());
+        let hi = end.min(window.total_cycles());
+        if hi > lo {
+            self.histogram.record_n(f64::from(level), hi - lo);
+        }
+    }
+
+    /// Sets `entity`'s level from cycle `t` on, crediting the old level
+    /// with the span it was held. `t` must be non-decreasing per
+    /// entity.
+    fn set_level(&mut self, window: &MeasurementWindow, entity: usize, t: u64, level: u32) {
+        if self.levels.is_empty() {
+            return;
+        }
+        debug_assert!(t >= self.since[entity], "occupancy time went backwards");
+        debug_assert!(
+            (level as u64) < self.histogram.bucket_counts().len() as u64,
+            "level {level} beyond tracked maximum"
+        );
+        let old = self.levels[entity];
+        let since = self.since[entity];
+        self.record_span(window, old, since, t);
+        self.levels[entity] = level;
+        self.since[entity] = t;
+    }
+
+    /// Flushes every entity's open span up to (but excluding) `t_end`.
+    /// Idempotent: a second call at the same `t_end` records nothing.
+    fn finish(&mut self, window: &MeasurementWindow, t_end: u64) {
+        for entity in 0..self.levels.len() {
+            let level = self.levels[entity];
+            let since = self.since[entity];
+            self.record_span(window, level, since, t_end);
+            self.since[entity] = t_end;
+        }
+    }
+}
 
 /// Warmup-gated counter set shared by the network simulators.
 #[derive(Clone, Debug)]
@@ -39,6 +156,15 @@ pub struct SimCounters {
     pub wait_histogram: Histogram,
     /// Completions credited to each entity (fairness analysis).
     pub per_entity_returns: Vec<u64>,
+    /// Input-FIFO occupancy per module (disabled unless
+    /// [`SimCounters::with_queue_occupancy`] was called).
+    pub input_occupancy: QueueOccupancy,
+    /// Output-FIFO occupancy per module (disabled unless
+    /// [`SimCounters::with_queue_occupancy`] was called).
+    pub output_occupancy: QueueOccupancy,
+    /// Completed services that found their output FIFO full and had to
+    /// stall (the §6 blocking event), during measurement.
+    pub blocked_completions: u64,
 }
 
 impl SimCounters {
@@ -55,7 +181,19 @@ impl SimCounters {
             round_trip: RunningStats::new(),
             wait_histogram,
             per_entity_returns: vec![0; entities],
+            input_occupancy: QueueOccupancy::disabled(),
+            output_occupancy: QueueOccupancy::disabled(),
+            blocked_completions: 0,
         }
+    }
+
+    /// Enables queue-occupancy telemetry for `modules` FIFO pairs whose
+    /// input levels range over `0..=input_max` and output levels over
+    /// `0..=output_max`.
+    pub fn with_queue_occupancy(mut self, modules: usize, input_max: u32, output_max: u32) -> Self {
+        self.input_occupancy = QueueOccupancy::new(modules, input_max);
+        self.output_occupancy = QueueOccupancy::new(modules, output_max);
+        self
     }
 
     /// The measurement window the counters are gated by.
@@ -131,6 +269,33 @@ impl SimCounters {
             self.module_busy_cycles += modules;
         }
     }
+
+    /// Sets `module`'s input-FIFO level from cycle `t` on (no-op when
+    /// occupancy tracking is disabled).
+    pub fn set_input_occupancy(&mut self, module: usize, t: u64, level: u32) {
+        self.input_occupancy.set_level(&self.window, module, t, level);
+    }
+
+    /// Sets `module`'s output-FIFO level from cycle `t` on (no-op when
+    /// occupancy tracking is disabled).
+    pub fn set_output_occupancy(&mut self, module: usize, t: u64, level: u32) {
+        self.output_occupancy.set_level(&self.window, module, t, level);
+    }
+
+    /// Flushes all open occupancy spans up to `t_end` (call once when
+    /// the run ends; safe to call on disabled trackers).
+    pub fn finish_occupancy(&mut self, t_end: u64) {
+        self.input_occupancy.finish(&self.window, t_end);
+        self.output_occupancy.finish(&self.window, t_end);
+    }
+
+    /// Records a service that completed at cycle `t` but found its
+    /// output FIFO full (the blocking event of the buffered scheme).
+    pub fn record_blocked_completion(&mut self, t: u64) {
+        if self.window.is_measuring(t) {
+            self.blocked_completions += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,5 +361,48 @@ mod tests {
         assert_eq!(counters().measured_cycles(), 20);
         assert!(counters().is_measuring(10));
         assert!(!counters().is_measuring(9));
+    }
+
+    #[test]
+    fn occupancy_spans_clip_to_the_window() {
+        // Window [10, 30): level 1 held over [5, 15) credits 5 cycles,
+        // the warmup part is dropped.
+        let mut c = counters().with_queue_occupancy(1, 2, 2);
+        c.set_input_occupancy(0, 5, 1);
+        c.set_input_occupancy(0, 15, 2);
+        c.finish_occupancy(40); // level 2 over [15, 40) clips to 15
+        assert_eq!(c.input_occupancy.histogram().bucket_counts(), &[0, 5, 15]);
+        assert_eq!(c.input_occupancy.histogram().count(), 20); // = measured cycles
+    }
+
+    #[test]
+    fn occupancy_finish_is_idempotent() {
+        let mut c = counters().with_queue_occupancy(2, 1, 1);
+        c.set_output_occupancy(0, 12, 1);
+        c.finish_occupancy(30);
+        let once = c.output_occupancy.histogram().clone();
+        c.finish_occupancy(30);
+        assert_eq!(&once, c.output_occupancy.histogram());
+        // Both modules' timelines are covered: 2 × 20 measured cycles.
+        assert_eq!(once.count(), 40);
+    }
+
+    #[test]
+    fn disabled_occupancy_is_inert() {
+        let mut c = counters();
+        assert!(!c.input_occupancy.is_enabled());
+        c.set_input_occupancy(0, 5, 3); // out-of-range entity: no-op
+        c.finish_occupancy(30);
+        assert_eq!(c.input_occupancy.histogram().count(), 0);
+    }
+
+    #[test]
+    fn blocked_completions_gated_by_warmup() {
+        let mut c = counters();
+        c.record_blocked_completion(9); // warmup
+        c.record_blocked_completion(10);
+        c.record_blocked_completion(29);
+        c.record_blocked_completion(30); // past the end
+        assert_eq!(c.blocked_completions, 2);
     }
 }

@@ -79,6 +79,23 @@ impl EngineKind {
 /// would overflow). `p ≥ 1` succeeds immediately and consumes no
 /// randomness, matching a cycle-stepped engine that short-circuits the
 /// coin flip.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::event::sample_bernoulli_success;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// // p = 1 fires immediately at `from`, and never past the horizon.
+/// assert_eq!(sample_bernoulli_success(&mut rng, 1.0, 5, 10, 100), Some(5));
+/// assert_eq!(sample_bernoulli_success(&mut rng, 1.0, 100, 10, 100), None);
+/// // p < 1 lands on the coin-flip grid: from + k·stride.
+/// if let Some(t) = sample_bernoulli_success(&mut rng, 0.3, 7, 10, 1_000) {
+///     assert!(t >= 7 && (t - 7) % 10 == 0);
+/// }
+/// ```
 pub fn sample_bernoulli_success<R: RngCore>(
     rng: &mut R,
     p: f64,

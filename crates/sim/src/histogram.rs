@@ -40,11 +40,69 @@ impl Histogram {
 
     /// Records a non-negative observation (negative values clamp to 0).
     pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Records `weight` observations of the same value `x` in one call.
+    ///
+    /// This is how time-weighted accounting enters a histogram: the
+    /// occupancy trackers record a queue *level* weighted by the number
+    /// of cycles it was held, so an event-driven engine that skips idle
+    /// cycles produces the same distribution as a cycle-stepped one.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use busnet_sim::histogram::Histogram;
+    ///
+    /// let mut h = Histogram::new(1.0, 4);
+    /// h.record_n(0.0, 30); // level 0 held for 30 cycles
+    /// h.record_n(2.0, 10); // level 2 held for 10 cycles
+    /// assert_eq!(h.count(), 40);
+    /// assert_eq!(h.bucket_counts(), &[30, 0, 10, 0]);
+    /// assert!((h.mean() - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn record_n(&mut self, x: f64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
         let x = x.max(0.0);
         let idx = ((x / self.bucket_width) as usize).min(self.counts.len() - 1);
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum += x;
+        self.counts[idx] += weight;
+        self.total += weight;
+        self.sum += x * weight as f64;
+    }
+
+    /// Merges `other` into `self` bucket-by-bucket (used to aggregate
+    /// per-replication distributions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different geometry (bucket
+    /// width or bucket count).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.bucket_width == other.bucket_width && self.counts.len() == other.counts.len(),
+            "histogram geometry mismatch: {}x{} vs {}x{}",
+            self.bucket_width,
+            self.counts.len(),
+            other.bucket_width,
+            other.counts.len()
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Normalized bucket masses (each bucket's fraction of all
+    /// observations). An empty histogram yields all zeros.
+    pub fn distribution(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
     }
 
     /// Number of observations.
@@ -204,5 +262,47 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_width_rejected() {
         Histogram::new(0.0, 4);
+    }
+
+    #[test]
+    fn weighted_records_match_repeated_records() {
+        let mut weighted = Histogram::new(1.0, 5);
+        let mut repeated = Histogram::new(1.0, 5);
+        weighted.record_n(2.0, 7);
+        weighted.record_n(3.5, 0); // zero weight is a no-op
+        for _ in 0..7 {
+            repeated.record(2.0);
+        }
+        assert_eq!(weighted, repeated);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_moments() {
+        let mut a = Histogram::new(1.0, 3);
+        let mut b = Histogram::new(1.0, 3);
+        a.record_n(0.0, 4);
+        b.record_n(2.0, 4);
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.bucket_counts(), &[4, 0, 4]);
+        assert!((a.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(1.0, 3);
+        a.merge(&Histogram::new(1.0, 4));
+    }
+
+    #[test]
+    fn distribution_normalizes_or_zeros() {
+        let mut h = Histogram::new(1.0, 4);
+        assert_eq!(h.distribution(), vec![0.0; 4]);
+        h.record_n(0.0, 3);
+        h.record_n(1.0, 1);
+        let d = h.distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[0] - 0.75).abs() < 1e-12);
     }
 }

@@ -14,7 +14,8 @@
 //!   bus and crossbar simulators.
 //! * [`counters`] — warmup-gated measurement bookkeeping shared by
 //!   every network simulator (one warmup cutover, one accumulation
-//!   path).
+//!   path), including time-weighted queue-occupancy telemetry
+//!   ([`counters::QueueOccupancy`]) for the depth-`k` buffering study.
 //! * [`seeds`] — deterministic seed derivation (SplitMix64) so that every
 //!   replication and every component gets an independent, reproducible
 //!   stream.
@@ -63,7 +64,7 @@ pub mod stats;
 pub use arbiter::{Arbiter, ArbitrationKind};
 pub use batch::BatchMeans;
 pub use clock::MeasurementWindow;
-pub use counters::SimCounters;
+pub use counters::{QueueOccupancy, SimCounters};
 pub use event::{EngineKind, EventQueue};
 pub use exec::{parallel_map, parallel_map_progress, ExecutionMode};
 pub use histogram::Histogram;

@@ -7,9 +7,10 @@
 //! busnet run table3 --quick
 //! busnet run all --quick
 //! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5]
-//!            [--seed 7] [--cycles 200000] [--warmup 20000]
+//!            [--buffer-depth K|inf] [--seed 7] [--cycles 200000] [--warmup 20000]
 //!            [--arbitration random|round-robin|lru|priority] [--engine cycle|event]
 //! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
+//! busnet sweep --buffer-depth 0,1,2,4,inf --evaluator sim,approx-depth
 //! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event]
 //! ```
 
@@ -50,10 +51,12 @@ fn main() -> ExitCode {
                 "usage: busnet <list | run <experiment|all> [--quick] | sim ... | sweep ... | \
                  bench-sweep [--out FILE] [--engine cycle|event]>\n\
                  \n\
-                 sim   --n N --m M --r R [--p P] [--buffered] [--memory-priority] [--seed S]\n      \
-                 [--cycles C] [--warmup W] [--arbitration KIND] [--engine cycle|event]\n\
+                 sim   --n N --m M --r R [--p P] [--buffered] [--buffer-depth K|inf]\n      \
+                 [--memory-priority] [--seed S] [--cycles C] [--warmup W]\n      \
+                 [--arbitration KIND] [--engine cycle|event]\n\
                  sweep --n SPEC --m SPEC --r SPEC [--p LIST] [--policy proc|mem|both]\n      \
-                 [--buffering unbuffered|buffered|both] [--arbitration LIST|all]\n      \
+                 [--buffering unbuffered|buffered|depthK|infinite|both]\n      \
+                 [--buffer-depth LIST(K|inf)] [--arbitration LIST|all]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n\
                  \n\
@@ -179,16 +182,39 @@ fn run_sim(args: &[String]) -> ExitCode {
     let warmup: u64 = flags.parse("--warmup", cycles / 10);
     let memory_priority = flags.switch("--memory-priority");
     let buffered = flags.switch("--buffered");
+    let depth_spec = flags.value("--buffer-depth").map(str::to_owned);
     let arbitration_spec = flags.value("--arbitration").unwrap_or("random").to_owned();
     let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     if let Err(e) = flags.finish() {
         eprintln!(
             "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
-                   [--memory-priority] [--seed S] [--cycles C] [--warmup W] \
-                   [--arbitration KIND] [--engine cycle|event]"
+                   [--buffer-depth K|inf] [--memory-priority] [--seed S] [--cycles C] \
+                   [--warmup W] [--arbitration KIND] [--engine cycle|event]"
         );
         return ExitCode::FAILURE;
     }
+    let buffering = match depth_spec {
+        None => {
+            if buffered {
+                Buffering::Buffered
+            } else {
+                Buffering::Unbuffered
+            }
+        }
+        Some(spec) => match parse_buffer_depth(&spec) {
+            Ok(b) => {
+                if buffered && !b.is_buffered() {
+                    eprintln!("--buffered conflicts with --buffer-depth {spec}");
+                    return ExitCode::FAILURE;
+                }
+                b
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let Some(arbitration) = ArbitrationKind::from_name(&arbitration_spec) else {
         eprintln!(
             "bad --arbitration `{arbitration_spec}` (expected random|round-robin|lru|priority)"
@@ -209,7 +235,6 @@ fn run_sim(args: &[String]) -> ExitCode {
     };
     let policy =
         if memory_priority { BusPolicy::MemoryPriority } else { BusPolicy::ProcessorPriority };
-    let buffering = if buffered { Buffering::Buffered } else { Buffering::Unbuffered };
 
     let report = BusSimBuilder::new(params)
         .policy(policy)
@@ -222,8 +247,9 @@ fn run_sim(args: &[String]) -> ExitCode {
         .run();
     let metrics = report.metrics();
     println!(
-        "n={n} m={m} r={r} p={p} {policy:?} {buffering:?} arbitration={} engine={} \
+        "n={n} m={m} r={r} p={p} {policy:?} buffering={} arbitration={} engine={} \
          seed={seed} warmup={warmup}",
+        buffering.name(),
         arbitration.name(),
         engine.name()
     );
@@ -234,7 +260,29 @@ fn run_sim(args: &[String]) -> ExitCode {
     println!("  mean wait (cycles)   {:.4}", report.wait.mean());
     println!("  mean round trip      {:.4}", report.round_trip.mean());
     println!("  fairness (Jain)      {:.4}", report.fairness_index());
+    if report.buffer_depth() > 0 {
+        println!("  buffer depth k       {}", report.buffer_depth());
+        println!("  mean input queue     {:.4}", report.mean_input_queue());
+        println!("  mean output queue    {:.4}", report.mean_output_queue());
+        println!("  P(input full)        {:.4}", report.input_full_fraction());
+        println!("  blocked completions  {}", report.blocked_completions);
+    }
     ExitCode::SUCCESS
+}
+
+/// Parses a `--buffer-depth` value: a non-negative integer or `inf`.
+fn parse_buffer_depth(spec: &str) -> Result<Buffering, String> {
+    match spec {
+        "inf" | "infinite" => Ok(Buffering::Infinite),
+        _ => {
+            let depth: u32 = spec
+                .parse()
+                .map_err(|_| format!("bad --buffer-depth `{spec}` (expected an integer or inf)"))?;
+            let buffering = Buffering::Depth(depth);
+            buffering.validate().map_err(|e| e.to_string())?;
+            Ok(buffering)
+        }
+    }
 }
 
 /// Parses an axis spec: `2,6,10`, `2..64` (inclusive), or `2..16:2`.
@@ -289,32 +337,36 @@ fn policy_name(policy: BusPolicy) -> &'static str {
     }
 }
 
-fn buffering_name(buffering: Buffering) -> &'static str {
-    match buffering {
-        Buffering::Unbuffered => "unbuffered",
-        Buffering::Buffered => "buffered",
-    }
-}
-
 fn emit_record(record: &SweepRecord, format: SweepFormat) {
     let s = &record.scenario;
     match &record.result {
         Ok(eval) => {
             let m = &eval.metrics;
-            // Fairness is defined only for vehicles with a
-            // per-processor view (the simulators).
+            // Fairness and occupancy are defined only for vehicles with
+            // a per-processor / per-module view (the simulators).
             let fairness_csv = eval.fairness_index().map_or(String::new(), |f| format!("{f:.6}"));
             let fairness_json =
                 eval.fairness_index().map_or("null".to_owned(), |f| format!("{f:.6}"));
+            let occ = eval.occupancy.as_ref().map(|o| {
+                (
+                    format!("{:.6}", o.mean_input_queue),
+                    format!("{:.6}", o.input_full_fraction),
+                    o.blocked_completions.to_string(),
+                )
+            });
+            let missing = |m: &str| (m.to_owned(), m.to_owned(), m.to_owned());
+            let (queue_csv, full_csv, blocked_csv) = occ.clone().unwrap_or_else(|| missing(""));
+            let (queue_json, full_json, blocked_json) = occ.unwrap_or_else(|| missing("null"));
             match format {
                 SweepFormat::Csv => println!(
-                    "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
                     s.params.p(),
                     policy_name(s.policy),
-                    buffering_name(s.buffering),
+                    s.buffering.name(),
+                    s.buffering.depth_label(),
                     s.arbitration.name(),
                     record.evaluator,
                     m.ebw,
@@ -324,19 +376,25 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     m.processor_efficiency,
                     eval.replications,
                     fairness_csv,
+                    queue_csv,
+                    full_csv,
+                    blocked_csv,
                 ),
                 SweepFormat::Json => println!(
                     "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
-                     \"buffering\":\"{}\",\"arbitration\":\"{}\",\"evaluator\":\"{}\",\
+                     \"buffering\":\"{}\",\"buffer_depth\":\"{}\",\"arbitration\":\"{}\",\
+                     \"evaluator\":\"{}\",\
                      \"ebw\":{:.6},\"half_width_95\":{:.6},\"bus_utilization\":{:.6},\
                      \"memory_utilization\":{:.6},\"processor_efficiency\":{:.6},\
-                     \"replications\":{},\"fairness\":{}}}",
+                     \"replications\":{},\"fairness\":{},\"mean_input_queue\":{},\
+                     \"input_full_fraction\":{},\"blocked_completions\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
                     s.params.p(),
                     policy_name(s.policy),
-                    buffering_name(s.buffering),
+                    s.buffering.name(),
+                    s.buffering.depth_label(),
                     s.arbitration.name(),
                     record.evaluator,
                     m.ebw,
@@ -346,6 +404,9 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     m.processor_efficiency,
                     eval.replications,
                     fairness_json,
+                    queue_json,
+                    full_json,
+                    blocked_json,
                 ),
             }
         }
@@ -376,7 +437,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let r_spec = flags.value("--r").unwrap_or("8").to_owned();
     let p_spec = flags.value("--p").unwrap_or("1").to_owned();
     let policy_spec = flags.value("--policy").unwrap_or("proc").to_owned();
-    let buffering_spec = flags.value("--buffering").unwrap_or("unbuffered").to_owned();
+    let buffering_spec = flags.value("--buffering").map(str::to_owned);
+    let depth_spec = flags.value("--buffer-depth").map(str::to_owned);
     let arbitration_spec = flags.value("--arbitration").unwrap_or("random").to_owned();
     let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     let evaluator_spec = flags.value("--evaluator").unwrap_or("sim").to_owned();
@@ -418,12 +480,28 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         "both" => vec![BusPolicy::ProcessorPriority, BusPolicy::MemoryPriority],
         other => return fail(format!("bad --policy `{other}` (expected proc|mem|both)")),
     };
-    let bufferings = match buffering_spec.as_str() {
-        "unbuffered" => vec![Buffering::Unbuffered],
-        "buffered" => vec![Buffering::Buffered],
-        "both" => vec![Buffering::Unbuffered, Buffering::Buffered],
-        other => {
-            return fail(format!("bad --buffering `{other}` (expected unbuffered|buffered|both)"))
+    let bufferings = match (buffering_spec, depth_spec) {
+        (Some(_), Some(_)) => {
+            return fail("--buffering and --buffer-depth are mutually exclusive".to_owned())
+        }
+        (None, None) => vec![Buffering::Unbuffered],
+        (Some(spec), None) => match spec.as_str() {
+            "both" => vec![Buffering::Unbuffered, Buffering::Buffered],
+            other => match Buffering::from_name(other) {
+                Some(b) => vec![b],
+                None => {
+                    return fail(format!(
+                        "bad --buffering `{other}` (expected \
+                         unbuffered|buffered|depthK|infinite|both)"
+                    ))
+                }
+            },
+        },
+        (None, Some(spec)) => {
+            match spec.split(',').map(parse_buffer_depth).collect::<Result<Vec<_>, _>>() {
+                Ok(depths) => depths,
+                Err(e) => return fail(e),
+            }
         }
     };
     let arbitrations: Vec<ArbitrationKind> = if arbitration_spec == "all" {
@@ -493,8 +571,9 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
 
     if format == SweepFormat::Csv {
         println!(
-            "n,m,r,p,policy,buffering,arbitration,evaluator,ebw,half_width_95,bus_utilization,\
-             memory_utilization,processor_efficiency,replications,fairness"
+            "n,m,r,p,policy,buffering,buffer_depth,arbitration,evaluator,ebw,half_width_95,\
+             bus_utilization,memory_utilization,processor_efficiency,replications,fairness,\
+             mean_input_queue,input_full_fraction,blocked_completions"
         );
     }
     // Live progress only when stderr is a terminal; piped stderr gets

@@ -100,21 +100,28 @@ fn wait_histogram_consistent_with_mean() {
 }
 
 #[test]
-fn unbuffered_mode_ignores_buffer_depth() {
-    let a = BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap())
-        .seed(3)
-        .warmup_cycles(1_000)
-        .measure_cycles(20_000)
-        .build()
-        .run();
-    let b = BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap())
-        .buffer_depth(8)
-        .seed(3)
-        .warmup_cycles(1_000)
-        .measure_cycles(20_000)
-        .build()
-        .run();
-    assert_eq!(a.returns, b.returns, "depth must be inert without buffering");
+fn buffer_depth_is_validated_against_the_buffering_scheme() {
+    // The seed silently ignored a buffer_depth override on an
+    // unbuffered simulator; it is now rejected at build time instead.
+    let builder = |buffering| {
+        BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap()).buffering(buffering).seed(3)
+    };
+    assert!(builder(Buffering::Unbuffered).buffer_depth(8).resolved_depth().is_err());
+    assert!(builder(Buffering::Infinite).buffer_depth(8).resolved_depth().is_err());
+    assert!(builder(Buffering::Buffered).buffer_depth(0).resolved_depth().is_err());
+    assert!(builder(Buffering::Depth(4)).buffer_depth(3).resolved_depth().is_err());
+    // Consistent combinations resolve to the agreed depth.
+    assert_eq!(builder(Buffering::Depth(4)).buffer_depth(4).resolved_depth().unwrap(), 4);
+    assert_eq!(builder(Buffering::Depth(0)).buffer_depth(0).resolved_depth().unwrap(), 0);
+    assert_eq!(builder(Buffering::Buffered).buffer_depth(8).resolved_depth().unwrap(), 8);
+    assert_eq!(builder(Buffering::Unbuffered).resolved_depth().unwrap(), 0);
+    assert_eq!(builder(Buffering::Infinite).resolved_depth().unwrap(), 6); // n = 6
+}
+
+#[test]
+#[should_panic(expected = "inconsistent buffering configuration")]
+fn inconsistent_buffer_depth_rejected_at_build() {
+    let _ = BusSimBuilder::new(SystemParams::new(6, 6, 6).unwrap()).buffer_depth(8).build();
 }
 
 #[test]
