@@ -31,11 +31,10 @@
 //! # Ok::<(), busnet_core::CoreError>(())
 //! ```
 
-use std::collections::BTreeMap;
-
 use busnet_sim::event::EngineKind;
-use busnet_sim::exec::{parallel_map, parallel_map_progress, ExecutionMode};
-use busnet_sim::replication::{ReplicationPlan, ReplicationSummary};
+use busnet_sim::exec::{parallel_consume, parallel_map, ExecutionMode};
+use busnet_sim::replication::ReplicationSummary;
+use busnet_sim::seeds::SeedSequence;
 use busnet_sim::stats::jain_fairness_index;
 
 use crate::analytic::approx::{ApproxModel, ApproxVariant};
@@ -46,7 +45,7 @@ use crate::analytic::reduced::ReducedChain;
 use crate::error::CoreError;
 use crate::metrics::Metrics;
 use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
-use crate::sim::bus::BusSimBuilder;
+use crate::sim::bus::{AdaptivePlan, BusSimBuilder, SimReport};
 use crate::sim::crossbar::CrossbarSim;
 use crate::sim::service::ServiceTime;
 
@@ -158,7 +157,8 @@ pub struct Evaluation {
     /// (0 for deterministic analytic models).
     pub half_width_95: f64,
     /// Number of independent replications behind the estimate (1 for
-    /// analytic models).
+    /// analytic models; the number of completed batch means for
+    /// adaptive [`Stopping::Adaptive`] runs).
     pub replications: u32,
     /// Per-processor EBW contributions (they sum to the total EBW),
     /// aggregated across replications. `None` for analytic vehicles,
@@ -168,6 +168,11 @@ pub struct Evaluation {
     /// replications. `None` for vehicles without a queue-level view
     /// (every analytic model and the crossbar baselines).
     pub occupancy: Option<OccupancySummary>,
+    /// Engine work units behind the estimate, summed over replications
+    /// (events for the event engine, cycles for the cycle engine; 0
+    /// for analytic vehicles) — the cost currency of the adaptive
+    /// stopping comparisons.
+    pub simulated_events: u64,
 }
 
 /// Aggregated buffer-occupancy telemetry of a simulated scenario.
@@ -200,6 +205,12 @@ impl Evaluation {
         self.metrics.ebw
     }
 
+    /// Engine work units behind the estimate (see
+    /// [`Evaluation::simulated_events`]).
+    pub fn simulated_events(&self) -> u64 {
+        self.simulated_events
+    }
+
     /// Whether `value` lies inside the 95% interval widened by `slack`.
     pub fn covers(&self, value: f64, slack: f64) -> bool {
         (value - self.metrics.ebw).abs() <= self.half_width_95 + slack
@@ -227,10 +238,37 @@ impl Evaluation {
     }
 }
 
+/// One independent slice of an evaluation, the unit grain the sweep
+/// scheduler fans out: a single simulation replication's raw report, or
+/// a whole evaluation computed in one piece (analytic vehicles and
+/// adaptive runs).
+#[derive(Clone, Debug)]
+pub enum EvalUnit {
+    /// A complete evaluation produced by one unit of work.
+    Whole(Box<Evaluation>),
+    /// One replication's report, to be merged by
+    /// [`Evaluator::combine_units`].
+    Replication(Box<SimReport>),
+}
+
 /// An evaluation vehicle: anything that can score a [`Scenario`].
 ///
 /// Implementations must be `Sync` so sweeps can fan scenarios out
 /// across threads.
+///
+/// ## Unit grain
+///
+/// An evaluator may expose its internal replication structure through
+/// [`Evaluator::work_units`] / [`Evaluator::evaluate_unit`] /
+/// [`Evaluator::combine_units`]. [`run_sweep`] schedules *units* (one
+/// replication of one scenario) rather than whole evaluations across
+/// its worker pool, so a sweep saturates every core even when the grid
+/// has fewer points than the machine has cores. The three methods
+/// default to the degenerate single-unit shape, which is correct for
+/// any evaluator that computes its result in one piece; an evaluator
+/// that overrides `work_units` must override the other two
+/// consistently (units are combined in unit-index order on one thread,
+/// preserving the bit-identical-to-serial guarantee).
 pub trait Evaluator: Sync {
     /// Stable identifier (`"sim"`, `"exact"`, `"reduced"`, …).
     fn name(&self) -> &'static str;
@@ -245,6 +283,48 @@ pub trait Evaluator: Sync {
     /// [`CoreError::UnsupportedScenario`] outside the vehicle's domain;
     /// otherwise propagates model failures.
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError>;
+
+    /// Number of independent work units behind one evaluation of
+    /// `scenario` (1 unless overridden).
+    fn work_units(&self, scenario: &Scenario) -> u32 {
+        let _ = scenario;
+        1
+    }
+
+    /// Evaluates one unit (`unit < work_units(scenario)`). The default
+    /// runs the whole evaluation as unit 0.
+    ///
+    /// # Errors
+    ///
+    /// As [`Evaluator::evaluate`].
+    fn evaluate_unit(&self, scenario: &Scenario, unit: u32) -> Result<EvalUnit, CoreError> {
+        debug_assert_eq!(unit, 0, "default evaluators have a single unit");
+        self.evaluate(scenario).map(|e| EvalUnit::Whole(Box::new(e)))
+    }
+
+    /// Combines unit results (in unit-index order) into the final
+    /// evaluation. Must be deterministic in its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator-specific combination failures.
+    ///
+    /// # Panics
+    ///
+    /// The default panics unless handed exactly one
+    /// [`EvalUnit::Whole`] (the contract of the default single-unit
+    /// shape).
+    fn combine_units(
+        &self,
+        scenario: &Scenario,
+        units: Vec<EvalUnit>,
+    ) -> Result<Evaluation, CoreError> {
+        let _ = scenario;
+        match (units.len(), units.into_iter().next()) {
+            (1, Some(EvalUnit::Whole(e))) => Ok(*e),
+            _ => panic!("default combine_units expects exactly one Whole unit"),
+        }
+    }
 }
 
 fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -> Evaluation {
@@ -256,6 +336,7 @@ fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         replications: 1,
         per_processor_ebw: None,
         occupancy: None,
+        simulated_events: 0,
     }
 }
 
@@ -276,6 +357,7 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         replications: 1,
         per_processor_ebw: None,
         occupancy: None,
+        simulated_events: 0,
     }
 }
 
@@ -497,10 +579,41 @@ impl Evaluator for CrossbarExactEval {
     }
 }
 
+/// How a simulation evaluator decides it has simulated enough.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Stopping {
+    /// The classical scheme: exactly [`SimBudget::replications`]
+    /// independent replications of [`SimBudget::measure`] cycles each.
+    Fixed,
+    /// Adaptive precision: one long run extended batch by batch
+    /// (batches of `measure / 4` cycles) until the 95% batch-means
+    /// half-width on EBW is at most `ci_width`, capped at `max_reps ×
+    /// measure` measured cycles. Pays warmup once and escapes the
+    /// small-sample Student-t penalty, so easy grid points stop far
+    /// earlier than the fixed scheme.
+    Adaptive {
+        /// Target 95% half-width of the EBW estimate.
+        ci_width: f64,
+        /// Budget ceiling, in multiples of [`SimBudget::measure`]
+        /// (so `Fixed`-equivalent cost is `max_reps == replications`).
+        max_reps: u32,
+    },
+}
+
 /// Simulation budget shared by the stochastic evaluators.
+///
+/// ## Common random numbers
+///
+/// A replication's seed depends only on `(master_seed, replication
+/// index)` — never on the scenario — so every grid point of a sweep
+/// reuses the same random streams. Differences between neighboring
+/// points are therefore estimated with positively correlated noise,
+/// which tightens comparisons at no extra simulation cost (the classic
+/// common-random-numbers variance-reduction technique).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimBudget {
-    /// Independent replications per scenario.
+    /// Independent replications per scenario (the fixed scheme's count
+    /// and the unit grain the sweep scheduler fans out).
     pub replications: u32,
     /// Discarded warmup cycles per replication.
     pub warmup: u64,
@@ -514,6 +627,9 @@ pub struct SimBudget {
     /// event-driven; statistically equivalent, validated
     /// differentially).
     pub engine: EngineKind,
+    /// When to stop simulating a scenario (fixed replications vs
+    /// adaptive precision).
+    pub stopping: Stopping,
 }
 
 impl SimBudget {
@@ -527,6 +643,7 @@ impl SimBudget {
             master_seed: 0x1985_0414, // ISCA'85 flavor
             mode: ExecutionMode::Parallel,
             engine: EngineKind::Cycle,
+            stopping: Stopping::Fixed,
         }
     }
 
@@ -552,6 +669,13 @@ impl SimBudget {
         self.engine = engine;
         self
     }
+
+    /// Returns a copy using adaptive-precision stopping (see
+    /// [`Stopping::Adaptive`]).
+    pub fn with_ci_width(mut self, ci_width: f64, max_reps: u32) -> Self {
+        self.stopping = Stopping::Adaptive { ci_width, max_reps };
+        self
+    }
 }
 
 impl Default for SimBudget {
@@ -573,39 +697,27 @@ impl BusSimEval {
     pub fn new(budget: SimBudget) -> Self {
         BusSimEval { budget }
     }
-}
 
-impl Evaluator for BusSimEval {
-    fn name(&self) -> &'static str {
-        "sim"
+    /// The simulator configuration for `scenario` under this budget.
+    fn builder_for(&self, scenario: &Scenario, seed: u64) -> BusSimBuilder {
+        let mut builder = BusSimBuilder::new(scenario.params)
+            .policy(scenario.policy)
+            .buffering(scenario.buffering)
+            .arbitration(scenario.arbitration)
+            .engine(self.budget.engine)
+            .seed(seed)
+            .warmup_cycles(self.budget.warmup)
+            .measure_cycles(self.budget.measure);
+        if let Some(service) = scenario.memory_service {
+            builder = builder.memory_service(service);
+        }
+        builder
     }
 
-    fn supports(&self, _scenario: &Scenario) -> bool {
-        true
-    }
-
-    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
-        scenario.service().validate()?;
-        scenario.buffering.validate()?;
-        let plan = ReplicationPlan::new(self.budget.replications.max(1), self.budget.master_seed);
-        let seeds: Vec<u64> = plan.seeds().collect();
-        // Full reports rather than scalars: the per-processor counts
-        // feed the fairness measures. Results stay in seed order, so
-        // parallel execution remains bit-identical to serial.
-        let reports = parallel_map(&seeds, self.budget.mode, |_, &seed| {
-            let mut builder = BusSimBuilder::new(scenario.params)
-                .policy(scenario.policy)
-                .buffering(scenario.buffering)
-                .arbitration(scenario.arbitration)
-                .engine(self.budget.engine)
-                .seed(seed)
-                .warmup_cycles(self.budget.warmup)
-                .measure_cycles(self.budget.measure);
-            if let Some(service) = scenario.memory_service {
-                builder = builder.memory_service(service);
-            }
-            builder.run()
-        });
+    /// Merges per-replication reports (in replication order) into one
+    /// [`Evaluation`]; deterministic in its inputs, so serial and
+    /// work-stealing execution produce bit-identical results.
+    fn aggregate_reports(&self, scenario: &Scenario, reports: Vec<SimReport>) -> Evaluation {
         let summary = ReplicationSummary::from_values(reports.iter().map(|r| r.ebw()).collect());
         let n = scenario.params.n() as usize;
         let measured_total: u64 = reports.iter().map(|r| r.measured_cycles).sum();
@@ -639,7 +751,8 @@ impl Evaluator for BusSimEval {
             input_full_fraction,
             blocked_completions: blocked,
         };
-        Ok(Evaluation {
+        let simulated_events = reports.iter().map(|r| r.events).sum();
+        Evaluation {
             evaluator: self.name(),
             scenario: *scenario,
             metrics: Metrics::from_ebw(scenario.params, summary.mean()),
@@ -647,7 +760,91 @@ impl Evaluator for BusSimEval {
             replications: summary.replications() as u32,
             per_processor_ebw: Some(per_processor_ebw),
             occupancy: Some(occupancy),
-        })
+            simulated_events,
+        }
+    }
+}
+
+impl Evaluator for BusSimEval {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn supports(&self, _scenario: &Scenario) -> bool {
+        true
+    }
+
+    fn work_units(&self, _scenario: &Scenario) -> u32 {
+        match self.budget.stopping {
+            // One unit per replication: the grain the sweep scheduler
+            // steals across cores.
+            Stopping::Fixed => self.budget.replications.max(1),
+            // An adaptive run is inherently sequential (each batch
+            // decides whether to extend), so it is one unit.
+            Stopping::Adaptive { .. } => 1,
+        }
+    }
+
+    fn evaluate_unit(&self, scenario: &Scenario, unit: u32) -> Result<EvalUnit, CoreError> {
+        scenario.service().validate()?;
+        scenario.buffering.validate()?;
+        // Seeds depend only on (master_seed, unit): common random
+        // numbers across every scenario of a sweep.
+        let seeds = SeedSequence::new(self.budget.master_seed);
+        match self.budget.stopping {
+            Stopping::Fixed => {
+                let report = self.builder_for(scenario, seeds.stream(u64::from(unit))).run();
+                Ok(EvalUnit::Replication(Box::new(report)))
+            }
+            Stopping::Adaptive { ci_width, max_reps } => {
+                debug_assert_eq!(unit, 0, "adaptive runs are a single unit");
+                let plan = AdaptivePlan {
+                    ci_width,
+                    batch_cycles: (self.budget.measure / 4).max(1),
+                    min_batches: 8,
+                    max_measure: self
+                        .budget
+                        .measure
+                        .saturating_mul(u64::from(max_reps.max(1)))
+                        .max(2 * (self.budget.measure / 4).max(1)),
+                };
+                let outcome = self.builder_for(scenario, seeds.stream(0)).run_adaptive(&plan);
+                let mut evaluation = self.aggregate_reports(scenario, vec![outcome.report]);
+                evaluation.half_width_95 = outcome.half_width_95;
+                evaluation.replications = outcome.batches.min(u64::from(u32::MAX)) as u32;
+                Ok(EvalUnit::Whole(Box::new(evaluation)))
+            }
+        }
+    }
+
+    fn combine_units(
+        &self,
+        scenario: &Scenario,
+        units: Vec<EvalUnit>,
+    ) -> Result<Evaluation, CoreError> {
+        let mut reports = Vec::with_capacity(units.len());
+        for unit in units {
+            match unit {
+                // Adaptive runs arrive pre-assembled.
+                EvalUnit::Whole(e) => return Ok(*e),
+                EvalUnit::Replication(r) => reports.push(*r),
+            }
+        }
+        Ok(self.aggregate_reports(scenario, reports))
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        // Full reports rather than scalars: the per-processor counts
+        // feed the fairness measures. Results stay in unit order, so
+        // parallel execution remains bit-identical to serial.
+        let units: Vec<u32> = (0..self.work_units(scenario)).collect();
+        let results =
+            parallel_map(&units, self.budget.mode, |_, &u| self.evaluate_unit(scenario, u));
+        let mut ok = Vec::with_capacity(results.len());
+        for result in results {
+            ok.push(result?);
+        }
+        self.combine_units(scenario, ok)
     }
 }
 
@@ -700,6 +897,7 @@ impl Evaluator for CrossbarSimEval {
             .run_report();
         let mut evaluation = crossbar_evaluation(self.name(), scenario, report.ebw());
         evaluation.per_processor_ebw = Some(report.per_processor_ebw());
+        evaluation.simulated_events = report.events;
         Ok(evaluation)
     }
 }
@@ -975,11 +1173,19 @@ pub struct SweepRecord {
 /// Fans `scenarios × evaluators` out under `mode` and returns all
 /// records in deterministic scenario-major order.
 ///
-/// `on_record(done, total, record)` streams each record **in that same
-/// order** as soon as it (and every record before it) is available, so
-/// callers can render progressively even under parallel execution.
-/// Out-of-domain pairs surface as `Err(UnsupportedScenario)` records
-/// rather than aborting the sweep.
+/// The schedulable grain is one **work unit** — a single replication of
+/// one `(scenario, evaluator)` pair ([`Evaluator::work_units`]) — so a
+/// sweep keeps every worker busy even when the grid has fewer points
+/// than the machine has cores, and the work-stealing pool rebalances
+/// when one saturated point simulates 10× longer than an idle one.
+/// Units are recombined per pair in unit order on the calling thread,
+/// so results are bit-identical to a serial sweep.
+///
+/// `on_record(done, total, record)` streams each pair's record **in
+/// scenario-major order** as soon as it (and every record before it) is
+/// available, so callers can render progressively even under parallel
+/// execution. Out-of-domain pairs surface as
+/// `Err(UnsupportedScenario)` records rather than aborting the sweep.
 ///
 /// Under `ExecutionMode::Parallel`, pair the sweep with serial-mode
 /// simulation evaluators (e.g. `SimBudget::with_mode(Serial)`) so the
@@ -990,27 +1196,57 @@ pub fn run_sweep(
     mode: ExecutionMode,
     mut on_record: impl FnMut(usize, usize, &SweepRecord),
 ) -> Vec<SweepRecord> {
-    let pairs: Vec<(usize, usize)> =
-        (0..scenarios.len()).flat_map(|s| (0..evaluators.len()).map(move |e| (s, e))).collect();
-    let total = pairs.len();
-    let mut held: BTreeMap<usize, SweepRecord> = BTreeMap::new();
+    // Expand pairs into per-replication unit jobs.
+    let mut pair_units: Vec<u32> = Vec::with_capacity(scenarios.len() * evaluators.len());
+    let mut jobs: Vec<(usize, usize, u32)> = Vec::new();
+    for (s, scenario) in scenarios.iter().enumerate() {
+        for (e, evaluator) in evaluators.iter().enumerate() {
+            let units = evaluator.work_units(scenario).max(1);
+            pair_units.push(units);
+            for u in 0..units {
+                jobs.push((s, e, u));
+            }
+        }
+    }
+    let total = pair_units.len();
+    let evaluators_per_scenario = evaluators.len();
+    let pair_of = |s: usize, e: usize| s * evaluators_per_scenario + e;
+
+    let mut collected: Vec<Vec<Option<Result<EvalUnit, CoreError>>>> =
+        pair_units.iter().map(|&u| (0..u).map(|_| None).collect()).collect();
+    let mut remaining: Vec<u32> = pair_units.clone();
+    let mut out: Vec<Option<SweepRecord>> = (0..total).map(|_| None).collect();
     let mut next = 0usize;
-    parallel_map_progress(
-        &pairs,
+    parallel_consume(
+        &jobs,
         mode,
-        |_, &(s, e)| SweepRecord {
-            scenario: scenarios[s],
-            evaluator: evaluators[e].name(),
-            result: evaluators[e].evaluate(&scenarios[s]),
-        },
-        |i, record| {
-            held.insert(i, record.clone());
-            while let Some(record) = held.remove(&next) {
+        |_, &(s, e, u)| evaluators[e].evaluate_unit(&scenarios[s], u),
+        |i, result| {
+            let (s, e, u) = jobs[i];
+            let p = pair_of(s, e);
+            collected[p][u as usize] = Some(result);
+            remaining[p] -= 1;
+            if remaining[p] > 0 {
+                return;
+            }
+            // Every unit of this pair is in: recombine (in unit order,
+            // on this thread — deterministic) and stream in pair order.
+            let units: Result<Vec<EvalUnit>, CoreError> = collected[p]
+                .iter_mut()
+                .map(|slot| slot.take().expect("all units delivered"))
+                .collect();
+            out[p] = Some(SweepRecord {
+                scenario: scenarios[s],
+                evaluator: evaluators[e].name(),
+                result: units.and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
+            });
+            while let Some(record) = out.get(next).and_then(Option::as_ref) {
                 next += 1;
-                on_record(next, total, &record);
+                on_record(next, total, record);
             }
         },
-    )
+    );
+    out.into_iter().map(|slot| slot.expect("every pair completed")).collect()
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ impl AddressPattern {
     }
 
     /// Draws a module index in `0..m`.
+    #[inline]
     pub fn sample(&self, m: usize, rng: &mut SmallRng) -> usize {
         match *self {
             AddressPattern::Uniform => rng.gen_range(0..m),

@@ -68,6 +68,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use busnet_sim::arbiter::Arbiter;
+use busnet_sim::batch::SequentialStopping;
 use busnet_sim::clock::MeasurementWindow;
 use busnet_sim::counters::SimCounters;
 use busnet_sim::histogram::Histogram;
@@ -411,6 +412,118 @@ impl BusSimBuilder {
             EngineKind::Event => self.build_event().run(),
         }
     }
+
+    /// Builds the configured engine and runs it **adaptively**: one
+    /// long run extended batch by batch until the 95% confidence
+    /// half-width of the batch-means EBW estimate reaches
+    /// [`AdaptivePlan::ci_width`], or the cycle budget
+    /// ([`AdaptivePlan::max_measure`]) is exhausted. The builder's own
+    /// `measure_cycles` is ignored in favor of the plan's budget.
+    ///
+    /// Compared to fixed independent replications this pays warmup
+    /// once and escapes the small-sample Student-t penalty, so it
+    /// reaches the same precision with far fewer simulated events; the
+    /// stopping rule is `busnet_sim::batch::SequentialStopping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is degenerate (`batch_cycles == 0`,
+    /// `min_batches < 2`, or `max_measure < batch_cycles`), or on the
+    /// same invalid-configuration conditions as
+    /// [`BusSimBuilder::build`].
+    pub fn run_adaptive(self, plan: &AdaptivePlan) -> AdaptiveOutcome {
+        assert!(plan.batch_cycles > 0, "batch_cycles must be positive");
+        assert!(plan.min_batches >= 2, "need at least 2 batches for a variance estimate");
+        assert!(plan.max_measure >= plan.batch_cycles, "budget smaller than one batch");
+        let warmup = self.warmup;
+        let rc = f64::from(self.params.processor_cycle());
+        let builder = self.measure_cycles(plan.max_measure);
+        let mut engine = match builder.engine {
+            EngineKind::Cycle => EngineRun::Cycle(Box::new(builder.build())),
+            EngineKind::Event => EngineRun::Event(Box::new(builder.build_event())),
+        };
+        let mut stop = SequentialStopping::new(plan.ci_width, plan.min_batches);
+        engine.advance_until(warmup);
+        let end = warmup + plan.max_measure;
+        let mut prev_returns = 0u64;
+        let mut t = warmup;
+        let mut converged = false;
+        while t < end {
+            let t_next = (t + plan.batch_cycles).min(end);
+            engine.advance_until(t_next);
+            let returns = engine.measured_returns();
+            stop.record_batch((returns - prev_returns) as f64 * rc / (t_next - t) as f64);
+            prev_returns = returns;
+            t = t_next;
+            if stop.satisfied() {
+                converged = true;
+                break;
+            }
+        }
+        AdaptiveOutcome {
+            report: engine.finish_at(t),
+            batches: stop.batches(),
+            half_width_95: stop.half_width_95(),
+            converged,
+        }
+    }
+}
+
+/// Budget and stopping parameters of [`BusSimBuilder::run_adaptive`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptivePlan {
+    /// Target 95% half-width of the EBW estimate.
+    pub ci_width: f64,
+    /// Cycles per batch (batch means are computed over these spans).
+    pub batch_cycles: u64,
+    /// Minimum completed batches before stopping is allowed.
+    pub min_batches: u64,
+    /// Hard ceiling on measured cycles (the run stops here whether or
+    /// not the target was reached).
+    pub max_measure: u64,
+}
+
+/// Result of an adaptive run: the (possibly truncated) report plus the
+/// stopping rule's view of the estimate.
+#[derive(Clone, Debug)]
+pub struct AdaptiveOutcome {
+    /// The run's report over the cycles actually simulated.
+    pub report: SimReport,
+    /// Completed batches behind the estimate.
+    pub batches: u64,
+    /// Final 95% half-width over batch means.
+    pub half_width_95: f64,
+    /// Whether the target width was reached within the budget.
+    pub converged: bool,
+}
+
+/// Engine-dispatch shim for incremental (batch-by-batch) execution.
+enum EngineRun {
+    Cycle(Box<BusSim>),
+    Event(Box<EventBusSim>),
+}
+
+impl EngineRun {
+    fn advance_until(&mut self, t: u64) {
+        match self {
+            EngineRun::Cycle(sim) => sim.run_until(t),
+            EngineRun::Event(sim) => sim.advance_until(t),
+        }
+    }
+
+    fn measured_returns(&self) -> u64 {
+        match self {
+            EngineRun::Cycle(sim) => sim.measured_returns(),
+            EngineRun::Event(sim) => sim.measured_returns(),
+        }
+    }
+
+    fn finish_at(self, t: u64) -> SimReport {
+        match self {
+            EngineRun::Cycle(sim) => sim.finish_at(t),
+            EngineRun::Event(sim) => sim.finish_at(t),
+        }
+    }
 }
 
 /// The fraction of module-cycles an input FIFO of depth `depth` sat
@@ -486,10 +599,32 @@ impl BusSim {
     /// Runs warmup + measurement and returns the report.
     pub fn run(mut self) -> SimReport {
         let total = self.stats.window().total_cycles();
-        while self.cycle < total {
+        self.run_until(total);
+        self.finish_at(total)
+    }
+
+    /// Steps until cycle `t` (clamped to the configured total) — the
+    /// incremental entry point batch-by-batch adaptive runs use.
+    pub fn run_until(&mut self, t: u64) {
+        let limit = t.min(self.stats.window().total_cycles());
+        while self.cycle < limit {
             self.step();
         }
-        self.stats.finish_occupancy(total);
+    }
+
+    /// Returns delivered during measurement so far.
+    pub fn measured_returns(&self) -> u64 {
+        self.stats.returns
+    }
+
+    /// Closes the run at cycle `t` (exclusive), truncating the
+    /// measurement window if the run stopped early, and builds the
+    /// report. `t` must not precede the cycles already stepped.
+    pub fn finish_at(mut self, t: u64) -> SimReport {
+        if t < self.stats.window().total_cycles() {
+            self.stats.truncate_window(t);
+        }
+        self.stats.finish_occupancy(t);
         SimReport::from_counters(
             self.params,
             self.policy,
@@ -503,6 +638,7 @@ impl BusSim {
     /// Advances the simulation by one bus cycle.
     pub fn step(&mut self) {
         let t = self.cycle;
+        self.stats.events += 1;
         self.wake_processors(t);
         self.arbitrate(t);
         self.stats.tick_busy(
@@ -758,6 +894,11 @@ pub struct SimReport {
     /// Completed services that found their output FIFO full (the §6
     /// blocking event), during measurement.
     pub blocked_completions: u64,
+    /// Units of engine work the run executed (events processed by the
+    /// event engine, cycles stepped by the cycle engine; not warmup
+    /// gated) — the portable cost proxy behind the adaptive stopping
+    /// rule's savings and the CI event-budget gate.
+    pub events: u64,
 }
 
 impl SimReport {
@@ -789,6 +930,7 @@ impl SimReport {
             input_occupancy: stats.input_occupancy.histogram().clone(),
             output_occupancy: stats.output_occupancy.histogram().clone(),
             blocked_completions: stats.blocked_completions,
+            events: stats.events,
         }
     }
 

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use busnet_sim::arbiter::Arbiter;
 use busnet_sim::clock::MeasurementWindow;
 use busnet_sim::counters::SimCounters;
-use busnet_sim::event::{sample_bernoulli_success, EventQueue};
+use busnet_sim::event::{EventQueue, GeometricAlias};
 use busnet_sim::histogram::Histogram;
 use busnet_sim::seeds::SeedSequence;
 use busnet_sim::stats::jain_fairness_index;
@@ -67,6 +67,9 @@ pub struct CrossbarReport {
     pub measured_cycles: u64,
     /// Requests served per processor (fairness analysis).
     pub per_processor_served: Vec<u64>,
+    /// Units of engine work executed (events processed by the event
+    /// engine, cycles stepped by the cycle engine; not warmup gated).
+    pub events: u64,
 }
 
 impl CrossbarReport {
@@ -165,6 +168,7 @@ impl CrossbarSim {
             served: stats.returns,
             measured_cycles: stats.measured_cycles(),
             per_processor_served: stats.per_entity_returns,
+            events: stats.events,
         }
     }
 
@@ -185,6 +189,7 @@ impl CrossbarSim {
         let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
         let mut busy: Vec<usize> = Vec::with_capacity(m);
         for cycle in 0..stats.window().total_cycles() {
+            stats.events += 1;
             // Thinking processors flip the request coin.
             for proc in &mut procs {
                 if *proc == Phase::Thinking && (p >= 1.0 || rng.gen_bool(p)) {
@@ -220,14 +225,23 @@ impl CrossbarSim {
     }
 
     /// The event-driven engine: think timers become pre-sampled
-    /// geometric `request` events, and cycles with no requester
-    /// anywhere are skipped entirely.
+    /// geometric `request` events (drawn through an O(1)
+    /// [`GeometricAlias`] table), and cycles with no requester anywhere are
+    /// skipped entirely.
+    ///
+    /// The per-entity state is structure-of-arrays: one flat target
+    /// column (`NO_TARGET` = thinking) and a counting-sort scratch that
+    /// rebuilds the per-module requester lists as one flat array with
+    /// per-module extents — no per-module `Vec`s, no per-cycle
+    /// allocation, and the same ascending-processor order within each
+    /// module that the arbiter contract requires.
     fn run_event(&self) -> SimCounters {
+        const NO_TARGET: u32 = u32::MAX;
         let mut stats = self.counters();
         let total = stats.window().total_cycles();
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
-        let p = self.params.p();
+        let think = GeometricAlias::new(self.params.p());
         let seeds = SeedSequence::new(self.seed);
         let proc_seeds = seeds.child(0);
         let mut proc_rngs: Vec<SmallRng> =
@@ -239,20 +253,27 @@ impl CrossbarSim {
         // Bernoulli(p) coin first succeeds, sampled in one geometric
         // draw; `None` once beyond the horizon.
         let sample_request = |i: usize, from: u64, rngs: &mut Vec<SmallRng>| -> Option<u64> {
-            sample_bernoulli_success(&mut rngs[i], p, from, 1, total)
+            think.next_success(&mut rngs[i], from, 1, total)
         };
 
-        // A requesting processor's pending target, or none (thinking).
-        let mut targets: Vec<Option<usize>> = vec![None; n];
+        // A requesting processor's pending target (`NO_TARGET` while
+        // thinking).
+        let mut target: Vec<u32> = vec![NO_TARGET; n];
         let mut requesting = 0usize;
-        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut queue: EventQueue<usize> = EventQueue::with_capacity(n);
         for i in 0..n {
             if let Some(t) = sample_request(i, 0, &mut proc_rngs) {
                 queue.schedule(t, i);
             }
         }
-        let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
+        // Counting-sort scratch: requesters of module `j` occupy
+        // `flat[start[j] .. start[j] + count[j]]`, ascending.
+        let mut count: Vec<u32> = vec![0; m];
+        let mut start: Vec<u32> = vec![0; m];
+        let mut place: Vec<u32> = vec![0; m];
+        let mut flat: Vec<usize> = vec![0; n];
         let mut busy: Vec<usize> = Vec::with_capacity(m);
+        let mut drained: Vec<usize> = Vec::with_capacity(n);
         let mut wake_at: Option<u64> = None;
         loop {
             let t = match (wake_at, queue.peek_time()) {
@@ -265,29 +286,43 @@ impl CrossbarSim {
                 break;
             }
             wake_at = None;
-            while let Some(i) = queue.pop_at(t) {
-                debug_assert!(targets[i].is_none());
-                targets[i] = Some(proc_rngs[i].gen_range(0..m));
+            stats.events += queue.drain_at(t, &mut drained) as u64;
+            for i in drained.drain(..) {
+                debug_assert_eq!(target[i], NO_TARGET);
+                target[i] = proc_rngs[i].gen_range(0..m) as u32;
                 requesting += 1;
             }
-            for list in &mut requesters {
-                list.clear();
-            }
-            for (i, target) in targets.iter().enumerate() {
-                if let Some(j) = target {
-                    requesters[*j].push(i);
+            count.iter_mut().for_each(|c| *c = 0);
+            for &j in target.iter() {
+                if j != NO_TARGET {
+                    count[j as usize] += 1;
                 }
             }
+            let mut cursor = 0u32;
             busy.clear();
-            busy.extend((0..m).filter(|&j| !requesters[j].is_empty()));
+            for j in 0..m {
+                start[j] = cursor;
+                cursor += count[j];
+                if count[j] > 0 {
+                    busy.push(j);
+                }
+            }
+            place.copy_from_slice(&start);
+            for (i, &j) in target.iter().enumerate() {
+                if j != NO_TARGET {
+                    flat[place[j as usize] as usize] = i;
+                    place[j as usize] += 1;
+                }
+            }
             let cap = self.buses.map_or(busy.len(), |b| busy.len().min(b as usize));
             for k in 0..cap {
                 let swap = service_rng.gen_range(k..busy.len());
                 busy.swap(k, swap);
             }
             for &j in &busy[..cap] {
-                let lucky = arbiter.pick(t, &requesters[j], &mut service_rng);
-                targets[lucky] = None;
+                let requesters = &flat[start[j] as usize..(start[j] + count[j]) as usize];
+                let lucky = arbiter.pick(t, requesters, &mut service_rng);
+                target[lucky] = NO_TARGET;
                 requesting -= 1;
                 stats.record_served(t, lucky);
                 if let Some(next) = sample_request(lucky, t + 1, &mut proc_rngs) {

@@ -8,15 +8,30 @@
 //! rather than with the cycle count:
 //!
 //! * think timers are pre-sampled: the geometric number of failed
-//!   Bernoulli(`p`) coin flips collapses into one `ProcReady` event,
-//!   so an idle processor costs one event per *request*, not one check
-//!   per processor cycle;
+//!   Bernoulli(`p`) coin flips collapses into one `ProcReady` event
+//!   (drawn through an O(1) [`GeometricAlias`] table), so an idle
+//!   processor costs one event per *request*, not one check per
+//!   processor cycle;
 //! * memory service completions and bus transfer landings are
 //!   scheduled events;
 //! * arbitration runs only in cycles where a grant is actually
 //!   possible: every state change is an event, so if no grant is
 //!   possible after a cycle's events, none is possible until the next
 //!   event fires (the engine proves idleness instead of simulating it).
+//!
+//! ## Structure-of-arrays hot state
+//!
+//! The per-entity state lives in flat parallel arrays rather than
+//! per-entity structs: processor phases and pending-request fields are
+//! column vectors, the depth-`k` module FIFOs are fixed-capacity rings
+//! carved out of two contiguous token arrays, and the service stage is
+//! three parallel columns (busy flag, token, completion time). Two
+//! [`DenseBits`] sets — processors holding a pending request, modules
+//! holding a finished result — replace the per-cycle scans of the old
+//! struct-per-module layout: `arbitrate`, `land_transfer`, and
+//! `complete_service` touch O(changed state) words, allocate nothing,
+//! and build their candidate lists (in the same ascending index order
+//! the arbiter contract requires) by iterating set bits.
 //!
 //! Each cycle has two event phases, encoded into the queue key:
 //! *begin* (processors issue) and *end* (transfers land, services
@@ -26,18 +41,17 @@
 //!
 //! Every stochastic entity owns an independent RNG stream derived from
 //! the master seed (`busnet_sim::seeds::SeedSequence`), so results do
-//! not depend on heap pop order among simultaneous events and runs are
+//! not depend on queue pop order among simultaneous events and runs are
 //! bit-reproducible. Statistical equivalence with the cycle engine is
 //! pinned by `tests/engine_equivalence.rs`.
-
-use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use busnet_sim::arbiter::Arbiter;
+use busnet_sim::bits::DenseBits;
 use busnet_sim::counters::SimCounters;
-use busnet_sim::event::{sample_bernoulli_success, EventQueue};
+use busnet_sim::event::{EventQueue, GeometricAlias};
 use busnet_sim::seeds::SeedSequence;
 
 use crate::params::{Buffering, BusPolicy, SystemParams};
@@ -48,50 +62,16 @@ use crate::sim::bus::{
 use crate::sim::service::ServiceTime;
 
 /// A processor's request token.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct Token {
     proc: usize,
     issued: u64,
 }
 
-#[derive(Clone, Copy, Debug)]
-enum ProcPhase {
-    /// Waiting for its scheduled `ProcReady` event (or out of events).
-    Thinking,
-    /// Holds a request to `module`, waiting to win the bus.
-    Pending { module: usize, since: u64, issued: u64 },
-    /// Request delivered; waiting for the result.
-    Waiting,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Service {
-    token: Token,
-    /// End-of-cycle time at which service completes; a slot with
-    /// `done <= now` still present is blocked on a full output buffer.
-    done: u64,
-}
-
-#[derive(Clone, Debug, Default)]
-struct Module {
-    input: VecDeque<Token>,
-    service: Option<Service>,
-    output: VecDeque<Token>,
-}
-
-impl Module {
-    /// The admission rule shared with the cycle engine
-    /// ([`module_can_accept`]).
-    fn can_accept(&self, depth: u32, inflight: u32) -> bool {
-        module_can_accept(
-            depth,
-            self.service.is_some(),
-            self.input.len(),
-            self.output.len(),
-            inflight,
-        )
-    }
-}
+/// Processor phase ids for the SoA `phase` column.
+const THINKING: u8 = 0;
+const PENDING: u8 = 1;
+const WAITING: u8 = 2;
 
 #[derive(Clone, Copy, Debug)]
 enum Transfer {
@@ -121,6 +101,58 @@ fn end(t: u64) -> u64 {
     2 * t + 1
 }
 
+/// One group of fixed-capacity FIFO rings (all modules' input queues,
+/// or all their output queues) carved out of a single contiguous token
+/// array: ring `j` occupies `tokens[j*capacity .. (j+1)*capacity]` with
+/// its own head cursor and length column.
+#[derive(Clone, Debug)]
+struct FifoRings {
+    tokens: Vec<Token>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+    capacity: u32,
+}
+
+impl FifoRings {
+    fn new(entities: usize, capacity: u32) -> Self {
+        FifoRings {
+            tokens: vec![Token::default(); entities * capacity as usize],
+            head: vec![0; entities],
+            len: vec![0; entities],
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn len(&self, j: usize) -> u32 {
+        self.len[j]
+    }
+
+    #[inline]
+    fn is_empty(&self, j: usize) -> bool {
+        self.len[j] == 0
+    }
+
+    #[inline]
+    fn push_back(&mut self, j: usize, token: Token) {
+        debug_assert!(self.len[j] < self.capacity, "FIFO ring overrun");
+        let cap = self.capacity;
+        let slot = (self.head[j] + self.len[j]) % cap;
+        self.tokens[j * cap as usize + slot as usize] = token;
+        self.len[j] += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, j: usize) -> Token {
+        debug_assert!(self.len[j] > 0, "pop from empty FIFO ring");
+        let cap = self.capacity;
+        let token = self.tokens[j * cap as usize + self.head[j] as usize];
+        self.head[j] = (self.head[j] + 1) % cap;
+        self.len[j] -= 1;
+        token
+    }
+}
+
 /// The event-driven single-bus simulator. Create via
 /// [`BusSimBuilder::build_event`] or run directly through
 /// [`BusSimBuilder::run`] with
@@ -138,11 +170,37 @@ pub struct EventBusSim {
     /// Arbitration wake for the next cycle, set when a grant is known
     /// to be possible there.
     wake_at: Option<u64>,
-    procs: Vec<ProcPhase>,
-    modules: Vec<Module>,
+    /// Processor phase column (`THINKING` / `PENDING` / `WAITING`).
+    phase: Vec<u8>,
+    /// Pending-request columns, valid where `phase == PENDING`.
+    pend_module: Vec<u32>,
+    pend_since: Vec<u64>,
+    pend_issued: Vec<u64>,
+    /// Processors currently in `PENDING` phase.
+    pending: DenseBits,
+    /// Module input FIFOs (capacity `depth`; unused rings when 0).
+    inputs: FifoRings,
+    /// Module output FIFOs (capacity `max(depth, 1)`).
+    outputs: FifoRings,
+    /// Modules with a non-empty output FIFO (memory-side candidates).
+    out_nonempty: DenseBits,
+    /// Count of modules with non-empty output.
+    out_count: u32,
+    /// Service-stage columns: busy flag, served token, end-of-cycle
+    /// completion time. A busy slot with `done <= now` is blocked on a
+    /// full output buffer.
+    svc_busy: Vec<bool>,
+    svc_token: Vec<Token>,
+    svc_done: Vec<u64>,
     bus: Vec<Option<(Transfer, u64)>>,
     /// Requests currently on the bus, per destination module.
     inflight: Vec<u32>,
+    /// Single-channel fast path: a transfer granted this cycle with
+    /// duration 1 lands at this cycle's own end phase, so it skips the
+    /// queue round trip. It is processed after every queued end-phase
+    /// event — exactly the position its `TransferDone` event (scheduled
+    /// last within `arbitrate`) would have popped in.
+    landing_now: Option<usize>,
     proc_arbiter: Arbiter,
     module_arbiter: Arbiter,
     /// Per-processor streams: think-coin runs and address sampling.
@@ -153,8 +211,16 @@ pub struct EventBusSim {
     arb_rng: SmallRng,
     /// Bus transfer durations.
     transfer_rng: SmallRng,
+    /// O(1) alias-table think-timer sampler (no per-draw logarithm).
+    think: GeometricAlias,
     stats: SimCounters,
     candidate_scratch: Vec<usize>,
+    ready_scratch: Vec<usize>,
+    /// Reused buffer for draining one phase's events in a single
+    /// bucket walk.
+    event_scratch: Vec<Ev>,
+    /// Whether the initial think timers have been scheduled.
+    primed: bool,
 }
 
 impl EventBusSim {
@@ -179,12 +245,23 @@ impl EventBusSim {
             memory_service,
             bus_transfer: b.bus_transfer,
             total: b.warmup + b.measure,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(n + m + b.channels as usize),
             wake_at: None,
-            procs: vec![ProcPhase::Thinking; n],
-            modules: vec![Module::default(); m],
+            phase: vec![THINKING; n],
+            pend_module: vec![0; n],
+            pend_since: vec![0; n],
+            pend_issued: vec![0; n],
+            pending: DenseBits::new(n),
+            inputs: FifoRings::new(m, depth),
+            outputs: FifoRings::new(m, depth.max(1)),
+            out_nonempty: DenseBits::new(m),
+            out_count: 0,
+            svc_busy: vec![false; m],
+            svc_token: vec![Token::default(); m],
+            svc_done: vec![0; m],
             bus: vec![None; b.channels as usize],
             inflight: vec![0; m],
+            landing_now: None,
             proc_arbiter: Arbiter::new(b.arbitration),
             module_arbiter: Arbiter::new(b.arbitration),
             proc_rngs: (0..n)
@@ -195,8 +272,12 @@ impl EventBusSim {
                 .collect(),
             arb_rng: SmallRng::seed_from_u64(shared_seeds.stream(0)),
             transfer_rng: SmallRng::seed_from_u64(shared_seeds.stream(1)),
+            think: GeometricAlias::new(b.params.p()),
             stats: new_counters(&b.params, depth, b.warmup, b.measure),
             candidate_scratch: Vec::with_capacity(n.max(m)),
+            ready_scratch: Vec::with_capacity(m),
+            event_scratch: Vec::with_capacity(n + m),
+            primed: false,
         }
     }
 
@@ -210,13 +291,25 @@ impl EventBusSim {
         self.bus.len() as u32
     }
 
+    /// The admission rule shared with the cycle engine
+    /// ([`module_can_accept`]), over the SoA columns.
+    #[inline]
+    fn can_accept(&self, j: usize) -> bool {
+        module_can_accept(
+            self.depth,
+            self.svc_busy[j],
+            self.inputs.len(j) as usize,
+            self.outputs.len(j) as usize,
+            self.inflight[j],
+        )
+    }
+
     /// The first cycle at or after `from` in which processor `i`'s
     /// Bernoulli(`p`) coin (flipped once per processor cycle) succeeds;
     /// `None` once the success falls beyond the simulated horizon.
     fn sample_ready(&mut self, i: usize, from: u64) -> Option<u64> {
-        sample_bernoulli_success(
+        self.think.next_success(
             &mut self.proc_rngs[i],
-            self.params.p(),
             from,
             u64::from(self.params.processor_cycle()),
             self.total,
@@ -225,11 +318,25 @@ impl EventBusSim {
 
     /// Runs warmup + measurement and returns the report.
     pub fn run(mut self) -> SimReport {
-        for i in 0..self.procs.len() {
-            if let Some(t) = self.sample_ready(i, 0) {
-                self.queue.schedule(begin(t), Ev::ProcReady(i));
+        let total = self.total;
+        self.advance_until(total);
+        self.finish_at(total)
+    }
+
+    /// Processes every event/wake cycle strictly before `limit`
+    /// (clamped to the configured total), leaving the queue and wake
+    /// state intact for a later call — the incremental entry point
+    /// batch-by-batch adaptive runs use.
+    pub fn advance_until(&mut self, limit: u64) {
+        if !self.primed {
+            self.primed = true;
+            for i in 0..self.phase.len() {
+                if let Some(t) = self.sample_ready(i, 0) {
+                    self.queue.schedule(begin(t), Ev::ProcReady(i));
+                }
             }
         }
+        let limit = limit.min(self.total);
         loop {
             let t = match (self.wake_at, self.queue.peek_time()) {
                 (Some(w), Some(key)) => w.min(key / 2),
@@ -237,18 +344,26 @@ impl EventBusSim {
                 (None, Some(key)) => key / 2,
                 (None, None) => break,
             };
-            if t >= self.total {
-                break;
+            if t >= limit {
+                break; // wake/queue state stays valid for resumption
             }
             self.wake_at = None;
             // Begin of cycle: think timers expire, requests are issued.
-            while let Some(ev) = self.queue.pop_at(begin(t)) {
+            // Each phase drains its whole bucket in one walk; nothing
+            // schedules into a phase while it is being processed.
+            let mut drained = std::mem::take(&mut self.event_scratch);
+            self.stats.events += self.queue.drain_at(begin(t), &mut drained) as u64;
+            for ev in drained.drain(..) {
                 match ev {
                     Ev::ProcReady(i) => {
-                        debug_assert!(matches!(self.procs[i], ProcPhase::Thinking));
+                        debug_assert_eq!(self.phase[i], THINKING);
                         let m = self.params.m() as usize;
                         let module = self.addressing.sample(m, &mut self.proc_rngs[i]);
-                        self.procs[i] = ProcPhase::Pending { module, since: t, issued: t };
+                        self.phase[i] = PENDING;
+                        self.pend_module[i] = module as u32;
+                        self.pend_since[i] = t;
+                        self.pend_issued[i] = t;
+                        self.pending.insert(i);
                     }
                     Ev::TransferDone(_) | Ev::ServiceDone(_) => {
                         unreachable!("end-phase event at a begin key")
@@ -256,13 +371,21 @@ impl EventBusSim {
                 }
             }
             self.arbitrate(t);
-            // End of cycle: transfers land, services complete.
-            while let Some(ev) = self.queue.pop_at(end(t)) {
+            // End of cycle: transfers land, services complete. The
+            // blocked-service recheck is scheduled in `arbitrate`,
+            // before this drain, so it is included.
+            self.stats.events += self.queue.drain_at(end(t), &mut drained) as u64;
+            for ev in drained.drain(..) {
                 match ev {
                     Ev::ProcReady(_) => unreachable!("begin-phase event at an end key"),
                     Ev::TransferDone(ch) => self.land_transfer(ch, t),
                     Ev::ServiceDone(j) => self.complete_service(j, t),
                 }
+            }
+            self.event_scratch = drained;
+            if let Some(ch) = self.landing_now.take() {
+                self.stats.events += 1;
+                self.land_transfer(ch, t);
             }
             // If a grant is possible next cycle, wake for it; otherwise
             // the next event is the next chance for state to change.
@@ -270,7 +393,37 @@ impl EventBusSim {
                 self.wake_at = Some(t + 1);
             }
         }
-        self.stats.finish_occupancy(self.total);
+    }
+
+    /// Returns delivered during measurement so far.
+    pub fn measured_returns(&self) -> u64 {
+        self.stats.returns
+    }
+
+    /// Closes the run at cycle `t` (exclusive) and builds the report.
+    /// When the run stops before its configured total, the busy spans
+    /// of in-flight transfers and services — which this engine records
+    /// whole at scheduling time — are clipped back to `t` before the
+    /// measurement window is truncated, so an early stop accounts
+    /// exactly like a run configured to end at `t`.
+    pub fn finish_at(mut self, t: u64) -> SimReport {
+        if t < self.total {
+            for slot in self.bus.iter().flatten() {
+                let (_, until) = *slot;
+                if until >= t {
+                    // Transfer occupies [grant, until + 1).
+                    self.stats.remove_channel_busy_span(t, until + 1);
+                }
+            }
+            for j in 0..self.svc_busy.len() {
+                if self.svc_busy[j] && self.svc_done[j] + 1 > t {
+                    // Service occupies [start + 1, done + 1).
+                    self.stats.remove_module_busy_span(t, self.svc_done[j] + 1);
+                }
+            }
+            self.stats.truncate_window(t);
+        }
+        self.stats.finish_occupancy(t);
         SimReport::from_counters(
             self.params,
             self.policy,
@@ -285,62 +438,70 @@ impl EventBusSim {
     /// (`BusSim::arbitrate` in `bus.rs`): the semantic rules —
     /// admission ([`module_can_accept`]) and side priority
     /// ([`grant_memory_side`]) — are shared; only the engine-specific
-    /// plumbing (event scheduling, busy-span accounting) differs.
-    /// Change the two in lockstep.
+    /// plumbing (event scheduling, busy-span accounting, bitset
+    /// candidate tracking) differs. Change the two in lockstep.
     fn arbitrate(&mut self, t: u64) {
         for ch in 0..self.bus.len() {
             if self.bus[ch].is_some() {
                 continue;
             }
-            let memory_ready = self.modules.iter().any(|md| !md.output.is_empty());
-            self.candidate_scratch.clear();
-            for (i, proc) in self.procs.iter().enumerate() {
-                if let ProcPhase::Pending { module, .. } = *proc {
-                    if self.modules[module].can_accept(self.depth, self.inflight[module]) {
-                        self.candidate_scratch.push(i);
-                    }
+            let memory_ready = self.out_count > 0;
+            let mut candidates = std::mem::take(&mut self.candidate_scratch);
+            candidates.clear();
+            for i in self.pending.iter() {
+                if self.can_accept(self.pend_module[i] as usize) {
+                    candidates.push(i);
                 }
             }
-            let proc_ready = !self.candidate_scratch.is_empty();
+            let proc_ready = !candidates.is_empty();
             let grant_memory = grant_memory_side(self.policy, memory_ready, proc_ready);
             if !grant_memory && !proc_ready {
+                self.candidate_scratch = candidates;
                 break; // nothing left for the remaining channels either
             }
             let duration = u64::from(self.bus_transfer.sample(&mut self.transfer_rng));
             self.stats.add_channel_busy_span(t, t + duration);
             if grant_memory {
-                let ready: Vec<usize> = self
-                    .modules
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(j, md)| (!md.output.is_empty()).then_some(j))
-                    .collect();
+                let mut ready = std::mem::take(&mut self.ready_scratch);
+                ready.clear();
+                ready.extend(self.out_nonempty.iter());
                 let j = self.module_arbiter.pick(t, &ready, &mut self.arb_rng);
-                let token = self.modules[j].output.pop_front().expect("candidate had output");
-                self.stats.set_output_occupancy(j, t + 1, self.modules[j].output.len() as u32);
-                if matches!(self.modules[j].service, Some(s) if s.done <= t) {
+                self.ready_scratch = ready;
+                let token = self.outputs.pop_front(j);
+                if self.outputs.is_empty(j) {
+                    self.out_nonempty.remove(j);
+                    self.out_count -= 1;
+                }
+                self.stats.set_output_occupancy(j, t + 1, self.outputs.len(j));
+                if self.svc_busy[j] && self.svc_done[j] <= t {
                     // A finished service was blocked on this output
                     // slot; let it retry at the end of this cycle.
                     self.queue.schedule(end(t), Ev::ServiceDone(j));
                 }
                 self.bus[ch] = Some((Transfer::Return { token }, t + duration - 1));
             } else {
-                let candidates = std::mem::take(&mut self.candidate_scratch);
                 let pick = self.proc_arbiter.pick(t, &candidates, &mut self.arb_rng);
-                self.candidate_scratch = candidates;
-                let (module, since, issued) = match self.procs[pick] {
-                    ProcPhase::Pending { module, since, issued } => (module, since, issued),
-                    _ => unreachable!("candidate list holds only pending processors"),
-                };
-                self.stats.record_grant(t, since);
-                self.procs[pick] = ProcPhase::Waiting;
+                let module = self.pend_module[pick] as usize;
+                self.stats.record_grant(t, self.pend_since[pick]);
+                self.phase[pick] = WAITING;
+                self.pending.remove(pick);
                 self.inflight[module] += 1;
                 self.bus[ch] = Some((
-                    Transfer::Request { token: Token { proc: pick, issued }, module },
+                    Transfer::Request {
+                        token: Token { proc: pick, issued: self.pend_issued[pick] },
+                        module,
+                    },
                     t + duration - 1,
                 ));
             }
-            self.queue.schedule(end(t + duration - 1), Ev::TransferDone(ch));
+            self.candidate_scratch = candidates;
+            if duration == 1 && self.bus.len() == 1 {
+                // Lands at this cycle's end phase: skip the queue (see
+                // `landing_now` for the ordering argument).
+                self.landing_now = Some(ch);
+            } else {
+                self.queue.schedule(end(t + duration - 1), Ev::TransferDone(ch));
+            }
         }
     }
 
@@ -349,26 +510,25 @@ impl EventBusSim {
         debug_assert_eq!(until, t);
         match transfer {
             Transfer::Return { token } => {
-                debug_assert!(matches!(self.procs[token.proc], ProcPhase::Waiting));
+                debug_assert_eq!(self.phase[token.proc], WAITING);
                 self.stats.record_return(t, token.proc, token.issued);
-                self.procs[token.proc] = ProcPhase::Thinking;
+                self.phase[token.proc] = THINKING;
                 if let Some(next) = self.sample_ready(token.proc, t + 1) {
                     self.queue.schedule(begin(next), Ev::ProcReady(token.proc));
                 }
             }
             Transfer::Request { token, module } => {
                 self.inflight[module] -= 1;
-                let md = &mut self.modules[module];
-                if md.service.is_none() {
-                    debug_assert!(md.input.is_empty(), "idle module with queued input");
+                if !self.svc_busy[module] {
+                    debug_assert!(self.inputs.is_empty(module), "idle module with queued input");
                     self.start_service(module, token, t);
                 } else {
                     debug_assert!(
-                        self.depth > 0 && (md.input.len() as u32) < self.depth,
+                        self.depth > 0 && self.inputs.len(module) < self.depth,
                         "input buffer overrun"
                     );
-                    md.input.push_back(token);
-                    self.stats.set_input_occupancy(module, t + 1, md.input.len() as u32);
+                    self.inputs.push_back(module, token);
+                    self.stats.set_input_occupancy(module, t + 1, self.inputs.len(module));
                 }
             }
         }
@@ -378,25 +538,31 @@ impl EventBusSim {
     /// room; stale events (already-completed or not-yet-due rechecks)
     /// are ignored.
     fn complete_service(&mut self, j: usize, t: u64) {
-        let out_cap = self.depth.max(1) as usize;
-        let md = &mut self.modules[j];
-        let Some(service) = md.service else { return };
-        if service.done > t {
+        if !self.svc_busy[j] {
+            return;
+        }
+        let done = self.svc_done[j];
+        if done > t {
             return; // not due yet
         }
-        if md.output.len() >= out_cap {
+        if self.outputs.len(j) >= self.outputs.capacity {
             // (Still) blocked on the output FIFO. Count only the first
             // due event — rechecks fire after the output drained.
-            if service.done == t {
+            if done == t {
                 self.stats.record_blocked_completion(t);
             }
             return;
         }
-        md.output.push_back(service.token);
-        self.stats.set_output_occupancy(j, t + 1, md.output.len() as u32);
-        md.service = None;
-        if let Some(token) = self.modules[j].input.pop_front() {
-            self.stats.set_input_occupancy(j, t + 1, self.modules[j].input.len() as u32);
+        if self.outputs.is_empty(j) {
+            self.out_nonempty.insert(j);
+            self.out_count += 1;
+        }
+        self.outputs.push_back(j, self.svc_token[j]);
+        self.stats.set_output_occupancy(j, t + 1, self.outputs.len(j));
+        self.svc_busy[j] = false;
+        if !self.inputs.is_empty(j) {
+            let token = self.inputs.pop_front(j);
+            self.stats.set_input_occupancy(j, t + 1, self.inputs.len(j));
             self.start_service(j, token, t);
         }
     }
@@ -407,7 +573,9 @@ impl EventBusSim {
         let duration = u64::from(self.memory_service.sample(&mut self.module_rngs[j]));
         let done = t + duration;
         self.stats.add_module_busy_span(t + 1, done + 1);
-        self.modules[j].service = Some(Service { token, done });
+        self.svc_busy[j] = true;
+        self.svc_token[j] = token;
+        self.svc_done[j] = done;
         self.queue.schedule(end(done), Ev::ServiceDone(j));
     }
 
@@ -418,13 +586,10 @@ impl EventBusSim {
         if self.bus.iter().all(|c| c.is_some()) {
             return false;
         }
-        if self.modules.iter().any(|md| !md.output.is_empty()) {
+        if self.out_count > 0 {
             return true;
         }
-        self.procs.iter().any(|proc| {
-            matches!(*proc, ProcPhase::Pending { module, .. }
-                if self.modules[module].can_accept(self.depth, self.inflight[module]))
-        })
+        self.pending.iter().any(|i| self.can_accept(self.pend_module[i] as usize))
     }
 }
 

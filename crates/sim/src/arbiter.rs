@@ -113,6 +113,7 @@ impl Arbiter {
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
+    #[inline]
     pub fn pick<R: RngCore>(&mut self, now: u64, candidates: &[usize], rng: &mut R) -> usize {
         assert!(!candidates.is_empty(), "arbitration needs at least one candidate");
         let chosen = match self.kind {

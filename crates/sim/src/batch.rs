@@ -81,6 +81,88 @@ impl BatchMeans {
     }
 }
 
+/// A sequential stopping rule over batch means: extend a run batch by
+/// batch until the 95% confidence half-width of the batch-mean estimate
+/// drops to a target (and a minimum batch count guards against
+/// stopping on a fluke early estimate).
+///
+/// This is the engine behind adaptive-precision replication
+/// (`--ci-width`): instead of a fixed replication count, a single long
+/// run keeps extending until its EBW estimate is as tight as requested,
+/// which amortizes both the warmup and the Student-t small-sample
+/// penalty that a handful of independent replications pays.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::batch::SequentialStopping;
+///
+/// let mut stop = SequentialStopping::new(0.05, 4);
+/// for i in 0..12 {
+///     stop.record_batch(1.0 + 0.001 * (i % 2) as f64);
+///     if stop.satisfied() {
+///         break;
+///     }
+/// }
+/// assert!(stop.satisfied());
+/// assert!(stop.half_width_95() <= 0.05);
+/// assert!((stop.mean() - 1.0005).abs() < 0.1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequentialStopping {
+    target_half_width: f64,
+    min_batches: u64,
+    means: BatchMeans,
+}
+
+impl SequentialStopping {
+    /// A rule that stops once at least `min_batches` batch means are in
+    /// and their 95% half-width is at most `target_half_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_half_width` is non-negative and finite and
+    /// `min_batches >= 2` (one batch has no variance estimate).
+    pub fn new(target_half_width: f64, min_batches: u64) -> Self {
+        assert!(
+            target_half_width.is_finite() && target_half_width >= 0.0,
+            "target half-width must be a non-negative finite number"
+        );
+        assert!(min_batches >= 2, "need at least 2 batches for a variance estimate");
+        SequentialStopping { target_half_width, min_batches, means: BatchMeans::new(1) }
+    }
+
+    /// Records one completed batch's mean.
+    pub fn record_batch(&mut self, value: f64) {
+        self.means.record(value);
+    }
+
+    /// Number of batches recorded.
+    pub fn batches(&self) -> u64 {
+        self.means.completed_batches()
+    }
+
+    /// Grand mean over recorded batches.
+    pub fn mean(&self) -> f64 {
+        self.means.mean()
+    }
+
+    /// Current 95% half-width over batch means.
+    pub fn half_width_95(&self) -> f64 {
+        self.means.half_width_95()
+    }
+
+    /// The target half-width the rule stops at.
+    pub fn target(&self) -> f64 {
+        self.target_half_width
+    }
+
+    /// Whether the stopping condition holds.
+    pub fn satisfied(&self) -> bool {
+        self.batches() >= self.min_batches && self.half_width_95() <= self.target_half_width
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +213,38 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         BatchMeans::new(0);
+    }
+
+    #[test]
+    fn stopping_honors_minimum_batches() {
+        let mut stop = SequentialStopping::new(10.0, 5);
+        for _ in 0..4 {
+            stop.record_batch(1.0);
+            assert!(!stop.satisfied(), "must not stop before min_batches");
+        }
+        stop.record_batch(1.0);
+        assert!(stop.satisfied());
+        assert_eq!(stop.batches(), 5);
+    }
+
+    #[test]
+    fn stopping_waits_for_tight_interval() {
+        // High-variance batches keep the rule unsatisfied; once enough
+        // accumulate, the t/√k factor shrinks the interval below target.
+        let mut stop = SequentialStopping::new(0.35, 2);
+        let mut batches = 0;
+        while !stop.satisfied() {
+            stop.record_batch(if batches % 2 == 0 { 0.0 } else { 1.0 });
+            batches += 1;
+            assert!(batches < 100, "rule never converged");
+        }
+        assert!(batches > 4, "alternating batches need several samples, got {batches}");
+        assert!(stop.half_width_95() <= 0.35);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 batches")]
+    fn degenerate_minimum_rejected() {
+        SequentialStopping::new(0.1, 1);
     }
 }

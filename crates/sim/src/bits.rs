@@ -1,0 +1,140 @@
+//! Dense fixed-capacity bitsets for hot engine state.
+//!
+//! The event engines keep "which processors hold a pending request" and
+//! "which modules hold a finished result" as bitsets instead of
+//! scanning their structure-of-arrays state: membership updates are
+//! O(1), emptiness is one word test, and iteration visits members in
+//! ascending index order (the order the arbitration candidate lists
+//! require) at a few word operations per 64 entities.
+
+/// A dense bitset over indices `0..capacity`.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::bits::DenseBits;
+///
+/// let mut set = DenseBits::new(100);
+/// set.insert(3);
+/// set.insert(64);
+/// set.insert(3); // idempotent
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// set.remove(3);
+/// assert!(!set.contains(3));
+/// assert!(set.contains(64));
+/// assert!(!set.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseBits {
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    /// An empty set with room for indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DenseBits { words: vec![0; capacity.div_ceil(64)] }
+    }
+
+    /// Adds `i` (idempotent).
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i` (idempotent).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Ascending-order member iterator (see [`DenseBits::iter`]).
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseBits::new(130);
+        assert!(s.is_empty());
+        for i in [0, 63, 64, 127, 129] {
+            s.insert(i);
+            assert!(s.contains(i));
+        }
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 127, 129]);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut s = DenseBits::new(256);
+        let members: Vec<usize> = (0..256).filter(|i| i % 7 == 3).collect();
+        // Insert in a scrambled order; iteration must still ascend.
+        for &i in members.iter().rev() {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), members);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = DenseBits::new(70);
+        s.insert(5);
+        s.insert(69);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let s = DenseBits::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -60,6 +60,25 @@ impl MeasurementWindow {
     pub fn is_done(&self, cycle: u64) -> bool {
         cycle >= self.total_cycles()
     }
+
+    /// The same window cut short so the run ends at cycle `total`
+    /// (exclusive) — how an adaptive run that met its precision target
+    /// early closes its books.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `warmup < total <= total_cycles()`: the truncated
+    /// window must still contain at least one measured cycle and cannot
+    /// extend the original.
+    pub fn truncated(self, total: u64) -> MeasurementWindow {
+        assert!(
+            total > self.warmup && total <= self.total_cycles(),
+            "truncation point {total} outside ({}, {}]",
+            self.warmup,
+            self.total_cycles()
+        );
+        MeasurementWindow { warmup: self.warmup, measure: total - self.warmup }
+    }
 }
 
 #[cfg(test)]

@@ -96,17 +96,21 @@ impl QueueOccupancy {
         self.histogram.mean()
     }
 
+    #[inline]
     fn record_span(&mut self, window: &MeasurementWindow, level: u32, start: u64, end: u64) {
         let lo = start.max(window.warmup());
         let hi = end.min(window.total_cycles());
         if hi > lo {
-            self.histogram.record_n(f64::from(level), hi - lo);
+            // Levels are integers and the histogram is unit-width: take
+            // the division-free path (bit-identical accounting).
+            self.histogram.record_level(level, hi - lo);
         }
     }
 
     /// Sets `entity`'s level from cycle `t` on, crediting the old level
     /// with the span it was held. `t` must be non-decreasing per
     /// entity.
+    #[inline]
     fn set_level(&mut self, window: &MeasurementWindow, entity: usize, t: u64, level: u32) {
         if self.levels.is_empty() {
             return;
@@ -165,12 +169,25 @@ pub struct SimCounters {
     /// Completed services that found their output FIFO full and had to
     /// stall (the §6 blocking event), during measurement.
     pub blocked_completions: u64,
+    /// Units of engine work executed over the whole run (not warmup
+    /// gated): events processed by an event-driven engine, cycles
+    /// stepped by a cycle-stepped one. A portable, hardware-independent
+    /// proxy for simulation cost — the currency of the adaptive
+    /// stopping rule's savings and the CI event-budget gate.
+    pub events: u64,
 }
 
 impl SimCounters {
     /// Counters over `window` for `entities` fairness-tracked entities,
-    /// recording waits into `wait_histogram`.
+    /// recording waits into `wait_histogram`, which must use unit-width
+    /// (one-cycle) buckets — waits are whole cycles and the hot path
+    /// records them by integer level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait_histogram` does not have `bucket_width == 1.0`.
     pub fn new(window: MeasurementWindow, entities: usize, wait_histogram: Histogram) -> Self {
+        assert_eq!(wait_histogram.bucket_width(), 1.0, "wait histogram needs one-cycle buckets");
         SimCounters {
             window,
             returns: 0,
@@ -184,6 +201,7 @@ impl SimCounters {
             input_occupancy: QueueOccupancy::disabled(),
             output_occupancy: QueueOccupancy::disabled(),
             blocked_completions: 0,
+            events: 0,
         }
     }
 
@@ -214,6 +232,7 @@ impl SimCounters {
     /// Records a completed round trip landing at the end of cycle `t`:
     /// the request was issued at `issued`, the result reaches entity
     /// `entity` at the start of cycle `t + 1`.
+    #[inline]
     pub fn record_return(&mut self, t: u64, entity: usize, issued: u64) {
         if self.window.is_measuring(t) {
             self.returns += 1;
@@ -224,6 +243,7 @@ impl SimCounters {
 
     /// Records a served request at cycle `t` without round-trip
     /// accounting (the crossbar's requests complete within the cycle).
+    #[inline]
     pub fn record_served(&mut self, t: u64, entity: usize) {
         if self.window.is_measuring(t) {
             self.returns += 1;
@@ -233,16 +253,25 @@ impl SimCounters {
 
     /// Records a bus grant at cycle `t` for a request pending since
     /// `since`.
+    #[inline]
     pub fn record_grant(&mut self, t: u64, since: u64) {
         if self.window.is_measuring(t) {
             self.requests_granted += 1;
-            self.wait.push((t - since) as f64);
-            self.wait_histogram.record((t - since) as f64);
+            let wait = t - since;
+            self.wait.push(wait as f64);
+            // Waits are whole cycles into a unit-width histogram
+            // (enforced by the constructor): the division-free path,
+            // with the general one as fallback for astronomical waits.
+            match u32::try_from(wait) {
+                Ok(w) => self.wait_histogram.record_level(w, 1),
+                Err(_) => self.wait_histogram.record(wait as f64),
+            }
         }
     }
 
     /// Clips the half-open cycle span `[start, end)` to the window and
     /// returns the overlap length.
+    #[inline]
     fn clipped(&self, start: u64, end: u64) -> u64 {
         let lo = start.max(self.window.warmup());
         let hi = end.min(self.window.total_cycles());
@@ -251,14 +280,43 @@ impl SimCounters {
 
     /// Adds bus-channel occupancy over the half-open span
     /// `[start, end)` of cycles.
+    #[inline]
     pub fn add_channel_busy_span(&mut self, start: u64, end: u64) {
         self.bus_busy_channel_cycles += self.clipped(start, end);
     }
 
     /// Adds module service occupancy over the half-open span
     /// `[start, end)` of cycles.
+    #[inline]
     pub fn add_module_busy_span(&mut self, start: u64, end: u64) {
         self.module_busy_cycles += self.clipped(start, end);
+    }
+
+    /// Removes previously added bus-channel occupancy over `[start,
+    /// end)` (same clipping as [`SimCounters::add_channel_busy_span`]).
+    /// Event engines record whole spans at scheduling time; when an
+    /// adaptive run stops early, the in-flight tail past the stopping
+    /// point is subtracted with this before the window is truncated.
+    pub fn remove_channel_busy_span(&mut self, start: u64, end: u64) {
+        self.bus_busy_channel_cycles -= self.clipped(start, end);
+    }
+
+    /// Removes previously added module occupancy over `[start, end)`
+    /// (the service-stage analogue of
+    /// [`SimCounters::remove_channel_busy_span`]).
+    pub fn remove_module_busy_span(&mut self, start: u64, end: u64) {
+        self.module_busy_cycles -= self.clipped(start, end);
+    }
+
+    /// Cuts the measurement window short at cycle `t` (exclusive).
+    /// Call only after subtracting any pre-recorded spans that extend
+    /// past `t`, and before [`SimCounters::finish_occupancy`].
+    ///
+    /// # Panics
+    ///
+    /// As [`MeasurementWindow::truncated`].
+    pub fn truncate_window(&mut self, t: u64) {
+        self.window = self.window.truncated(t);
     }
 
     /// Per-cycle busy accounting for cycle-stepped engines: `channels`
@@ -272,12 +330,14 @@ impl SimCounters {
 
     /// Sets `module`'s input-FIFO level from cycle `t` on (no-op when
     /// occupancy tracking is disabled).
+    #[inline]
     pub fn set_input_occupancy(&mut self, module: usize, t: u64, level: u32) {
         self.input_occupancy.set_level(&self.window, module, t, level);
     }
 
     /// Sets `module`'s output-FIFO level from cycle `t` on (no-op when
     /// occupancy tracking is disabled).
+    #[inline]
     pub fn set_output_occupancy(&mut self, module: usize, t: u64, level: u32) {
         self.output_occupancy.set_level(&self.window, module, t, level);
     }
@@ -291,6 +351,7 @@ impl SimCounters {
 
     /// Records a service that completed at cycle `t` but found its
     /// output FIFO full (the blocking event of the buffered scheme).
+    #[inline]
     pub fn record_blocked_completion(&mut self, t: u64) {
         if self.window.is_measuring(t) {
             self.blocked_completions += 1;

@@ -6,8 +6,18 @@
 //! returned **in item order** regardless of which worker computed them
 //! or when, so a parallel run is bit-identical to a serial one — the
 //! property the replication driver's determinism tests pin.
+//!
+//! # Work stealing
+//!
+//! Items are dealt out as contiguous per-worker ranges; a worker that
+//! drains its own range **steals half of the largest remaining range**
+//! (one compare-and-swap on the victim's packed `(lo, hi)` span). This
+//! keeps all cores busy even when item costs are wildly uneven — the
+//! situation a scenario sweep creates, where one saturated grid point
+//! simulates 10× longer than an idle one — without any work-order
+//! effect on results: an item's output depends only on its index.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
@@ -43,6 +53,106 @@ impl ExecutionMode {
     }
 }
 
+/// A shared deck of per-worker item ranges supporting lock-free local
+/// pops and half-range steals. Each span packs `(lo, hi)` into one
+/// `AtomicU64` (item counts are far below `u32::MAX`): the owner takes
+/// from `lo`, thieves shrink `hi`.
+struct StealDeck {
+    spans: Vec<AtomicU64>,
+}
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+fn unpack(span: u64) -> (u32, u32) {
+    ((span >> 32) as u32, span as u32)
+}
+
+impl StealDeck {
+    /// Deals `items` out as `workers` contiguous balanced ranges.
+    fn deal(items: usize, workers: usize) -> StealDeck {
+        assert!(u32::try_from(items).is_ok(), "too many items for the steal deck");
+        let chunk = items / workers;
+        let extra = items % workers;
+        let mut lo = 0u32;
+        let spans = (0..workers)
+            .map(|w| {
+                let len = chunk + usize::from(w < extra);
+                let hi = lo + len as u32;
+                let span = AtomicU64::new(pack(lo, hi));
+                lo = hi;
+                span
+            })
+            .collect();
+        StealDeck { spans }
+    }
+
+    /// Pops the next item of worker `w`'s own range.
+    fn pop_own(&self, w: usize) -> Option<usize> {
+        let span = &self.spans[w];
+        let mut cur = span.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match span.compare_exchange_weak(
+                cur,
+                pack(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals the upper half of the largest other range and installs it
+    /// as worker `w`'s own (empty) range, returning the first stolen
+    /// item. `None` when every visible range is empty.
+    fn steal_into(&self, w: usize) -> Option<usize> {
+        loop {
+            let victim = self
+                .spans
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v != w)
+                .map(|(v, s)| {
+                    let (lo, hi) = unpack(s.load(Ordering::Acquire));
+                    (hi.saturating_sub(lo), v)
+                })
+                .max()
+                .filter(|&(len, _)| len > 0)?
+                .1;
+            let span = &self.spans[victim];
+            let cur = span.load(Ordering::Acquire);
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                continue; // drained between the scan and the read
+            }
+            let take = (hi - lo).div_ceil(2);
+            let mid = hi - take;
+            if span
+                .compare_exchange(cur, pack(lo, mid), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // raced another worker; rescan
+            }
+            // Claim [mid, hi): keep the first item, publish the rest as
+            // our own range so other thieves can rebalance further.
+            self.spans[w].store(pack(mid + 1, hi), Ordering::Release);
+            return Some(mid as usize);
+        }
+    }
+
+    /// Next item for worker `w`: own range first, then stealing.
+    fn next(&self, w: usize) -> Option<usize> {
+        self.pop_own(w).or_else(|| self.steal_into(w))
+    }
+}
+
 /// Maps `f` over `items`, possibly in parallel, returning results in
 /// item order. `f` must be deterministic in `(index, item)` for the
 /// serial/parallel bit-identity guarantee to hold.
@@ -53,6 +163,46 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     parallel_map_progress(items, mode, f, |_, _| {})
+}
+
+/// [`parallel_map`] that hands each result to `consume` **by value**
+/// (in completion order, on the calling thread) instead of collecting
+/// a `Vec` — for callers that aggregate results themselves and would
+/// otherwise have to clone every item out of a progress callback.
+pub fn parallel_consume<T, U, F, P>(items: &[T], mode: ExecutionMode, f: F, mut consume: P)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    P: FnMut(usize, U),
+{
+    let workers = mode.threads().min(items.len().max(1));
+    if workers <= 1 {
+        for (i, item) in items.iter().enumerate() {
+            consume(i, f(i, item));
+        }
+        return;
+    }
+    let deck = StealDeck::deal(items.len(), workers);
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, U)>();
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deck = &deck;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(i) = deck.next(w) {
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, u) in rx {
+            consume(i, u);
+        }
+    });
 }
 
 /// [`parallel_map`] with a completion callback.
@@ -90,22 +240,20 @@ where
             .collect();
     }
 
-    let cursor = AtomicUsize::new(0);
+    let deck = StealDeck::deal(items.len(), workers);
     let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<(usize, U)>();
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
-            let cursor = &cursor;
+            let deck = &deck;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                if tx.send((i, f(i, &items[i]))).is_err() {
-                    break;
+            scope.spawn(move || {
+                while let Some(i) = deck.next(w) {
+                    if tx.send((i, f(i, &items[i]))).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -187,5 +335,56 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed)
         });
         assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn steal_deck_covers_every_item_exactly_once() {
+        // Drive the deck from one thread alternating workers, so every
+        // pop path (own range, steal, drain) is exercised
+        // deterministically.
+        let deck = StealDeck::deal(103, 4);
+        let mut seen = HashSet::new();
+        let mut w = 0;
+        while let Some(i) = deck.next(w) {
+            assert!(seen.insert(i), "item {i} handed out twice");
+            w = (w + 3) % 4;
+        }
+        assert_eq!(seen.len(), 103);
+        for w in 0..4 {
+            assert_eq!(deck.next(w), None);
+        }
+    }
+
+    #[test]
+    fn steal_deck_rebalances_under_contention() {
+        // Hammer the deck from real threads with skewed per-item costs;
+        // every item must be executed exactly once.
+        let items: Vec<u64> = (0..500).collect();
+        let hits: Vec<AtomicU32> = (0..items.len()).map(|_| AtomicU32::new(0)).collect();
+        parallel_map(&items, ExecutionMode::Threads(8), |i, &x| {
+            // Front-loaded cost: the first range is much slower, forcing
+            // later workers to steal from it.
+            let spin = if i < 60 { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            acc
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn work_stealing_results_bit_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..311).collect();
+        let f = |i: usize, &x: &u64| {
+            (x ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)).wrapping_mul(0x9E37_79B9)
+        };
+        let serial = parallel_map(&items, ExecutionMode::Serial, f);
+        for threads in [2, 3, 4, 8] {
+            let parallel = parallel_map(&items, ExecutionMode::Threads(threads), f);
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 }

@@ -73,6 +73,27 @@ impl Histogram {
         self.sum += x * weight as f64;
     }
 
+    /// Integer fast path of [`Histogram::record_n`] for unit-width
+    /// histograms (the queue-occupancy and waiting-time counters on the
+    /// engine hot paths): the bucket index is the level itself, so the
+    /// per-record float division disappears. Produces bit-identical
+    /// state to `record_n(f64::from(level), weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `bucket_width == 1.0`.
+    #[inline]
+    pub fn record_level(&mut self, level: u32, weight: u64) {
+        debug_assert_eq!(self.bucket_width, 1.0, "record_level needs unit-width buckets");
+        if weight == 0 {
+            return;
+        }
+        let idx = (level as usize).min(self.counts.len() - 1);
+        self.counts[idx] += weight;
+        self.total += weight;
+        self.sum += f64::from(level) * weight as f64;
+    }
+
     /// Merges `other` into `self` bucket-by-bucket (used to aggregate
     /// per-replication distributions).
     ///
@@ -108,6 +129,11 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Width of one bucket.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
     }
 
     /// Mean of the raw observations (exact, not bucketed).

@@ -6,9 +6,15 @@
 //! on top of it:
 //!
 //! * [`event`] — the discrete-event kernel: a monotonic event clock and
-//!   calendar queue with deterministic FIFO tie-breaking, plus the
-//!   [`event::EngineKind`] knob selecting cycle-stepped vs event-driven
-//!   execution.
+//!   a bucketed timing-wheel queue with deterministic FIFO
+//!   tie-breaking (O(1) schedule/pop; the binary-heap reference model
+//!   is kept as [`event::HeapEventQueue`] for differential testing),
+//!   cached geometric think-timer sampling
+//!   ([`event::GeometricSampler`]), plus the [`event::EngineKind`] knob
+//!   selecting cycle-stepped vs event-driven execution.
+//! * [`bits`] — dense fixed-capacity bitsets for hot engine state
+//!   (ascending-order iteration matching the arbitration candidate
+//!   contract).
 //! * [`arbiter`] — pluggable arbitration ([`arbiter::ArbitrationKind`]:
 //!   uniform random, round robin, LRU, fixed priority) shared by the
 //!   bus and crossbar simulators.
@@ -23,11 +29,14 @@
 //!   batch means, and Student-t confidence intervals.
 //! * [`clock`] — a measurement window: warmup + measurement phases over a
 //!   cycle counter.
-//! * [`exec`] — deterministic serial/parallel fan-out of independent
+//! * [`exec`] — deterministic work-stealing fan-out of independent
 //!   work items (parallel results are bit-identical to serial).
 //! * [`replication`] — independent-replications experiment driver with
 //!   summary statistics, serial or parallel.
-//! * [`batch`] — batch-means analysis for single-run estimation.
+//! * [`batch`] — batch-means analysis for single-run estimation,
+//!   including the sequential stopping rule
+//!   ([`batch::SequentialStopping`]) behind adaptive-precision
+//!   replication.
 //! * [`histogram`] — fixed-width histograms for waiting-time
 //!   distributions.
 //!
@@ -52,6 +61,7 @@
 
 pub mod arbiter;
 pub mod batch;
+pub mod bits;
 pub mod clock;
 pub mod counters;
 pub mod event;
@@ -63,6 +73,7 @@ pub mod stats;
 
 pub use arbiter::{Arbiter, ArbitrationKind};
 pub use batch::BatchMeans;
+pub use bits::DenseBits;
 pub use clock::MeasurementWindow;
 pub use counters::{QueueOccupancy, SimCounters};
 pub use event::{EngineKind, EventQueue};

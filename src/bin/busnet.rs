@@ -11,21 +11,25 @@
 //!            [--arbitration random|round-robin|lru|priority] [--engine cycle|event]
 //! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
 //! busnet sweep --buffer-depth 0,1,2,4,inf --evaluator sim,approx-depth
-//! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event]
+//! busnet sweep --n 8..32:8 --evaluator sim --engine event --ci-width 0.02
+//! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event] [--smoke]
 //! ```
 
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use std::io::Write;
+
 use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
 use busnet::core::scenario::{
-    run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, SweepRecord, ALL_EVALUATOR_KINDS,
+    run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, Stopping, SweepRecord,
+    ALL_EVALUATOR_KINDS,
 };
-use busnet::core::sim::bus::BusSimBuilder;
+use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder};
 use busnet::core::CoreError;
 use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
-use busnet::sim::event::EngineKind;
+use busnet::sim::event::{EngineKind, EventQueue, HeapEventQueue};
 use busnet::sim::exec::ExecutionMode;
 
 fn main() -> ExitCode {
@@ -49,16 +53,18 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: busnet <list | run <experiment|all> [--quick] | sim ... | sweep ... | \
-                 bench-sweep [--out FILE] [--engine cycle|event]>\n\
+                 bench-sweep [--out FILE] [--engine cycle|event] [--smoke]>\n\
                  \n\
                  sim   --n N --m M --r R [--p P] [--buffered] [--buffer-depth K|inf]\n      \
                  [--memory-priority] [--seed S] [--cycles C] [--warmup W]\n      \
-                 [--arbitration KIND] [--engine cycle|event]\n\
+                 [--arbitration KIND] [--engine cycle|event]\n      \
+                 [--ci-width X [--max-reps K]]\n\
                  sweep --n SPEC --m SPEC --r SPEC [--p LIST] [--policy proc|mem|both]\n      \
                  [--buffering unbuffered|buffered|depthK|infinite|both]\n      \
                  [--buffer-depth LIST(K|inf)] [--arbitration LIST|all]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
-                 [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n\
+                 [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
+                 [--ci-width X [--max-reps K]]\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
                  range (2..16:2). KIND is random|round-robin|lru|priority."
@@ -185,14 +191,24 @@ fn run_sim(args: &[String]) -> ExitCode {
     let depth_spec = flags.value("--buffer-depth").map(str::to_owned);
     let arbitration_spec = flags.value("--arbitration").unwrap_or("random").to_owned();
     let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
+    let ci_width_spec = flags.value("--ci-width").map(str::to_owned);
+    let max_reps: u32 = flags.parse("--max-reps", 8);
     if let Err(e) = flags.finish() {
         eprintln!(
             "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
                    [--buffer-depth K|inf] [--memory-priority] [--seed S] [--cycles C] \
-                   [--warmup W] [--arbitration KIND] [--engine cycle|event]"
+                   [--warmup W] [--arbitration KIND] [--engine cycle|event] \
+                   [--ci-width X [--max-reps K]]"
         );
         return ExitCode::FAILURE;
     }
+    let ci_width = match ci_width_spec.as_deref().map(parse_ci_width).transpose() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let buffering = match depth_spec {
         None => {
             if buffered {
@@ -236,15 +252,30 @@ fn run_sim(args: &[String]) -> ExitCode {
     let policy =
         if memory_priority { BusPolicy::MemoryPriority } else { BusPolicy::ProcessorPriority };
 
-    let report = BusSimBuilder::new(params)
+    let builder = BusSimBuilder::new(params)
         .policy(policy)
         .buffering(buffering)
         .arbitration(arbitration)
         .engine(engine)
         .seed(seed)
         .warmup_cycles(warmup)
-        .measure_cycles(cycles)
-        .run();
+        .measure_cycles(cycles);
+    let mut adaptive = None;
+    let report = match ci_width {
+        None => builder.run(),
+        Some(ci_width) => {
+            let plan = AdaptivePlan {
+                ci_width,
+                batch_cycles: (cycles / 4).max(1),
+                min_batches: 8,
+                max_measure: cycles.saturating_mul(u64::from(max_reps.max(1))),
+            };
+            let AdaptiveOutcome { report, batches, half_width_95, converged } =
+                builder.run_adaptive(&plan);
+            adaptive = Some((batches, half_width_95, converged));
+            report
+        }
+    };
     let metrics = report.metrics();
     println!(
         "n={n} m={m} r={r} p={p} {policy:?} buffering={} arbitration={} engine={} \
@@ -267,7 +298,25 @@ fn run_sim(args: &[String]) -> ExitCode {
         println!("  P(input full)        {:.4}", report.input_full_fraction());
         println!("  blocked completions  {}", report.blocked_completions);
     }
+    println!("  engine events        {}", report.events);
+    if let Some((batches, half_width_95, converged)) = adaptive {
+        println!("  measured cycles      {}", report.measured_cycles);
+        println!("  CI half-width (95%)  {half_width_95:.6}");
+        println!("  batch means          {batches}");
+        println!(
+            "  adaptive stop        {}",
+            if converged { "converged" } else { "budget exhausted" }
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Parses a `--ci-width` value: a positive finite number.
+fn parse_ci_width(spec: &str) -> Result<f64, String> {
+    match spec.parse::<f64>() {
+        Ok(w) if w.is_finite() && w > 0.0 => Ok(w),
+        _ => Err(format!("bad --ci-width `{spec}` (expected a positive number)")),
+    }
 }
 
 /// Parses a `--buffer-depth` value: a non-negative integer or `inf`.
@@ -337,7 +386,11 @@ fn policy_name(policy: BusPolicy) -> &'static str {
     }
 }
 
-fn emit_record(record: &SweepRecord, format: SweepFormat) {
+/// Writes one sweep row into `out` (a buffered writer: rows hit the
+/// kernel in large blocks instead of one `write(2)` per record, which
+/// measurably dominated large-grid sweeps when stdout was a pipe).
+/// Skip/failure diagnostics still go straight to stderr.
+fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) {
     let s = &record.scenario;
     match &record.result {
         Ok(eval) => {
@@ -357,8 +410,9 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
             let missing = |m: &str| (m.to_owned(), m.to_owned(), m.to_owned());
             let (queue_csv, full_csv, blocked_csv) = occ.clone().unwrap_or_else(|| missing(""));
             let (queue_json, full_json, blocked_json) = occ.unwrap_or_else(|| missing("null"));
-            match format {
-                SweepFormat::Csv => println!(
+            let written = match format {
+                SweepFormat::Csv => writeln!(
+                    out,
                     "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
@@ -380,7 +434,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     full_csv,
                     blocked_csv,
                 ),
-                SweepFormat::Json => println!(
+                SweepFormat::Json => writeln!(
+                    out,
                     "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
                      \"buffering\":\"{}\",\"buffer_depth\":\"{}\",\"arbitration\":\"{}\",\
                      \"evaluator\":\"{}\",\
@@ -408,7 +463,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat) {
                     full_json,
                     blocked_json,
                 ),
-            }
+            };
+            written.expect("stdout closed mid-sweep");
         }
         Err(CoreError::UnsupportedScenario { .. }) => {
             eprintln!(
@@ -448,6 +504,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let warmup: u64 = flags.parse("--warmup", 5_000);
     let seed: u64 = flags.parse("--seed", 0x1985_0414);
     let serial = flags.switch("--serial");
+    let ci_width_spec = flags.value("--ci-width").map(str::to_owned);
+    let max_reps: u32 = flags.parse("--max-reps", replications.max(1));
     if let Err(e) = flags.finish() {
         eprintln!("{e}\nrun `busnet` without arguments for usage");
         return ExitCode::FAILURE;
@@ -555,8 +613,15 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         Err(e) => return fail(format!("invalid sweep point: {e}")),
     };
 
-    // Outer-parallel over grid points with serial replications inside;
-    // `--serial` collapses both levels for timing comparisons.
+    let stopping = match ci_width_spec.as_deref().map(parse_ci_width).transpose() {
+        Ok(None) => Stopping::Fixed,
+        Ok(Some(ci_width)) => Stopping::Adaptive { ci_width, max_reps },
+        Err(e) => return fail(e),
+    };
+
+    // The sweep scheduler fans out (scenario × evaluator × replication)
+    // work units over the work-stealing pool; `--serial` collapses it
+    // for timing comparisons.
     let sweep_mode = if serial { ExecutionMode::Serial } else { ExecutionMode::Parallel };
     let budget = SimBudget {
         replications,
@@ -565,27 +630,39 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         master_seed: seed,
         mode: ExecutionMode::Serial,
         engine,
+        stopping,
     };
     let evaluators: Vec<Box<dyn Evaluator>> = kinds.iter().map(|k| k.build(budget)).collect();
     let refs: Vec<&dyn Evaluator> = evaluators.iter().map(AsRef::as_ref).collect();
 
+    // Rows accumulate in a buffered writer: one kernel write per
+    // block, not per record (the per-row `println!` flushes measurably
+    // dominated large grids when stdout was a pipe).
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::with_capacity(64 * 1024, stdout.lock());
     if format == SweepFormat::Csv {
-        println!(
+        writeln!(
+            out,
             "n,m,r,p,policy,buffering,buffer_depth,arbitration,evaluator,ebw,half_width_95,\
              bus_utilization,memory_utilization,processor_efficiency,replications,fairness,\
              mean_input_queue,input_full_fraction,blocked_completions"
-        );
+        )
+        .expect("stdout closed");
     }
     // Live progress only when stderr is a terminal; piped stderr gets
-    // just the skip reports and the final summary.
+    // just the skip reports and the final summary. Throttled to every
+    // 16th record (and the last) so the progress path does no per-point
+    // formatting work on large grids.
     let live_progress = std::io::IsTerminal::is_terminal(&std::io::stderr());
     let start = Instant::now();
     let records = run_sweep(&scenarios, &refs, sweep_mode, |done, total, record| {
-        emit_record(record, format);
-        if live_progress {
+        emit_record(record, format, &mut out);
+        if live_progress && (done % 16 == 0 || done == total) {
             eprint!("\r# {done}/{total} points");
         }
     });
+    out.flush().expect("stdout closed");
+    drop(out);
     let evaluated = records.iter().filter(|r| record_outcome(r).0).count();
     let failed = records.iter().filter(|r| record_outcome(r).1).count();
     eprintln!(
@@ -608,17 +685,100 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A fast sanity pass for CI: a handful of Table 3/4-style points on
+/// the event engine, gated by a pinned **event budget** per scenario —
+/// a portable proxy for wall-clock regressions. The event engine
+/// executes O(activity) events (≈ 4 per round trip plus think timers
+/// and blocked-service rechecks); a regression that reintroduces
+/// per-idle-cycle work blows the budget by ~`(r + 2)/p`×.
+fn run_bench_smoke() -> ExitCode {
+    let grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8, 24])
+        .p_values([0.2, 1.0])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered]);
+    let scenarios = grid.scenarios().expect("static grid is valid");
+    let mut failures = 0u32;
+    for scenario in &scenarios {
+        let report = BusSimBuilder::new(scenario.params)
+            .buffering(scenario.buffering)
+            .engine(EngineKind::Event)
+            .seed(0x5EED)
+            .warmup_cycles(1_000)
+            .measure_cycles(10_000)
+            .run();
+        // Returns are measured-window only; scale to the whole run and
+        // allow 8 events per return (4 needed + headroom for blocked
+        // rechecks), plus per-entity slack for dropped think timers.
+        let total = 1_000 + 10_000u64;
+        let scaled_returns = report.returns * total / report.measured_cycles;
+        let budget = 8 * scaled_returns + 4 * u64::from(scenario.params.n()) + 64;
+        let ok = report.events <= budget;
+        println!(
+            "# smoke {}: events {} budget {budget} returns {} -> {}",
+            scenario.label(),
+            report.events,
+            report.returns,
+            if ok { "ok" } else { "OVER BUDGET" },
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("# smoke: {failures} scenario(s) exceeded the pinned event budget");
+        return ExitCode::FAILURE;
+    }
+    println!("# smoke: all {} scenarios within the event budget", scenarios.len());
+    ExitCode::SUCCESS
+}
+
+/// Times `ops` schedule/pop churn cycles on an event queue, returning
+/// seconds. Each op pops one event and schedules a replacement at a
+/// pseudo-random delta within `horizon`.
+fn time_queue_churn<Q>(
+    queue: &mut Q,
+    ops: u64,
+    horizon: u64,
+    schedule: fn(&mut Q, u64),
+    pop: fn(&mut Q) -> u64,
+) -> f64 {
+    let mut state = 0x9E37_79B9u64;
+    let mut now = 0u64;
+    // Seed a small pending population.
+    for _ in 0..32 {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        schedule(queue, now + (state >> 33) % horizon);
+    }
+    let start = Instant::now();
+    for _ in 0..ops {
+        now = pop(queue);
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        schedule(queue, now + (state >> 33) % horizon);
+    }
+    start.elapsed().as_secs_f64()
+}
+
 /// Fixed 32-point sweep timed serial vs parallel (on the engine chosen
 /// with `--engine`), plus an event-vs-cycle engine comparison on a
-/// large-`r`, low-`p` slice — the regime the event kernel exists for.
-/// Writes the JSON baseline consumed by BENCH_sweep.json.
+/// large-`r`, low-`p` slice — the regime the event kernel exists for —
+/// a timing-wheel vs binary-heap queue microbench, and an adaptive
+/// (`--ci-width`) vs fixed-replication event-cost comparison at the
+/// Table 3–4 points. Writes the JSON baseline consumed by
+/// BENCH_sweep.json. `--smoke` instead runs the fast CI sanity pass
+/// with a pinned per-scenario event budget.
 fn run_bench_sweep(args: &[String]) -> ExitCode {
     let mut flags = Flags::new(args);
     let out: String = flags.parse("--out", "BENCH_sweep.json".to_owned());
     let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
+    let smoke = flags.switch("--smoke");
     if let Err(e) = flags.finish() {
-        eprintln!("{e}\nusage: busnet bench-sweep [--out FILE] [--engine cycle|event]");
+        eprintln!("{e}\nusage: busnet bench-sweep [--out FILE] [--engine cycle|event] [--smoke]");
         return ExitCode::FAILURE;
+    }
+    if smoke {
+        return run_bench_smoke();
     }
     let Some(engine) = EngineKind::from_name(&engine_spec) else {
         eprintln!("bad --engine `{engine_spec}` (expected cycle|event)");
@@ -640,6 +800,7 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         master_seed: 0x1985_0414,
         mode: ExecutionMode::Serial,
         engine,
+        stopping: Stopping::Fixed,
     };
     let sim = busnet::core::scenario::BusSimEval::new(budget);
     let evaluators: [&dyn Evaluator; 1] = [&sim];
@@ -701,6 +862,91 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          max relative EBW gap {max_rel_gap:.4}"
     );
 
+    // The PR 3 (pre-timing-wheel) kernel's event_seconds on this
+    // project's reference container — a host-specific constant kept
+    // only so regenerated files carry the kernel-over-kernel
+    // trajectory; the ratio is meaningless across different hardware.
+    const PR3_EVENT_SECONDS_BASELINE: f64 = 0.119;
+
+    // Queue microbench: timing wheel vs the reference binary heap at
+    // short / typical / beyond-window horizons (in 2-phase keys).
+    eprintln!("# timing queue churn, wheel vs heap...");
+    let queue_ops = 2_000_000u64;
+    let mut queue_json_parts = Vec::new();
+    for horizon in [64u64, 1_024, 16_384] {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let wheel_secs = time_queue_churn(
+            &mut wheel,
+            queue_ops,
+            horizon,
+            |q, t| q.schedule(t, 0),
+            |q| q.pop().expect("population stays positive").0,
+        );
+        let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+        let heap_secs = time_queue_churn(
+            &mut heap,
+            queue_ops,
+            horizon,
+            |q, t| q.schedule(t, 0),
+            |q| q.pop().expect("population stays positive").0,
+        );
+        eprintln!(
+            "#   horizon {horizon}: wheel {:.1} ns/op, heap {:.1} ns/op -> {:.2}x",
+            wheel_secs / queue_ops as f64 * 1e9,
+            heap_secs / queue_ops as f64 * 1e9,
+            heap_secs / wheel_secs
+        );
+        queue_json_parts.push(format!(
+            "{{\"horizon\": {horizon}, \"wheel_ns_per_op\": {:.1}, \"heap_ns_per_op\": {:.1}, \
+             \"speedup\": {:.2}}}",
+            wheel_secs / queue_ops as f64 * 1e9,
+            heap_secs / queue_ops as f64 * 1e9,
+            heap_secs / wheel_secs
+        ));
+    }
+
+    // Adaptive vs fixed event cost at the Table 3–4 points: target the
+    // fixed scheme's own achieved precision, count simulated events.
+    eprintln!("# adaptive --ci-width vs fixed replications at the Table 3-4 points...");
+    let t34 = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let fixed_budget = SimBudget { engine: EngineKind::Event, ..budget };
+    let mut fixed_events = 0u64;
+    let mut adaptive_events = 0u64;
+    let mut widest_gap: f64 = 0.0;
+    for scenario in &t34 {
+        let fixed = busnet::core::scenario::BusSimEval::new(fixed_budget)
+            .evaluate(scenario)
+            .expect("in domain");
+        let adaptive_budget = fixed_budget.with_ci_width(fixed.half_width_95.max(1e-9), 16);
+        let adaptive = busnet::core::scenario::BusSimEval::new(adaptive_budget)
+            .evaluate(scenario)
+            .expect("in domain");
+        let fe = fixed.simulated_events();
+        let ae = adaptive.simulated_events();
+        fixed_events += fe;
+        adaptive_events += ae;
+        widest_gap = widest_gap.max(adaptive.half_width_95 - fixed.half_width_95);
+        eprintln!(
+            "#   {}: fixed {} events (hw {:.4}), adaptive {} events (hw {:.4})",
+            scenario.label(),
+            fe,
+            fixed.half_width_95,
+            ae,
+            adaptive.half_width_95
+        );
+    }
+    let event_savings = 1.0 - adaptive_events as f64 / fixed_events as f64;
+    eprintln!(
+        "# adaptive uses {:.1}% fewer events at matched CI width (max width excess {widest_gap:.5})",
+        event_savings * 100.0
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"32-point scenario sweep (n=8, m in 4..16, r in 2..14, both bufferings)\",\n  \
          \"engine\": \"{engine}\",\n  \
@@ -711,9 +957,21 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          \"slice\": \"n=8, m in {{4,8,16}}, r in {{16,24,32}}, p in {{0.1,0.2}}, both bufferings\",\n    \
          \"points\": {points},\n    \"cycle_seconds\": {cycle_secs:.3},\n    \
          \"event_seconds\": {event_secs:.3},\n    \"speedup\": {engine_speedup:.2},\n    \
-         \"max_rel_ebw_gap\": {max_rel_gap:.4}\n  }}\n}}\n",
+         \"max_rel_ebw_gap\": {max_rel_gap:.4},\n    \
+         \"pr3_baseline_event_seconds\": {pr3_baseline},\n    \
+         \"pr3_baseline_note\": \"PR 3 kernel timed on the same reference container; \
+the ratio below is only meaningful when this file is regenerated on comparable hardware\",\n    \
+         \"throughput_vs_pr3_baseline\": {vs_pr3:.2}\n  }},\n  \
+         \"queue_vs_heap\": {{\n    \"ops\": {queue_ops},\n    \"runs\": [\n      {queue_runs}\n    ]\n  }},\n  \
+         \"adaptive_vs_fixed\": {{\n    \
+         \"points\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, p=1, both bufferings)\",\n    \
+         \"fixed_events\": {fixed_events},\n    \"adaptive_events\": {adaptive_events},\n    \
+         \"event_savings\": {event_savings:.3},\n    \"max_ci_width_excess\": {widest_gap:.6}\n  }}\n}}\n",
         engine = engine.name(),
         points = slice.len(),
+        pr3_baseline = PR3_EVENT_SECONDS_BASELINE,
+        vs_pr3 = PR3_EVENT_SECONDS_BASELINE / event_secs,
+        queue_runs = queue_json_parts.join(",\n      "),
     );
     match std::fs::write(&out, &json) {
         Ok(()) => {
