@@ -7,11 +7,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use busnet_sim::event::{
-    sample_bernoulli_success, EventQueue, GeometricAlias, GeometricSampler, HeapEventQueue,
+    sample_bernoulli_success, CategoricalAlias, EventQueue, GeometricAlias, GeometricSampler,
+    HeapEventQueue,
 };
 use busnet_sim::exec::{parallel_map, ExecutionMode};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// One schedule+pop churn cycle per op, deltas uniform in `horizon`.
 fn churn<Q>(
@@ -126,6 +127,56 @@ fn bench_geometric_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_categorical_sampling(c: &mut Criterion) {
+    // The workload module-target draw: the legacy uniform `gen_range`
+    // path vs the Walker alias table a hot-spot distribution compiles
+    // into. The alias draw must stay within the same order of cost so
+    // non-uniform workloads don't tax the event engines' hot path.
+    let draws: u64 = 100_000;
+    let m = 16usize;
+    let mut group = c.benchmark_group("categorical_sampling");
+    group.throughput(Throughput::Elements(draws));
+    group.bench_function("uniform_gen_range", |b| {
+        let mut rng = SmallRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(rng.gen_range(0..m));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hot_spot_alias", |b| {
+        // 40% extra mass on module 0, uniform remainder — the canonical
+        // skewed workload.
+        let mut weights = vec![0.6 / m as f64; m];
+        weights[0] += 0.4;
+        let table = CategoricalAlias::new(&weights).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(table.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("uniform_alias", |b| {
+        // The same table machinery on a flat distribution: shows the
+        // draw cost is shape-independent.
+        let table = CategoricalAlias::new(&vec![1.0; m]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(table.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_work_stealing(c: &mut Criterion) {
     // Deliberately imbalanced items: the first sixth cost ~100× the
     // rest, so static partitioning leaves most threads idle while the
@@ -149,5 +200,11 @@ fn bench_work_stealing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue_ops, bench_geometric_sampling, bench_work_stealing);
+criterion_group!(
+    benches,
+    bench_queue_ops,
+    bench_geometric_sampling,
+    bench_categorical_sampling,
+    bench_work_stealing
+);
 criterion_main!(benches);

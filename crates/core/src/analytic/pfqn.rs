@@ -24,7 +24,7 @@
 use busnet_queueing::{ClosedNetwork, Station, StationKind};
 
 use crate::error::CoreError;
-use crate::params::SystemParams;
+use crate::params::{SystemParams, Workload};
 
 /// Builds the central-server product-form network for `params`.
 ///
@@ -33,22 +33,124 @@ use crate::params::SystemParams;
 /// Propagates station-validation failures (cannot occur for valid
 /// [`SystemParams`], but surfaced rather than unwrapped).
 pub fn buffered_network(params: &SystemParams) -> Result<ClosedNetwork, CoreError> {
+    let m = params.m();
+    buffered_network_weighted(params, &vec![1.0 / f64::from(m); m as usize])
+}
+
+/// Builds the central-server network with **non-uniform visit
+/// ratios**: memory station `j` is visited with probability
+/// `reference[j]` per access (the workload's module reference
+/// distribution), instead of hypothesis *e*'s uniform `1/m`.
+/// Zero-mass modules are simply absent from the network.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] when `reference` does not have one
+/// entry per module or is not a distribution; otherwise propagates
+/// station-validation failures.
+pub fn buffered_network_weighted(
+    params: &SystemParams,
+    reference: &[f64],
+) -> Result<ClosedNetwork, CoreError> {
+    let m = params.m();
+    if reference.len() != m as usize {
+        return Err(CoreError::InvalidParameter {
+            name: "reference distribution",
+            value: format!("{} entries", reference.len()),
+            constraint: "one visit ratio per module (length m)",
+        });
+    }
+    let total: f64 = reference.iter().sum();
+    if reference.iter().any(|q| !q.is_finite() || *q < 0.0) || (total - 1.0).abs() > 1e-9 {
+        return Err(CoreError::InvalidParameter {
+            name: "reference distribution",
+            value: format!("sum {total}"),
+            constraint: "non-negative visit ratios summing to 1",
+        });
+    }
     let mut net = ClosedNetwork::new();
     net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0)?);
-    let m = params.m();
-    for j in 0..m {
-        net.add_station(Station::new(
-            format!("mem{j}"),
-            StationKind::Queueing,
-            1.0 / f64::from(m),
-            f64::from(params.r()),
-        )?);
+    for (j, &q) in reference.iter().enumerate() {
+        if q > 0.0 {
+            net.add_station(Station::new(
+                format!("mem{j}"),
+                StationKind::Queueing,
+                q,
+                f64::from(params.r()),
+            )?);
+        }
     }
     if params.p() < 1.0 {
         let think = f64::from(params.processor_cycle()) * (1.0 - params.p()) / params.p();
         net.add_station(Station::new("think", StationKind::Delay, 1.0, think)?);
     }
     Ok(net)
+}
+
+/// EBW predicted by the product-form model under a non-uniform
+/// [`Workload`], via exact MVA on the visit-ratio network
+/// ([`buffered_network_weighted`]). The workload must reference
+/// modules through a distribution ([`Workload::Uniform`],
+/// [`Workload::HotSpot`], [`Workload::Weighted`]) — heterogeneous
+/// think probabilities have no single-class product-form counterpart
+/// and are rejected.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for [`Workload::Heterogeneous`];
+/// otherwise propagates network construction/solution failures.
+pub fn pfqn_ebw_workload(params: &SystemParams, workload: &Workload) -> Result<f64, CoreError> {
+    let net = workload_network(params, workload)?;
+    let sol = net.mva(params.n())?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+/// [`pfqn_ebw_workload`] solved by Buzen's convolution (the
+/// cross-check pair).
+///
+/// # Errors
+///
+/// As [`pfqn_ebw_workload`].
+pub fn pfqn_ebw_buzen_workload(
+    params: &SystemParams,
+    workload: &Workload,
+) -> Result<f64, CoreError> {
+    let net = workload_network(params, workload)?;
+    let sol = net.buzen(params.n())?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+/// The deterministic-service (scv = 0) AMVA counterpart of
+/// [`pfqn_ebw_workload`]: the constant-`r` analogue that tracks the
+/// simulated system closely (the exponential model is pessimistic by
+/// design). This is the vehicle pinned against simulation at the
+/// Table 3–4 points under hot-spot workloads.
+///
+/// # Errors
+///
+/// As [`pfqn_ebw_workload`].
+pub fn pfqn_ebw_deterministic_workload(
+    params: &SystemParams,
+    workload: &Workload,
+) -> Result<f64, CoreError> {
+    let net = workload_network(params, workload)?;
+    let sol = net.amva_scv(params.n(), 0.0)?;
+    Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+fn workload_network(
+    params: &SystemParams,
+    workload: &Workload,
+) -> Result<ClosedNetwork, CoreError> {
+    if !workload.has_homogeneous_thinking() {
+        return Err(CoreError::InvalidParameter {
+            name: "workload",
+            value: workload.name(),
+            constraint: "product-form visit ratios need homogeneous think probabilities",
+        });
+    }
+    workload.validate(params.n(), params.m())?;
+    buffered_network_weighted(params, &workload.module_distribution(params.m()))
 }
 
 /// EBW predicted by the exponential product-form model, via exact MVA.
@@ -228,5 +330,73 @@ mod tests {
     #[test]
     fn zero_channels_rejected() {
         assert!(pfqn_ebw_multichannel(&params(4, 4, 4), 0).is_err());
+    }
+
+    #[test]
+    fn uniform_workload_matches_base_model_exactly() {
+        let p = params(8, 16, 8);
+        let base = pfqn_ebw(&p).unwrap();
+        let uniform = pfqn_ebw_workload(&p, &Workload::Uniform).unwrap();
+        assert!((base - uniform).abs() < 1e-12);
+        let buzen = pfqn_ebw_buzen_workload(&p, &Workload::Uniform).unwrap();
+        assert!((base - buzen).abs() < 1e-8 * base);
+    }
+
+    #[test]
+    fn hot_spot_visit_ratios_lower_predicted_ebw_monotonically() {
+        let p = params(8, 8, 8);
+        let mut prev = f64::INFINITY;
+        for fraction in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let w = Workload::hot_spot(fraction, 0).unwrap();
+            let e = pfqn_ebw_workload(&p, &w).unwrap();
+            assert!(e < prev + 1e-9, "fraction {fraction}: {e} after {prev}");
+            assert!(e > 0.0 && e <= p.max_ebw() + 1e-9);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn full_hot_spot_serializes_on_one_module() {
+        // fraction = 1: the network is bus + one memory station. At
+        // large n the memory saturates: throughput → 1/r accesses per
+        // bus cycle, EBW → (r+2)/r.
+        let p = params(8, 8, 8);
+        let w = Workload::hot_spot(1.0, 3).unwrap();
+        let e = pfqn_ebw_workload(&p, &w).unwrap();
+        assert!((e - 10.0 / 8.0).abs() < 0.05, "serialized EBW {e}");
+    }
+
+    #[test]
+    fn weighted_and_hot_spot_agree_on_equivalent_distributions() {
+        let p = params(8, 4, 8);
+        let hot = Workload::hot_spot(0.4, 1).unwrap();
+        let weighted = Workload::weighted(hot.module_distribution(4)).unwrap();
+        let a = pfqn_ebw_workload(&p, &hot).unwrap();
+        let b = pfqn_ebw_workload(&p, &weighted).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn zero_mass_modules_drop_out_of_the_network() {
+        // Weights concentrated on 2 of 4 modules ≡ a 2-module system
+        // with uniform references (same r, same population).
+        let w = Workload::weighted([1.0, 0.0, 1.0, 0.0]).unwrap();
+        let a = pfqn_ebw_workload(&params(8, 4, 8), &w).unwrap();
+        let b = pfqn_ebw(&params(8, 2, 8)).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn heterogeneous_thinking_is_out_of_domain() {
+        let w = Workload::heterogeneous([1.0; 8]).unwrap();
+        assert!(pfqn_ebw_workload(&params(8, 8, 8), &w).is_err());
+    }
+
+    #[test]
+    fn mismatched_reference_distribution_rejected() {
+        let p = params(4, 4, 4);
+        assert!(buffered_network_weighted(&p, &[0.5, 0.5]).is_err()); // wrong length
+        assert!(buffered_network_weighted(&p, &[0.5, 0.5, 0.5, 0.5]).is_err()); // sum != 1
+        assert!(buffered_network_weighted(&p, &[1.5, -0.5, 0.0, 0.0]).is_err());
     }
 }

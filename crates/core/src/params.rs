@@ -1,5 +1,7 @@
 //! System parameters and operating-mode knobs (paper §2).
 
+use std::sync::Arc;
+
 use crate::error::CoreError;
 
 /// Candidate tie-breaking rule (paper hypothesis *h* and its
@@ -133,6 +135,273 @@ impl Buffering {
             Buffering::Buffered => "1".to_owned(),
             Buffering::Depth(k) => k.to_string(),
             Buffering::Infinite => "inf".to_owned(),
+        }
+    }
+}
+
+/// How the processors load the memory system: which module each
+/// reference targets, and how eagerly each processor issues requests.
+///
+/// The paper's hypotheses *e* (uniform references) and *f* (one think
+/// probability `p` for every processor) are the [`Workload::Uniform`]
+/// variant; the others relax them one at a time:
+///
+/// * [`Workload::HotSpot`] — Pfister-style hot spot: each reference
+///   goes to one hot module with extra probability `fraction`, and is
+///   uniform over all `m` modules with the remaining `1 − fraction`
+///   (so the hot module's total share is `fraction + (1 − fraction)/m`).
+/// * [`Workload::Weighted`] — an arbitrary per-module reference
+///   distribution, validated and normalized at construction.
+/// * [`Workload::Heterogeneous`] — per-processor think probabilities
+///   `p_i` (references stay uniform); the scalar `p` of
+///   [`SystemParams`] is ignored for processors with an explicit
+///   `p_i`.
+///
+/// Weight vectors are shared (`Arc`) so scenarios stay cheap to clone
+/// across sweep grids.
+///
+/// # Example
+///
+/// ```
+/// use busnet_core::params::Workload;
+///
+/// let hot = Workload::hot_spot(0.5, 0)?;
+/// // P(module 0) = 0.5 + 0.5/8 = 0.5625 in an 8-module system.
+/// assert!((hot.module_distribution(8)[0] - 0.5625).abs() < 1e-12);
+/// let weighted = Workload::weighted([3.0, 1.0])?;
+/// assert_eq!(weighted.module_distribution(2), vec![0.75, 0.25]);
+/// assert!(Workload::weighted([0.0, 0.0]).is_err()); // zero mass
+/// # Ok::<(), busnet_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Workload {
+    /// Hypotheses *e* and *f* exactly: uniform references, one shared
+    /// think probability. Bit-identical to the pre-workload engines.
+    #[default]
+    Uniform,
+    /// Pfister-style hot spot: `fraction` of the reference mass
+    /// concentrates on `module`, the rest is uniform over all modules.
+    HotSpot {
+        /// Extra probability mass routed to the hot module (`0 ≤
+        /// fraction ≤ 1`; 0 is uniform, 1 serializes on the module).
+        fraction: f64,
+        /// Index of the hot module (must be `< m`).
+        module: u32,
+    },
+    /// Arbitrary per-module reference distribution (normalized; length
+    /// must equal `m`). Build with [`Workload::weighted`].
+    Weighted(Arc<[f64]>),
+    /// Per-processor think probabilities `p_i` (length must equal
+    /// `n`); references stay uniform. Build with
+    /// [`Workload::heterogeneous`].
+    Heterogeneous(Arc<[f64]>),
+}
+
+impl Workload {
+    /// A hot-spot workload (validated: `fraction` must be a finite
+    /// probability). `fraction = 0` **is** the uniform workload and
+    /// normalizes to [`Workload::Uniform`], so a hot-spot sweep's
+    /// baseline point stays bit-identical to (and in the same
+    /// evaluator domains as) an explicit uniform run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] unless `0 ≤ fraction ≤ 1`. The
+    /// module index is checked against `m` by [`Workload::validate`].
+    pub fn hot_spot(fraction: f64, module: u32) -> Result<Workload, CoreError> {
+        if !(fraction.is_finite() && (0.0..=1.0).contains(&fraction)) {
+            return Err(CoreError::InvalidParameter {
+                name: "hot-spot fraction",
+                value: fraction.to_string(),
+                constraint: "0 <= fraction <= 1",
+            });
+        }
+        if fraction == 0.0 {
+            return Ok(Workload::Uniform);
+        }
+        Ok(Workload::HotSpot { fraction, module })
+    }
+
+    /// A weighted workload from raw per-module weights, normalized to
+    /// a distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the weights cannot form a
+    /// distribution: empty, any weight negative or non-finite (NaN,
+    /// ±∞), or zero total mass. This is the typed rejection the
+    /// engines rely on — an invalid weight vector never reaches a
+    /// sampler.
+    pub fn weighted(weights: impl Into<Vec<f64>>) -> Result<Workload, CoreError> {
+        let weights = weights.into();
+        Self::check_module_weights(&weights)?;
+        let total: f64 = weights.iter().sum();
+        Ok(Workload::Weighted(weights.into_iter().map(|w| w / total).collect()))
+    }
+
+    /// The element checks shared by [`Workload::weighted`] and
+    /// [`Workload::validate`] (no allocation: the variant is public,
+    /// so validation must be re-runnable on a borrowed slice).
+    fn check_module_weights(weights: &[f64]) -> Result<(), CoreError> {
+        let reject = |value: String, constraint: &'static str| {
+            Err(CoreError::InvalidParameter { name: "module weights", value, constraint })
+        };
+        if weights.is_empty() {
+            return reject("[]".to_owned(), "at least one module weight");
+        }
+        if let Some(bad) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return reject(bad.to_string(), "weights must be finite and non-negative");
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return reject(total.to_string(), "weights must have positive total mass");
+        }
+        Ok(())
+    }
+
+    /// A heterogeneous-traffic workload from per-processor think
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the vector is empty or any
+    /// `p_i` violates hypothesis *f*'s range (`0 < p_i ≤ 1`).
+    pub fn heterogeneous(probs: impl Into<Vec<f64>>) -> Result<Workload, CoreError> {
+        let probs = probs.into();
+        Self::check_think_probs(&probs)?;
+        Ok(Workload::Heterogeneous(probs.into()))
+    }
+
+    /// The element checks shared by [`Workload::heterogeneous`] and
+    /// [`Workload::validate`].
+    fn check_think_probs(probs: &[f64]) -> Result<(), CoreError> {
+        if probs.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "think probabilities",
+                value: "[]".to_owned(),
+                constraint: "at least one per-processor probability",
+            });
+        }
+        if let Some(bad) = probs.iter().find(|p| !(p.is_finite() && **p > 0.0 && **p <= 1.0)) {
+            return Err(CoreError::InvalidParameter {
+                name: "think probabilities",
+                value: bad.to_string(),
+                constraint: "0 < p_i <= 1",
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the workload against a system of `n` processors and
+    /// `m` modules (per-point checks a sweep grid applies at scenario
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an out-of-range hot module,
+    /// a weight vector whose length differs from `m` (or with
+    /// invalid/zero-mass weights), or a think-probability vector whose
+    /// length differs from `n`.
+    pub fn validate(&self, n: u32, m: u32) -> Result<(), CoreError> {
+        match self {
+            Workload::Uniform => Ok(()),
+            Workload::HotSpot { fraction, module } => {
+                // Re-run the constructor checks: the variant is public,
+                // so a literal can bypass `hot_spot`.
+                Workload::hot_spot(*fraction, *module)?;
+                if *module >= m {
+                    return Err(CoreError::InvalidParameter {
+                        name: "hot-spot module",
+                        value: module.to_string(),
+                        constraint: "module index < m",
+                    });
+                }
+                Ok(())
+            }
+            Workload::Weighted(weights) => {
+                Workload::check_module_weights(weights)?;
+                if weights.len() != m as usize {
+                    return Err(CoreError::InvalidParameter {
+                        name: "module weights",
+                        value: format!("{} entries", weights.len()),
+                        constraint: "one weight per module (length m)",
+                    });
+                }
+                Ok(())
+            }
+            Workload::Heterogeneous(probs) => {
+                Workload::check_think_probs(probs)?;
+                if probs.len() != n as usize {
+                    return Err(CoreError::InvalidParameter {
+                        name: "think probabilities",
+                        value: format!("{} entries", probs.len()),
+                        constraint: "one probability per processor (length n)",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether this is exactly the paper's workload (the variant the
+    /// uniform-only analytic vehicles accept).
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, Workload::Uniform)
+    }
+
+    /// Whether references are uniform over modules (true for
+    /// [`Workload::Heterogeneous`], which only skews think timing).
+    pub fn references_uniformly(&self) -> bool {
+        matches!(self, Workload::Uniform | Workload::Heterogeneous(_))
+    }
+
+    /// Whether every processor shares one think probability (false
+    /// only for [`Workload::Heterogeneous`]).
+    pub fn has_homogeneous_thinking(&self) -> bool {
+        !matches!(self, Workload::Heterogeneous(_))
+    }
+
+    /// The per-module reference distribution in an `m`-module system
+    /// (sums to 1). For [`Workload::Heterogeneous`] references are
+    /// uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a hot-spot module index is out of range for `m` —
+    /// silently dropping the hot mass would renormalize to the wrong
+    /// workload; [`Workload::validate`] rejects the case with a typed
+    /// error first on every engine path.
+    pub fn module_distribution(&self, m: u32) -> Vec<f64> {
+        let m = m as usize;
+        match self {
+            Workload::Uniform | Workload::Heterogeneous(_) => vec![1.0 / m as f64; m],
+            Workload::HotSpot { fraction, module } => {
+                let base = (1.0 - fraction) / m as f64;
+                let mut dist = vec![base; m];
+                dist[*module as usize] += fraction;
+                dist
+            }
+            Workload::Weighted(weights) => weights.to_vec(),
+        }
+    }
+
+    /// Processor `i`'s think probability, given the scalar `p` of
+    /// [`SystemParams`] (the fallback for every homogeneous variant).
+    pub fn think_probability(&self, i: usize, p: f64) -> f64 {
+        match self {
+            Workload::Heterogeneous(probs) => probs[i],
+            _ => p,
+        }
+    }
+
+    /// Stable textual id for labels and sweep columns: `uniform`,
+    /// `hot0.5@2`, `weighted`, `hetero`.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Uniform => "uniform".to_owned(),
+            Workload::HotSpot { fraction, module } => format!("hot{fraction}@{module}"),
+            Workload::Weighted(_) => "weighted".to_owned(),
+            Workload::Heterogeneous(_) => "hetero".to_owned(),
         }
     }
 }
@@ -324,5 +593,83 @@ mod tests {
         let err = SystemParams::new(0, 1, 1).unwrap_err();
         let text = err.to_string();
         assert!(text.contains('n'), "message should name the parameter: {text}");
+    }
+
+    #[test]
+    fn weighted_workload_normalizes_and_validates() {
+        let w = Workload::weighted([3.0, 1.0, 0.0, 4.0]).unwrap();
+        let dist = w.module_distribution(4);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(dist, vec![0.375, 0.125, 0.0, 0.5]);
+        assert!(w.validate(8, 4).is_ok());
+        // Wrong length for the system is a validation error.
+        assert!(w.validate(8, 5).is_err());
+    }
+
+    #[test]
+    fn weighted_workload_rejects_each_degenerate_shape() {
+        // The typed rejection paths: zero-sum, NaN, negative, ±∞,
+        // empty — each must fail at construction, not in an engine.
+        for (weights, what) in [
+            (vec![0.0, 0.0, 0.0], "zero-sum"),
+            (vec![1.0, f64::NAN], "NaN"),
+            (vec![1.0, -0.25], "negative"),
+            (vec![1.0, f64::INFINITY], "+inf"),
+            (vec![1.0, f64::NEG_INFINITY], "-inf"),
+            (vec![], "empty"),
+        ] {
+            let err = Workload::weighted(weights).expect_err(what);
+            assert!(
+                matches!(err, CoreError::InvalidParameter { name: "module weights", .. }),
+                "{what}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_spot_workload_bounds() {
+        assert!(Workload::hot_spot(0.0, 0).is_ok());
+        assert!(Workload::hot_spot(1.0, 3).is_ok());
+        assert!(Workload::hot_spot(-0.1, 0).is_err());
+        assert!(Workload::hot_spot(1.1, 0).is_err());
+        assert!(Workload::hot_spot(f64::NAN, 0).is_err());
+        // The module index is checked against m at validation time.
+        let hot = Workload::hot_spot(0.5, 4).unwrap();
+        assert!(hot.validate(8, 4).is_err());
+        assert!(hot.validate(8, 5).is_ok());
+        // Literal variants cannot bypass the constructor checks.
+        assert!(Workload::HotSpot { fraction: 2.0, module: 0 }.validate(8, 8).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_workload_bounds() {
+        let h = Workload::heterogeneous([1.0, 0.5, 0.25]).unwrap();
+        assert_eq!(h.think_probability(1, 1.0), 0.5);
+        assert!(h.validate(3, 8).is_ok());
+        assert!(h.validate(4, 8).is_err()); // length must equal n
+        assert!(Workload::heterogeneous([0.5, 0.0]).is_err());
+        assert!(Workload::heterogeneous([1.5]).is_err());
+        assert!(Workload::heterogeneous(Vec::<f64>::new()).is_err());
+        assert!(Workload::heterogeneous([f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn workload_classification_and_names() {
+        let uniform = Workload::Uniform;
+        let hot = Workload::hot_spot(0.5, 2).unwrap();
+        let weighted = Workload::weighted([1.0, 3.0]).unwrap();
+        let hetero = Workload::heterogeneous([0.5, 1.0]).unwrap();
+        assert!(uniform.is_uniform() && !hot.is_uniform());
+        assert!(uniform.references_uniformly() && hetero.references_uniformly());
+        assert!(!hot.references_uniformly() && !weighted.references_uniformly());
+        assert!(hot.has_homogeneous_thinking() && !hetero.has_homogeneous_thinking());
+        assert_eq!(uniform.name(), "uniform");
+        assert_eq!(hot.name(), "hot0.5@2");
+        assert_eq!(weighted.name(), "weighted");
+        assert_eq!(hetero.name(), "hetero");
+        // Uniform distribution fallback, and scalar-p fallback.
+        assert_eq!(uniform.module_distribution(4), vec![0.25; 4]);
+        assert_eq!(hetero.module_distribution(4), vec![0.25; 4]);
+        assert_eq!(hot.think_probability(0, 0.7), 0.7);
     }
 }

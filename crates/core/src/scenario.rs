@@ -40,18 +40,21 @@ use busnet_sim::stats::jain_fairness_index;
 use crate::analytic::approx::{ApproxModel, ApproxVariant};
 use crate::analytic::crossbar::crossbar_ebw_exact;
 use crate::analytic::exact_chain::ExactChain;
-use crate::analytic::pfqn::{pfqn_ebw, pfqn_ebw_buzen};
+use crate::analytic::pfqn::{pfqn_ebw_buzen_workload, pfqn_ebw_workload};
 use crate::analytic::reduced::ReducedChain;
 use crate::error::CoreError;
 use crate::metrics::Metrics;
-use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
+use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use crate::sim::bus::{AdaptivePlan, BusSimBuilder, SimReport};
 use crate::sim::crossbar::CrossbarSim;
 use crate::sim::service::ServiceTime;
 
 /// One operating point of the system under study: parameters plus the
 /// mode knobs every evaluation vehicle understands.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Cheap to clone: the only non-`Copy` state is the workload's shared
+/// weight vector.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// System parameters `(n, m, r, p)`.
     pub params: SystemParams,
@@ -63,6 +66,12 @@ pub struct Scenario {
     /// The analytic vehicles assume the paper's uniform random;
     /// simulation honors every kind.
     pub arbitration: ArbitrationKind,
+    /// How processors load the memory system (hypotheses *e*/*f* and
+    /// their relaxations): uniform, hot-spot, weighted, or
+    /// heterogeneous traffic. The uniform-only analytic vehicles
+    /// accept exactly [`Workload::Uniform`]; the product-form model
+    /// additionally accepts any per-module reference distribution.
+    pub workload: Workload,
     /// Memory service-time distribution; `None` means the paper's
     /// constant `r` cycles.
     pub memory_service: Option<ServiceTime>,
@@ -70,13 +79,15 @@ pub struct Scenario {
 
 impl Scenario {
     /// A scenario with the paper's defaults: priority to processors,
-    /// unbuffered modules, random arbitration, constant service.
+    /// unbuffered modules, random arbitration, uniform workload,
+    /// constant service.
     pub fn new(params: SystemParams) -> Self {
         Scenario {
             params,
             policy: BusPolicy::ProcessorPriority,
             buffering: Buffering::Unbuffered,
             arbitration: ArbitrationKind::Random,
+            workload: Workload::Uniform,
             memory_service: None,
         }
     }
@@ -97,6 +108,30 @@ impl Scenario {
     pub fn with_arbitration(mut self, arbitration: ArbitrationKind) -> Self {
         self.arbitration = arbitration;
         self
+    }
+
+    /// Returns a copy with the given workload. Use the validating
+    /// [`Workload`] constructors ([`Workload::weighted`],
+    /// [`Workload::heterogeneous`], [`Workload::hot_spot`]) to build
+    /// the value — degenerate distributions are rejected there, and
+    /// system-size mismatches at grid expansion /
+    /// [`Scenario::validate`].
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Validates the scenario's knobs against its own parameters
+    /// (buffering depth, workload shape). Grid expansion and the
+    /// simulation evaluators apply this before any engine is built.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.buffering.validate()?;
+        self.workload.validate(self.params.n(), self.params.m())?;
+        self.service().validate()
     }
 
     /// Returns a copy with an explicit memory service-time distribution.
@@ -134,8 +169,12 @@ impl Scenario {
             ArbitrationKind::Random => String::new(),
             kind => format!(" {}", kind.name()),
         };
+        let workload = match &self.workload {
+            Workload::Uniform => String::new(),
+            w => format!(" {}", w.name()),
+        };
         format!(
-            "n={} m={} r={} p={} {policy} {buffering}{arbitration}",
+            "n={} m={} r={} p={} {policy} {buffering}{arbitration}{workload}",
             self.params.n(),
             self.params.m(),
             self.params.r(),
@@ -168,11 +207,37 @@ pub struct Evaluation {
     /// replications. `None` for vehicles without a queue-level view
     /// (every analytic model and the crossbar baselines).
     pub occupancy: Option<OccupancySummary>,
+    /// Granted requests per module, summed across replications — the
+    /// empirical reference distribution under the scenario's workload.
+    /// `None` for vehicles without a per-module view.
+    pub module_references: Option<Vec<u64>>,
+    /// Summary of the most-referenced module (utilization and queue
+    /// growth under skewed workloads). `None` for vehicles without a
+    /// per-module view, or when nothing was granted.
+    pub hot_module: Option<HotModuleSummary>,
     /// Engine work units behind the estimate, summed over replications
     /// (events for the event engine, cycles for the cycle engine; 0
     /// for analytic vehicles) — the cost currency of the adaptive
     /// stopping comparisons.
     pub simulated_events: u64,
+}
+
+/// The empirically hottest module of a simulated scenario: where the
+/// references concentrated and what that did to its service stage and
+/// input queue. The `busnet run hotspot` report tabulates these
+/// against the hot-spot fraction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotModuleSummary {
+    /// Index of the most-referenced module (ties break low).
+    pub module: usize,
+    /// Its share of all granted requests (`1/m` under uniform load).
+    pub reference_share: f64,
+    /// Its service utilization over the measured window (→ 1 as the
+    /// hot module saturates).
+    pub utilization: f64,
+    /// Its own mean input-FIFO length (0 when unbuffered) — the
+    /// hot-module queue growth the aggregate occupancy hides.
+    pub mean_input_queue: f64,
 }
 
 /// Aggregated buffer-occupancy telemetry of a simulated scenario.
@@ -330,12 +395,14 @@ pub trait Evaluator: Sync {
 fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -> Evaluation {
     Evaluation {
         evaluator,
-        scenario: *scenario,
+        scenario: scenario.clone(),
         metrics: Metrics::from_ebw(scenario.params, ebw),
         half_width_95: 0.0,
         replications: 1,
         per_processor_ebw: None,
         occupancy: None,
+        module_references: None,
+        hot_module: None,
         simulated_events: 0,
     }
 }
@@ -351,12 +418,14 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
     metrics.memory_utilization = ebw / f64::from(params.m());
     Evaluation {
         evaluator,
-        scenario: *scenario,
+        scenario: scenario.clone(),
         metrics,
         half_width_95: 0.0,
         replications: 1,
         per_processor_ebw: None,
         occupancy: None,
+        module_references: None,
+        hot_module: None,
         simulated_events: 0,
     }
 }
@@ -392,6 +461,7 @@ impl Evaluator for ExactChainEval {
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
+            && s.workload.is_uniform()
             && s.has_paper_service()
     }
 
@@ -401,7 +471,7 @@ impl Evaluator for ExactChainEval {
             scenario,
             self.supports(scenario),
             "the exact chain is defined for memory priority, no buffers, random arbitration, \
-             p = 1, constant service",
+             p = 1, uniform workload, constant service",
         )?;
         let ebw = ExactChain::new(scenario.params).ebw()?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
@@ -422,6 +492,7 @@ impl Evaluator for ReducedChainEval {
         s.policy == BusPolicy::ProcessorPriority
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
+            && s.workload.is_uniform()
             && s.has_paper_service()
     }
 
@@ -431,7 +502,7 @@ impl Evaluator for ReducedChainEval {
             scenario,
             self.supports(scenario),
             "the reduced chain is defined for processor priority, no buffers, random \
-             arbitration, constant service",
+             arbitration, uniform workload, constant service",
         )?;
         let ebw = ReducedChain::new(scenario.params).ebw()?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
@@ -458,6 +529,7 @@ impl Evaluator for ApproxEval {
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
+            && s.workload.is_uniform()
             && s.has_paper_service()
     }
 
@@ -466,7 +538,8 @@ impl Evaluator for ApproxEval {
             self.name(),
             scenario,
             self.supports(scenario),
-            "the combinational model approximates the memory-priority unbuffered system at p = 1",
+            "the combinational model approximates the memory-priority unbuffered system at \
+             p = 1 under the uniform workload",
         )?;
         let ebw = ApproxModel::new(scenario.params, self.variant).ebw();
         Ok(analytic_evaluation(self.name(), scenario, ebw))
@@ -489,6 +562,7 @@ impl Evaluator for DepthApproxEval {
     fn supports(&self, s: &Scenario) -> bool {
         s.policy == BusPolicy::ProcessorPriority
             && s.arbitration == ArbitrationKind::Random
+            && s.workload.is_uniform()
             && s.has_paper_service()
     }
 
@@ -498,7 +572,7 @@ impl Evaluator for DepthApproxEval {
             scenario,
             self.supports(scenario),
             "the depth-aware approximation covers processor priority, random arbitration, \
-             constant service (any buffer depth)",
+             uniform workload, constant service (any buffer depth)",
         )?;
         let depth = scenario.buffering.effective_depth(scenario.params.n());
         let ebw = crate::analytic::approx::depth_aware_ebw(&scenario.params, depth)?;
@@ -534,8 +608,13 @@ impl Evaluator for PfqnEval {
 
     fn supports(&self, s: &Scenario) -> bool {
         // The product-form network queues requests at the modules, so
-        // any buffered depth (its queues are unbounded) is in domain.
-        s.buffering.is_buffered() && s.arbitration == ArbitrationKind::Random
+        // any buffered depth (its queues are unbounded) is in domain —
+        // including non-uniform reference distributions, which become
+        // per-module visit ratios. Heterogeneous think probabilities
+        // have no single-class product-form counterpart.
+        s.buffering.is_buffered()
+            && s.arbitration == ArbitrationKind::Random
+            && s.workload.has_homogeneous_thinking()
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -543,11 +622,11 @@ impl Evaluator for PfqnEval {
             self.name(),
             scenario,
             self.supports(scenario),
-            "the product-form model describes the buffered system",
+            "the product-form model describes the buffered system under homogeneous thinking",
         )?;
         let ebw = match self.algorithm {
-            PfqnAlgorithm::Mva => pfqn_ebw(&scenario.params)?,
-            PfqnAlgorithm::Buzen => pfqn_ebw_buzen(&scenario.params)?,
+            PfqnAlgorithm::Mva => pfqn_ebw_workload(&scenario.params, &scenario.workload)?,
+            PfqnAlgorithm::Buzen => pfqn_ebw_buzen_workload(&scenario.params, &scenario.workload)?,
         };
         Ok(analytic_evaluation(self.name(), scenario, ebw))
     }
@@ -564,7 +643,7 @@ impl Evaluator for CrossbarExactEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.params.p() >= 1.0 && s.arbitration == ArbitrationKind::Random
+        s.params.p() >= 1.0 && s.arbitration == ArbitrationKind::Random && s.workload.is_uniform()
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -572,7 +651,7 @@ impl Evaluator for CrossbarExactEval {
             self.name(),
             scenario,
             self.supports(scenario),
-            "the exact crossbar chain is defined for p = 1",
+            "the exact crossbar chain is defined for p = 1 under the uniform workload",
         )?;
         let ebw = crossbar_ebw_exact(scenario.params.n(), scenario.params.m())?;
         Ok(crossbar_evaluation(self.name(), scenario, ebw))
@@ -704,6 +783,7 @@ impl BusSimEval {
             .policy(scenario.policy)
             .buffering(scenario.buffering)
             .arbitration(scenario.arbitration)
+            .workload(scenario.workload.clone())
             .engine(self.budget.engine)
             .seed(seed)
             .warmup_cycles(self.budget.warmup)
@@ -751,15 +831,41 @@ impl BusSimEval {
             input_full_fraction,
             blocked_completions: blocked,
         };
+        // Per-module workload telemetry: sum counts over replications,
+        // then summarize the empirically hottest module.
+        let modules = scenario.params.m() as usize;
+        let mut module_references = vec![0u64; modules];
+        let mut module_busy = vec![0u64; modules];
+        let mut module_level_cycles = vec![0u64; modules];
+        for r in &reports {
+            for j in 0..modules {
+                module_references[j] += r.per_module_requests[j];
+                module_busy[j] += r.per_module_busy_cycles[j];
+                module_level_cycles[j] += r.per_module_input_level_cycles[j];
+            }
+        }
+        let hot_module = module_references
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .filter(|(_, &max)| max > 0)
+            .map(|(j, &refs)| HotModuleSummary {
+                module: j,
+                reference_share: refs as f64 / module_references.iter().sum::<u64>() as f64,
+                utilization: module_busy[j] as f64 / measured_total as f64,
+                mean_input_queue: module_level_cycles[j] as f64 / measured_total as f64,
+            });
         let simulated_events = reports.iter().map(|r| r.events).sum();
         Evaluation {
             evaluator: self.name(),
-            scenario: *scenario,
+            scenario: scenario.clone(),
             metrics: Metrics::from_ebw(scenario.params, summary.mean()),
             half_width_95: summary.half_width_95(),
             replications: summary.replications() as u32,
             per_processor_ebw: Some(per_processor_ebw),
             occupancy: Some(occupancy),
+            module_references: Some(module_references),
+            hot_module,
             simulated_events,
         }
     }
@@ -786,8 +892,7 @@ impl Evaluator for BusSimEval {
     }
 
     fn evaluate_unit(&self, scenario: &Scenario, unit: u32) -> Result<EvalUnit, CoreError> {
-        scenario.service().validate()?;
-        scenario.buffering.validate()?;
+        scenario.validate()?;
         // Seeds depend only on (master_seed, unit): common random
         // numbers across every scenario of a sweep.
         let seeds = SeedSequence::new(self.budget.master_seed);
@@ -888,8 +993,10 @@ impl Evaluator for CrossbarSimEval {
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        scenario.workload.validate(scenario.params.n(), scenario.params.m())?;
         let report = CrossbarSim::new(scenario.params)
             .arbitration(scenario.arbitration)
+            .workload(scenario.workload.clone())
             .engine(self.engine)
             .seed(self.seed)
             .warmup_cycles(self.warmup)
@@ -1017,6 +1124,7 @@ pub struct ScenarioGrid {
     policies: Vec<BusPolicy>,
     bufferings: Vec<Buffering>,
     arbitrations: Vec<ArbitrationKind>,
+    workloads: Vec<Workload>,
     memory_service: Option<ServiceTime>,
 }
 
@@ -1032,6 +1140,7 @@ impl ScenarioGrid {
             policies: vec![BusPolicy::ProcessorPriority],
             bufferings: vec![Buffering::Unbuffered],
             arbitrations: vec![ArbitrationKind::Random],
+            workloads: vec![Workload::Uniform],
             memory_service: None,
         }
     }
@@ -1084,6 +1193,14 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the workload axis (hypotheses *e*/*f* and their
+    /// relaxations). Each workload is validated against every `(n, m)`
+    /// point at expansion time.
+    pub fn workloads(mut self, values: impl Into<Vec<Workload>>) -> Self {
+        self.workloads = values.into();
+        self
+    }
+
     /// Applies an explicit service distribution to every point.
     pub fn memory_service(mut self, service: ServiceTime) -> Self {
         self.memory_service = Some(service);
@@ -1103,6 +1220,7 @@ impl ScenarioGrid {
             * self.policies.len()
             * self.bufferings.len()
             * self.arbitrations.len()
+            * self.workloads.len()
     }
 
     /// Whether the grid is degenerate (some axis has no values).
@@ -1111,12 +1229,13 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid, in row-major axis order
-    /// `n → m → r → p → policy → buffering → arbitration`.
+    /// `n → m → r → p → policy → buffering → arbitration → workload`.
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidParameter`] if any point violates the
-    /// parameter invariants (including an invalid buffering depth).
+    /// parameter invariants (including an invalid buffering depth or a
+    /// workload whose shape does not fit the point's `(n, m)`).
     pub fn scenarios(&self) -> Result<Vec<Scenario>, CoreError> {
         for buffering in &self.bufferings {
             buffering.validate()?;
@@ -1128,20 +1247,28 @@ impl ScenarioGrid {
                     RAxis::Values(v) => v.clone(),
                     RAxis::MinNmPlus(k) => vec![n.min(m) + k],
                 };
+                // Workload shapes depend only on (n, m): check once per
+                // point, not once per inner row.
+                for workload in &self.workloads {
+                    workload.validate(n, m)?;
+                }
                 for &r in &rs {
                     for &p in &self.p {
                         let params = SystemParams::new(n, m, r)?.with_request_probability(p)?;
                         for &policy in &self.policies {
                             for &buffering in &self.bufferings {
                                 for &arbitration in &self.arbitrations {
-                                    let mut scenario = Scenario::new(params)
-                                        .with_policy(policy)
-                                        .with_buffering(buffering)
-                                        .with_arbitration(arbitration);
-                                    if let Some(service) = self.memory_service {
-                                        scenario = scenario.with_memory_service(service);
+                                    for workload in &self.workloads {
+                                        let mut scenario = Scenario::new(params)
+                                            .with_policy(policy)
+                                            .with_buffering(buffering)
+                                            .with_arbitration(arbitration)
+                                            .with_workload(workload.clone());
+                                        if let Some(service) = self.memory_service {
+                                            scenario = scenario.with_memory_service(service);
+                                        }
+                                        out.push(scenario);
                                     }
-                                    out.push(scenario);
                                 }
                             }
                         }
@@ -1236,7 +1363,7 @@ pub fn run_sweep(
                 .map(|slot| slot.take().expect("all units delivered"))
                 .collect();
             out[p] = Some(SweepRecord {
-                scenario: scenarios[s],
+                scenario: scenarios[s].clone(),
                 evaluator: evaluators[e].name(),
                 result: units.and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
             });
@@ -1276,7 +1403,7 @@ mod tests {
         assert!(ExactChainEval.evaluate(&proc).is_err());
         assert!(ReducedChainEval.supports(&proc));
         assert!(!ReducedChainEval.supports(&mem));
-        let buffered = proc.with_buffering(Buffering::Buffered);
+        let buffered = proc.clone().with_buffering(Buffering::Buffered);
         assert!(PfqnEval::default().supports(&buffered));
         assert!(!PfqnEval::default().supports(&proc));
     }

@@ -1,17 +1,38 @@
-//! Memory-addressing patterns.
+//! Memory-addressing patterns and the shared workload samplers.
 //!
 //! The paper's hypothesis *e* assumes requests are uniformly
-//! distributed over the `m` modules. The hot-spot pattern relaxes that
-//! assumption — the natural "what if the workload is skewed?"
-//! sensitivity study for the paper's conclusions (interleaved-memory
-//! uniformity was already questioned by the paper's own reference 21).
+//! distributed over the `m` modules, and hypothesis *f* gives every
+//! processor the same think probability `p`. The
+//! [`Workload`] axis relaxes both; this
+//! module holds the machinery every engine (cycle bus, event bus, and
+//! both crossbar engines) samples through:
+//!
+//! * `ModuleSampler` — O(1) module-target draws. The uniform path is
+//!   the legacy `gen_range(0..m)` call (bit-identical to the
+//!   pre-workload engines); every non-uniform distribution compiles
+//!   into one Walker alias table
+//!   ([`busnet_sim::event::CategoricalAlias`]) whose draw cost is
+//!   independent of the skew.
+//! * `ThinkSampler` — per-processor geometric think timers for the
+//!   event engines: one shared [`GeometricAlias`] table when thinking
+//!   is homogeneous (the bit-identical legacy path), one table per
+//!   processor under [`Workload::Heterogeneous`].
+//!
+//! [`AddressPattern`] is the legacy hot-spot knob that predates the
+//! workload axis; it lowers onto a [`Workload`] via
+//! [`AddressPattern::to_workload`] and is kept for the existing
+//! builder surface.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::error::CoreError;
+use busnet_sim::event::{CategoricalAlias, GeometricAlias};
 
-/// How a processor picks the module for its next request.
+use crate::error::CoreError;
+use crate::params::Workload;
+
+/// How a processor picks the module for its next request (the legacy
+/// pre-[`Workload`] surface; see [`AddressPattern::to_workload`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum AddressPattern {
     /// Hypothesis *e*: uniform over all `m` modules.
@@ -54,18 +75,113 @@ impl AddressPattern {
         Ok(())
     }
 
+    /// Lowers the pattern onto the canonical [`Workload`] axis for an
+    /// `m`-module system: a single-module hot set becomes
+    /// [`Workload::HotSpot`], a wider one the equivalent
+    /// [`Workload::Weighted`] distribution (`hot_probability/hot_modules
+    /// + (1 − hot_probability)/m` per hot module).
+    ///
+    /// # Errors
+    ///
+    /// As [`AddressPattern::validate`].
+    pub fn to_workload(&self, m: u32) -> Result<Workload, CoreError> {
+        self.validate(m)?;
+        match *self {
+            AddressPattern::Uniform => Ok(Workload::Uniform),
+            AddressPattern::HotSpot { hot_modules: 1, hot_probability } => {
+                Workload::hot_spot(hot_probability, 0)
+            }
+            AddressPattern::HotSpot { hot_modules, hot_probability } => {
+                let base = (1.0 - hot_probability) / f64::from(m);
+                let extra = hot_probability / f64::from(hot_modules);
+                let weights: Vec<f64> =
+                    (0..m).map(|j| if j < hot_modules { base + extra } else { base }).collect();
+                Workload::weighted(weights)
+            }
+        }
+    }
+}
+
+/// O(1) module-target sampler shared by every engine: the uniform path
+/// preserves the legacy `gen_range(0..m)` draw bit-for-bit; skewed
+/// distributions go through one Walker alias table.
+#[derive(Clone, Debug)]
+pub(crate) enum ModuleSampler {
+    /// Uniform over `0..m` (one `gen_range` draw — the pre-workload
+    /// RNG stream, so `Workload::Uniform` runs stay bit-identical).
+    Uniform,
+    /// Alias-table draw over an arbitrary distribution (one `next_u64`
+    /// regardless of skew).
+    Alias(CategoricalAlias),
+}
+
+impl ModuleSampler {
+    /// Builds the sampler for `workload` in an `m`-module system. The
+    /// workload must already be validated (`Workload::validate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid distribution; engines validate at build
+    /// time, so this indicates a builder bug.
+    pub(crate) fn for_workload(workload: &Workload, m: u32) -> ModuleSampler {
+        if workload.references_uniformly() {
+            return ModuleSampler::Uniform;
+        }
+        let dist = workload.module_distribution(m);
+        ModuleSampler::Alias(
+            CategoricalAlias::new(&dist).expect("validated workload yields a distribution"),
+        )
+    }
+
     /// Draws a module index in `0..m`.
     #[inline]
-    pub fn sample(&self, m: usize, rng: &mut SmallRng) -> usize {
-        match *self {
-            AddressPattern::Uniform => rng.gen_range(0..m),
-            AddressPattern::HotSpot { hot_modules, hot_probability } => {
-                if rng.gen_bool(hot_probability) {
-                    rng.gen_range(0..hot_modules as usize)
-                } else {
-                    rng.gen_range(0..m)
-                }
+    pub(crate) fn sample(&self, m: usize, rng: &mut SmallRng) -> usize {
+        match self {
+            ModuleSampler::Uniform => rng.gen_range(0..m),
+            ModuleSampler::Alias(table) => table.sample(rng),
+        }
+    }
+}
+
+/// Per-processor geometric think timers for the event engines: one
+/// shared alias table when every processor thinks with the same `p`
+/// (the legacy bit-identical path), one table per processor otherwise.
+#[derive(Clone, Debug)]
+pub(crate) enum ThinkSampler {
+    /// One table shared by all processors (homogeneous `p`).
+    Shared(GeometricAlias),
+    /// One table per processor (`Workload::Heterogeneous`).
+    PerProc(Vec<GeometricAlias>),
+}
+
+impl ThinkSampler {
+    /// Builds the timers for `n` processors under `workload`, with the
+    /// scalar `p` as the homogeneous fallback.
+    pub(crate) fn for_workload(workload: &Workload, n: u32, p: f64) -> ThinkSampler {
+        match workload {
+            Workload::Heterogeneous(probs) => {
+                debug_assert_eq!(probs.len(), n as usize);
+                ThinkSampler::PerProc(probs.iter().map(|&pi| GeometricAlias::new(pi)).collect())
             }
+            _ => ThinkSampler::Shared(GeometricAlias::new(p)),
+        }
+    }
+
+    /// The first cycle at or after `from` at which processor `i`'s
+    /// Bernoulli coin (flipped once every `stride` cycles) succeeds;
+    /// `None` once beyond `horizon`.
+    #[inline]
+    pub(crate) fn next_success(
+        &self,
+        i: usize,
+        rng: &mut SmallRng,
+        from: u64,
+        stride: u64,
+        horizon: u64,
+    ) -> Option<u64> {
+        match self {
+            ThinkSampler::Shared(table) => table.next_success(rng, from, stride, horizon),
+            ThinkSampler::PerProc(tables) => tables[i].next_success(rng, from, stride, horizon),
         }
     }
 }
@@ -76,34 +192,76 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn uniform_covers_all_modules() {
+    fn uniform_sampler_covers_all_modules() {
         let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = ModuleSampler::for_workload(&Workload::Uniform, 8);
         let mut seen = [false; 8];
         for _ in 0..1_000 {
-            seen[AddressPattern::Uniform.sample(8, &mut rng)] = true;
+            seen[sampler.sample(8, &mut rng)] = true;
         }
         assert!(seen.iter().all(|&s| s));
     }
 
     #[test]
-    fn hot_spot_concentrates_mass() {
+    fn uniform_sampler_is_bit_identical_to_gen_range() {
+        // The Workload::Uniform path must consume the RNG exactly as
+        // the pre-workload engines did.
+        let sampler = ModuleSampler::for_workload(&Workload::Uniform, 16);
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            assert_eq!(sampler.sample(16, &mut a), b.gen_range(0..16usize));
+        }
+    }
+
+    #[test]
+    fn hot_spot_sampler_concentrates_mass() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let pattern = AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.5 };
+        let workload = Workload::hot_spot(0.5, 0).unwrap();
+        let sampler = ModuleSampler::for_workload(&workload, 8);
         let n = 100_000;
-        let hits = (0..n).filter(|_| pattern.sample(8, &mut rng) == 0).count();
+        let hits = (0..n).filter(|_| sampler.sample(8, &mut rng) == 0).count();
         // P(module 0) = 0.5 + 0.5/8 = 0.5625.
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.5625).abs() < 0.01, "hot fraction {frac}");
     }
 
     #[test]
-    fn hot_spot_zero_probability_is_uniform() {
-        let mut rng = SmallRng::seed_from_u64(3);
-        let pattern = AddressPattern::HotSpot { hot_modules: 2, hot_probability: 0.0 };
-        let n = 50_000;
-        let hits = (0..n).filter(|_| pattern.sample(4, &mut rng) < 2).count();
-        let frac = hits as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.02, "{frac}");
+    fn heterogeneous_workload_targets_uniformly() {
+        let workload = Workload::heterogeneous([0.2, 1.0]).unwrap();
+        assert!(matches!(ModuleSampler::for_workload(&workload, 4), ModuleSampler::Uniform));
+    }
+
+    #[test]
+    fn think_sampler_is_per_processor_under_heterogeneous_traffic() {
+        let workload = Workload::heterogeneous([1.0, 0.25]).unwrap();
+        let think = ThinkSampler::for_workload(&workload, 2, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // p = 1 processors are ready immediately and consume no
+        // randomness; the p = 0.25 processor lands on the flip grid.
+        assert_eq!(think.next_success(0, &mut rng, 7, 10, 1_000), Some(7));
+        for _ in 0..200 {
+            if let Some(t) = think.next_success(1, &mut rng, 7, 10, 100_000) {
+                assert!(t >= 7 && (t - 7) % 10 == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_pattern_lowers_onto_workloads() {
+        assert_eq!(AddressPattern::Uniform.to_workload(8).unwrap(), Workload::Uniform);
+        let single = AddressPattern::HotSpot { hot_modules: 1, hot_probability: 0.6 };
+        assert_eq!(single.to_workload(8).unwrap(), Workload::HotSpot { fraction: 0.6, module: 0 });
+        let wide = AddressPattern::HotSpot { hot_modules: 2, hot_probability: 0.5 };
+        let dist = wide.to_workload(4).unwrap().module_distribution(4);
+        // Hot modules: 0.5/2 + 0.5/4 = 0.375 each; cold: 0.125 each.
+        assert!((dist[0] - 0.375).abs() < 1e-12 && (dist[1] - 0.375).abs() < 1e-12);
+        assert!((dist[2] - 0.125).abs() < 1e-12 && (dist[3] - 0.125).abs() < 1e-12);
+        // Degenerate all-hot set is exactly uniform mass.
+        let all = AddressPattern::HotSpot { hot_modules: 4, hot_probability: 0.7 };
+        for q in all.to_workload(4).unwrap().module_distribution(4) {
+            assert!((q - 0.25).abs() < 1e-12);
+        }
     }
 
     #[test]

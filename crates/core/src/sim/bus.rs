@@ -59,8 +59,10 @@
 //!   input/output buffers deeper than the paper's one-deep proposal
 //!   (the buffer-sizing axis), with per-module occupancy telemetry in
 //!   the [`SimReport`];
-//! * [`BusSimBuilder::addressing`] — hot-spot request skew, relaxing
-//!   hypothesis *e*.
+//! * [`BusSimBuilder::workload`] — non-uniform workloads (hot-spot /
+//!   weighted reference skew, per-processor think probabilities),
+//!   relaxing hypotheses *e* and *f*; the legacy
+//!   [`BusSimBuilder::addressing`] knob lowers onto the same axis.
 
 use std::collections::VecDeque;
 
@@ -75,8 +77,8 @@ use busnet_sim::histogram::Histogram;
 use busnet_sim::stats::{jain_fairness_index, RunningStats};
 
 use crate::metrics::Metrics;
-use crate::params::{Buffering, BusPolicy, SystemParams};
-use crate::sim::address::AddressPattern;
+use crate::params::{Buffering, BusPolicy, SystemParams, Workload};
+use crate::sim::address::{AddressPattern, ModuleSampler};
 use crate::sim::event_bus::EventBusSim;
 use crate::sim::service::ServiceTime;
 
@@ -200,6 +202,7 @@ pub struct BusSimBuilder {
     pub(crate) buffer_depth: Option<u32>,
     pub(crate) channels: u32,
     pub(crate) addressing: AddressPattern,
+    pub(crate) workload: Workload,
     pub(crate) arbitration: ArbitrationKind,
     pub(crate) engine: EngineKind,
     pub(crate) memory_service: Option<ServiceTime>,
@@ -222,6 +225,7 @@ impl BusSimBuilder {
             buffer_depth: None,
             channels: 1,
             addressing: AddressPattern::Uniform,
+            workload: Workload::Uniform,
             arbitration: ArbitrationKind::Random,
             engine: EngineKind::Cycle,
             memory_service: None,
@@ -302,10 +306,47 @@ impl BusSimBuilder {
         self
     }
 
-    /// Sets the request addressing pattern (hypothesis *e* relaxation).
+    /// Sets the request addressing pattern (the legacy hot-spot knob;
+    /// prefer [`BusSimBuilder::workload`], the canonical axis it
+    /// lowers onto — setting both to non-uniform values is rejected at
+    /// build time).
     pub fn addressing(mut self, addressing: AddressPattern) -> Self {
         self.addressing = addressing;
         self
+    }
+
+    /// Sets the workload: how references distribute over modules
+    /// (hypothesis *e* relaxation) and how think probabilities vary
+    /// per processor (hypothesis *f* relaxation).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// The effective [`Workload`] the built simulator will drive:
+    /// [`BusSimBuilder::workload`] unless the legacy
+    /// [`BusSimBuilder::addressing`] knob was set, which lowers onto
+    /// the workload axis.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::InvalidParameter`] when the workload (or
+    /// legacy pattern) is invalid for this system, or when both knobs
+    /// are set to non-uniform values.
+    pub fn resolved_workload(&self) -> Result<Workload, crate::CoreError> {
+        let legacy = self.addressing != AddressPattern::Uniform;
+        if legacy && !self.workload.is_uniform() {
+            return Err(crate::CoreError::InvalidParameter {
+                name: "workload",
+                value: self.workload.name(),
+                constraint: "addressing and workload cannot both be non-uniform",
+            });
+        }
+        if legacy {
+            return self.addressing.to_workload(self.params.m());
+        }
+        self.workload.validate(self.params.n(), self.params.m())?;
+        Ok(self.workload.clone())
     }
 
     /// Sets the candidate tie-breaking rule (hypothesis *h*
@@ -370,16 +411,18 @@ impl BusSimBuilder {
         let memory_service = self.memory_service.unwrap_or(ServiceTime::Constant(self.params.r()));
         memory_service.validate().expect("invalid memory service time");
         self.bus_transfer.validate().expect("invalid bus transfer time");
-        self.addressing.validate(self.params.m()).expect("invalid address pattern");
+        let workload = self.resolved_workload().expect("invalid workload");
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
         let depth = self.resolved_depth().expect("inconsistent buffering configuration");
+        let p = self.params.p();
         BusSim {
             params: self.params,
             policy: self.policy,
             buffering: self.buffering,
             depth,
-            addressing: self.addressing,
+            target: ModuleSampler::for_workload(&workload, self.params.m()),
+            think_p: (0..n).map(|i| workload.think_probability(i, p)).collect(),
             memory_service,
             bus_transfer: self.bus_transfer,
             rng: SmallRng::seed_from_u64(self.seed),
@@ -565,7 +608,11 @@ pub struct BusSim {
     policy: BusPolicy,
     buffering: Buffering,
     depth: u32,
-    addressing: AddressPattern,
+    /// Module-target sampler compiled from the workload.
+    target: ModuleSampler,
+    /// Per-processor think probabilities (all equal to `p` unless the
+    /// workload is heterogeneous).
+    think_p: Vec<f64>,
     memory_service: ServiceTime,
     bus_transfer: ServiceTime,
     rng: SmallRng,
@@ -641,11 +688,12 @@ impl BusSim {
         self.stats.events += 1;
         self.wake_processors(t);
         self.arbitrate(t);
-        self.stats.tick_busy(
-            t,
-            self.bus.iter().filter(|c| c.is_some()).count() as u64,
-            self.modules.iter().filter(|md| md.is_serving()).count() as u64,
-        );
+        self.stats.tick_busy(t, self.bus.iter().filter(|c| c.is_some()).count() as u64, 0);
+        for j in 0..self.modules.len() {
+            if self.modules[j].is_serving() {
+                self.stats.tick_module_busy(t, j);
+            }
+        }
 
         // End-of-cycle: returns land first, then service progress, then
         // request delivery (so a fresh service is not decremented in its
@@ -677,13 +725,13 @@ impl BusSim {
 
     fn wake_processors(&mut self, t: u64) {
         let rc = u64::from(self.params.processor_cycle());
-        let p = self.params.p();
         let m = self.params.m() as usize;
-        for proc in &mut self.procs {
+        for (i, proc) in self.procs.iter_mut().enumerate() {
             if let ProcPhase::Thinking { until } = *proc {
                 if until <= t {
+                    let p = self.think_p[i];
                     if p >= 1.0 || self.rng.gen_bool(p) {
-                        let module = self.addressing.sample(m, &mut self.rng);
+                        let module = self.target.sample(m, &mut self.rng);
                         *proc = ProcPhase::Pending { module, since: t, issued: t };
                     } else {
                         *proc = ProcPhase::Thinking { until: until + rc };
@@ -743,6 +791,7 @@ impl BusSim {
                     _ => unreachable!("candidate list holds only pending processors"),
                 };
                 self.stats.record_grant(t, since);
+                self.stats.record_module_request(t, module);
                 self.procs[pick] = ProcPhase::Waiting;
                 self.inflight_scratch[module] += 1;
                 self.bus[ch] = Some((
@@ -894,6 +943,18 @@ pub struct SimReport {
     /// Completed services that found their output FIFO full (the §6
     /// blocking event), during measurement.
     pub blocked_completions: u64,
+    /// Requests granted toward each module during measurement — the
+    /// observable the workload reference distribution is validated
+    /// against, and the basis of the hot-module summary.
+    pub per_module_requests: Vec<u64>,
+    /// Module-cycles each module spent actively serving (sums to
+    /// [`SimReport::module_busy_cycles`]).
+    pub per_module_busy_cycles: Vec<u64>,
+    /// Accumulated input-FIFO `level × cycles` per module (divide by
+    /// [`SimReport::measured_cycles`] for a module's own mean input
+    /// queue — the aggregate histogram pools all modules, which hides
+    /// a single hot module's queue).
+    pub per_module_input_level_cycles: Vec<u64>,
     /// Units of engine work the run executed (events processed by the
     /// event engine, cycles stepped by the cycle engine; not warmup
     /// gated) — the portable cost proxy behind the adaptive stopping
@@ -927,9 +988,12 @@ impl SimReport {
             round_trip: stats.round_trip,
             wait_histogram: stats.wait_histogram,
             per_processor_returns: stats.per_entity_returns,
+            per_module_input_level_cycles: stats.input_occupancy.level_cycles().to_vec(),
             input_occupancy: stats.input_occupancy.histogram().clone(),
             output_occupancy: stats.output_occupancy.histogram().clone(),
             blocked_completions: stats.blocked_completions,
+            per_module_requests: stats.per_module_requests,
+            per_module_busy_cycles: stats.per_module_busy_cycles,
             events: stats.events,
         }
     }
@@ -1004,6 +1068,40 @@ impl SimReport {
     /// the input empty.
     pub fn input_full_fraction(&self) -> f64 {
         input_full_fraction(self.buffer_depth, &self.input_occupancy)
+    }
+
+    /// Per-module share of granted requests (sums to 1 whenever any
+    /// request was granted) — the empirical reference distribution the
+    /// workload validation suite compares against the configured one.
+    pub fn module_reference_shares(&self) -> Vec<f64> {
+        let total: u64 = self.per_module_requests.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.per_module_requests.len()];
+        }
+        self.per_module_requests.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    /// The module that drew the most granted requests (the empirical
+    /// hot spot; ties break to the lowest index). `None` when nothing
+    /// was granted.
+    pub fn hot_module(&self) -> Option<usize> {
+        let (j, &max) = self
+            .per_module_requests
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        (max > 0).then_some(j)
+    }
+
+    /// Module `j`'s measured service utilization.
+    pub fn module_utilization(&self, j: usize) -> f64 {
+        self.per_module_busy_cycles[j] as f64 / self.measured_cycles as f64
+    }
+
+    /// Module `j`'s own mean input-FIFO length over the measured
+    /// window.
+    pub fn module_mean_input_queue(&self, j: usize) -> f64 {
+        self.per_module_input_level_cycles[j] as f64 / self.measured_cycles as f64
     }
 
     /// Number of bus channels of the run.

@@ -21,12 +21,13 @@ use rand::{Rng, SeedableRng};
 use busnet_sim::arbiter::Arbiter;
 use busnet_sim::clock::MeasurementWindow;
 use busnet_sim::counters::SimCounters;
-use busnet_sim::event::{EventQueue, GeometricAlias};
+use busnet_sim::event::EventQueue;
 use busnet_sim::histogram::Histogram;
 use busnet_sim::seeds::SeedSequence;
 use busnet_sim::stats::jain_fairness_index;
 
-use crate::params::SystemParams;
+use crate::params::{SystemParams, Workload};
+use crate::sim::address::{ModuleSampler, ThinkSampler};
 
 pub use busnet_sim::arbiter::ArbitrationKind;
 pub use busnet_sim::event::EngineKind;
@@ -53,6 +54,7 @@ pub struct CrossbarSim {
     buses: Option<u32>,
     arbitration: ArbitrationKind,
     engine: EngineKind,
+    workload: Workload,
     seed: u64,
     warmup: u64,
     measure: u64,
@@ -97,10 +99,19 @@ impl CrossbarSim {
             buses: None,
             arbitration: ArbitrationKind::Random,
             engine: EngineKind::Cycle,
+            workload: Workload::Uniform,
             seed: 0x5EED,
             warmup: 1_000,
             measure: 100_000,
         }
+    }
+
+    /// Sets the workload (hypothesis *e*/*f* relaxations): skewed
+    /// module references and/or per-processor think probabilities,
+    /// sampled through the same machinery as the bus engines.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
     }
 
     /// Caps concurrent services at `buses` per cycle, turning the
@@ -179,21 +190,25 @@ impl CrossbarSim {
             Thinking,
             Requesting(usize),
         }
+        self.workload.validate(self.params.n(), self.params.m()).expect("invalid workload");
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut arbiter = Arbiter::new(self.arbitration);
         let mut stats = self.counters();
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
         let p = self.params.p();
+        let sampler = ModuleSampler::for_workload(&self.workload, self.params.m());
+        let think_p: Vec<f64> = (0..n).map(|i| self.workload.think_probability(i, p)).collect();
         let mut procs = vec![Phase::Thinking; n];
         let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
         let mut busy: Vec<usize> = Vec::with_capacity(m);
         for cycle in 0..stats.window().total_cycles() {
             stats.events += 1;
             // Thinking processors flip the request coin.
-            for proc in &mut procs {
+            for (i, proc) in procs.iter_mut().enumerate() {
+                let p = think_p[i];
                 if *proc == Phase::Thinking && (p >= 1.0 || rng.gen_bool(p)) {
-                    *proc = Phase::Requesting(rng.gen_range(0..m));
+                    *proc = Phase::Requesting(sampler.sample(m, &mut rng));
                 }
             }
             // Gather per-module requester lists.
@@ -237,11 +252,13 @@ impl CrossbarSim {
     /// module that the arbiter contract requires.
     fn run_event(&self) -> SimCounters {
         const NO_TARGET: u32 = u32::MAX;
+        self.workload.validate(self.params.n(), self.params.m()).expect("invalid workload");
         let mut stats = self.counters();
         let total = stats.window().total_cycles();
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
-        let think = GeometricAlias::new(self.params.p());
+        let think = ThinkSampler::for_workload(&self.workload, self.params.n(), self.params.p());
+        let sampler = ModuleSampler::for_workload(&self.workload, self.params.m());
         let seeds = SeedSequence::new(self.seed);
         let proc_seeds = seeds.child(0);
         let mut proc_rngs: Vec<SmallRng> =
@@ -250,10 +267,10 @@ impl CrossbarSim {
         let mut arbiter = Arbiter::new(self.arbitration);
 
         // The cycle (≥ `from`) at which processor `i`'s per-cycle
-        // Bernoulli(p) coin first succeeds, sampled in one geometric
+        // Bernoulli(p_i) coin first succeeds, sampled in one geometric
         // draw; `None` once beyond the horizon.
         let sample_request = |i: usize, from: u64, rngs: &mut Vec<SmallRng>| -> Option<u64> {
-            think.next_success(&mut rngs[i], from, 1, total)
+            think.next_success(i, &mut rngs[i], from, 1, total)
         };
 
         // A requesting processor's pending target (`NO_TARGET` while
@@ -289,7 +306,7 @@ impl CrossbarSim {
             stats.events += queue.drain_at(t, &mut drained) as u64;
             for i in drained.drain(..) {
                 debug_assert_eq!(target[i], NO_TARGET);
-                target[i] = proc_rngs[i].gen_range(0..m) as u32;
+                target[i] = sampler.sample(m, &mut proc_rngs[i]) as u32;
                 requesting += 1;
             }
             count.iter_mut().for_each(|c| *c = 0);

@@ -9,7 +9,7 @@
 //!
 //! * think timers are pre-sampled: the geometric number of failed
 //!   Bernoulli(`p`) coin flips collapses into one `ProcReady` event
-//!   (drawn through an O(1) [`GeometricAlias`] table), so an idle
+//!   (drawn through an O(1) `GeometricAlias` table), so an idle
 //!   processor costs one event per *request*, not one check per
 //!   processor cycle;
 //! * memory service completions and bus transfer landings are
@@ -51,11 +51,11 @@ use rand::SeedableRng;
 use busnet_sim::arbiter::Arbiter;
 use busnet_sim::bits::DenseBits;
 use busnet_sim::counters::SimCounters;
-use busnet_sim::event::{EventQueue, GeometricAlias};
+use busnet_sim::event::EventQueue;
 use busnet_sim::seeds::SeedSequence;
 
 use crate::params::{Buffering, BusPolicy, SystemParams};
-use crate::sim::address::AddressPattern;
+use crate::sim::address::{ModuleSampler, ThinkSampler};
 use crate::sim::bus::{
     grant_memory_side, module_can_accept, new_counters, BusSimBuilder, SimReport,
 };
@@ -162,7 +162,8 @@ pub struct EventBusSim {
     policy: BusPolicy,
     buffering: Buffering,
     depth: u32,
-    addressing: AddressPattern,
+    /// Module-target sampler compiled from the workload.
+    target: ModuleSampler,
     memory_service: ServiceTime,
     bus_transfer: ServiceTime,
     total: u64,
@@ -211,8 +212,9 @@ pub struct EventBusSim {
     arb_rng: SmallRng,
     /// Bus transfer durations.
     transfer_rng: SmallRng,
-    /// O(1) alias-table think-timer sampler (no per-draw logarithm).
-    think: GeometricAlias,
+    /// O(1) alias-table think-timer sampler (no per-draw logarithm;
+    /// one table per processor under heterogeneous traffic).
+    think: ThinkSampler,
     stats: SimCounters,
     candidate_scratch: Vec<usize>,
     ready_scratch: Vec<usize>,
@@ -228,7 +230,7 @@ impl EventBusSim {
         let memory_service = b.memory_service.unwrap_or(ServiceTime::Constant(b.params.r()));
         memory_service.validate().expect("invalid memory service time");
         b.bus_transfer.validate().expect("invalid bus transfer time");
-        b.addressing.validate(b.params.m()).expect("invalid address pattern");
+        let workload = b.resolved_workload().expect("invalid workload");
         let n = b.params.n() as usize;
         let m = b.params.m() as usize;
         let depth = b.resolved_depth().expect("inconsistent buffering configuration");
@@ -241,7 +243,7 @@ impl EventBusSim {
             policy: b.policy,
             buffering: b.buffering,
             depth,
-            addressing: b.addressing,
+            target: ModuleSampler::for_workload(&workload, b.params.m()),
             memory_service,
             bus_transfer: b.bus_transfer,
             total: b.warmup + b.measure,
@@ -272,7 +274,7 @@ impl EventBusSim {
                 .collect(),
             arb_rng: SmallRng::seed_from_u64(shared_seeds.stream(0)),
             transfer_rng: SmallRng::seed_from_u64(shared_seeds.stream(1)),
-            think: GeometricAlias::new(b.params.p()),
+            think: ThinkSampler::for_workload(&workload, b.params.n(), b.params.p()),
             stats: new_counters(&b.params, depth, b.warmup, b.measure),
             candidate_scratch: Vec::with_capacity(n.max(m)),
             ready_scratch: Vec::with_capacity(m),
@@ -309,6 +311,7 @@ impl EventBusSim {
     /// `None` once the success falls beyond the simulated horizon.
     fn sample_ready(&mut self, i: usize, from: u64) -> Option<u64> {
         self.think.next_success(
+            i,
             &mut self.proc_rngs[i],
             from,
             u64::from(self.params.processor_cycle()),
@@ -358,7 +361,7 @@ impl EventBusSim {
                     Ev::ProcReady(i) => {
                         debug_assert_eq!(self.phase[i], THINKING);
                         let m = self.params.m() as usize;
-                        let module = self.addressing.sample(m, &mut self.proc_rngs[i]);
+                        let module = self.target.sample(m, &mut self.proc_rngs[i]);
                         self.phase[i] = PENDING;
                         self.pend_module[i] = module as u32;
                         self.pend_since[i] = t;
@@ -418,7 +421,7 @@ impl EventBusSim {
             for j in 0..self.svc_busy.len() {
                 if self.svc_busy[j] && self.svc_done[j] + 1 > t {
                     // Service occupies [start + 1, done + 1).
-                    self.stats.remove_module_busy_span(t, self.svc_done[j] + 1);
+                    self.stats.remove_module_busy_span_at(j, t, self.svc_done[j] + 1);
                 }
             }
             self.stats.truncate_window(t);
@@ -483,6 +486,7 @@ impl EventBusSim {
                 let pick = self.proc_arbiter.pick(t, &candidates, &mut self.arb_rng);
                 let module = self.pend_module[pick] as usize;
                 self.stats.record_grant(t, self.pend_since[pick]);
+                self.stats.record_module_request(t, module);
                 self.phase[pick] = WAITING;
                 self.pending.remove(pick);
                 self.inflight[module] += 1;
@@ -572,7 +576,7 @@ impl EventBusSim {
     fn start_service(&mut self, j: usize, token: Token, t: u64) {
         let duration = u64::from(self.memory_service.sample(&mut self.module_rngs[j]));
         let done = t + duration;
-        self.stats.add_module_busy_span(t + 1, done + 1);
+        self.stats.add_module_busy_span_at(j, t + 1, done + 1);
         self.svc_busy[j] = true;
         self.svc_token[j] = token;
         self.svc_done[j] = done;

@@ -15,7 +15,8 @@
 //! [`Chart`]: crate::chart::Chart
 //! [`paper`]: crate::paper
 
-use busnet_core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
+use busnet_core::analytic::pfqn::pfqn_ebw_deterministic_workload;
+use busnet_core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet_core::scenario::{
     run_sweep, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval, Evaluation, Evaluator,
     ExactChainEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid, SimBudget,
@@ -639,7 +640,7 @@ pub fn design_space(effort: Effort) -> Result<DesignSpaceReport, CoreError> {
     for r in (2..=16).step_by(2) {
         let scenario =
             Scenario::new(SystemParams::new(8, 16, r)?).with_buffering(Buffering::Buffered);
-        let ebw = ebw_of(&bus_sim, scenario)?;
+        let ebw = ebw_of(&bus_sim, scenario.clone())?;
         if ebw >= scenario.params.max_ebw() * 0.98 {
             buffered_saturation_r = r;
         }
@@ -771,7 +772,7 @@ pub fn arbitration_fairness(effort: Effort) -> Result<ArbitrationReport, CoreErr
     let rows = evaluations
         .into_iter()
         .map(|e| FairnessRow {
-            scenario: e.scenario,
+            scenario: e.scenario.clone(),
             ebw: e.ebw(),
             fairness: e.fairness_index().expect("simulation reports per-processor EBW"),
             spread: e.ebw_spread().expect("simulation reports per-processor EBW"),
@@ -893,12 +894,12 @@ pub fn buffering_depths(effort: Effort) -> Result<BufferingReport, CoreError> {
     let mut out = Vec::with_capacity(points.len());
     for (m, r) in points {
         let base = Scenario::new(SystemParams::new(8, m, r)?);
-        let crossbar_ebw = ebw_of(&CrossbarExactEval, base)?;
+        let crossbar_ebw = ebw_of(&CrossbarExactEval, base.clone())?;
         // The model's anchors depend only on the operating point, not
         // the depth: solve them once for all six rows.
         let model = busnet_core::analytic::approx::DepthAwareApprox::new(&base.params)?;
         let scenarios: Vec<Scenario> =
-            BUFFERING_DEPTHS.iter().map(|&b| base.with_buffering(b)).collect();
+            BUFFERING_DEPTHS.iter().map(|&b| base.clone().with_buffering(b)).collect();
         let rows = evaluate_all(&scenarios, &[&sim])?
             .into_iter()
             .map(|e| {
@@ -906,7 +907,7 @@ pub fn buffering_depths(effort: Effort) -> Result<BufferingReport, CoreError> {
                     e.occupancy.as_ref().expect("simulation reports occupancy telemetry");
                 let depth = e.scenario.buffering.effective_depth(e.scenario.params.n());
                 BufferingRow {
-                    scenario: e.scenario,
+                    scenario: e.scenario.clone(),
                     ebw: e.ebw(),
                     half_width_95: e.half_width_95,
                     model_ebw: model.ebw_at(depth),
@@ -919,6 +920,138 @@ pub fn buffering_depths(effort: Effort) -> Result<BufferingReport, CoreError> {
         out.push(BufferingPoint { m, r, crossbar_ebw, rows });
     }
     Ok(BufferingReport { points: out })
+}
+
+/// The hot-spot fractions the workload study sweeps (0 is the paper's
+/// uniform hypothesis *e*).
+pub const HOTSPOT_FRACTIONS: [f64; 6] = [0.0, 0.1, 0.2, 0.4, 0.6, 0.8];
+
+/// One row of the hot-spot study: a hot fraction at one buffer depth,
+/// with throughput collapse and hot-module telemetry.
+#[derive(Clone, Debug)]
+pub struct HotspotRow {
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// Hot-spot fraction of the row's workload.
+    pub fraction: f64,
+    /// Mean EBW over replications.
+    pub ebw: f64,
+    /// Half width of the EBW 95% confidence interval.
+    pub half_width_95: f64,
+    /// Deterministic-service AMVA with non-uniform visit ratios
+    /// ([`pfqn_ebw_deterministic_workload`]); `None` for unbuffered
+    /// rows (the product-form model queues at the modules).
+    pub model_ebw: Option<f64>,
+    /// The hot module's share of granted requests.
+    pub hot_share: f64,
+    /// The hot module's service utilization (→ 1 at saturation).
+    pub hot_utilization: f64,
+    /// The hot module's own mean input-queue length.
+    pub hot_mean_queue: f64,
+}
+
+/// One buffer depth of the hot-spot study.
+#[derive(Clone, Debug)]
+pub struct HotspotPoint {
+    /// The swept buffering scheme.
+    pub buffering: Buffering,
+    /// One row per fraction, in [`HOTSPOT_FRACTIONS`] order.
+    pub rows: Vec<HotspotRow>,
+}
+
+/// The hot-spot workload study: EBW collapse and hot-module queue
+/// growth as the hot fraction rises, across buffer depths.
+#[derive(Clone, Debug)]
+pub struct HotspotReport {
+    /// Modules `m` (at `n = 8`).
+    pub m: u32,
+    /// Memory cycle ratio `r`.
+    pub r: u32,
+    /// One entry per buffer depth.
+    pub points: Vec<HotspotPoint>,
+}
+
+impl std::fmt::Display for HotspotReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Hot-spot workload study at n=8 m={} r={} (event engine):", self.m, self.r)?;
+        writeln!(
+            f,
+            "  Each reference hits the hot module with extra probability `frac`; the rest\n  \
+             spread uniformly. Buffers delay, but cannot prevent, the EBW collapse — the\n  \
+             hot module saturates (util -> 1) and its input queue fills."
+        )?;
+        for point in &self.points {
+            writeln!(f, "\n  buffer depth k = {}", point.buffering.depth_label())?;
+            writeln!(
+                f,
+                "  {:>5} {:>8} {:>8} {:>8} {:>10} {:>9} {:>10}",
+                "frac", "EBW", "95% ci", "model", "hot share", "hot util", "hot queue"
+            )?;
+            for row in &point.rows {
+                let model = row.model_ebw.map_or_else(|| "-".to_owned(), |v| format!("{v:.3}"));
+                writeln!(
+                    f,
+                    "  {:>5} {:>8.3} {:>8.3} {:>8} {:>10.3} {:>9.3} {:>10.3}",
+                    row.fraction,
+                    row.ebw,
+                    row.half_width_95,
+                    model,
+                    row.hot_share,
+                    row.hot_utilization,
+                    row.hot_mean_queue,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the hot-spot workload study: [`HOTSPOT_FRACTIONS`] ×
+/// buffer depths {0, 1, 4} at `n = 8, m = 8, r = 8`, measured with the
+/// event engine; buffered rows carry the deterministic-AMVA
+/// visit-ratio model alongside.
+///
+/// # Errors
+///
+/// Propagates parameter/simulation/model failures.
+pub fn hotspot_workloads(effort: Effort) -> Result<HotspotReport, CoreError> {
+    let (m, r) = (8u32, 8u32);
+    let params = SystemParams::new(8, m, r)?;
+    let sim = BusSimEval::new(effort.budget().with_engine(EngineKind::Event));
+    let workloads: Vec<Workload> = HOTSPOT_FRACTIONS
+        .iter()
+        .map(|&fraction| Workload::hot_spot(fraction, 0))
+        .collect::<Result<_, CoreError>>()?;
+    let mut points = Vec::new();
+    for buffering in [Buffering::Unbuffered, Buffering::Buffered, Buffering::Depth(4)] {
+        let scenarios: Vec<Scenario> = workloads
+            .iter()
+            .map(|w| Scenario::new(params).with_buffering(buffering).with_workload(w.clone()))
+            .collect();
+        let rows = evaluate_all(&scenarios, &[&sim])?
+            .into_iter()
+            .zip(&HOTSPOT_FRACTIONS)
+            .map(|(e, &fraction)| {
+                let hot = e.hot_module.clone().expect("simulation reports module telemetry");
+                let model_ebw = buffering
+                    .is_buffered()
+                    .then(|| pfqn_ebw_deterministic_workload(&params, &e.scenario.workload))
+                    .transpose()?;
+                Ok(HotspotRow {
+                    scenario: e.scenario.clone(),
+                    fraction,
+                    ebw: e.ebw(),
+                    half_width_95: e.half_width_95,
+                    model_ebw,
+                    hot_share: hot.reference_share,
+                    hot_utilization: hot.utilization,
+                    hot_mean_queue: hot.mean_input_queue,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        points.push(HotspotPoint { buffering, rows });
+    }
+    Ok(HotspotReport { m, r, points })
 }
 
 /// Identifiers for every reproducible experiment.
@@ -948,10 +1081,12 @@ pub enum ExperimentId {
     Arbitration,
     /// Buffer-sizing study (§6 generalized to depth k).
     Buffering,
+    /// Hot-spot workload study (hypothesis *e*/*f* relaxations).
+    Hotspot,
 }
 
 /// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 12] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 13] = [
     ExperimentId::Table1,
     ExperimentId::Table2,
     ExperimentId::Table3,
@@ -964,6 +1099,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 12] = [
     ExperimentId::DesignSpace,
     ExperimentId::Arbitration,
     ExperimentId::Buffering,
+    ExperimentId::Hotspot,
 ];
 
 impl ExperimentId {
@@ -982,6 +1118,7 @@ impl ExperimentId {
             ExperimentId::DesignSpace => "design-space",
             ExperimentId::Arbitration => "arbitration",
             ExperimentId::Buffering => "buffering",
+            ExperimentId::Hotspot => "hotspot",
         }
     }
 
@@ -1029,6 +1166,7 @@ impl ExperimentId {
             ExperimentId::DesignSpace => design_space(effort)?.to_string(),
             ExperimentId::Arbitration => arbitration_fairness(effort)?.to_string(),
             ExperimentId::Buffering => buffering_depths(effort)?.to_string(),
+            ExperimentId::Hotspot => hotspot_workloads(effort)?.to_string(),
         })
     }
 }

@@ -61,6 +61,11 @@ pub struct QueueOccupancy {
     levels: Vec<u32>,
     /// Cycle since which the current level has been held.
     since: Vec<u64>,
+    /// Accumulated `level × cycles` per entity over the measured
+    /// window — the numerator of each entity's own mean queue length
+    /// (the aggregate histogram pools all entities, which hides a
+    /// single hot module's queue).
+    level_cycles: Vec<u64>,
     histogram: Histogram,
 }
 
@@ -71,6 +76,7 @@ impl QueueOccupancy {
         QueueOccupancy {
             levels: vec![0; entities],
             since: vec![0; entities],
+            level_cycles: vec![0; entities],
             histogram: Histogram::new(1.0, max_level as usize + 1),
         }
     }
@@ -96,14 +102,28 @@ impl QueueOccupancy {
         self.histogram.mean()
     }
 
+    /// Accumulated `level × measured-cycles` per entity (divide by the
+    /// measured cycle count for each entity's own mean level).
+    pub fn level_cycles(&self) -> &[u64] {
+        &self.level_cycles
+    }
+
     #[inline]
-    fn record_span(&mut self, window: &MeasurementWindow, level: u32, start: u64, end: u64) {
+    fn record_span(
+        &mut self,
+        window: &MeasurementWindow,
+        entity: usize,
+        level: u32,
+        start: u64,
+        end: u64,
+    ) {
         let lo = start.max(window.warmup());
         let hi = end.min(window.total_cycles());
         if hi > lo {
             // Levels are integers and the histogram is unit-width: take
             // the division-free path (bit-identical accounting).
             self.histogram.record_level(level, hi - lo);
+            self.level_cycles[entity] += u64::from(level) * (hi - lo);
         }
     }
 
@@ -122,7 +142,7 @@ impl QueueOccupancy {
         );
         let old = self.levels[entity];
         let since = self.since[entity];
-        self.record_span(window, old, since, t);
+        self.record_span(window, entity, old, since, t);
         self.levels[entity] = level;
         self.since[entity] = t;
     }
@@ -133,7 +153,7 @@ impl QueueOccupancy {
         for entity in 0..self.levels.len() {
             let level = self.levels[entity];
             let since = self.since[entity];
-            self.record_span(window, level, since, t_end);
+            self.record_span(window, entity, level, since, t_end);
             self.since[entity] = t_end;
         }
     }
@@ -169,6 +189,15 @@ pub struct SimCounters {
     /// Completed services that found their output FIFO full and had to
     /// stall (the §6 blocking event), during measurement.
     pub blocked_completions: u64,
+    /// Requests granted toward each module during measurement (empty
+    /// unless [`SimCounters::with_queue_occupancy`] enabled module
+    /// tracking) — the observable the workload reference distribution
+    /// is validated against.
+    pub per_module_requests: Vec<u64>,
+    /// Module-cycles each module spent actively serving during
+    /// measurement (empty unless module tracking is enabled). Sums to
+    /// [`SimCounters::module_busy_cycles`].
+    pub per_module_busy_cycles: Vec<u64>,
     /// Units of engine work executed over the whole run (not warmup
     /// gated): events processed by an event-driven engine, cycles
     /// stepped by a cycle-stepped one. A portable, hardware-independent
@@ -201,16 +230,21 @@ impl SimCounters {
             input_occupancy: QueueOccupancy::disabled(),
             output_occupancy: QueueOccupancy::disabled(),
             blocked_completions: 0,
+            per_module_requests: Vec::new(),
+            per_module_busy_cycles: Vec::new(),
             events: 0,
         }
     }
 
     /// Enables queue-occupancy telemetry for `modules` FIFO pairs whose
     /// input levels range over `0..=input_max` and output levels over
-    /// `0..=output_max`.
+    /// `0..=output_max`, along with per-module request and busy-cycle
+    /// tracking (the workload telemetry).
     pub fn with_queue_occupancy(mut self, modules: usize, input_max: u32, output_max: u32) -> Self {
         self.input_occupancy = QueueOccupancy::new(modules, input_max);
         self.output_occupancy = QueueOccupancy::new(modules, output_max);
+        self.per_module_requests = vec![0; modules];
+        self.per_module_busy_cycles = vec![0; modules];
         self
     }
 
@@ -306,6 +340,52 @@ impl SimCounters {
     /// [`SimCounters::remove_channel_busy_span`]).
     pub fn remove_module_busy_span(&mut self, start: u64, end: u64) {
         self.module_busy_cycles -= self.clipped(start, end);
+    }
+
+    /// Records a granted request toward `module` at cycle `t` (no-op
+    /// when module tracking is disabled).
+    #[inline]
+    pub fn record_module_request(&mut self, t: u64, module: usize) {
+        if !self.per_module_requests.is_empty() && self.window.is_measuring(t) {
+            self.per_module_requests[module] += 1;
+        }
+    }
+
+    /// Adds service occupancy for `module` over the half-open span
+    /// `[start, end)`: the aggregate
+    /// ([`SimCounters::add_module_busy_span`]) plus the per-module
+    /// slot when tracking is enabled.
+    #[inline]
+    pub fn add_module_busy_span_at(&mut self, module: usize, start: u64, end: u64) {
+        let span = self.clipped(start, end);
+        self.module_busy_cycles += span;
+        if let Some(slot) = self.per_module_busy_cycles.get_mut(module) {
+            *slot += span;
+        }
+    }
+
+    /// Removes previously added per-module service occupancy over
+    /// `[start, end)` (the early-stop analogue of
+    /// [`SimCounters::add_module_busy_span_at`]).
+    pub fn remove_module_busy_span_at(&mut self, module: usize, start: u64, end: u64) {
+        let span = self.clipped(start, end);
+        self.module_busy_cycles -= span;
+        if let Some(slot) = self.per_module_busy_cycles.get_mut(module) {
+            *slot -= span;
+        }
+    }
+
+    /// Per-cycle per-module busy accounting for cycle-stepped engines:
+    /// `module` served during cycle `t` (updates the aggregate and the
+    /// per-module slot).
+    #[inline]
+    pub fn tick_module_busy(&mut self, t: u64, module: usize) {
+        if self.window.is_measuring(t) {
+            self.module_busy_cycles += 1;
+            if let Some(slot) = self.per_module_busy_cycles.get_mut(module) {
+                *slot += 1;
+            }
+        }
     }
 
     /// Cuts the measurement window short at cycle `t` (exclusive).
@@ -455,6 +535,59 @@ mod tests {
         c.set_input_occupancy(0, 5, 3); // out-of-range entity: no-op
         c.finish_occupancy(30);
         assert_eq!(c.input_occupancy.histogram().count(), 0);
+    }
+
+    #[test]
+    fn per_module_requests_gated_and_sized() {
+        let mut c = counters().with_queue_occupancy(2, 1, 1);
+        c.record_module_request(9, 0); // warmup: dropped
+        c.record_module_request(10, 0);
+        c.record_module_request(15, 1);
+        c.record_module_request(29, 1);
+        c.record_module_request(30, 0); // past the window: dropped
+        assert_eq!(c.per_module_requests, vec![1, 2]);
+        // Disabled tracking is inert.
+        let mut d = counters();
+        d.record_module_request(10, 0);
+        assert!(d.per_module_requests.is_empty());
+    }
+
+    #[test]
+    fn per_module_busy_spans_sum_to_aggregate() {
+        let mut c = counters().with_queue_occupancy(2, 1, 1);
+        c.add_module_busy_span_at(0, 5, 15); // clips to [10, 15)
+        c.add_module_busy_span_at(1, 12, 40); // clips to [12, 30)
+        assert_eq!(c.per_module_busy_cycles, vec![5, 18]);
+        assert_eq!(c.module_busy_cycles, 23);
+        c.remove_module_busy_span_at(1, 20, 40); // removes [20, 30)
+        assert_eq!(c.per_module_busy_cycles, vec![5, 8]);
+        assert_eq!(c.module_busy_cycles, 13);
+    }
+
+    #[test]
+    fn tick_module_busy_matches_span_accounting() {
+        let mut by_tick = counters().with_queue_occupancy(1, 1, 1);
+        let mut by_span = counters().with_queue_occupancy(1, 1, 1);
+        for t in 5..25 {
+            by_tick.tick_module_busy(t, 0);
+        }
+        by_span.add_module_busy_span_at(0, 5, 25);
+        assert_eq!(by_tick.module_busy_cycles, by_span.module_busy_cycles);
+        assert_eq!(by_tick.per_module_busy_cycles, by_span.per_module_busy_cycles);
+    }
+
+    #[test]
+    fn occupancy_level_cycles_track_each_entity() {
+        // Window [10, 30): entity 0 holds level 2 over [12, 20) and
+        // level 1 over [20, 30); entity 1 stays at 0.
+        let mut c = counters().with_queue_occupancy(2, 2, 2);
+        c.set_input_occupancy(0, 12, 2);
+        c.set_input_occupancy(0, 20, 1);
+        c.finish_occupancy(30);
+        assert_eq!(c.input_occupancy.level_cycles(), &[2 * 8 + 10, 0]);
+        // Per-entity accumulators decompose the pooled histogram mean:
+        // 26 level-cycles over 2 entities × 20 measured cycles.
+        assert!((c.input_occupancy.mean_level() - 26.0 / 40.0).abs() < 1e-12);
     }
 
     #[test]

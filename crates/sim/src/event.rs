@@ -332,6 +332,124 @@ impl GeometricAlias {
     }
 }
 
+/// A constant-time categorical sampler over an arbitrary finite
+/// distribution: the same Walker **alias table** machinery as
+/// [`GeometricAlias`], over explicit outcome weights instead of the
+/// geometric masses. One `next_u64` draw picks a cell (Lemire
+/// reduction of the high 32 bits) and an acceptance fraction (the low
+/// 32 bits — disjoint, so the two are independent); the draw costs the
+/// same whether the distribution is uniform or arbitrarily skewed,
+/// which is what keeps non-uniform workload sampling off the hot-path
+/// profile.
+///
+/// # Example
+///
+/// ```
+/// use busnet_sim::event::CategoricalAlias;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// // A 4-outcome hot-spot distribution concentrated on outcome 0.
+/// let sampler = CategoricalAlias::new(&[0.7, 0.1, 0.1, 0.1]).unwrap();
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let hot = (0..20_000).filter(|_| sampler.sample(&mut rng) == 0).count();
+/// assert!((hot as f64 / 20_000.0 - 0.7).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CategoricalAlias {
+    /// Per-cell acceptance probability (compared against a 32-bit
+    /// uniform fraction).
+    prob: Vec<f64>,
+    /// Per-cell alternative outcome.
+    alias: Vec<u32>,
+}
+
+impl CategoricalAlias {
+    /// Builds the table from outcome weights (not necessarily
+    /// normalized). Returns `None` when the weights cannot form a
+    /// distribution: empty, any weight negative/non-finite, or zero
+    /// total mass — callers that validate user input should reject
+    /// those cases with their own typed error *before* reaching the
+    /// sampler.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 || weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return None;
+        }
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+        let mut prob = vec![1.0; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Some(CategoricalAlias { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is degenerate (never: construction rejects
+    /// empty weights), kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The probability mass the table realizes for each outcome
+    /// (reconstructed from the cell structure; sums to 1). Test and
+    /// telemetry support — the hot path never calls this.
+    pub fn masses(&self) -> Vec<f64> {
+        let n = self.prob.len();
+        let mut mass = vec![0.0; n];
+        for c in 0..n {
+            mass[c] += self.prob[c] / n as f64;
+            mass[self.alias[c] as usize] += (1.0 - self.prob[c]) / n as f64;
+        }
+        mass
+    }
+
+    /// Draws one outcome index: a single `next_u64` plus two table
+    /// loads, independent of the distribution's shape.
+    #[inline]
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let r = rng.next_u64();
+        // Lemire reduction of the high 32 bits → cell; low 32 bits →
+        // acceptance fraction. Disjoint bits, so cell and fraction are
+        // independent.
+        let cell = (((r >> 32) * self.prob.len() as u64) >> 32) as usize;
+        let frac = (r & 0xFFFF_FFFF) as f64 * (1.0 / 4_294_967_296.0);
+        if frac < self.prob[cell] {
+            cell
+        } else {
+            self.alias[cell] as usize
+        }
+    }
+}
+
 /// The first cycle at or after `from` at which a Bernoulli(`p`) coin,
 /// flipped once every `stride` cycles, succeeds — the geometric run of
 /// failed flips collapsed into one inverse-CDF draw
@@ -1031,6 +1149,51 @@ mod tests {
                 qk *= q;
             }
             assert!((mass[n - 1] - qk).abs() < 1e-12, "p={p} tail: {} vs {qk}", mass[n - 1]);
+        }
+    }
+
+    #[test]
+    fn categorical_alias_reconstructs_masses() {
+        // Cell structure must encode exactly the normalized weights.
+        let weights = [3.0, 1.0, 0.0, 4.0, 2.0];
+        let sampler = CategoricalAlias::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        for (k, mass) in sampler.masses().iter().enumerate() {
+            assert!((mass - weights[k] / total).abs() < 1e-12, "outcome {k}: {mass}");
+        }
+    }
+
+    #[test]
+    fn categorical_alias_rejects_degenerate_weights() {
+        assert!(CategoricalAlias::new(&[]).is_none());
+        assert!(CategoricalAlias::new(&[0.0, 0.0]).is_none());
+        assert!(CategoricalAlias::new(&[1.0, -0.5]).is_none());
+        assert!(CategoricalAlias::new(&[1.0, f64::NAN]).is_none());
+        assert!(CategoricalAlias::new(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn categorical_alias_sampling_matches_distribution() {
+        // Empirical frequencies over a skewed 7-outcome distribution
+        // (including a zero-mass outcome that must never be drawn).
+        let weights = [5.0, 1.0, 0.5, 0.0, 2.0, 0.25, 1.25];
+        let sampler = CategoricalAlias::new(&weights).unwrap();
+        assert_eq!(sampler.len(), 7);
+        let total: f64 = weights.iter().sum();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let draws = 200_000;
+        let mut counts = [0u64; 7];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-mass outcome drawn");
+        for (k, &c) in counts.iter().enumerate() {
+            let expected = weights[k] / total;
+            let observed = c as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "outcome {k}: observed {observed} vs expected {expected}"
+            );
         }
     }
 

@@ -9,8 +9,10 @@
 //! busnet sim --n 8 --m 16 --r 8 [--memory-priority] [--buffered] [--p 0.5]
 //!            [--buffer-depth K|inf] [--seed 7] [--cycles 200000] [--warmup 20000]
 //!            [--arbitration random|round-robin|lru|priority] [--engine cycle|event]
+//!            [--hot-spot 0.3@0] [--module-weights 4,2,1,1] [--think-probs 1,1,0.5,0.25]
 //! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
 //! busnet sweep --buffer-depth 0,1,2,4,inf --evaluator sim,approx-depth
+//! busnet sweep --hot-spot 0,0.1,0.2,0.4 --buffer-depth 0,1,4 --evaluator sim --engine event
 //! busnet sweep --n 8..32:8 --evaluator sim --engine event --ci-width 0.02
 //! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event] [--smoke]
 //! ```
@@ -21,7 +23,7 @@ use std::time::Instant;
 
 use std::io::Write;
 
-use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams};
+use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet::core::scenario::{
     run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, Stopping, SweepRecord,
     ALL_EVALUATOR_KINDS,
@@ -58,10 +60,13 @@ fn main() -> ExitCode {
                  sim   --n N --m M --r R [--p P] [--buffered] [--buffer-depth K|inf]\n      \
                  [--memory-priority] [--seed S] [--cycles C] [--warmup W]\n      \
                  [--arbitration KIND] [--engine cycle|event]\n      \
-                 [--ci-width X [--max-reps K]]\n\
+                 [--hot-spot FRAC[@MODULE]] [--module-weights W1,..,Wm]\n      \
+                 [--think-probs P1,..,Pn] [--ci-width X [--max-reps K]]\n\
                  sweep --n SPEC --m SPEC --r SPEC [--p LIST] [--policy proc|mem|both]\n      \
                  [--buffering unbuffered|buffered|depthK|infinite|both]\n      \
                  [--buffer-depth LIST(K|inf)] [--arbitration LIST|all]\n      \
+                 [--hot-spot LIST(FRAC[@MODULE])] [--module-weights W1,..,Wm]\n      \
+                 [--think-probs P1,..,Pn]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
                  [--ci-width X [--max-reps K]]\n\
@@ -193,15 +198,34 @@ fn run_sim(args: &[String]) -> ExitCode {
     let engine_spec = flags.value("--engine").unwrap_or("cycle").to_owned();
     let ci_width_spec = flags.value("--ci-width").map(str::to_owned);
     let max_reps: u32 = flags.parse("--max-reps", 8);
+    let hot_spot_spec = flags.value("--hot-spot").map(str::to_owned);
+    let weights_spec = flags.value("--module-weights").map(str::to_owned);
+    let probs_spec = flags.value("--think-probs").map(str::to_owned);
     if let Err(e) = flags.finish() {
         eprintln!(
             "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
                    [--buffer-depth K|inf] [--memory-priority] [--seed S] [--cycles C] \
                    [--warmup W] [--arbitration KIND] [--engine cycle|event] \
-                   [--ci-width X [--max-reps K]]"
+                   [--hot-spot FRAC[@MODULE]] [--module-weights W1,..,Wm] \
+                   [--think-probs P1,..,Pn] [--ci-width X [--max-reps K]]"
         );
         return ExitCode::FAILURE;
     }
+    let workload = match parse_workload_flags(
+        hot_spot_spec.as_deref(),
+        weights_spec.as_deref(),
+        probs_spec.as_deref(),
+    ) {
+        Ok(mut workloads) if workloads.len() == 1 => workloads.remove(0),
+        Ok(_) => {
+            eprintln!("busnet sim takes a single --hot-spot fraction (lists are for sweep)");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let ci_width = match ci_width_spec.as_deref().map(parse_ci_width).transpose() {
         Ok(w) => w,
         Err(e) => {
@@ -249,6 +273,10 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = workload.validate(n, m) {
+        eprintln!("invalid workload: {e}");
+        return ExitCode::FAILURE;
+    }
     let policy =
         if memory_priority { BusPolicy::MemoryPriority } else { BusPolicy::ProcessorPriority };
 
@@ -256,6 +284,7 @@ fn run_sim(args: &[String]) -> ExitCode {
         .policy(policy)
         .buffering(buffering)
         .arbitration(arbitration)
+        .workload(workload.clone())
         .engine(engine)
         .seed(seed)
         .warmup_cycles(warmup)
@@ -278,10 +307,11 @@ fn run_sim(args: &[String]) -> ExitCode {
     };
     let metrics = report.metrics();
     println!(
-        "n={n} m={m} r={r} p={p} {policy:?} buffering={} arbitration={} engine={} \
+        "n={n} m={m} r={r} p={p} {policy:?} buffering={} arbitration={} workload={} engine={} \
          seed={seed} warmup={warmup}",
         buffering.name(),
         arbitration.name(),
+        workload.name(),
         engine.name()
     );
     println!("  EBW                  {:.4}", metrics.ebw);
@@ -298,6 +328,17 @@ fn run_sim(args: &[String]) -> ExitCode {
         println!("  P(input full)        {:.4}", report.input_full_fraction());
         println!("  blocked completions  {}", report.blocked_completions);
     }
+    if !workload.is_uniform() {
+        if let Some(hot) = report.hot_module() {
+            println!("  hot module           {hot}");
+            println!(
+                "  hot reference share  {:.4}",
+                report.module_reference_shares().get(hot).copied().unwrap_or(0.0)
+            );
+            println!("  hot module util      {:.4}", report.module_utilization(hot));
+            println!("  hot mean input queue {:.4}", report.module_mean_input_queue(hot));
+        }
+    }
     println!("  engine events        {}", report.events);
     if let Some((batches, half_width_95, converged)) = adaptive {
         println!("  measured cycles      {}", report.measured_cycles);
@@ -309,6 +350,55 @@ fn run_sim(args: &[String]) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Parses one `--hot-spot` item: `FRAC` or `FRAC@MODULE`.
+fn parse_hot_spot_item(spec: &str) -> Result<Workload, String> {
+    let (frac, module) = match spec.split_once('@') {
+        None => (spec, 0u32),
+        Some((frac, module)) => (
+            frac,
+            module
+                .parse()
+                .map_err(|_| format!("bad --hot-spot `{spec}` (MODULE must be an integer)"))?,
+        ),
+    };
+    let fraction: f64 = frac
+        .parse()
+        .map_err(|_| format!("bad --hot-spot `{spec}` (expected FRAC or FRAC@MODULE)"))?;
+    Workload::hot_spot(fraction, module).map_err(|e| e.to_string())
+}
+
+/// Resolves the workload flags (`--hot-spot`, `--module-weights`,
+/// `--think-probs`) into a workload axis. The three are mutually
+/// exclusive; `--hot-spot` accepts a comma list (one workload per
+/// fraction), the other two describe a single workload.
+fn parse_workload_flags(
+    hot_spot: Option<&str>,
+    module_weights: Option<&str>,
+    think_probs: Option<&str>,
+) -> Result<Vec<Workload>, String> {
+    let set = [hot_spot.is_some(), module_weights.is_some(), think_probs.is_some()]
+        .iter()
+        .filter(|&&s| s)
+        .count();
+    if set > 1 {
+        return Err(
+            "--hot-spot, --module-weights, and --think-probs are mutually exclusive".to_owned()
+        );
+    }
+    if let Some(spec) = hot_spot {
+        return spec.split(',').map(parse_hot_spot_item).collect();
+    }
+    if let Some(spec) = module_weights {
+        let weights = parse_f64_list(spec)?;
+        return Ok(vec![Workload::weighted(weights).map_err(|e| e.to_string())?]);
+    }
+    if let Some(spec) = think_probs {
+        let probs = parse_f64_list(spec)?;
+        return Ok(vec![Workload::heterogeneous(probs).map_err(|e| e.to_string())?]);
+    }
+    Ok(vec![Workload::Uniform])
 }
 
 /// Parses a `--ci-width` value: a positive finite number.
@@ -410,10 +500,22 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
             let missing = |m: &str| (m.to_owned(), m.to_owned(), m.to_owned());
             let (queue_csv, full_csv, blocked_csv) = occ.clone().unwrap_or_else(|| missing(""));
             let (queue_json, full_json, blocked_json) = occ.unwrap_or_else(|| missing("null"));
+            // Hot-module workload telemetry (simulators only).
+            let hot = eval.hot_module.as_ref().map(|h| {
+                (
+                    format!("{:.6}", h.reference_share),
+                    format!("{:.6}", h.utilization),
+                    format!("{:.6}", h.mean_input_queue),
+                )
+            });
+            let (hot_share_csv, hot_util_csv, hot_queue_csv) =
+                hot.clone().unwrap_or_else(|| missing(""));
+            let (hot_share_json, hot_util_json, hot_queue_json) =
+                hot.unwrap_or_else(|| missing("null"));
             let written = match format {
                 SweepFormat::Csv => writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -422,6 +524,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     s.buffering.name(),
                     s.buffering.depth_label(),
                     s.arbitration.name(),
+                    s.workload.name(),
                     record.evaluator,
                     m.ebw,
                     eval.half_width_95,
@@ -433,16 +536,21 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     queue_csv,
                     full_csv,
                     blocked_csv,
+                    hot_share_csv,
+                    hot_util_csv,
+                    hot_queue_csv,
                 ),
                 SweepFormat::Json => writeln!(
                     out,
                     "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
                      \"buffering\":\"{}\",\"buffer_depth\":\"{}\",\"arbitration\":\"{}\",\
-                     \"evaluator\":\"{}\",\
+                     \"workload\":\"{}\",\"evaluator\":\"{}\",\
                      \"ebw\":{:.6},\"half_width_95\":{:.6},\"bus_utilization\":{:.6},\
                      \"memory_utilization\":{:.6},\"processor_efficiency\":{:.6},\
                      \"replications\":{},\"fairness\":{},\"mean_input_queue\":{},\
-                     \"input_full_fraction\":{},\"blocked_completions\":{}}}",
+                     \"input_full_fraction\":{},\"blocked_completions\":{},\
+                     \"hot_ref_share\":{},\"hot_module_utilization\":{},\
+                     \"hot_mean_input_queue\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -451,6 +559,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     s.buffering.name(),
                     s.buffering.depth_label(),
                     s.arbitration.name(),
+                    s.workload.name(),
                     record.evaluator,
                     m.ebw,
                     eval.half_width_95,
@@ -462,6 +571,9 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     queue_json,
                     full_json,
                     blocked_json,
+                    hot_share_json,
+                    hot_util_json,
+                    hot_queue_json,
                 ),
             };
             written.expect("stdout closed mid-sweep");
@@ -506,6 +618,9 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let serial = flags.switch("--serial");
     let ci_width_spec = flags.value("--ci-width").map(str::to_owned);
     let max_reps: u32 = flags.parse("--max-reps", replications.max(1));
+    let hot_spot_spec = flags.value("--hot-spot").map(str::to_owned);
+    let weights_spec = flags.value("--module-weights").map(str::to_owned);
+    let probs_spec = flags.value("--think-probs").map(str::to_owned);
     if let Err(e) = flags.finish() {
         eprintln!("{e}\nrun `busnet` without arguments for usage");
         return ExitCode::FAILURE;
@@ -600,6 +715,15 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
+    let workloads = match parse_workload_flags(
+        hot_spot_spec.as_deref(),
+        weights_spec.as_deref(),
+        probs_spec.as_deref(),
+    ) {
+        Ok(w) => w,
+        Err(e) => return fail(e),
+    };
+
     let grid = ScenarioGrid::new()
         .n_values(n)
         .m_values(m)
@@ -607,7 +731,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         .p_values(p)
         .policies(policies)
         .bufferings(bufferings)
-        .arbitrations(arbitrations);
+        .arbitrations(arbitrations)
+        .workloads(workloads);
     let scenarios = match grid.scenarios() {
         Ok(s) => s,
         Err(e) => return fail(format!("invalid sweep point: {e}")),
@@ -643,9 +768,10 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     if format == SweepFormat::Csv {
         writeln!(
             out,
-            "n,m,r,p,policy,buffering,buffer_depth,arbitration,evaluator,ebw,half_width_95,\
-             bus_utilization,memory_utilization,processor_efficiency,replications,fairness,\
-             mean_input_queue,input_full_fraction,blocked_completions"
+            "n,m,r,p,policy,buffering,buffer_depth,arbitration,workload,evaluator,ebw,\
+             half_width_95,bus_utilization,memory_utilization,processor_efficiency,replications,\
+             fairness,mean_input_queue,input_full_fraction,blocked_completions,hot_ref_share,\
+             hot_module_utilization,hot_mean_input_queue"
         )
         .expect("stdout closed");
     }
@@ -862,6 +988,48 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          max relative EBW gap {max_rel_gap:.4}"
     );
 
+    // Hot-spot vs uniform workload cost on the event engine: the
+    // alias-table module draw is O(1) regardless of skew, so the
+    // non-uniform path must stay within ~10% of uniform *event
+    // throughput* (events/second — the two runs execute different
+    // event counts, since a hot spot throttles completions).
+    eprintln!("# timing hot-spot vs uniform workload slice (event engine)...");
+    let workload_slice = |workloads: Vec<busnet::core::params::Workload>| {
+        let slice = ScenarioGrid::new()
+            .n_values([8])
+            .m_values([8, 16])
+            .r_values([8, 16])
+            .p_values([0.2, 1.0])
+            .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+            .workloads(workloads)
+            .scenarios()
+            .expect("static grid is valid");
+        let sim = busnet::core::scenario::BusSimEval::new(budget.with_engine(EngineKind::Event));
+        let evaluators: [&dyn Evaluator; 1] = [&sim];
+        let start = Instant::now();
+        let records = run_sweep(&slice, &evaluators, ExecutionMode::Serial, |_, _, _| {});
+        let secs = start.elapsed().as_secs_f64();
+        let events: u64 = records
+            .iter()
+            .filter_map(|r| r.result.as_ref().ok().map(|e| e.simulated_events()))
+            .sum();
+        (secs, events)
+    };
+    let (uniform_secs, uniform_events) =
+        workload_slice(vec![busnet::core::params::Workload::Uniform]);
+    let (hotspot_secs, hotspot_events) = workload_slice(vec![
+        busnet::core::params::Workload::hot_spot(0.2, 0).expect("valid fraction"),
+    ]);
+    let uniform_eps = uniform_events as f64 / uniform_secs;
+    let hotspot_eps = hotspot_events as f64 / hotspot_secs;
+    let workload_ratio = hotspot_eps / uniform_eps;
+    eprintln!(
+        "# uniform: {uniform_events} events in {uniform_secs:.2}s ({:.1}M ev/s); \
+         hot-spot 0.2: {hotspot_events} events in {hotspot_secs:.2}s ({:.1}M ev/s) -> {workload_ratio:.2}x",
+        uniform_eps / 1e6,
+        hotspot_eps / 1e6
+    );
+
     // The PR 3 (pre-timing-wheel) kernel's event_seconds on this
     // project's reference container — a host-specific constant kept
     // only so regenerated files carry the kernel-over-kernel
@@ -963,6 +1131,13 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
 the ratio below is only meaningful when this file is regenerated on comparable hardware\",\n    \
          \"throughput_vs_pr3_baseline\": {vs_pr3:.2}\n  }},\n  \
          \"queue_vs_heap\": {{\n    \"ops\": {queue_ops},\n    \"runs\": [\n      {queue_runs}\n    ]\n  }},\n  \
+         \"hotspot_vs_uniform\": {{\n    \
+         \"slice\": \"n=8, m in {{8,16}}, r in {{8,16}}, p in {{0.2,1.0}}, both bufferings, event engine\",\n    \
+         \"hot_fraction\": 0.2,\n    \
+         \"uniform_seconds\": {uniform_secs:.3},\n    \"uniform_events\": {uniform_events},\n    \
+         \"hotspot_seconds\": {hotspot_secs:.3},\n    \"hotspot_events\": {hotspot_events},\n    \
+         \"event_throughput_ratio\": {workload_ratio:.3},\n    \
+         \"acceptance\": \"non-uniform event throughput within 10% of uniform\"\n  }},\n  \
          \"adaptive_vs_fixed\": {{\n    \
          \"points\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, p=1, both bufferings)\",\n    \
          \"fixed_events\": {fixed_events},\n    \"adaptive_events\": {adaptive_events},\n    \

@@ -1,0 +1,6 @@
+//! Shared test-support modules for the integration suites. Cargo does
+//! not compile `tests/common/` as a test target; each suite pulls this
+//! in with `mod common;`.
+#![allow(dead_code)] // each suite uses a different helper subset
+
+pub mod stats;

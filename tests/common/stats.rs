@@ -1,0 +1,146 @@
+//! Statistical-agreement helpers shared by the integration suites
+//! (engine equivalence, model-vs-sim, adaptive precision, workloads).
+//!
+//! These used to be re-derived ad hoc inside each suite; one module
+//! keeps the acceptance semantics — CI overlap, Welch two-sample
+//! intervals, chi-square goodness of fit — identical everywhere.
+
+use busnet::sim::stats::{student_t_975, RunningStats};
+
+/// The master seed the statistical suites derive their randomness
+/// from: `BUSNET_TEST_MASTER_SEED` when set (decimal, or hex with a
+/// `0x` prefix), else the repository's fixed default. CI reruns the
+/// determinism-sensitive suites under a shuffled seed to catch
+/// seed-coupled assertions before merge.
+pub fn master_seed() -> u64 {
+    match std::env::var("BUSNET_TEST_MASTER_SEED") {
+        Ok(raw) => raw
+            .strip_prefix("0x")
+            .map_or_else(|| raw.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+            .unwrap_or_else(|| panic!("BUSNET_TEST_MASTER_SEED is not a u64: {raw}")),
+        Err(_) => 0x1985_0414,
+    }
+}
+
+/// An estimate with its 95% half width, the currency of the overlap
+/// checks.
+pub type Estimate = (f64, f64);
+
+/// Whether two interval estimates overlap, with `slack` of extra
+/// tolerance: `|mean_a − mean_b| ≤ hw_a + hw_b + slack`.
+pub fn ci_overlap(a: Estimate, b: Estimate, slack: f64) -> bool {
+    (a.0 - b.0).abs() <= a.1 + b.1 + slack
+}
+
+/// Asserts [`ci_overlap`], with a diagnostic naming both estimates.
+#[track_caller]
+pub fn assert_ci_overlap(label: &str, a: Estimate, b: Estimate, slack: f64) {
+    assert!(
+        ci_overlap(a, b, slack),
+        "{label}: {:.4} ± {:.4} does not overlap {:.4} ± {:.4} (slack {slack})",
+        a.0,
+        a.1,
+        b.0,
+        b.1
+    );
+}
+
+/// 95% half width of the difference of two sample means by Welch's
+/// t-interval: standard error `√(s²_a/n_a + s²_b/n_b)` scaled by the
+/// t quantile at the Welch–Satterthwaite degrees of freedom.
+pub fn welch_diff_half_width_95(a: &RunningStats, b: &RunningStats) -> f64 {
+    let (va, na) = (a.sample_variance(), a.count() as f64);
+    let (vb, nb) = (b.sample_variance(), b.count() as f64);
+    assert!(na >= 2.0 && nb >= 2.0, "Welch interval needs at least 2 samples per side");
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        return 0.0;
+    }
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    welch_t_975(df) * se2.sqrt()
+}
+
+/// `t_{0.975}` at (possibly fractional) Welch degrees of freedom,
+/// interpolated between the integer rows of the shared Student-t
+/// table.
+fn welch_t_975(df: f64) -> f64 {
+    let lo = df.floor().max(1.0);
+    let frac = df - lo;
+    let a = student_t_975(lo as u64);
+    let b = student_t_975(lo as u64 + 1);
+    a + (b - a) * frac
+}
+
+/// Whether two samples' means agree under Welch's 95% interval (plus
+/// `slack`).
+pub fn welch_means_agree(a: &RunningStats, b: &RunningStats, slack: f64) -> bool {
+    (a.mean() - b.mean()).abs() <= welch_diff_half_width_95(a, b) + slack
+}
+
+/// Asserts [`welch_means_agree`], with a diagnostic.
+#[track_caller]
+pub fn assert_welch_agree(label: &str, a: &RunningStats, b: &RunningStats, slack: f64) {
+    assert!(
+        welch_means_agree(a, b, slack),
+        "{label}: means {:.4} vs {:.4} differ beyond the Welch 95% width {:.4} (+ slack {slack})",
+        a.mean(),
+        b.mean(),
+        welch_diff_half_width_95(a, b)
+    );
+}
+
+/// Asserts `|a − b| / |b| < tol`, the relative-deviation form of
+/// model-vs-measurement agreement.
+#[track_caller]
+pub fn assert_rel_within(label: &str, a: f64, b: f64, tol: f64) {
+    let rel = (a - b).abs() / b.abs();
+    assert!(
+        rel < tol,
+        "{label}: {a:.4} vs {b:.4} deviates {:.1}% (> {:.1}%)",
+        rel * 100.0,
+        tol * 100.0
+    );
+}
+
+/// Pearson's chi-square statistic of observed counts against expected
+/// probabilities. Zero-probability cells must have zero observations
+/// (asserted); they contribute no degrees of freedom.
+pub fn chi_square_stat(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len());
+    let total: u64 = observed.iter().sum();
+    let mut stat = 0.0;
+    for (&o, &p) in observed.iter().zip(expected) {
+        if p == 0.0 {
+            assert_eq!(o, 0, "observation in a zero-probability cell");
+            continue;
+        }
+        let e = p * total as f64;
+        stat += (o as f64 - e).powi(2) / e;
+    }
+    stat
+}
+
+/// The 99.9th-percentile chi-square critical value at `df` degrees of
+/// freedom (Wilson–Hilferty approximation; `z_{0.999} ≈ 3.0902`).
+/// Tests reject at this loose level so a correct sampler fails ~1 in
+/// 1000 runs at most.
+pub fn chi_square_critical_999(df: usize) -> f64 {
+    let k = df as f64;
+    let z = 3.0902;
+    let cube = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * cube.powi(3)
+}
+
+/// Asserts that `observed` counts are consistent with drawing from
+/// `expected` (chi-square at the 99.9% level over the non-zero cells).
+#[track_caller]
+pub fn assert_chi_square_fits(label: &str, observed: &[u64], expected: &[f64]) {
+    let stat = chi_square_stat(observed, expected);
+    let df = expected.iter().filter(|&&p| p > 0.0).count().saturating_sub(1);
+    let critical = chi_square_critical_999(df.max(1));
+    assert!(
+        stat <= critical,
+        "{label}: chi-square {stat:.2} exceeds the 99.9% critical value {critical:.2} (df {df})"
+    );
+}

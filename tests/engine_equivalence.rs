@@ -3,6 +3,13 @@
 //! (overlapping 95% confidence intervals on EBW and latency across a
 //! grid of paper configs) and be bit-identical across execution modes
 //! and repeated runs with the same master seed.
+//!
+//! Statistical-agreement semantics live in `common::stats`, shared
+//! with the model-vs-sim, adaptive-precision, and workload suites.
+
+mod common;
+
+use common::stats::{assert_ci_overlap, assert_welch_agree, master_seed};
 
 use busnet::core::params::{ArbitrationKind, Buffering, SystemParams};
 use busnet::core::scenario::{BusSimEval, Evaluator, Scenario, ScenarioGrid, SimBudget};
@@ -14,6 +21,7 @@ use busnet::sim::stats::RunningStats;
 fn budget(engine: EngineKind) -> SimBudget {
     SimBudget { replications: 5, warmup: 4_000, measure: 40_000, ..SimBudget::quick() }
         .with_engine(engine)
+        .with_master_seed(master_seed())
 }
 
 /// The Table 3 (unbuffered) and Table 4 (buffered) corner configs at
@@ -39,25 +47,20 @@ fn engines_produce_overlapping_ebw_intervals() {
     for scenario in paper_operating_points() {
         let a = cycle.evaluate(&scenario).unwrap();
         let b = event.evaluate(&scenario).unwrap();
-        let gap = (a.ebw() - b.ebw()).abs();
-        let overlap = a.half_width_95 + b.half_width_95 + 0.01 * a.ebw();
-        assert!(
-            gap <= overlap,
-            "{}: cycle {:.4} ± {:.4} vs event {:.4} ± {:.4}",
-            scenario.label(),
-            a.ebw(),
-            a.half_width_95,
-            b.ebw(),
-            b.half_width_95
+        assert_ci_overlap(
+            &scenario.label(),
+            (a.ebw(), a.half_width_95),
+            (b.ebw(), b.half_width_95),
+            0.01 * a.ebw(),
         );
     }
 }
 
 /// Same property for the latency distribution: mean round-trip times
-/// agree within the replication confidence intervals.
+/// agree under Welch's two-sample 95% interval.
 #[test]
 fn engines_produce_overlapping_latency_intervals() {
-    let plan = ReplicationPlan::new(5, 0x1985_0414);
+    let plan = ReplicationPlan::new(5, master_seed());
     let mean_round_trip = |engine: EngineKind, buffering: Buffering| {
         let mut stats = RunningStats::new();
         for seed in plan.seeds() {
@@ -75,16 +78,7 @@ fn engines_produce_overlapping_latency_intervals() {
     for buffering in [Buffering::Unbuffered, Buffering::Buffered] {
         let a = mean_round_trip(EngineKind::Cycle, buffering);
         let b = mean_round_trip(EngineKind::Event, buffering);
-        let gap = (a.mean() - b.mean()).abs();
-        let overlap = a.half_width_95() + b.half_width_95() + 0.01 * a.mean();
-        assert!(
-            gap <= overlap,
-            "{buffering:?}: cycle {:.3} ± {:.3} vs event {:.3} ± {:.3}",
-            a.mean(),
-            a.half_width_95(),
-            b.mean(),
-            b.half_width_95()
-        );
+        assert_welch_agree(&format!("{buffering:?} round trip"), &a, &b, 0.01 * a.mean());
     }
 }
 
@@ -94,12 +88,15 @@ fn engines_produce_overlapping_latency_intervals() {
 fn engines_agree_under_every_arbitration_kind() {
     let scenario = Scenario::new(SystemParams::new(8, 8, 6).unwrap());
     for kind in ArbitrationKind::ALL {
-        let s = scenario.with_arbitration(kind);
+        let s = scenario.clone().with_arbitration(kind);
         let a = BusSimEval::new(budget(EngineKind::Cycle)).evaluate(&s).unwrap();
         let b = BusSimEval::new(budget(EngineKind::Event)).evaluate(&s).unwrap();
-        let gap = (a.ebw() - b.ebw()).abs();
-        let overlap = a.half_width_95 + b.half_width_95 + 0.01 * a.ebw();
-        assert!(gap <= overlap, "{kind:?}: cycle {:.4} vs event {:.4}", a.ebw(), b.ebw());
+        assert_ci_overlap(
+            &format!("{kind:?}"),
+            (a.ebw(), a.half_width_95),
+            (b.ebw(), b.half_width_95),
+            0.01 * a.ebw(),
+        );
     }
 }
 

@@ -1,4 +1,9 @@
 //! Cross-validation: analytic models vs the cycle-accurate simulator.
+//! Agreement semantics come from the shared `common::stats` module.
+
+mod common;
+
+use common::stats::assert_rel_within;
 
 use busnet::core::analytic::exact_chain::ExactChain;
 use busnet::core::analytic::reduced::ReducedChain;
@@ -24,8 +29,7 @@ fn exact_chain_matches_memory_priority_sim() {
         let params = SystemParams::new(n, m, n.min(m) + 7).unwrap();
         let chain = ExactChain::new(params).ebw().unwrap();
         let measured = sim(params, BusPolicy::MemoryPriority, Buffering::Unbuffered);
-        let rel = (measured - chain).abs() / chain;
-        assert!(rel < 0.025, "({n},{m}): sim {measured:.3} vs chain {chain:.3} ({rel:.3})");
+        assert_rel_within(&format!("({n},{m})"), measured, chain, 0.025);
     }
 }
 
@@ -47,7 +51,7 @@ fn reduced_chain_matches_processor_priority_sim_within_paper_bound() {
             if rel > 0.05 {
                 over_5 += 1;
             }
-            assert!(rel < 0.09, "(m={m},r={r}): sim {measured:.3} vs model {model:.3}");
+            assert_rel_within(&format!("(m={m},r={r})"), model, measured, 0.09);
         }
     }
     assert!(
