@@ -1,11 +1,14 @@
 //! Microbenches of the simulation hot path introduced with the
 //! high-throughput core: timing-wheel vs heap queue ops at varying
-//! horizons, batched vs scalar geometric sampling, and the
-//! work-stealing scheduler at 1/2/4 threads.
+//! horizons, batched vs scalar geometric sampling, the work-stealing
+//! scheduler at 1/2/4 threads, and the fluid evaluator's RK4 step and
+//! full million-processor solve.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use busnet_core::analytic::fluid::{FluidModel, FluidOptions};
+use busnet_core::params::{Buffering, SystemParams, Workload};
 use busnet_sim::event::{
     sample_bernoulli_success, CategoricalAlias, EventQueue, GeometricAlias, GeometricSampler,
     HeapEventQueue,
@@ -200,11 +203,50 @@ fn bench_work_stealing(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fluid(c: &mut Criterion) {
+    // The fluid hot path: one RK4 step over the class-structured state.
+    // The state dimension depends on the buffer depth (k + 2 levels per
+    // module class), never on n — the same step serves n = 8 and
+    // n = 10^6.
+    let mut group = c.benchmark_group("fluid_rk4_step");
+    for depth in [0u32, 4, 64] {
+        let buffering = if depth == 0 { Buffering::Unbuffered } else { Buffering::Depth(depth) };
+        let params = SystemParams::new(1_000_000, 1_000_000, 8)
+            .unwrap()
+            .with_request_probability(0.2)
+            .unwrap();
+        let model = FluidModel::new(params, buffering, &Workload::default(), 8.0).unwrap();
+        group.throughput(Throughput::Elements(model.state_dimension() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            let mut state = Vec::new();
+            b.iter(|| {
+                model.bench_step(&mut state);
+                black_box(state.last().copied())
+            })
+        });
+    }
+    group.finish();
+
+    // The headline number: a complete million-processor scenario
+    // evaluation (warm start + integrate to steady state).
+    let mut group = c.benchmark_group("fluid_solve");
+    for n in [1_000u32, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = SystemParams::new(n, n, 8).unwrap().with_request_probability(0.2).unwrap();
+            let model =
+                FluidModel::new(params, Buffering::Depth(4), &Workload::default(), 8.0).unwrap();
+            b.iter(|| black_box(model.solve(&FluidOptions::default()).ebw))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_queue_ops,
     bench_geometric_sampling,
     bench_categorical_sampling,
-    bench_work_stealing
+    bench_work_stealing,
+    bench_fluid
 );
 criterion_main!(benches);

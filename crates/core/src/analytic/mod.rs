@@ -16,12 +16,17 @@
 //!   approximation (the reference lines of Figs 2 and 5).
 //! * [`multibus`] — the multiple-bus baseline of the paper's reference 5
 //!   (used by the §7 trade-off discussion).
+//! * [`fluid`] — the mean-field fluid (ODE) limit: per-module
+//!   queue-level chains with depth-`k` clipping integrated to steady
+//!   state, O(1) in `n` — the scale vehicle and the sweep screening
+//!   pre-pass.
 //! * [`pfqn`] — §6: the product-form (exponential-service) model of the
 //!   buffered system, solved by MVA/Buzen.
 
 pub mod approx;
 pub mod crossbar;
 pub mod exact_chain;
+pub mod fluid;
 pub mod multibus;
 pub mod occupancy;
 pub mod pfqn;

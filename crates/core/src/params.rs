@@ -438,23 +438,27 @@ impl SystemParams {
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidParameter`] if any of `n`, `m`, `r` is zero
-    /// or implausibly large (`> 4096`, a guard against accidental
-    /// astronomically-sized analytic models).
+    /// [`CoreError::InvalidParameter`] if any of `n`, `m`, `r` is zero,
+    /// if `n` or `m` exceeds `16_777_216` (2^24, the fluid-evaluator
+    /// scale ceiling), or if `r > 4096` (a guard against accidental
+    /// astronomically long memory cycles). Evaluators with state spaces
+    /// that grow in `n`/`m` impose their own tighter caps in
+    /// `Evaluator::supports`.
     pub fn new(n: u32, m: u32, r: u32) -> Result<Self, CoreError> {
-        fn check(name: &'static str, v: u32) -> Result<(), CoreError> {
-            if v == 0 || v > 4096 {
-                return Err(CoreError::InvalidParameter {
-                    name,
-                    value: v.to_string(),
-                    constraint: "1 <= value <= 4096",
-                });
+        fn check(
+            name: &'static str,
+            v: u32,
+            max: u32,
+            constraint: &'static str,
+        ) -> Result<(), CoreError> {
+            if v == 0 || v > max {
+                return Err(CoreError::InvalidParameter { name, value: v.to_string(), constraint });
             }
             Ok(())
         }
-        check("n", n)?;
-        check("m", m)?;
-        check("r", r)?;
+        check("n", n, 16_777_216, "1 <= value <= 16777216")?;
+        check("m", m, 16_777_216, "1 <= value <= 16777216")?;
+        check("r", r, 4096, "1 <= value <= 4096")?;
         Ok(SystemParams { n, m, r, p: 1.0 })
     }
 
@@ -540,7 +544,11 @@ mod tests {
 
     #[test]
     fn oversized_values_rejected() {
-        assert!(SystemParams::new(5000, 1, 1).is_err());
+        assert!(SystemParams::new(16_777_217, 1, 1).is_err());
+        assert!(SystemParams::new(1, 16_777_217, 1).is_err());
+        assert!(SystemParams::new(1, 1, 5000).is_err());
+        // n and m may now exceed the old 4096 cap (fluid-evaluator scale).
+        assert!(SystemParams::new(1_000_000, 1_000_000, 8).is_ok());
     }
 
     #[test]

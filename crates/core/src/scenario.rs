@@ -40,12 +40,14 @@ use busnet_sim::stats::jain_fairness_index;
 use crate::analytic::approx::{ApproxModel, ApproxVariant};
 use crate::analytic::crossbar::crossbar_ebw_exact;
 use crate::analytic::exact_chain::ExactChain;
+use crate::analytic::fluid::{FluidModel, FluidOptions};
+use crate::analytic::multibus::multibus_bw_exact;
 use crate::analytic::pfqn::{pfqn_ebw_buzen_workload, pfqn_ebw_workload};
 use crate::analytic::reduced::ReducedChain;
 use crate::error::CoreError;
 use crate::metrics::Metrics;
 use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
-use crate::sim::bus::{AdaptivePlan, BusSimBuilder, SimReport};
+use crate::sim::bus::{AdaptivePlan, BusSimBuilder, PriorSeed, SimReport};
 use crate::sim::crossbar::CrossbarSim;
 use crate::sim::service::ServiceTime;
 
@@ -75,6 +77,11 @@ pub struct Scenario {
     /// Memory service-time distribution; `None` means the paper's
     /// constant `r` cycles.
     pub memory_service: Option<ServiceTime>,
+    /// Number of buses `b` (the §7 trade-off axis). The paper's
+    /// single multiplexed bus is `1`; the multiple-bus baseline
+    /// ([`MultibusEval`]) accepts larger values, every single-bus
+    /// vehicle requires `1`.
+    pub buses: u32,
 }
 
 impl Scenario {
@@ -89,7 +96,26 @@ impl Scenario {
             arbitration: ArbitrationKind::Random,
             workload: Workload::Uniform,
             memory_service: None,
+            buses: 1,
         }
+    }
+
+    /// Returns a copy with the given number of buses (validated: at
+    /// least one).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when `buses == 0`.
+    pub fn with_buses(mut self, buses: u32) -> Result<Self, CoreError> {
+        if buses == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "buses",
+                value: buses.to_string(),
+                constraint: "at least one bus",
+            });
+        }
+        self.buses = buses;
+        Ok(self)
     }
 
     /// Returns a copy with the given arbitration policy.
@@ -173,8 +199,9 @@ impl Scenario {
             Workload::Uniform => String::new(),
             w => format!(" {}", w.name()),
         };
+        let buses = if self.buses == 1 { String::new() } else { format!(" b={}", self.buses) };
         format!(
-            "n={} m={} r={} p={} {policy} {buffering}{arbitration}{workload}",
+            "n={} m={} r={} p={} {policy} {buffering}{arbitration}{workload}{buses}",
             self.params.n(),
             self.params.m(),
             self.params.r(),
@@ -367,6 +394,34 @@ pub trait Evaluator: Sync {
         self.evaluate(scenario).map(|e| EvalUnit::Whole(Box::new(e)))
     }
 
+    /// Evaluates one unit warm-started from a cheap external EBW
+    /// estimate (the fluid screening pre-pass of
+    /// [`run_sweep_screened`]). The default ignores the prior;
+    /// [`BusSimEval`] threads it into its adaptive stopping rule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Evaluator::evaluate_unit`].
+    fn evaluate_unit_primed(
+        &self,
+        scenario: &Scenario,
+        unit: u32,
+        prior: Option<PriorSeed>,
+    ) -> Result<EvalUnit, CoreError> {
+        let _ = prior;
+        self.evaluate_unit(scenario, unit)
+    }
+
+    /// Whether the fluid screening pre-pass may skip or seed this
+    /// evaluator's grid points. Defaults to `false`; only the
+    /// stochastic single-bus simulator opts in — screening an analytic
+    /// vehicle would replace an exact answer with an approximation,
+    /// and the crossbar baselines model a different network than the
+    /// fluid limit.
+    fn fluid_screenable(&self) -> bool {
+        false
+    }
+
     /// Combines unit results (in unit-index order) into the final
     /// evaluation. Must be deterministic in its inputs.
     ///
@@ -430,6 +485,20 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
     }
 }
 
+/// Shared domain guard of the state-space analytic vehicles: a single
+/// multiplexed bus and system sizes their chains / recursions handle.
+/// Larger systems belong to the fluid evaluator, whose cost is O(1) in
+/// `n`.
+fn analytic_domain(s: &Scenario) -> bool {
+    s.buses == 1 && s.params.n() <= 4096 && s.params.m() <= 4096
+}
+
+/// Shared domain guard of the stochastic simulators: a single bus and
+/// per-entity state that fits comfortably in memory.
+fn sim_domain(s: &Scenario) -> bool {
+    s.buses == 1 && s.params.n() <= 65_536 && s.params.m() <= 65_536
+}
+
 fn require(
     evaluator: &'static str,
     scenario: &Scenario,
@@ -457,7 +526,8 @@ impl Evaluator for ExactChainEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.policy == BusPolicy::MemoryPriority
+        analytic_domain(s)
+            && s.policy == BusPolicy::MemoryPriority
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
@@ -489,7 +559,8 @@ impl Evaluator for ReducedChainEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.policy == BusPolicy::ProcessorPriority
+        analytic_domain(s)
+            && s.policy == BusPolicy::ProcessorPriority
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.workload.is_uniform()
@@ -525,7 +596,8 @@ impl Evaluator for ApproxEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.policy == BusPolicy::MemoryPriority
+        analytic_domain(s)
+            && s.policy == BusPolicy::MemoryPriority
             && !s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.params.p() >= 1.0
@@ -560,7 +632,8 @@ impl Evaluator for DepthApproxEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.policy == BusPolicy::ProcessorPriority
+        analytic_domain(s)
+            && s.policy == BusPolicy::ProcessorPriority
             && s.arbitration == ArbitrationKind::Random
             && s.workload.is_uniform()
             && s.has_paper_service()
@@ -612,7 +685,8 @@ impl Evaluator for PfqnEval {
         // including non-uniform reference distributions, which become
         // per-module visit ratios. Heterogeneous think probabilities
         // have no single-class product-form counterpart.
-        s.buffering.is_buffered()
+        analytic_domain(s)
+            && s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.workload.has_homogeneous_thinking()
     }
@@ -643,7 +717,10 @@ impl Evaluator for CrossbarExactEval {
     }
 
     fn supports(&self, s: &Scenario) -> bool {
-        s.params.p() >= 1.0 && s.arbitration == ArbitrationKind::Random && s.workload.is_uniform()
+        analytic_domain(s)
+            && s.params.p() >= 1.0
+            && s.arbitration == ArbitrationKind::Random
+            && s.workload.is_uniform()
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -876,7 +953,11 @@ impl Evaluator for BusSimEval {
         "sim"
     }
 
-    fn supports(&self, _scenario: &Scenario) -> bool {
+    fn supports(&self, scenario: &Scenario) -> bool {
+        sim_domain(scenario)
+    }
+
+    fn fluid_screenable(&self) -> bool {
         true
     }
 
@@ -892,6 +973,22 @@ impl Evaluator for BusSimEval {
     }
 
     fn evaluate_unit(&self, scenario: &Scenario, unit: u32) -> Result<EvalUnit, CoreError> {
+        self.evaluate_unit_primed(scenario, unit, None)
+    }
+
+    fn evaluate_unit_primed(
+        &self,
+        scenario: &Scenario,
+        unit: u32,
+        prior: Option<PriorSeed>,
+    ) -> Result<EvalUnit, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the cycle-accurate simulator runs a single bus with at most 65536 \
+             processors/modules (larger systems belong to the fluid evaluator)",
+        )?;
         scenario.validate()?;
         // Seeds depend only on (master_seed, unit): common random
         // numbers across every scenario of a sweep.
@@ -912,6 +1009,7 @@ impl Evaluator for BusSimEval {
                         .measure
                         .saturating_mul(u64::from(max_reps.max(1)))
                         .max(2 * (self.budget.measure / 4).max(1)),
+                    prior,
                 };
                 let outcome = self.builder_for(scenario, seeds.stream(0)).run_adaptive(&plan);
                 let mut evaluation = self.aggregate_reports(scenario, vec![outcome.report]);
@@ -988,11 +1086,18 @@ impl Evaluator for CrossbarSimEval {
         "crossbar-sim"
     }
 
-    fn supports(&self, _scenario: &Scenario) -> bool {
-        true
+    fn supports(&self, scenario: &Scenario) -> bool {
+        sim_domain(scenario)
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the crossbar simulator runs a single-crossbar network with at most 65536 \
+             processors/modules",
+        )?;
         scenario.workload.validate(scenario.params.n(), scenario.params.m())?;
         let report = CrossbarSim::new(scenario.params)
             .arbitration(scenario.arbitration)
@@ -1005,6 +1110,150 @@ impl Evaluator for CrossbarSimEval {
         let mut evaluation = crossbar_evaluation(self.name(), scenario, report.ebw());
         evaluation.per_processor_ebw = Some(report.per_processor_ebw());
         evaluation.simulated_events = report.events;
+        Ok(evaluation)
+    }
+}
+
+/// The mean-field fluid (ODE) evaluator
+/// ([`crate::analytic::fluid`]): per-module queue-level fractions with
+/// depth-`k` clipping, integrated to steady state from an analytic
+/// equilibrium warm start. Cost is O(1) in `n`, so its domain covers
+/// arbitrary system sizes (including `n = 10⁶`) — the scale vehicle
+/// and the sweep screening pre-pass.
+///
+/// The fluid limit is policy- and arbitration-agnostic (per-request
+/// priority effects vanish as mass dynamics), covers the whole
+/// workload and buffering axes, and sees only the mean of the service
+/// distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FluidEval {
+    /// Integrator tolerances and step budget.
+    pub options: FluidOptions,
+}
+
+impl FluidEval {
+    /// An evaluator with the given integrator options.
+    pub fn new(options: FluidOptions) -> Self {
+        FluidEval { options }
+    }
+
+    /// Solves the fluid model for `scenario` and returns the raw
+    /// solution (the screening pass reads throughput and convergence
+    /// directly; [`FluidEval::evaluate`] wraps this into an
+    /// [`Evaluation`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FluidEval::evaluate`].
+    pub fn solve(
+        &self,
+        scenario: &Scenario,
+    ) -> Result<crate::analytic::fluid::FluidSolution, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the fluid mean-field model describes the single multiplexed bus",
+        )?;
+        scenario.validate()?;
+        let model = FluidModel::new(
+            scenario.params,
+            scenario.buffering,
+            &scenario.workload,
+            scenario.service().mean(),
+        )?;
+        Ok(model.solve(&self.options))
+    }
+}
+
+/// Spreads a mean level over the two adjacent integer levels of a
+/// `0..=top` distribution (the fluid model tracks the aggregate
+/// output-FIFO mass, not its per-level split).
+fn two_point_distribution(mean: f64, top: usize) -> Vec<f64> {
+    let mut dist = vec![0.0; top + 1];
+    let clamped = mean.clamp(0.0, top as f64);
+    let lo = (clamped.floor() as usize).min(top);
+    let hi = (lo + 1).min(top);
+    let frac = clamped - lo as f64;
+    dist[lo] += 1.0 - frac;
+    dist[hi] += frac;
+    dist
+}
+
+impl Evaluator for FluidEval {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        // Any n/m/p, any workload, any buffering, any service with a
+        // mean — but a single multiplexed bus.
+        s.buses == 1
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        let solution = self.solve(scenario)?;
+        let mut evaluation = analytic_evaluation(self.name(), scenario, solution.ebw);
+        let depth = scenario.buffering.effective_depth(scenario.params.n());
+        evaluation.occupancy = Some(OccupancySummary {
+            buffer_depth: depth,
+            mean_input_queue: solution.mean_input_queue,
+            mean_output_queue: solution.mean_output_queue,
+            input_distribution: solution.input_distribution.clone(),
+            output_distribution: two_point_distribution(
+                solution.mean_output_queue,
+                depth.clamp(1, crate::analytic::fluid::LEVEL_CAP - 1) as usize,
+            ),
+            input_full_fraction: solution.input_full_fraction,
+            blocked_completions: 0,
+        });
+        evaluation.hot_module = solution.hot.map(|h| HotModuleSummary {
+            module: h.module,
+            reference_share: h.reference_share,
+            utilization: h.utilization,
+            mean_input_queue: h.mean_input_queue,
+        });
+        Ok(evaluation)
+    }
+}
+
+/// The §7 multiple-bus baseline (the paper's reference 5): `b`
+/// parallel non-multiplexed buses connecting unbuffered modules, the
+/// network the trade-off discussion weighs the single multiplexed bus
+/// against. Wraps [`crate::analytic::multibus::multibus_bw_exact`];
+/// the scenario's [`Scenario::buses`] sets `b`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultibusEval;
+
+impl Evaluator for MultibusEval {
+    fn name(&self) -> &'static str {
+        "multibus"
+    }
+
+    fn supports(&self, s: &Scenario) -> bool {
+        // Any bus count (that is the axis); otherwise the exact-chain
+        // hypotheses — saturated request streams, uniform references,
+        // no buffering — and occupancy-chain-sized systems.
+        s.params.n() <= 4096
+            && s.params.m() <= 4096
+            && !s.buffering.is_buffered()
+            && s.params.p() >= 1.0
+            && s.arbitration == ArbitrationKind::Random
+            && s.workload.is_uniform()
+    }
+
+    fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
+        require(
+            self.name(),
+            scenario,
+            self.supports(scenario),
+            "the multiple-bus chain is defined for p = 1, uniform workload, unbuffered modules",
+        )?;
+        let ebw = multibus_bw_exact(scenario.params.n(), scenario.params.m(), scenario.buses)?;
+        let mut evaluation = crossbar_evaluation(self.name(), scenario, ebw);
+        // Concurrency is additionally capped by the bus count.
+        let cap = f64::from(scenario.buses.min(scenario.params.min_nm()));
+        evaluation.metrics.bus_utilization = ebw / cap;
         Ok(evaluation)
     }
 }
@@ -1032,10 +1281,14 @@ pub enum EvaluatorKind {
     CrossbarExact,
     /// Crossbar simulator baseline.
     CrossbarSim,
+    /// Mean-field fluid (ODE) model, O(1) in `n`.
+    Fluid,
+    /// §7 multiple-bus baseline (buses axis).
+    Multibus,
 }
 
 /// Every evaluator kind, in presentation order.
-pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 10] = [
+pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 12] = [
     EvaluatorKind::Sim,
     EvaluatorKind::Exact,
     EvaluatorKind::Reduced,
@@ -1046,6 +1299,8 @@ pub const ALL_EVALUATOR_KINDS: [EvaluatorKind; 10] = [
     EvaluatorKind::PfqnBuzen,
     EvaluatorKind::CrossbarExact,
     EvaluatorKind::CrossbarSim,
+    EvaluatorKind::Fluid,
+    EvaluatorKind::Multibus,
 ];
 
 impl EvaluatorKind {
@@ -1062,6 +1317,8 @@ impl EvaluatorKind {
             EvaluatorKind::PfqnBuzen => "pfqn-buzen",
             EvaluatorKind::CrossbarExact => "crossbar",
             EvaluatorKind::CrossbarSim => "crossbar-sim",
+            EvaluatorKind::Fluid => "fluid",
+            EvaluatorKind::Multibus => "multibus",
         }
     }
 
@@ -1086,6 +1343,8 @@ impl EvaluatorKind {
             EvaluatorKind::PfqnBuzen => Box::new(PfqnEval { algorithm: PfqnAlgorithm::Buzen }),
             EvaluatorKind::CrossbarExact => Box::new(CrossbarExactEval),
             EvaluatorKind::CrossbarSim => Box::new(CrossbarSimEval::new(budget)),
+            EvaluatorKind::Fluid => Box::new(FluidEval::default()),
+            EvaluatorKind::Multibus => Box::new(MultibusEval),
         }
     }
 }
@@ -1125,6 +1384,7 @@ pub struct ScenarioGrid {
     bufferings: Vec<Buffering>,
     arbitrations: Vec<ArbitrationKind>,
     workloads: Vec<Workload>,
+    buses: Vec<u32>,
     memory_service: Option<ServiceTime>,
 }
 
@@ -1141,6 +1401,7 @@ impl ScenarioGrid {
             bufferings: vec![Buffering::Unbuffered],
             arbitrations: vec![ArbitrationKind::Random],
             workloads: vec![Workload::Uniform],
+            buses: vec![1],
             memory_service: None,
         }
     }
@@ -1201,6 +1462,13 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the bus-count axis (the §7 trade-off; only
+    /// [`MultibusEval`] accepts values above 1).
+    pub fn buses_values(mut self, values: impl Into<Vec<u32>>) -> Self {
+        self.buses = values.into();
+        self
+    }
+
     /// Applies an explicit service distribution to every point.
     pub fn memory_service(mut self, service: ServiceTime) -> Self {
         self.memory_service = Some(service);
@@ -1221,6 +1489,7 @@ impl ScenarioGrid {
             * self.bufferings.len()
             * self.arbitrations.len()
             * self.workloads.len()
+            * self.buses.len()
     }
 
     /// Whether the grid is degenerate (some axis has no values).
@@ -1229,7 +1498,8 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid, in row-major axis order
-    /// `n → m → r → p → policy → buffering → arbitration → workload`.
+    /// `n → m → r → p → policy → buffering → arbitration → workload →
+    /// buses`.
     ///
     /// # Errors
     ///
@@ -1259,15 +1529,18 @@ impl ScenarioGrid {
                             for &buffering in &self.bufferings {
                                 for &arbitration in &self.arbitrations {
                                     for workload in &self.workloads {
-                                        let mut scenario = Scenario::new(params)
-                                            .with_policy(policy)
-                                            .with_buffering(buffering)
-                                            .with_arbitration(arbitration)
-                                            .with_workload(workload.clone());
-                                        if let Some(service) = self.memory_service {
-                                            scenario = scenario.with_memory_service(service);
+                                        for &buses in &self.buses {
+                                            let mut scenario = Scenario::new(params)
+                                                .with_policy(policy)
+                                                .with_buffering(buffering)
+                                                .with_arbitration(arbitration)
+                                                .with_workload(workload.clone())
+                                                .with_buses(buses)?;
+                                            if let Some(service) = self.memory_service {
+                                                scenario = scenario.with_memory_service(service);
+                                            }
+                                            out.push(scenario);
                                         }
-                                        out.push(scenario);
                                     }
                                 }
                             }
@@ -1293,8 +1566,119 @@ pub struct SweepRecord {
     pub scenario: Scenario,
     /// The evaluator's stable name.
     pub evaluator: &'static str,
+    /// Whether the fluid screening pre-pass replaced this pair's
+    /// simulation with the (validated) fluid prediction. Screened
+    /// records carry the fluid evaluation and zero simulated events.
+    pub screened: bool,
     /// The evaluation, or why this pair is out of domain / failed.
     pub result: Result<Evaluation, CoreError>,
+}
+
+/// The opt-in fluid screening pre-pass of [`run_sweep_screened`]
+/// (`busnet sweep --screen fluid`).
+///
+/// Every grid point is first solved with the fluid mean-field model
+/// (microseconds, O(1) in `n`). A *screenable* pair (see
+/// [`Evaluator::fluid_screenable`]) is then **skipped** — its record
+/// carries the fluid evaluation, flagged `screened = true` — when the
+/// fluid prediction is validated within `tolerance` by a
+/// deterministic analytic anchor (§3.1.1 exact chain, §4 reduced
+/// chain, or the §6 product-form model) at the same point, or at the
+/// nearest anchored neighbor sharing every mode knob. Screenable
+/// pairs that still simulate are **seeded**: the fluid prediction
+/// becomes a [`PriorSeed`] for the adaptive stopping rule, which may
+/// then accept early once the measurement confirms it (the CI-width
+/// target is never relaxed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScreenPlan {
+    /// Relative EBW agreement tolerance between the fluid prediction
+    /// and its analytic anchor, and the relative trust band handed to
+    /// the adaptive stopping rule as a prior.
+    pub tolerance: f64,
+    /// Fluid integrator controls.
+    pub options: FluidOptions,
+}
+
+impl Default for ScreenPlan {
+    fn default() -> Self {
+        ScreenPlan { tolerance: 0.05, options: FluidOptions::default() }
+    }
+}
+
+/// Per-scenario outcome of the screening pre-pass.
+struct ScreenState {
+    /// Converged fluid EBW prediction per scenario.
+    fluid: Vec<Option<f64>>,
+    /// Whether the fluid prediction is trusted at each scenario.
+    screened: Vec<bool>,
+}
+
+/// Whether two scenarios differ only in system size `(n, m, r, p)` —
+/// the neighbor relation of the screening rule.
+fn same_knobs(a: &Scenario, b: &Scenario) -> bool {
+    a.policy == b.policy
+        && a.buffering == b.buffering
+        && a.arbitration == b.arbitration
+        && a.workload == b.workload
+        && a.memory_service == b.memory_service
+        && a.buses == b.buses
+}
+
+/// The first deterministic analytic vehicle covering `s`, evaluated.
+fn anchor_ebw(s: &Scenario) -> Option<f64> {
+    let anchors: [&dyn Evaluator; 3] =
+        [&ExactChainEval, &ReducedChainEval, &PfqnEval { algorithm: PfqnAlgorithm::Mva }];
+    anchors.iter().find(|a| a.supports(s)).and_then(|a| a.evaluate(s).ok()).map(|e| e.ebw())
+}
+
+/// Runs the fluid model and the analytic anchors over every scenario
+/// and decides which points the screening pass may skip.
+fn screen_pass(scenarios: &[Scenario], plan: &ScreenPlan) -> ScreenState {
+    let fluid_eval = FluidEval::new(plan.options);
+    let fluid: Vec<Option<f64>> = scenarios
+        .iter()
+        .map(|s| fluid_eval.solve(s).ok().filter(|sol| sol.converged).map(|sol| sol.ebw))
+        .collect();
+    // Same-point verdict: does the fluid prediction agree with an
+    // analytic anchor here? None = no anchor covers this point.
+    let own: Vec<Option<bool>> = scenarios
+        .iter()
+        .zip(&fluid)
+        .map(|(s, f)| match (f, anchor_ebw(s)) {
+            (Some(f), Some(a)) if a.abs() > 1e-9 => Some(((f - a) / a).abs() <= plan.tolerance),
+            _ => None,
+        })
+        .collect();
+    let screened = (0..scenarios.len())
+        .map(|i| {
+            if fluid[i].is_none() {
+                return false;
+            }
+            if let Some(ok) = own[i] {
+                return ok;
+            }
+            // Neighbor rule: trust the fluid model here iff it is
+            // validated at the nearest anchored point that shares
+            // every mode knob (distance in log-size space).
+            let si = &scenarios[i];
+            let mut best: Option<(f64, bool)> = None;
+            for (j, sj) in scenarios.iter().enumerate() {
+                let Some(ok) = own[j] else { continue };
+                if !same_knobs(si, sj) {
+                    continue;
+                }
+                let d = (f64::from(si.params.n()).ln() - f64::from(sj.params.n()).ln()).abs()
+                    + (f64::from(si.params.m()).ln() - f64::from(sj.params.m()).ln()).abs()
+                    + (f64::from(si.params.r()).ln() - f64::from(sj.params.r()).ln()).abs()
+                    + (si.params.p() - sj.params.p()).abs();
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, ok));
+                }
+            }
+            best.is_some_and(|(_, ok)| ok)
+        })
+        .collect();
+    ScreenState { fluid, screened }
 }
 
 /// Fans `scenarios × evaluators` out under `mode` and returns all
@@ -1321,33 +1705,78 @@ pub fn run_sweep(
     scenarios: &[Scenario],
     evaluators: &[&dyn Evaluator],
     mode: ExecutionMode,
+    on_record: impl FnMut(usize, usize, &SweepRecord),
+) -> Vec<SweepRecord> {
+    run_sweep_screened(scenarios, evaluators, mode, None, on_record)
+}
+
+/// [`run_sweep`] with an optional fluid screening pre-pass (see
+/// [`ScreenPlan`]): screened pairs skip simulation entirely and carry
+/// the validated fluid prediction; seedable pairs warm-start their
+/// adaptive stopping rule with it. `screen: None` is exactly
+/// [`run_sweep`].
+pub fn run_sweep_screened(
+    scenarios: &[Scenario],
+    evaluators: &[&dyn Evaluator],
+    mode: ExecutionMode,
+    screen: Option<&ScreenPlan>,
     mut on_record: impl FnMut(usize, usize, &SweepRecord),
 ) -> Vec<SweepRecord> {
-    // Expand pairs into per-replication unit jobs.
-    let mut pair_units: Vec<u32> = Vec::with_capacity(scenarios.len() * evaluators.len());
+    let state = screen.map(|plan| screen_pass(scenarios, plan));
+    let evaluators_per_scenario = evaluators.len();
+    let pair_of = |s: usize, e: usize| s * evaluators_per_scenario + e;
+    let total = scenarios.len() * evaluators.len();
+
+    // Expand pairs into per-replication unit jobs. Screened pairs get
+    // no jobs — their record is pre-filled from the fluid model — and
+    // seedable pairs record the prior their units will run under.
+    let mut pair_units: Vec<u32> = vec![0; total];
+    let mut priors: Vec<Option<PriorSeed>> = vec![None; total];
+    let mut out: Vec<Option<SweepRecord>> = (0..total).map(|_| None).collect();
     let mut jobs: Vec<(usize, usize, u32)> = Vec::new();
     for (s, scenario) in scenarios.iter().enumerate() {
         for (e, evaluator) in evaluators.iter().enumerate() {
+            let p = pair_of(s, e);
+            if let (Some(plan), Some(state)) = (screen, &state) {
+                if evaluator.fluid_screenable() {
+                    if let Some(fluid_ebw) = state.fluid[s] {
+                        if state.screened[s] {
+                            let result =
+                                FluidEval::new(plan.options).evaluate(scenario).map(|mut ev| {
+                                    ev.evaluator = evaluator.name();
+                                    ev
+                                });
+                            out[p] = Some(SweepRecord {
+                                scenario: scenario.clone(),
+                                evaluator: evaluator.name(),
+                                screened: true,
+                                result,
+                            });
+                            continue;
+                        }
+                        priors[p] = Some(PriorSeed {
+                            ebw: fluid_ebw,
+                            trust: (plan.tolerance * fluid_ebw).abs().max(f64::EPSILON),
+                        });
+                    }
+                }
+            }
             let units = evaluator.work_units(scenario).max(1);
-            pair_units.push(units);
+            pair_units[p] = units;
             for u in 0..units {
                 jobs.push((s, e, u));
             }
         }
     }
-    let total = pair_units.len();
-    let evaluators_per_scenario = evaluators.len();
-    let pair_of = |s: usize, e: usize| s * evaluators_per_scenario + e;
 
     let mut collected: Vec<Vec<Option<Result<EvalUnit, CoreError>>>> =
         pair_units.iter().map(|&u| (0..u).map(|_| None).collect()).collect();
     let mut remaining: Vec<u32> = pair_units.clone();
-    let mut out: Vec<Option<SweepRecord>> = (0..total).map(|_| None).collect();
     let mut next = 0usize;
     parallel_consume(
         &jobs,
         mode,
-        |_, &(s, e, u)| evaluators[e].evaluate_unit(&scenarios[s], u),
+        |_, &(s, e, u)| evaluators[e].evaluate_unit_primed(&scenarios[s], u, priors[pair_of(s, e)]),
         |i, result| {
             let (s, e, u) = jobs[i];
             let p = pair_of(s, e);
@@ -1365,6 +1794,7 @@ pub fn run_sweep(
             out[p] = Some(SweepRecord {
                 scenario: scenarios[s].clone(),
                 evaluator: evaluators[e].name(),
+                screened: false,
                 result: units.and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
             });
             while let Some(record) = out.get(next).and_then(Option::as_ref) {
@@ -1373,6 +1803,12 @@ pub fn run_sweep(
             }
         },
     );
+    // Flush any trailing pre-filled (screened) records the job stream
+    // never reached — including the all-screened case with no jobs.
+    while let Some(record) = out.get(next).and_then(Option::as_ref) {
+        next += 1;
+        on_record(next, total, record);
+    }
     out.into_iter().map(|slot| slot.expect("every pair completed")).collect()
 }
 
@@ -1556,6 +1992,55 @@ mod tests {
         let sim = CrossbarSimEval::new(SimBudget::quick()).evaluate(&s).unwrap();
         let rel = (exact.ebw() - sim.ebw()).abs() / exact.ebw();
         assert!(rel < 0.05, "exact {} vs sim {}", exact.ebw(), sim.ebw());
+    }
+
+    #[test]
+    fn fluid_evaluator_domain_and_telemetry() {
+        // The fluid model is the only vehicle whose domain extends to
+        // the full parameter cap — but it is single-bus only.
+        let huge = Scenario::new(params(1_000_000, 1_000_000, 8));
+        assert!(FluidEval::default().supports(&huge));
+        assert!(!BusSimEval::new(SimBudget::quick()).supports(&huge));
+        assert!(!ExactChainEval.supports(&huge));
+        let multi = Scenario::new(params(8, 8, 8)).with_buses(4).unwrap();
+        assert!(!FluidEval::default().supports(&multi));
+        // Its evaluations carry the occupancy view like the simulator.
+        let s = Scenario::new(params(64, 32, 8)).with_buffering(Buffering::Depth(2));
+        let e = FluidEval::default().evaluate(&s).unwrap();
+        assert_eq!(e.evaluator, "fluid");
+        assert_eq!(e.half_width_95, 0.0);
+        assert_eq!(e.simulated_events(), 0);
+        let occ = e.occupancy.expect("fluid carries occupancy");
+        assert_eq!(occ.buffer_depth, 2);
+        assert!((occ.input_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multibus_evaluator_domain_and_scaling() {
+        // Closed form for the paper's random-uniform, unbuffered,
+        // p = 1 hypothesis set — any bus count.
+        let base = Scenario::new(params(8, 8, 4));
+        assert!(MultibusEval.supports(&base));
+        assert!(!MultibusEval.supports(&base.clone().with_buffering(Buffering::Buffered)));
+        let low_p = Scenario::new(params(8, 8, 4).with_request_probability(0.5).unwrap());
+        assert!(!MultibusEval.supports(&low_p));
+        // More buses never hurt, and utilization stays physical.
+        let one = MultibusEval.evaluate(&base).unwrap();
+        let four = MultibusEval.evaluate(&base.with_buses(4).unwrap()).unwrap();
+        assert!(four.ebw() >= one.ebw());
+        assert!(four.metrics.bus_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn grid_expands_buses_axis_innermost() {
+        let grid =
+            ScenarioGrid::new().n_values([4]).m_values([4]).r_values([4]).buses_values([1, 2]);
+        assert_eq!(grid.len(), 2);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios[0].buses, 1);
+        assert_eq!(scenarios[1].buses, 2);
+        assert!(!scenarios[0].label().contains(" b="));
+        assert!(scenarios[1].label().ends_with(" b=2"));
     }
 
     #[test]

@@ -485,7 +485,15 @@ impl BusSimBuilder {
             EngineKind::Cycle => EngineRun::Cycle(Box::new(builder.build())),
             EngineKind::Event => EngineRun::Event(Box::new(builder.build_event())),
         };
-        let mut stop = SequentialStopping::new(plan.ci_width, plan.min_batches);
+        let mut stop = match plan.prior {
+            Some(seed) => SequentialStopping::with_prior(
+                plan.ci_width,
+                plan.min_batches,
+                seed.ebw,
+                seed.trust,
+            ),
+            None => SequentialStopping::new(plan.ci_width, plan.min_batches),
+        };
         engine.advance_until(warmup);
         let end = warmup + plan.max_measure;
         let mut prev_returns = 0u64;
@@ -524,6 +532,24 @@ pub struct AdaptivePlan {
     /// Hard ceiling on measured cycles (the run stops here whether or
     /// not the target was reached).
     pub max_measure: u64,
+    /// Optional external EBW prior (the fluid screening prediction);
+    /// when the running estimate confirms it, the stopping rule
+    /// accepts at half the usual batch minimum.
+    pub prior: Option<PriorSeed>,
+}
+
+/// A cheap external EBW estimate — in practice the fluid mean-field
+/// prediction of a sweep's screening pre-pass — used to warm-start the
+/// adaptive stopping rule. The confidence-width target is never
+/// relaxed; the prior only shortens the minimum-batch guard when the
+/// measurement confirms it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PriorSeed {
+    /// Predicted EBW.
+    pub ebw: f64,
+    /// Absolute EBW band within which the running mean counts as
+    /// confirming the prediction.
+    pub trust: f64,
 }
 
 /// Result of an adaptive run: the (possibly truncated) report plus the

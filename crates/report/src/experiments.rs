@@ -19,7 +19,8 @@ use busnet_core::analytic::pfqn::pfqn_ebw_deterministic_workload;
 use busnet_core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet_core::scenario::{
     run_sweep, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval, Evaluation, Evaluator,
-    ExactChainEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid, SimBudget,
+    ExactChainEval, FluidEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid,
+    SimBudget,
 };
 use busnet_core::CoreError;
 use busnet_sim::event::EngineKind;
@@ -1054,6 +1055,122 @@ pub fn hotspot_workloads(effort: Effort) -> Result<HotspotReport, CoreError> {
     Ok(HotspotReport { m, r, points })
 }
 
+/// The system sizes the fluid scale study sweeps — two to five orders
+/// of magnitude beyond the analytic chain's reach.
+pub const SCALE_SIZES: [u32; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// One point of the fluid scale study: a system size/shape evaluated
+/// by the mean-field ODE, with solver telemetry.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Processors `n`.
+    pub n: u32,
+    /// Memory modules `m`.
+    pub m: u32,
+    /// Request probability `p`.
+    pub p: f64,
+    /// The buffering scheme.
+    pub buffering: Buffering,
+    /// Fluid EBW estimate.
+    pub ebw: f64,
+    /// EBW as a fraction of the `(r + 2) / 2` bus ceiling.
+    pub utilization: f64,
+    /// Mean input-queue length per module.
+    pub mean_input_queue: f64,
+    /// Fraction of processors blocked waiting for the bus.
+    pub waiting: f64,
+    /// RK4 steps to steady state.
+    pub steps: u32,
+    /// Wall-clock solve time in milliseconds.
+    pub millis: f64,
+}
+
+/// The fluid scale study: million-processor scenario points evaluated
+/// in milliseconds by the mean-field ODE evaluator.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// Memory cycle ratio `r`.
+    pub r: u32,
+    /// One row per `(n, m, p, k)` combination.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl std::fmt::Display for ScaleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fluid scale study at r={} (mean-field ODE evaluator):", self.r)?;
+        writeln!(
+            f,
+            "  Each point is one fluid solve — no simulation. The analytic warm start\n  \
+             makes the solve cost independent of n, so million-processor systems\n  \
+             evaluate in milliseconds. At these scales the single multiplexed bus\n  \
+             saturates (util -> 1) for every shape: nearly all processors sit in the\n  \
+             waiting class, and the per-module queues stay empty because m modules\n  \
+             share one bus-limited request stream."
+        )?;
+        writeln!(
+            f,
+            "  {:>9} {:>9} {:>5} {:>4} {:>9} {:>7} {:>10} {:>8} {:>7} {:>8}",
+            "n", "m", "p", "k", "EBW", "util", "mean queue", "waiting", "steps", "ms"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "  {:>9} {:>9} {:>5} {:>4} {:>9.3} {:>7.3} {:>10.3} {:>8.3} {:>7} {:>8.2}",
+                row.n,
+                row.m,
+                row.p,
+                row.buffering.depth_label(),
+                row.ebw,
+                row.utilization,
+                row.mean_input_queue,
+                row.waiting,
+                row.steps,
+                row.millis,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the fluid scale study: [`SCALE_SIZES`] × `m ∈ {n, 2n}` ×
+/// `p ∈ {1, 0.2}` × buffer depths `{0, 4}` at `r = 8`, every point
+/// evaluated by the mean-field ODE.
+///
+/// # Errors
+///
+/// Propagates parameter/model failures.
+pub fn scale_study() -> Result<ScaleReport, CoreError> {
+    let r = 8u32;
+    let fluid = FluidEval::default();
+    let mut rows = Vec::new();
+    for &n in &SCALE_SIZES {
+        for m in [n, 2 * n] {
+            for p in [1.0, 0.2] {
+                for buffering in [Buffering::Unbuffered, Buffering::Depth(4)] {
+                    let params = SystemParams::new(n, m, r)?.with_request_probability(p)?;
+                    let scenario = Scenario::new(params).with_buffering(buffering);
+                    let start = std::time::Instant::now();
+                    let solution = fluid.solve(&scenario)?;
+                    let millis = start.elapsed().as_secs_f64() * 1e3;
+                    rows.push(ScaleRow {
+                        n,
+                        m,
+                        p,
+                        buffering,
+                        ebw: solution.ebw,
+                        utilization: solution.ebw / params.max_ebw(),
+                        mean_input_queue: solution.mean_input_queue,
+                        waiting: solution.waiting_mass / f64::from(n),
+                        steps: solution.steps,
+                        millis,
+                    });
+                }
+            }
+        }
+    }
+    Ok(ScaleReport { r, rows })
+}
+
 /// Identifiers for every reproducible experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExperimentId {
@@ -1083,10 +1200,12 @@ pub enum ExperimentId {
     Buffering,
     /// Hot-spot workload study (hypothesis *e*/*f* relaxations).
     Hotspot,
+    /// Fluid scale study (million-processor points via the ODE model).
+    Scale,
 }
 
 /// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 13] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 14] = [
     ExperimentId::Table1,
     ExperimentId::Table2,
     ExperimentId::Table3,
@@ -1100,6 +1219,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 13] = [
     ExperimentId::Arbitration,
     ExperimentId::Buffering,
     ExperimentId::Hotspot,
+    ExperimentId::Scale,
 ];
 
 impl ExperimentId {
@@ -1119,6 +1239,7 @@ impl ExperimentId {
             ExperimentId::Arbitration => "arbitration",
             ExperimentId::Buffering => "buffering",
             ExperimentId::Hotspot => "hotspot",
+            ExperimentId::Scale => "scale",
         }
     }
 
@@ -1167,6 +1288,7 @@ impl ExperimentId {
             ExperimentId::Arbitration => arbitration_fairness(effort)?.to_string(),
             ExperimentId::Buffering => buffering_depths(effort)?.to_string(),
             ExperimentId::Hotspot => hotspot_workloads(effort)?.to_string(),
+            ExperimentId::Scale => scale_study()?.to_string(),
         })
     }
 }

@@ -112,6 +112,8 @@ impl BatchMeans {
 pub struct SequentialStopping {
     target_half_width: f64,
     min_batches: u64,
+    /// `(mean, trust width)` of an external prior estimate, if any.
+    prior: Option<(f64, f64)>,
     means: BatchMeans,
 }
 
@@ -129,7 +131,38 @@ impl SequentialStopping {
             "target half-width must be a non-negative finite number"
         );
         assert!(min_batches >= 2, "need at least 2 batches for a variance estimate");
-        SequentialStopping { target_half_width, min_batches, means: BatchMeans::new(1) }
+        SequentialStopping {
+            target_half_width,
+            min_batches,
+            prior: None,
+            means: BatchMeans::new(1),
+        }
+    }
+
+    /// A rule seeded with an external prior estimate of the mean (e.g.
+    /// the fluid mean-field prediction of a sweep's screening pass).
+    /// When the running mean lands within `trust_width` of
+    /// `prior_mean`, the rule accepts at half the usual minimum batch
+    /// count; the half-width target itself is never relaxed, so a
+    /// seeded estimate is exactly as tight as an unseeded one.
+    ///
+    /// # Panics
+    ///
+    /// As [`SequentialStopping::new`], plus `prior_mean` must be finite
+    /// and `trust_width` non-negative and finite.
+    pub fn with_prior(
+        target_half_width: f64,
+        min_batches: u64,
+        prior_mean: f64,
+        trust_width: f64,
+    ) -> Self {
+        assert!(
+            prior_mean.is_finite() && trust_width.is_finite() && trust_width >= 0.0,
+            "prior must be finite with a non-negative trust width"
+        );
+        let mut rule = SequentialStopping::new(target_half_width, min_batches);
+        rule.prior = Some((prior_mean, trust_width));
+        rule
     }
 
     /// Records one completed batch's mean.
@@ -159,7 +192,22 @@ impl SequentialStopping {
 
     /// Whether the stopping condition holds.
     pub fn satisfied(&self) -> bool {
-        self.batches() >= self.min_batches && self.half_width_95() <= self.target_half_width
+        if self.half_width_95() > self.target_half_width {
+            return false;
+        }
+        if self.batches() >= self.min_batches {
+            return true;
+        }
+        // A confirmed prior lets the rule accept early, at half the
+        // usual batch minimum (never below 2 — one batch has no
+        // variance estimate). The width check above still gates entry.
+        match self.prior {
+            Some((prior_mean, trust)) => {
+                self.batches() >= self.min_batches.div_ceil(2).max(2)
+                    && (self.mean() - prior_mean).abs() <= trust
+            }
+            None => false,
+        }
     }
 }
 
@@ -246,5 +294,44 @@ mod tests {
     #[should_panic(expected = "at least 2 batches")]
     fn degenerate_minimum_rejected() {
         SequentialStopping::new(0.1, 1);
+    }
+
+    #[test]
+    fn confirmed_prior_accepts_at_half_the_minimum() {
+        let mut seeded = SequentialStopping::with_prior(0.1, 8, 1.0, 0.05);
+        let mut plain = SequentialStopping::new(0.1, 8);
+        for _ in 0..4 {
+            seeded.record_batch(1.0);
+            plain.record_batch(1.0);
+        }
+        assert!(seeded.satisfied(), "mean confirms the prior at 4 of 8 batches");
+        assert!(!plain.satisfied(), "unseeded rule still waits for min_batches");
+    }
+
+    #[test]
+    fn disagreeing_prior_gives_no_early_accept() {
+        let mut stop = SequentialStopping::with_prior(0.1, 8, 2.0, 0.05);
+        for _ in 0..7 {
+            stop.record_batch(1.0);
+            assert!(!stop.satisfied(), "mean 1.0 is outside the prior's trust band");
+        }
+        stop.record_batch(1.0);
+        assert!(stop.satisfied(), "the regular rule still applies at min_batches");
+    }
+
+    #[test]
+    fn prior_never_relaxes_the_width_target() {
+        let mut stop = SequentialStopping::with_prior(0.01, 8, 0.5, 1.0);
+        for i in 0..6 {
+            stop.record_batch(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        assert!(stop.half_width_95() > 0.01);
+        assert!(!stop.satisfied(), "wide interval blocks acceptance even with a trusted prior");
+    }
+
+    #[test]
+    #[should_panic(expected = "prior must be finite")]
+    fn degenerate_prior_rejected() {
+        SequentialStopping::with_prior(0.1, 4, f64::NAN, 0.1);
     }
 }

@@ -14,6 +14,9 @@
 //! busnet sweep --buffer-depth 0,1,2,4,inf --evaluator sim,approx-depth
 //! busnet sweep --hot-spot 0,0.1,0.2,0.4 --buffer-depth 0,1,4 --evaluator sim --engine event
 //! busnet sweep --n 8..32:8 --evaluator sim --engine event --ci-width 0.02
+//! busnet sweep --n 1000000 --m 1000000 --buffer-depth 4 --evaluator fluid
+//! busnet sweep --n 8 --m 8,16 --p 0.2,1 --evaluator sim --ci-width 0.02 --screen fluid
+//! busnet sweep --n 8 --m 8 --buses 1..8 --evaluator multibus
 //! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event] [--smoke]
 //! ```
 
@@ -25,8 +28,8 @@ use std::io::Write;
 
 use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet::core::scenario::{
-    run_sweep, Evaluator, EvaluatorKind, ScenarioGrid, SimBudget, Stopping, SweepRecord,
-    ALL_EVALUATOR_KINDS,
+    run_sweep, run_sweep_screened, Evaluator, EvaluatorKind, ScenarioGrid, ScreenPlan, SimBudget,
+    Stopping, SweepRecord, ALL_EVALUATOR_KINDS,
 };
 use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder};
 use busnet::core::CoreError;
@@ -66,10 +69,10 @@ fn main() -> ExitCode {
                  [--buffering unbuffered|buffered|depthK|infinite|both]\n      \
                  [--buffer-depth LIST(K|inf)] [--arbitration LIST|all]\n      \
                  [--hot-spot LIST(FRAC[@MODULE])] [--module-weights W1,..,Wm]\n      \
-                 [--think-probs P1,..,Pn]\n      \
+                 [--think-probs P1,..,Pn] [--buses SPEC]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
-                 [--ci-width X [--max-reps K]]\n\
+                 [--ci-width X [--max-reps K]] [--screen fluid [--screen-tol T]]\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
                  range (2..16:2). KIND is random|round-robin|lru|priority."
@@ -298,6 +301,7 @@ fn run_sim(args: &[String]) -> ExitCode {
                 batch_cycles: (cycles / 4).max(1),
                 min_batches: 8,
                 max_measure: cycles.saturating_mul(u64::from(max_reps.max(1))),
+                prior: None,
             };
             let AdaptiveOutcome { report, batches, half_width_95, converged } =
                 builder.run_adaptive(&plan);
@@ -515,7 +519,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
             let written = match format {
                 SweepFormat::Csv => writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -539,6 +543,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     hot_share_csv,
                     hot_util_csv,
                     hot_queue_csv,
+                    s.buses,
+                    record.screened,
                 ),
                 SweepFormat::Json => writeln!(
                     out,
@@ -550,7 +556,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                      \"replications\":{},\"fairness\":{},\"mean_input_queue\":{},\
                      \"input_full_fraction\":{},\"blocked_completions\":{},\
                      \"hot_ref_share\":{},\"hot_module_utilization\":{},\
-                     \"hot_mean_input_queue\":{}}}",
+                     \"hot_mean_input_queue\":{},\"buses\":{},\"screened\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -574,6 +580,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     hot_share_json,
                     hot_util_json,
                     hot_queue_json,
+                    s.buses,
+                    record.screened,
                 ),
             };
             written.expect("stdout closed mid-sweep");
@@ -621,6 +629,9 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let hot_spot_spec = flags.value("--hot-spot").map(str::to_owned);
     let weights_spec = flags.value("--module-weights").map(str::to_owned);
     let probs_spec = flags.value("--think-probs").map(str::to_owned);
+    let buses_spec = flags.value("--buses").unwrap_or("1").to_owned();
+    let screen_spec = flags.value("--screen").map(str::to_owned);
+    let screen_tol: f64 = flags.parse("--screen-tol", 0.05);
     if let Err(e) = flags.finish() {
         eprintln!("{e}\nrun `busnet` without arguments for usage");
         return ExitCode::FAILURE;
@@ -723,6 +734,20 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         Ok(w) => w,
         Err(e) => return fail(e),
     };
+    let buses = match parse_u32_spec(&buses_spec) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let screen: Option<ScreenPlan> = match screen_spec.as_deref() {
+        None => None,
+        Some("fluid") => {
+            if !(screen_tol.is_finite() && screen_tol > 0.0) {
+                return fail(format!("bad --screen-tol `{screen_tol}` (expected > 0)"));
+            }
+            Some(ScreenPlan { tolerance: screen_tol, ..ScreenPlan::default() })
+        }
+        Some(other) => return fail(format!("bad --screen `{other}` (expected fluid)")),
+    };
 
     let grid = ScenarioGrid::new()
         .n_values(n)
@@ -732,7 +757,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         .policies(policies)
         .bufferings(bufferings)
         .arbitrations(arbitrations)
-        .workloads(workloads);
+        .workloads(workloads)
+        .buses_values(buses);
     let scenarios = match grid.scenarios() {
         Ok(s) => s,
         Err(e) => return fail(format!("invalid sweep point: {e}")),
@@ -771,7 +797,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
             "n,m,r,p,policy,buffering,buffer_depth,arbitration,workload,evaluator,ebw,\
              half_width_95,bus_utilization,memory_utilization,processor_efficiency,replications,\
              fairness,mean_input_queue,input_full_fraction,blocked_completions,hot_ref_share,\
-             hot_module_utilization,hot_mean_input_queue"
+             hot_module_utilization,hot_mean_input_queue,buses,screened"
         )
         .expect("stdout closed");
     }
@@ -781,19 +807,26 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     // formatting work on large grids.
     let live_progress = std::io::IsTerminal::is_terminal(&std::io::stderr());
     let start = Instant::now();
-    let records = run_sweep(&scenarios, &refs, sweep_mode, |done, total, record| {
-        emit_record(record, format, &mut out);
-        if live_progress && (done % 16 == 0 || done == total) {
-            eprint!("\r# {done}/{total} points");
-        }
-    });
+    let records = run_sweep_screened(
+        &scenarios,
+        &refs,
+        sweep_mode,
+        screen.as_ref(),
+        |done, total, record| {
+            emit_record(record, format, &mut out);
+            if live_progress && (done % 16 == 0 || done == total) {
+                eprint!("\r# {done}/{total} points");
+            }
+        },
+    );
     out.flush().expect("stdout closed");
     drop(out);
     let evaluated = records.iter().filter(|r| record_outcome(r).0).count();
     let failed = records.iter().filter(|r| record_outcome(r).1).count();
+    let screened = records.iter().filter(|r| r.screened).count();
     eprintln!(
-        "{}# swept {} points x {} evaluators: {evaluated} evaluated, {} out of domain, \
-         {failed} failed, {:.2}s",
+        "{}# swept {} points x {} evaluators: {evaluated} evaluated ({screened} screened), \
+         {} out of domain, {failed} failed, {:.2}s",
         if live_progress { "\r" } else { "" },
         scenarios.len(),
         refs.len(),
@@ -857,6 +890,57 @@ fn run_bench_smoke() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("# smoke: all {} scenarios within the event budget", scenarios.len());
+
+    // Screening slice: the fluid pre-pass must keep saving simulated
+    // events on the Table 3-4 grid (with its p axis) at equal CI width.
+    let screen_grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8])
+        .p_values([0.2, 1.0])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let screen_budget = SimBudget {
+        replications: 2,
+        warmup: 1_000,
+        measure: 10_000,
+        master_seed: 0x5EED,
+        mode: ExecutionMode::Serial,
+        engine: EngineKind::Event,
+        stopping: Stopping::Fixed,
+    }
+    .with_ci_width(0.05, 8);
+    let screen_sim = busnet::core::scenario::BusSimEval::new(screen_budget);
+    let screen_evaluators: [&dyn Evaluator; 1] = [&screen_sim];
+    let plain = run_sweep(&screen_grid, &screen_evaluators, ExecutionMode::Serial, |_, _, _| {});
+    let screened = run_sweep_screened(
+        &screen_grid,
+        &screen_evaluators,
+        ExecutionMode::Serial,
+        Some(&ScreenPlan::default()),
+        |_, _, _| {},
+    );
+    let events = |records: &[SweepRecord]| -> u64 {
+        records.iter().filter_map(|r| r.result.as_ref().ok().map(|e| e.simulated_events())).sum()
+    };
+    let plain_events = events(&plain);
+    let screened_events = events(&screened);
+    let screened_points = screened.iter().filter(|r| r.screened).count();
+    let savings = 1.0 - screened_events as f64 / plain_events as f64;
+    println!(
+        "# smoke screening: {screened_points}/{} points screened, {plain_events} -> \
+         {screened_events} events ({:.1}% fewer)",
+        screen_grid.len(),
+        savings * 100.0
+    );
+    if screened_points == 0 || savings < 0.25 {
+        eprintln!(
+            "# smoke: fluid screening saved only {:.1}% (< 25%) of simulated events",
+            savings * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -1115,6 +1199,58 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         event_savings * 100.0
     );
 
+    // Fluid screening on top of the adaptive baseline: the Table 3–4
+    // grid extended with its p axis, one adaptive evaluator at a fixed
+    // CI target, with and without the `--screen fluid` pre-pass. Both
+    // runs enforce the same half-width target, so the event savings
+    // are measured at equal CI width.
+    eprintln!("# fluid screening vs plain adaptive on the Table 3-4 grid (with p axis)...");
+    let screen_grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8])
+        .p_values([0.2, 1.0])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let screen_ci = 0.02;
+    let screen_budget =
+        SimBudget { engine: EngineKind::Event, ..budget }.with_ci_width(screen_ci, 16);
+    let screen_sim = busnet::core::scenario::BusSimEval::new(screen_budget);
+    let screen_evaluators: [&dyn Evaluator; 1] = [&screen_sim];
+    let screen_plan = ScreenPlan::default();
+    let plain_records =
+        run_sweep(&screen_grid, &screen_evaluators, ExecutionMode::Serial, |_, _, _| {});
+    let screened_records = run_sweep_screened(
+        &screen_grid,
+        &screen_evaluators,
+        ExecutionMode::Serial,
+        Some(&screen_plan),
+        |_, _, _| {},
+    );
+    let sum_events = |records: &[SweepRecord]| -> u64 {
+        records.iter().filter_map(|r| r.result.as_ref().ok().map(|e| e.simulated_events())).sum()
+    };
+    let max_width = |records: &[SweepRecord]| -> f64 {
+        records
+            .iter()
+            .filter_map(|r| r.result.as_ref().ok().map(|e| e.half_width_95))
+            .fold(0.0, f64::max)
+    };
+    let plain_screen_events = sum_events(&plain_records);
+    let screened_events = sum_events(&screened_records);
+    let screened_points = screened_records.iter().filter(|r| r.screened).count();
+    let screening_savings = 1.0 - screened_events as f64 / plain_screen_events as f64;
+    let plain_width = max_width(&plain_records);
+    let screened_width = max_width(&screened_records);
+    eprintln!(
+        "# screening: {screened_points}/{} points screened; {plain_screen_events} -> \
+         {screened_events} events ({:.1}% fewer), max CI width {plain_width:.4} -> \
+         {screened_width:.4}",
+        screen_grid.len(),
+        screening_savings * 100.0
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"32-point scenario sweep (n=8, m in 4..16, r in 2..14, both bufferings)\",\n  \
          \"engine\": \"{engine}\",\n  \
@@ -1141,12 +1277,22 @@ the ratio below is only meaningful when this file is regenerated on comparable h
          \"adaptive_vs_fixed\": {{\n    \
          \"points\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, p=1, both bufferings)\",\n    \
          \"fixed_events\": {fixed_events},\n    \"adaptive_events\": {adaptive_events},\n    \
-         \"event_savings\": {event_savings:.3},\n    \"max_ci_width_excess\": {widest_gap:.6}\n  }}\n}}\n",
+         \"event_savings\": {event_savings:.3},\n    \"max_ci_width_excess\": {widest_gap:.6}\n  }},\n  \
+         \"fluid_screening\": {{\n    \
+         \"points\": \"Table 3-4 with p axis (n=8, m in {{8,16}}, r=8, p in {{0.2,1.0}}, both bufferings)\",\n    \
+         \"ci_width\": {screen_ci},\n    \"screen_tol\": {screen_tol},\n    \
+         \"adaptive_events\": {plain_screen_events},\n    \"screened_events\": {screened_events},\n    \
+         \"screened_points\": {screened_points},\n    \"total_points\": {screen_points},\n    \
+         \"event_savings\": {screening_savings:.3},\n    \
+         \"max_ci_width_plain\": {plain_width:.6},\n    \"max_ci_width_screened\": {screened_width:.6},\n    \
+         \"acceptance\": \"screening saves >= 25% of simulated events at equal CI width\"\n  }}\n}}\n",
         engine = engine.name(),
         points = slice.len(),
         pr3_baseline = PR3_EVENT_SECONDS_BASELINE,
         vs_pr3 = PR3_EVENT_SECONDS_BASELINE / event_secs,
         queue_runs = queue_json_parts.join(",\n      "),
+        screen_tol = screen_plan.tolerance,
+        screen_points = screen_grid.len(),
     );
     match std::fs::write(&out, &json) {
         Ok(()) => {

@@ -92,8 +92,13 @@ fn adaptive_matches_fixed4_precision_with_30pct_fewer_events() {
 /// measured (the cycle engine is the reference semantics).
 #[test]
 fn adaptive_runs_on_both_engines_and_truncates_exactly() {
-    let plan =
-        AdaptivePlan { ci_width: 0.05, batch_cycles: 5_000, min_batches: 8, max_measure: 200_000 };
+    let plan = AdaptivePlan {
+        ci_width: 0.05,
+        batch_cycles: 5_000,
+        min_batches: 8,
+        max_measure: 200_000,
+        prior: None,
+    };
     for engine in [EngineKind::Cycle, EngineKind::Event] {
         let outcome = BusSimBuilder::new(SystemParams::new(8, 16, 8).unwrap())
             .engine(engine)
