@@ -21,7 +21,7 @@
 //! more than 25% against the constant-service simulation; the
 //! model-validation example and tests quantify that gap.
 
-use busnet_queueing::{ClosedNetwork, Station, StationKind};
+use busnet_queueing::{BuzenSweep, ClosedNetwork, MvaSweep, Station, StationKind};
 
 use crate::error::CoreError;
 use crate::params::{SystemParams, Workload};
@@ -118,6 +118,70 @@ pub fn pfqn_ebw_buzen_workload(
     let net = workload_network(params, workload)?;
     let sol = net.buzen(params.n())?;
     Ok(sol.throughput * f64::from(params.processor_cycle()))
+}
+
+/// [`pfqn_ebw_workload`] for a population-axis group: every entry of
+/// `populations` solved against ONE shared network (the network
+/// construction does not involve `n`) through a single incremental
+/// [`MvaSweep`] pass — O(max n) total recursion work instead of
+/// O(Σ nᵢ). Each returned EBW is bit-identical to the corresponding
+/// scratch [`pfqn_ebw_workload`] call, because the scratch solvers are
+/// themselves the final yield of the same sweep.
+///
+/// # Errors
+///
+/// As [`pfqn_ebw_workload`] for network construction; per-population
+/// solution failures land in the inner results.
+pub fn pfqn_ebw_workload_group(
+    params: &SystemParams,
+    workload: &Workload,
+    populations: &[u32],
+) -> Result<Vec<Result<f64, CoreError>>, CoreError> {
+    let Some(&max) = populations.iter().max() else {
+        return Ok(Vec::new());
+    };
+    let net = workload_network(params, workload)?;
+    let cycle = f64::from(params.processor_cycle());
+    let mut sweep = MvaSweep::new(&net, max)?;
+    let mut throughput_at = vec![0.0; max as usize + 1];
+    let mut population = 0usize;
+    while let Some(sol) = sweep.next_solution() {
+        population += 1;
+        throughput_at[population] = sol.throughput;
+    }
+    Ok(populations.iter().map(|&n| Ok(throughput_at[n as usize] * cycle)).collect())
+}
+
+/// [`pfqn_ebw_workload_group`] solved by Buzen's convolution. Unlike
+/// MVA, convolution can fail per population (normalization-constant
+/// overflow), so each entry carries its own result — identical to what
+/// the scratch [`pfqn_ebw_buzen_workload`] call at that population
+/// would return.
+///
+/// # Errors
+///
+/// As [`pfqn_ebw_workload_group`].
+pub fn pfqn_ebw_buzen_workload_group(
+    params: &SystemParams,
+    workload: &Workload,
+    populations: &[u32],
+) -> Result<Vec<Result<f64, CoreError>>, CoreError> {
+    let Some(&max) = populations.iter().max() else {
+        return Ok(Vec::new());
+    };
+    let net = workload_network(params, workload)?;
+    let cycle = f64::from(params.processor_cycle());
+    let mut sweep = BuzenSweep::new(&net, max)?;
+    let mut solution_at: Vec<Option<Result<f64, CoreError>>> = vec![None; max as usize + 1];
+    let mut population = 0usize;
+    while let Some(sol) = sweep.next_solution() {
+        population += 1;
+        solution_at[population] = Some(sol.map(|s| s.throughput * cycle).map_err(CoreError::from));
+    }
+    Ok(populations
+        .iter()
+        .map(|&n| solution_at[n as usize].clone().expect("population within sweep range"))
+        .collect())
 }
 
 /// The deterministic-service (scv = 0) AMVA counterpart of

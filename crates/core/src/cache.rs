@@ -1,0 +1,764 @@
+//! Content-hashed evaluation memo cache.
+//!
+//! A sweep's unit of work is one `(scenario, evaluator)` pair, and
+//! every vehicle in this repository is a *deterministic* function of
+//! the pair: analytic models by construction, the simulators because
+//! replication seeds derive only from `(master_seed, unit index)`.
+//! That makes evaluations memoizable by content: a canonical
+//! **fingerprint** of the scenario (params + workload + buffering +
+//! arbitration + service + buses) joined with the evaluator's
+//! configuration fingerprint (name + budget/seed/engine/stopping,
+//! [`crate::scenario::Evaluator::config_fingerprint`]) keys an
+//! [`Evaluation`] exactly.
+//!
+//! [`EvalCache`] is the memo store: an in-memory map consulted by
+//! [`crate::scenario::run_sweep_with`], plus an opt-in on-disk
+//! JSON-lines journal (`evalcache.jsonl` under `--cache-dir`) that is
+//! loaded at startup and appended on every miss, so repeated `busnet
+//! sweep` invocations are warm. Floating-point payloads are stored as
+//! `f64::to_bits` hex strings, so a disk round-trip is exact and
+//! cached results are **bit-identical** to fresh ones.
+//!
+//! Keys are versioned by the [`SCHEMA`] tag: any change to the
+//! fingerprint grammar or the record layout must bump it, which
+//! invalidates (ignores) every line written by older binaries.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::Metrics;
+use crate::params::{BusPolicy, Workload};
+use crate::scenario::{Evaluation, HotModuleSummary, OccupancySummary, Scenario};
+use crate::sim::service::ServiceTime;
+
+/// Cache schema version tag. Bump on ANY change to the fingerprint
+/// grammar, the evaluator config fingerprints, or the on-disk record
+/// layout — old lines then fail the schema check and are skipped.
+pub const SCHEMA: &str = "busnet-evalcache-v1";
+
+/// FNV-1a 64-bit over raw bytes — the stable content hash used to
+/// compress weight vectors into fingerprint tokens.
+fn fnv64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+pub(crate) fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Canonical token for a workload's *content* (not its construction
+/// path): `uniform`, `hot:<fraction-bits>@<module>`,
+/// `weighted:<fnv64 of weight bits>`, `hetero:<fnv64 of prob bits>`.
+/// Shared with the sampler pools of [`crate::sim::address`], whose
+/// table reuse needs the same equality.
+pub fn workload_fingerprint(workload: &Workload) -> String {
+    match workload {
+        Workload::Uniform => "uniform".to_owned(),
+        Workload::HotSpot { fraction, module } => {
+            format!("hot:{}@{module}", f64_hex(*fraction))
+        }
+        Workload::Weighted(weights) => {
+            format!(
+                "weighted:{:016x}",
+                fnv64(weights.iter().flat_map(|w| w.to_bits().to_le_bytes()))
+            )
+        }
+        Workload::Heterogeneous(probs) => {
+            format!("hetero:{:016x}", fnv64(probs.iter().flat_map(|p| p.to_bits().to_le_bytes())))
+        }
+    }
+}
+
+/// Canonical fingerprint of a scenario's evaluation-relevant content.
+/// Two scenarios with equal fingerprints produce bit-identical
+/// evaluations under any fixed evaluator configuration (e.g. an
+/// explicit `Constant(r)` service and the default `None` fingerprint
+/// identically, as the engines treat them identically).
+pub fn scenario_fingerprint(scenario: &Scenario) -> String {
+    let p = &scenario.params;
+    let policy = match scenario.policy {
+        BusPolicy::ProcessorPriority => "proc",
+        BusPolicy::MemoryPriority => "mem",
+    };
+    let service = match scenario.service() {
+        ServiceTime::Constant(c) => format!("const:{c}"),
+        ServiceTime::Geometric { mean } => format!("geom:{}", f64_hex(mean)),
+    };
+    format!(
+        "n={}|m={}|r={}|p={}|policy={policy}|buf={}|arb={}|wl={}|svc={service}|buses={}",
+        p.n(),
+        p.m(),
+        p.r(),
+        f64_hex(p.p()),
+        scenario.buffering.name(),
+        scenario.arbitration.name(),
+        workload_fingerprint(&scenario.workload),
+        scenario.buses,
+    )
+}
+
+/// The full cache key of one `(scenario, evaluator)` pair: schema tag,
+/// evaluator configuration fingerprint, scenario fingerprint.
+pub fn cache_key(evaluator_fingerprint: &str, scenario: &Scenario) -> String {
+    format!("{SCHEMA}|ev={evaluator_fingerprint}|{}", scenario_fingerprint(scenario))
+}
+
+/// An [`Evaluation`] minus its scenario and evaluator tag — the
+/// payload the cache stores. The scenario is re-attached from the
+/// in-hand grid point at hit time (it is part of the key, so it is
+/// known exactly), which keeps workload weight vectors out of the
+/// store entirely.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedEvaluation {
+    /// §2 derived measures.
+    pub metrics: Metrics,
+    /// 95% CI half-width of the EBW estimate.
+    pub half_width_95: f64,
+    /// Replications (or adaptive batches) behind the estimate.
+    pub replications: u32,
+    /// Per-processor EBW contributions.
+    pub per_processor_ebw: Option<Vec<f64>>,
+    /// Module buffer-occupancy telemetry.
+    pub occupancy: Option<OccupancySummary>,
+    /// Granted requests per module.
+    pub module_references: Option<Vec<u64>>,
+    /// Hottest-module summary.
+    pub hot_module: Option<HotModuleSummary>,
+    /// Engine work units behind the estimate.
+    pub simulated_events: u64,
+}
+
+impl CachedEvaluation {
+    /// Captures an evaluation's scenario-independent payload.
+    pub fn from_evaluation(e: &Evaluation) -> Self {
+        CachedEvaluation {
+            metrics: e.metrics,
+            half_width_95: e.half_width_95,
+            replications: e.replications,
+            per_processor_ebw: e.per_processor_ebw.clone(),
+            occupancy: e.occupancy.clone(),
+            module_references: e.module_references.clone(),
+            hot_module: e.hot_module.clone(),
+            simulated_events: e.simulated_events,
+        }
+    }
+
+    /// Rebuilds the full evaluation for the in-hand scenario.
+    pub fn attach(&self, evaluator: &'static str, scenario: &Scenario) -> Evaluation {
+        Evaluation {
+            evaluator,
+            scenario: scenario.clone(),
+            metrics: self.metrics,
+            half_width_95: self.half_width_95,
+            replications: self.replications,
+            per_processor_ebw: self.per_processor_ebw.clone(),
+            occupancy: self.occupancy.clone(),
+            module_references: self.module_references.clone(),
+            hot_module: self.hot_module.clone(),
+            simulated_events: self.simulated_events,
+        }
+    }
+}
+
+/// Hit/miss/IO counters of an [`EvalCache`], for sweep summaries and
+/// tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and, after the fresh evaluation, were
+    /// inserted).
+    pub misses: u64,
+    /// Records loaded from disk at startup.
+    pub loaded: u64,
+    /// Records appended to disk this run.
+    pub appended: u64,
+    /// Disk lines skipped as unparsable or schema-mismatched, plus
+    /// failed appends.
+    pub skipped: u64,
+}
+
+/// The content-hashed evaluation memo store: an in-memory map with an
+/// optional JSON-lines disk journal. Interior-mutable (`&self`
+/// methods behind a mutex) so one cache can serve a whole sweep.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<String, CachedEvaluation>>,
+    /// Append target (`<dir>/evalcache.jsonl`), when disk-backed.
+    journal: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    loaded: AtomicU64,
+    appended: AtomicU64,
+    skipped: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty in-memory cache (no disk journal).
+    pub fn new() -> Self {
+        EvalCache::default()
+    }
+
+    /// A disk-backed cache rooted at `dir`: creates the directory if
+    /// missing, loads every valid record from `dir/evalcache.jsonl`,
+    /// and appends each future miss to it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or reading an existing
+    /// journal. Individual malformed lines are skipped (counted in
+    /// [`CacheStats::skipped`]), not errors.
+    pub fn with_dir(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let journal = dir.join("evalcache.jsonl");
+        let cache = EvalCache { journal: Some(journal.clone()), ..EvalCache::default() };
+        if journal.exists() {
+            let reader = BufReader::new(File::open(&journal)?);
+            let mut map = cache.map.lock().expect("cache mutex");
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_record(&line) {
+                    Some((key, eval)) => {
+                        map.insert(key, eval);
+                        cache.loaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        cache.skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<CachedEvaluation> {
+        let found = self.map.lock().expect("cache mutex").get(key).cloned();
+        match found {
+            Some(eval) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(eval)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a fresh evaluation under `key` (and appends it to the
+    /// disk journal when one is configured). Re-inserting an existing
+    /// key is a no-op, so a journal never accumulates duplicates.
+    pub fn insert(&self, key: &str, evaluation: &Evaluation) {
+        let cached = CachedEvaluation::from_evaluation(evaluation);
+        {
+            let mut map = self.map.lock().expect("cache mutex");
+            if map.contains_key(key) {
+                return;
+            }
+            map.insert(key.to_owned(), cached.clone());
+        }
+        if let Some(journal) = &self.journal {
+            let line = emit_record(key, &cached);
+            let ok = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(journal)
+                .and_then(|mut f| writeln!(f, "{line}"));
+            match ok {
+                Ok(()) => self.appended.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.skipped.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    /// Number of records currently held in memory.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache mutex").len()
+    }
+
+    /// Whether the cache holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            appended: self.appended.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines record format. One record per line:
+//
+//   {"schema":"busnet-evalcache-v1","key":"...","eval":{...}}
+//
+// All floats are 16-hex-digit `f64::to_bits` strings (exact
+// round-trip); all integers are plain JSON numbers. The emitter and
+// parser below implement exactly the subset needed — objects, arrays,
+// escape-free strings, unsigned integers, null — with no external
+// dependencies.
+// ---------------------------------------------------------------------
+
+fn emit_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&f64_hex(*v));
+        out.push('"');
+    }
+    out.push(']');
+}
+
+fn emit_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn emit_record(key: &str, e: &CachedEvaluation) -> String {
+    debug_assert!(
+        !key.contains(['"', '\\']) && key.is_ascii(),
+        "fingerprints are quote-free ASCII by construction"
+    );
+    let mut s = String::with_capacity(256);
+    s.push_str("{\"schema\":\"");
+    s.push_str(SCHEMA);
+    s.push_str("\",\"key\":\"");
+    s.push_str(key);
+    s.push_str("\",\"eval\":{");
+    s.push_str(&format!(
+        "\"ebw\":\"{}\",\"bus_util\":\"{}\",\"mem_util\":\"{}\",\"proc_eff\":\"{}\",",
+        f64_hex(e.metrics.ebw),
+        f64_hex(e.metrics.bus_utilization),
+        f64_hex(e.metrics.memory_utilization),
+        f64_hex(e.metrics.processor_efficiency),
+    ));
+    match e.metrics.mean_wait_cycles {
+        Some(w) => s.push_str(&format!("\"wait\":\"{}\",", f64_hex(w))),
+        None => s.push_str("\"wait\":null,"),
+    }
+    s.push_str(&format!("\"hw95\":\"{}\",\"reps\":{},", f64_hex(e.half_width_95), e.replications));
+    s.push_str("\"per_proc\":");
+    match &e.per_processor_ebw {
+        Some(v) => emit_f64_array(&mut s, v),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"occ\":");
+    match &e.occupancy {
+        Some(o) => {
+            s.push_str(&format!(
+                "{{\"depth\":{},\"in_mean\":\"{}\",\"out_mean\":\"{}\",",
+                o.buffer_depth,
+                f64_hex(o.mean_input_queue),
+                f64_hex(o.mean_output_queue),
+            ));
+            s.push_str("\"in_dist\":");
+            emit_f64_array(&mut s, &o.input_distribution);
+            s.push_str(",\"out_dist\":");
+            emit_f64_array(&mut s, &o.output_distribution);
+            s.push_str(&format!(
+                ",\"in_full\":\"{}\",\"blocked\":{}}}",
+                f64_hex(o.input_full_fraction),
+                o.blocked_completions,
+            ));
+        }
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"refs\":");
+    match &e.module_references {
+        Some(v) => emit_u64_array(&mut s, v),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"hot\":");
+    match &e.hot_module {
+        Some(h) => s.push_str(&format!(
+            "{{\"module\":{},\"share\":\"{}\",\"util\":\"{}\",\"in_mean\":\"{}\"}}",
+            h.module,
+            f64_hex(h.reference_share),
+            f64_hex(h.utilization),
+            f64_hex(h.mean_input_queue),
+        )),
+        None => s.push_str("null"),
+    }
+    s.push_str(&format!(",\"events\":{}}}}}", e.simulated_events));
+    s
+}
+
+/// The JSON subset the journal uses.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Int(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn int(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn hex_f64(&self) -> Option<f64> {
+        self.str().and_then(f64_from_hex)
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `Some(None)` for an explicit `null`, `Some(Some(v))` for a
+    /// present value, `None` for a missing field.
+    fn opt_field<'a>(&'a self, name: &str) -> Option<Option<&'a Json>> {
+        match self.field(name)? {
+            Json::Null => Some(None),
+            v => Some(Some(v)),
+        }
+    }
+
+    fn f64_array(&self) -> Option<Vec<f64>> {
+        match self {
+            Json::Arr(items) => items.iter().map(Json::hex_f64).collect(),
+            _ => None,
+        }
+    }
+
+    fn u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            Json::Arr(items) => items.iter().map(Json::int).collect(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.bytes.get(self.pos)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Some(Json::Null)
+                } else {
+                    None
+                }
+            }
+            b'0'..=b'9' => self.integer(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return None;
+        }
+        self.pos += 1;
+        let start = self.pos;
+        // Keys and fingerprints contain no escapes or quotes.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.to_owned();
+                self.pos += 1;
+                return Some(s);
+            }
+            if b == b'\\' {
+                return None;
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    fn integer(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok().map(Json::Int)
+    }
+}
+
+fn parse_occupancy(v: &Json) -> Option<OccupancySummary> {
+    Some(OccupancySummary {
+        buffer_depth: u32::try_from(v.field("depth")?.int()?).ok()?,
+        mean_input_queue: v.field("in_mean")?.hex_f64()?,
+        mean_output_queue: v.field("out_mean")?.hex_f64()?,
+        input_distribution: v.field("in_dist")?.f64_array()?,
+        output_distribution: v.field("out_dist")?.f64_array()?,
+        input_full_fraction: v.field("in_full")?.hex_f64()?,
+        blocked_completions: v.field("blocked")?.int()?,
+    })
+}
+
+fn parse_hot(v: &Json) -> Option<HotModuleSummary> {
+    Some(HotModuleSummary {
+        module: usize::try_from(v.field("module")?.int()?).ok()?,
+        reference_share: v.field("share")?.hex_f64()?,
+        utilization: v.field("util")?.hex_f64()?,
+        mean_input_queue: v.field("in_mean")?.hex_f64()?,
+    })
+}
+
+/// Parses one journal line into `(key, payload)`; `None` (skip) on any
+/// structural or schema mismatch.
+fn parse_record(line: &str) -> Option<(String, CachedEvaluation)> {
+    let mut parser = Parser::new(line);
+    let root = parser.value()?;
+    if root.field("schema")?.str()? != SCHEMA {
+        return None;
+    }
+    let key = root.field("key")?.str()?.to_owned();
+    if !key.starts_with(SCHEMA) {
+        return None;
+    }
+    let e = root.field("eval")?;
+    let metrics = Metrics {
+        ebw: e.field("ebw")?.hex_f64()?,
+        bus_utilization: e.field("bus_util")?.hex_f64()?,
+        memory_utilization: e.field("mem_util")?.hex_f64()?,
+        processor_efficiency: e.field("proc_eff")?.hex_f64()?,
+        mean_wait_cycles: match e.opt_field("wait")? {
+            None => None,
+            Some(v) => Some(v.hex_f64()?),
+        },
+    };
+    let eval = CachedEvaluation {
+        metrics,
+        half_width_95: e.field("hw95")?.hex_f64()?,
+        replications: u32::try_from(e.field("reps")?.int()?).ok()?,
+        per_processor_ebw: match e.opt_field("per_proc")? {
+            None => None,
+            Some(v) => Some(v.f64_array()?),
+        },
+        occupancy: match e.opt_field("occ")? {
+            None => None,
+            Some(v) => Some(parse_occupancy(v)?),
+        },
+        module_references: match e.opt_field("refs")? {
+            None => None,
+            Some(v) => Some(v.u64_array()?),
+        },
+        hot_module: match e.opt_field("hot")? {
+            None => None,
+            Some(v) => Some(parse_hot(v)?),
+        },
+        simulated_events: e.field("events")?.int()?,
+    };
+    Some((key, eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ArbitrationKind, Buffering, SystemParams};
+    use crate::scenario::{BusSimEval, Evaluator, SimBudget};
+
+    fn scenario() -> Scenario {
+        Scenario::new(SystemParams::new(4, 4, 4).unwrap())
+    }
+
+    #[test]
+    fn fingerprints_distinguish_every_axis() {
+        let base = scenario();
+        let variants = [
+            Scenario::new(SystemParams::new(5, 4, 4).unwrap()),
+            Scenario::new(SystemParams::new(4, 5, 4).unwrap()),
+            Scenario::new(SystemParams::new(4, 4, 5).unwrap()),
+            Scenario::new(
+                SystemParams::new(4, 4, 4).unwrap().with_request_probability(0.5).unwrap(),
+            ),
+            base.clone().with_policy(BusPolicy::MemoryPriority),
+            base.clone().with_buffering(Buffering::Depth(2)),
+            base.clone().with_arbitration(ArbitrationKind::RoundRobin),
+            base.clone().with_workload(Workload::hot_spot(0.5, 0).unwrap()),
+            base.clone().with_memory_service(ServiceTime::Geometric { mean: 4.0 }),
+            base.clone().with_buses(2).unwrap(),
+        ];
+        let fp = scenario_fingerprint(&base);
+        for v in &variants {
+            assert_ne!(scenario_fingerprint(v), fp, "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn explicit_constant_service_matches_default() {
+        // None and Some(Constant(r)) are the same operating point.
+        let implicit = scenario();
+        let explicit = scenario().with_memory_service(ServiceTime::Constant(4));
+        assert_eq!(scenario_fingerprint(&implicit), scenario_fingerprint(&explicit));
+    }
+
+    #[test]
+    fn weighted_workloads_fingerprint_by_content() {
+        let a = Workload::weighted([3.0, 1.0]).unwrap();
+        let b = Workload::weighted([3.0, 1.0]).unwrap();
+        let c = Workload::weighted([1.0, 3.0]).unwrap();
+        assert_eq!(workload_fingerprint(&a), workload_fingerprint(&b));
+        assert_ne!(workload_fingerprint(&a), workload_fingerprint(&c));
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario().with_buffering(Buffering::Depth(2));
+        let evaluation = sim.evaluate(&s).unwrap();
+        let cached = CachedEvaluation::from_evaluation(&evaluation);
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let line = emit_record(&key, &cached);
+        let (parsed_key, parsed) = parse_record(&line).expect("parses");
+        assert_eq!(parsed_key, key);
+        assert_eq!(parsed, cached);
+        assert_eq!(parsed.attach("sim", &s), evaluation);
+    }
+
+    #[test]
+    fn malformed_and_versioned_lines_are_skipped() {
+        assert!(parse_record("not json").is_none());
+        assert!(parse_record("{\"schema\":\"busnet-evalcache-v0\",\"key\":\"k\"}").is_none());
+        assert!(parse_record("{\"schema\":\"busnet-evalcache-v1\"}").is_none());
+    }
+
+    #[test]
+    fn disk_cache_cold_warm_round_trip() {
+        let dir = std::env::temp_dir().join(format!("busnet-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario();
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let evaluation = sim.evaluate(&s).unwrap();
+        {
+            let cold = EvalCache::with_dir(&dir).unwrap();
+            assert!(cold.lookup(&key).is_none());
+            cold.insert(&key, &evaluation);
+            assert_eq!(cold.stats().appended, 1);
+        }
+        let warm = EvalCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.stats().loaded, 1);
+        let hit = warm.lookup(&key).expect("warm hit");
+        assert_eq!(hit.attach("sim", &s), evaluation);
+        assert_eq!(warm.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod cache;
 pub mod metrics;
 pub mod params;
 pub mod scenario;

@@ -31,6 +31,9 @@
 //! # Ok::<(), busnet_core::CoreError>(())
 //! ```
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
 use busnet_sim::event::EngineKind;
 use busnet_sim::exec::{parallel_consume, parallel_map, ExecutionMode};
 use busnet_sim::replication::ReplicationSummary;
@@ -42,8 +45,12 @@ use crate::analytic::crossbar::crossbar_ebw_exact;
 use crate::analytic::exact_chain::ExactChain;
 use crate::analytic::fluid::{FluidModel, FluidOptions};
 use crate::analytic::multibus::multibus_bw_exact;
-use crate::analytic::pfqn::{pfqn_ebw_buzen_workload, pfqn_ebw_workload};
+use crate::analytic::pfqn::{
+    pfqn_ebw_buzen_workload, pfqn_ebw_buzen_workload_group, pfqn_ebw_workload,
+    pfqn_ebw_workload_group,
+};
 use crate::analytic::reduced::ReducedChain;
+use crate::cache::{f64_hex, workload_fingerprint, EvalCache};
 use crate::error::CoreError;
 use crate::metrics::Metrics;
 use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
@@ -445,6 +452,36 @@ pub trait Evaluator: Sync {
             _ => panic!("default combine_units expects exactly one Whole unit"),
         }
     }
+
+    /// Canonical fingerprint of everything about this evaluator's
+    /// *configuration* that influences its results — the evaluator half
+    /// of a [`crate::cache`] key. Defaults to [`Evaluator::name`]
+    /// (correct for the parameter-free analytic vehicles); evaluators
+    /// with budgets, seeds, or solver options must append them.
+    /// Execution mode is deliberately excluded: parallel and serial
+    /// runs are bit-identical by construction.
+    fn config_fingerprint(&self) -> String {
+        self.name().to_owned()
+    }
+
+    /// When `scenario` can be solved as part of an axis-incremental
+    /// group, the key identifying that group: scenarios sharing a key
+    /// under this evaluator may be handed to [`Evaluator::evaluate_group`]
+    /// together and solved in one resumable pass. `None` (the default)
+    /// means the evaluator has no warm-startable axis.
+    fn incremental_key(&self, scenario: &Scenario) -> Option<String> {
+        let _ = scenario;
+        None
+    }
+
+    /// Evaluates a batch of scenarios sharing one
+    /// [`Evaluator::incremental_key`], amortizing shared solver state.
+    /// Results must be **bit-identical** to independent
+    /// [`Evaluator::evaluate`] calls — grouping is a pure perf
+    /// optimization. The default simply maps `evaluate`.
+    fn evaluate_group(&self, scenarios: &[&Scenario]) -> Vec<Result<Evaluation, CoreError>> {
+        scenarios.iter().map(|s| self.evaluate(s)).collect()
+    }
 }
 
 fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -> Evaluation {
@@ -651,6 +688,38 @@ impl Evaluator for DepthApproxEval {
         let ebw = crate::analytic::approx::depth_aware_ebw(&scenario.params, depth)?;
         Ok(analytic_evaluation(self.name(), scenario, ebw))
     }
+
+    fn incremental_key(&self, scenario: &Scenario) -> Option<String> {
+        // The depth-aware closure's anchors {E(0), E(∞), ρ} depend only
+        // on the system parameters, so grid points differing along the
+        // buffering-depth axis share one anchor computation. Supports()
+        // pins policy/arbitration/workload/service, so the parameters
+        // alone identify the group.
+        if !self.supports(scenario) {
+            return None;
+        }
+        let p = &scenario.params;
+        Some(format!("{}|n={}|m={}|r={}|p={}", self.name(), p.n(), p.m(), p.r(), f64_hex(p.p())))
+    }
+
+    fn evaluate_group(&self, scenarios: &[&Scenario]) -> Vec<Result<Evaluation, CoreError>> {
+        let Some(first) = scenarios.first() else {
+            return Vec::new();
+        };
+        let approx = match crate::analytic::approx::DepthAwareApprox::new(&first.params) {
+            Ok(approx) => approx,
+            // Anchor construction failed: take the scratch path so each
+            // member reports the identical error.
+            Err(_) => return scenarios.iter().map(|s| self.evaluate(s)).collect(),
+        };
+        scenarios
+            .iter()
+            .map(|s| {
+                let depth = s.buffering.effective_depth(s.params.n());
+                Ok(analytic_evaluation(self.name(), s, approx.ebw_at(depth)))
+            })
+            .collect()
+    }
 }
 
 /// Which product-form algorithm [`PfqnEval`] runs.
@@ -703,6 +772,49 @@ impl Evaluator for PfqnEval {
             PfqnAlgorithm::Buzen => pfqn_ebw_buzen_workload(&scenario.params, &scenario.workload)?,
         };
         Ok(analytic_evaluation(self.name(), scenario, ebw))
+    }
+
+    fn incremental_key(&self, scenario: &Scenario) -> Option<String> {
+        // The central-server network depends on (m, r, p, workload) but
+        // not on the population n, so a population-axis group shares
+        // one network and one incremental MVA/convolution pass.
+        if !self.supports(scenario) {
+            return None;
+        }
+        let p = &scenario.params;
+        Some(format!(
+            "{}|m={}|r={}|p={}|wl={}",
+            self.name(),
+            p.m(),
+            p.r(),
+            f64_hex(p.p()),
+            workload_fingerprint(&scenario.workload)
+        ))
+    }
+
+    fn evaluate_group(&self, scenarios: &[&Scenario]) -> Vec<Result<Evaluation, CoreError>> {
+        let Some(first) = scenarios.first() else {
+            return Vec::new();
+        };
+        let populations: Vec<u32> = scenarios.iter().map(|s| s.params.n()).collect();
+        let grouped = match self.algorithm {
+            PfqnAlgorithm::Mva => {
+                pfqn_ebw_workload_group(&first.params, &first.workload, &populations)
+            }
+            PfqnAlgorithm::Buzen => {
+                pfqn_ebw_buzen_workload_group(&first.params, &first.workload, &populations)
+            }
+        };
+        match grouped {
+            Ok(ebws) => scenarios
+                .iter()
+                .zip(ebws)
+                .map(|(s, ebw)| ebw.map(|e| analytic_evaluation(self.name(), s, e)))
+                .collect(),
+            // Network construction failed: scratch per member, so each
+            // reports the identical error it would have standalone.
+            Err(_) => scenarios.iter().map(|s| self.evaluate(s)).collect(),
+        }
     }
 }
 
@@ -961,6 +1073,27 @@ impl Evaluator for BusSimEval {
         true
     }
 
+    fn config_fingerprint(&self) -> String {
+        // Everything result-relevant in the budget. ExecutionMode is
+        // excluded on purpose: parallel and serial execution are
+        // bit-identical (PR 1 invariant), so they share cache lines.
+        let stopping = match self.budget.stopping {
+            Stopping::Fixed => "fixed".to_owned(),
+            Stopping::Adaptive { ci_width, max_reps } => {
+                format!("adaptive:{}:{max_reps}", f64_hex(ci_width))
+            }
+        };
+        format!(
+            "{}:reps={}:warmup={}:measure={}:seed={:016x}:engine={}:stop={stopping}",
+            self.name(),
+            self.budget.replications,
+            self.budget.warmup,
+            self.budget.measure,
+            self.budget.master_seed,
+            self.budget.engine.name(),
+        )
+    }
+
     fn work_units(&self, _scenario: &Scenario) -> u32 {
         match self.budget.stopping {
             // One unit per replication: the grain the sweep scheduler
@@ -1090,6 +1223,17 @@ impl Evaluator for CrossbarSimEval {
         sim_domain(scenario)
     }
 
+    fn config_fingerprint(&self) -> String {
+        format!(
+            "{}:seed={:016x}:warmup={}:measure={}:engine={}",
+            self.name(),
+            self.seed,
+            self.warmup,
+            self.measure,
+            self.engine.name(),
+        )
+    }
+
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
         require(
             self.name(),
@@ -1189,6 +1333,17 @@ impl Evaluator for FluidEval {
         // Any n/m/p, any workload, any buffering, any service with a
         // mean — but a single multiplexed bus.
         s.buses == 1
+    }
+
+    fn config_fingerprint(&self) -> String {
+        format!(
+            "{}:chain_tol={}:out_tol={}:window={}:max_steps={}",
+            self.name(),
+            f64_hex(self.options.chain_tolerance),
+            f64_hex(self.options.output_tolerance),
+            f64_hex(self.options.window),
+            self.options.max_steps,
+        )
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -1475,21 +1630,23 @@ impl ScenarioGrid {
         self
     }
 
-    /// Number of scenarios the grid expands to.
+    /// Number of scenarios the grid expands to. Counts each distinct
+    /// axis value once, matching [`ScenarioGrid::scenarios`]'s
+    /// deduplication of repeated list-axis entries.
     pub fn len(&self) -> usize {
         let r = match &self.r {
-            RAxis::Values(v) => v.len(),
+            RAxis::Values(v) => dedup_axis(v).len(),
             RAxis::MinNmPlus(_) => 1,
         };
-        self.n.len()
-            * self.m.len()
+        dedup_axis(&self.n).len()
+            * dedup_axis(&self.m).len()
             * r
-            * self.p.len()
-            * self.policies.len()
-            * self.bufferings.len()
-            * self.arbitrations.len()
-            * self.workloads.len()
-            * self.buses.len()
+            * dedup_axis(&self.p).len()
+            * dedup_axis(&self.policies).len()
+            * dedup_axis(&self.bufferings).len()
+            * dedup_axis(&self.arbitrations).len()
+            * dedup_axis(&self.workloads).len()
+            * dedup_axis(&self.buses).len()
     }
 
     /// Whether the grid is degenerate (some axis has no values).
@@ -1499,7 +1656,9 @@ impl ScenarioGrid {
 
     /// Expands the grid, in row-major axis order
     /// `n → m → r → p → policy → buffering → arbitration → workload →
-    /// buses`.
+    /// buses`. Repeated list-axis values are deduplicated (first
+    /// occurrence wins), so every expanded point is distinct and a
+    /// sweep evaluates it exactly once.
     ///
     /// # Errors
     ///
@@ -1510,26 +1669,34 @@ impl ScenarioGrid {
         for buffering in &self.bufferings {
             buffering.validate()?;
         }
+        let ns = dedup_axis(&self.n);
+        let ms = dedup_axis(&self.m);
+        let ps = dedup_axis(&self.p);
+        let policies = dedup_axis(&self.policies);
+        let bufferings = dedup_axis(&self.bufferings);
+        let arbitrations = dedup_axis(&self.arbitrations);
+        let workloads = dedup_axis(&self.workloads);
+        let buses_axis = dedup_axis(&self.buses);
         let mut out = Vec::with_capacity(self.len());
-        for &n in &self.n {
-            for &m in &self.m {
+        for &n in &ns {
+            for &m in &ms {
                 let rs: Vec<u32> = match &self.r {
-                    RAxis::Values(v) => v.clone(),
+                    RAxis::Values(v) => dedup_axis(v),
                     RAxis::MinNmPlus(k) => vec![n.min(m) + k],
                 };
                 // Workload shapes depend only on (n, m): check once per
                 // point, not once per inner row.
-                for workload in &self.workloads {
+                for workload in &workloads {
                     workload.validate(n, m)?;
                 }
                 for &r in &rs {
-                    for &p in &self.p {
+                    for &p in &ps {
                         let params = SystemParams::new(n, m, r)?.with_request_probability(p)?;
-                        for &policy in &self.policies {
-                            for &buffering in &self.bufferings {
-                                for &arbitration in &self.arbitrations {
-                                    for workload in &self.workloads {
-                                        for &buses in &self.buses {
+                        for &policy in &policies {
+                            for &buffering in &bufferings {
+                                for &arbitration in &arbitrations {
+                                    for workload in &workloads {
+                                        for &buses in &buses_axis {
                                             let mut scenario = Scenario::new(params)
                                                 .with_policy(policy)
                                                 .with_buffering(buffering)
@@ -1559,6 +1726,18 @@ impl Default for ScenarioGrid {
     }
 }
 
+/// First occurrence of each value in axis order — repeated list-axis
+/// entries (`--n 8,8`) must not expand into duplicate grid points.
+fn dedup_axis<T: PartialEq + Clone>(values: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(values.len());
+    for value in values {
+        if !out.contains(value) {
+            out.push(value.clone());
+        }
+    }
+    out
+}
+
 /// One `(scenario, evaluator)` outcome of a sweep.
 #[derive(Clone, Debug)]
 pub struct SweepRecord {
@@ -1570,6 +1749,11 @@ pub struct SweepRecord {
     /// simulation with the (validated) fluid prediction. Screened
     /// records carry the fluid evaluation and zero simulated events.
     pub screened: bool,
+    /// Whether the result was replayed (memo-cache hit or intra-sweep
+    /// duplicate) instead of computed by the evaluator this run.
+    /// Bookkeeping only — cached results are bit-identical to fresh
+    /// ones and this flag is not part of the CSV/JSON row schema.
+    pub cached: bool,
     /// The evaluation, or why this pair is out of domain / failed.
     pub result: Result<Evaluation, CoreError>,
 }
@@ -1707,7 +1891,7 @@ pub fn run_sweep(
     mode: ExecutionMode,
     on_record: impl FnMut(usize, usize, &SweepRecord),
 ) -> Vec<SweepRecord> {
-    run_sweep_screened(scenarios, evaluators, mode, None, on_record)
+    run_sweep_with(scenarios, evaluators, &SweepOptions::new(mode), on_record)
 }
 
 /// [`run_sweep`] with an optional fluid screening pre-pass (see
@@ -1720,20 +1904,101 @@ pub fn run_sweep_screened(
     evaluators: &[&dyn Evaluator],
     mode: ExecutionMode,
     screen: Option<&ScreenPlan>,
+    on_record: impl FnMut(usize, usize, &SweepRecord),
+) -> Vec<SweepRecord> {
+    run_sweep_with(
+        scenarios,
+        evaluators,
+        &SweepOptions { screen, ..SweepOptions::new(mode) },
+        on_record,
+    )
+}
+
+/// Amortization and execution controls of [`run_sweep_with`]. The
+/// [`SweepOptions::new`] defaults reproduce [`run_sweep`]: no
+/// screening, no memo cache, incremental grouping on (grouping is a
+/// pure perf optimization whose results are bit-identical).
+#[derive(Clone, Copy, Default)]
+pub struct SweepOptions<'a> {
+    /// How work units fan out across threads.
+    pub mode: ExecutionMode,
+    /// Optional fluid screening pre-pass.
+    pub screen: Option<&'a ScreenPlan>,
+    /// Optional evaluation memo cache ([`crate::cache`]), consulted
+    /// for pairs that are neither screened nor prior-seeded (a primed
+    /// evaluation may differ from an unprimed one, so those pairs
+    /// bypass the cache entirely). Hits skip the evaluator; misses are
+    /// inserted after evaluation.
+    pub cache: Option<&'a EvalCache>,
+    /// Whether to solve grid points sharing an
+    /// [`Evaluator::incremental_key`] through one resumable pass
+    /// (population-axis MVA/convolution sweeps, depth-axis
+    /// approximation groups).
+    pub group_incremental: bool,
+}
+
+impl<'a> SweepOptions<'a> {
+    /// [`run_sweep`]-equivalent options under `mode`.
+    pub fn new(mode: ExecutionMode) -> Self {
+        SweepOptions { mode, screen: None, cache: None, group_incremental: true }
+    }
+}
+
+/// One schedulable job of [`run_sweep_with`]: a single work unit of one
+/// pair, or a whole axis-incremental group solved in one pass.
+enum SweepJob {
+    Unit { s: usize, e: usize, u: u32 },
+    Group { e: usize, members: Vec<usize> },
+}
+
+/// What one [`SweepJob`] produced.
+enum SweepJobOutput {
+    Unit(Result<EvalUnit, CoreError>),
+    Group(Vec<Result<Evaluation, CoreError>>),
+}
+
+/// [`run_sweep`] with the full amortization stack ([`SweepOptions`]):
+/// fluid screening, content-hashed memo caching, always-on intra-sweep
+/// deduplication of identical `(scenario, evaluator)` pairs, and
+/// axis-incremental solver grouping. Every amortization preserves the
+/// streaming order and produces records bit-identical to the plain
+/// sweep.
+pub fn run_sweep_with(
+    scenarios: &[Scenario],
+    evaluators: &[&dyn Evaluator],
+    options: &SweepOptions<'_>,
     mut on_record: impl FnMut(usize, usize, &SweepRecord),
 ) -> Vec<SweepRecord> {
+    let screen = options.screen;
     let state = screen.map(|plan| screen_pass(scenarios, plan));
     let evaluators_per_scenario = evaluators.len();
     let pair_of = |s: usize, e: usize| s * evaluators_per_scenario + e;
     let total = scenarios.len() * evaluators.len();
+    let scenario_of = |p: usize| p / evaluators_per_scenario.max(1);
+    let evaluator_of = |p: usize| p % evaluators_per_scenario.max(1);
 
-    // Expand pairs into per-replication unit jobs. Screened pairs get
-    // no jobs — their record is pre-filled from the fluid model — and
-    // seedable pairs record the prior their units will run under.
+    // Pair fingerprints power both the memo cache and intra-sweep
+    // dedup; evaluator config fingerprints are computed once.
+    let scenario_fps: Vec<String> =
+        scenarios.iter().map(crate::cache::scenario_fingerprint).collect();
+    let evaluator_fps: Vec<String> = evaluators.iter().map(|e| e.config_fingerprint()).collect();
+
+    // Expand pairs into jobs. Screened pairs get no jobs — their record
+    // is pre-filled from the fluid model — and seedable pairs record
+    // the prior their units will run under. Cache hits are pre-filled
+    // from the memo store; duplicate pairs alias their first
+    // occurrence; groupable pairs are batched per incremental key.
     let mut pair_units: Vec<u32> = vec![0; total];
     let mut priors: Vec<Option<PriorSeed>> = vec![None; total];
+    let mut cache_keys: Vec<Option<String>> = (0..total).map(|_| None).collect();
     let mut out: Vec<Option<SweepRecord>> = (0..total).map(|_| None).collect();
-    let mut jobs: Vec<(usize, usize, u32)> = Vec::new();
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    // First unscreened, unseeded pair per (evaluator, fingerprint);
+    // later duplicates are filled from it at completion.
+    let mut dedup_source: HashMap<(usize, &str), usize> = HashMap::new();
+    let mut aliases: HashMap<usize, Vec<usize>> = HashMap::new();
+    // Pairs awaiting incremental grouping, per (evaluator, group key).
+    let mut groups: HashMap<(usize, String), Vec<usize>> = HashMap::new();
     for (s, scenario) in scenarios.iter().enumerate() {
         for (e, evaluator) in evaluators.iter().enumerate() {
             let p = pair_of(s, e);
@@ -1750,6 +2015,7 @@ pub fn run_sweep_screened(
                                 scenario: scenario.clone(),
                                 evaluator: evaluator.name(),
                                 screened: true,
+                                cached: false,
                                 result,
                             });
                             continue;
@@ -1761,11 +2027,64 @@ pub fn run_sweep_screened(
                     }
                 }
             }
+            if priors[p].is_none() {
+                // Memo cache (unseeded pairs only — a primed run may
+                // stop earlier than an unprimed one, so its result is
+                // not the canonical evaluation of this pair).
+                if let Some(cache) = options.cache {
+                    let key = crate::cache::cache_key(&evaluator_fps[e], scenario);
+                    if let Some(hit) = cache.lookup(&key) {
+                        out[p] = Some(SweepRecord {
+                            scenario: scenario.clone(),
+                            evaluator: evaluator.name(),
+                            screened: false,
+                            cached: true,
+                            result: Ok(hit.attach(evaluator.name(), scenario)),
+                        });
+                        continue;
+                    }
+                    cache_keys[p] = Some(key);
+                }
+                // Intra-sweep dedup: identical pairs evaluate once.
+                match dedup_source.entry((e, scenario_fps[s].as_str())) {
+                    Entry::Occupied(source) => {
+                        aliases.entry(*source.get()).or_default().push(p);
+                        continue;
+                    }
+                    Entry::Vacant(slot) => {
+                        slot.insert(p);
+                    }
+                }
+                // Axis-incremental grouping: batch warm-startable pairs.
+                if options.group_incremental {
+                    if let Some(key) = evaluator.incremental_key(scenario) {
+                        groups.entry((e, key)).or_default().push(p);
+                        continue;
+                    }
+                }
+            }
             let units = evaluator.work_units(scenario).max(1);
             pair_units[p] = units;
             for u in 0..units {
-                jobs.push((s, e, u));
+                jobs.push(SweepJob::Unit { s, e, u });
             }
+        }
+    }
+    // HashMap iteration order is arbitrary; schedule groups in pair
+    // order so serial runs touch work in a reproducible sequence.
+    let mut grouped: Vec<((usize, String), Vec<usize>)> = groups.into_iter().collect();
+    grouped.sort_by_key(|(_, members)| members[0]);
+    for ((e, _), members) in grouped {
+        if let [only] = members[..] {
+            // A group of one gains nothing; schedule it as a plain unit.
+            let (s, e) = (scenario_of(only), evaluator_of(only));
+            let units = evaluators[e].work_units(&scenarios[s]).max(1);
+            pair_units[only] = units;
+            for u in 0..units {
+                jobs.push(SweepJob::Unit { s, e, u });
+            }
+        } else {
+            jobs.push(SweepJob::Group { e, members });
         }
     }
 
@@ -1773,38 +2092,102 @@ pub fn run_sweep_screened(
         pair_units.iter().map(|&u| (0..u).map(|_| None).collect()).collect();
     let mut remaining: Vec<u32> = pair_units.clone();
     let mut next = 0usize;
+    // Runs on the calling thread in completion order: finalize one
+    // pair's record, replicate it onto its dedup aliases (each keeping
+    // its own scenario), feed the memo cache, and stream every record
+    // that is now contiguous from the cursor.
+    let finish_pair =
+        |p: usize,
+         record: SweepRecord,
+         out: &mut Vec<Option<SweepRecord>>,
+         next: &mut usize,
+         on_record: &mut dyn FnMut(usize, usize, &SweepRecord)| {
+            if let (Some(cache), Some(key), Ok(evaluation)) =
+                (options.cache, cache_keys[p].as_ref(), &record.result)
+            {
+                cache.insert(key, evaluation);
+            }
+            if let Some(dupes) = aliases.get(&p) {
+                for &a in dupes {
+                    let scenario = scenarios[scenario_of(a)].clone();
+                    out[a] = Some(SweepRecord {
+                        scenario: scenario.clone(),
+                        evaluator: record.evaluator,
+                        screened: false,
+                        cached: true,
+                        result: record.result.clone().map(|mut ev| {
+                            ev.scenario = scenario;
+                            ev
+                        }),
+                    });
+                }
+            }
+            out[p] = Some(record);
+            while let Some(record) = out.get(*next).and_then(Option::as_ref) {
+                *next += 1;
+                on_record(*next, total, record);
+            }
+        };
     parallel_consume(
         &jobs,
-        mode,
-        |_, &(s, e, u)| evaluators[e].evaluate_unit_primed(&scenarios[s], u, priors[pair_of(s, e)]),
-        |i, result| {
-            let (s, e, u) = jobs[i];
-            let p = pair_of(s, e);
-            collected[p][u as usize] = Some(result);
-            remaining[p] -= 1;
-            if remaining[p] > 0 {
-                return;
+        options.mode,
+        |_, job| match job {
+            SweepJob::Unit { s, e, u } => SweepJobOutput::Unit(
+                evaluators[*e].evaluate_unit_primed(&scenarios[*s], *u, priors[pair_of(*s, *e)]),
+            ),
+            SweepJob::Group { e, members } => {
+                let group: Vec<&Scenario> =
+                    members.iter().map(|&p| &scenarios[scenario_of(p)]).collect();
+                SweepJobOutput::Group(evaluators[*e].evaluate_group(&group))
             }
-            // Every unit of this pair is in: recombine (in unit order,
-            // on this thread — deterministic) and stream in pair order.
-            let units: Result<Vec<EvalUnit>, CoreError> = collected[p]
-                .iter_mut()
-                .map(|slot| slot.take().expect("all units delivered"))
-                .collect();
-            out[p] = Some(SweepRecord {
-                scenario: scenarios[s].clone(),
-                evaluator: evaluators[e].name(),
-                screened: false,
-                result: units.and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
-            });
-            while let Some(record) = out.get(next).and_then(Option::as_ref) {
-                next += 1;
-                on_record(next, total, record);
+        },
+        |i, output| match output {
+            SweepJobOutput::Unit(result) => {
+                let &SweepJob::Unit { s, e, u } = &jobs[i] else {
+                    unreachable!("unit output from a group job");
+                };
+                let p = pair_of(s, e);
+                collected[p][u as usize] = Some(result);
+                remaining[p] -= 1;
+                if remaining[p] > 0 {
+                    return;
+                }
+                // Every unit of this pair is in: recombine (in unit
+                // order, on this thread — deterministic).
+                let units: Result<Vec<EvalUnit>, CoreError> = collected[p]
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("all units delivered"))
+                    .collect();
+                let record = SweepRecord {
+                    scenario: scenarios[s].clone(),
+                    evaluator: evaluators[e].name(),
+                    screened: false,
+                    cached: false,
+                    result: units
+                        .and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
+                };
+                finish_pair(p, record, &mut out, &mut next, &mut on_record);
+            }
+            SweepJobOutput::Group(results) => {
+                let SweepJob::Group { e, members } = &jobs[i] else {
+                    unreachable!("group output from a unit job");
+                };
+                debug_assert_eq!(results.len(), members.len());
+                for (&p, result) in members.iter().zip(results) {
+                    let record = SweepRecord {
+                        scenario: scenarios[scenario_of(p)].clone(),
+                        evaluator: evaluators[*e].name(),
+                        screened: false,
+                        cached: false,
+                        result,
+                    };
+                    finish_pair(p, record, &mut out, &mut next, &mut on_record);
+                }
             }
         },
     );
-    // Flush any trailing pre-filled (screened) records the job stream
-    // never reached — including the all-screened case with no jobs.
+    // Flush any trailing pre-filled (screened or cached) records the
+    // job stream never reached — including the no-jobs case.
     while let Some(record) = out.get(next).and_then(Option::as_ref) {
         next += 1;
         on_record(next, total, record);

@@ -23,13 +23,67 @@
 //! [`AddressPattern::to_workload`] and is kept for the existing
 //! builder surface.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use busnet_sim::event::{CategoricalAlias, GeometricAlias};
 
+use crate::cache::workload_fingerprint;
 use crate::error::CoreError;
 use crate::params::Workload;
+
+/// Upper bound on entries per sampler pool. A sweep touches one entry
+/// per distinct (workload, dimension) pair — typically a handful — so
+/// the cap only guards against pathological churn; once full, new
+/// tables are built unpooled rather than evicting.
+const POOL_CAP: usize = 256;
+
+/// A sampler pool: immutable tables shared by `Arc`, keyed by the
+/// content that determines them.
+type SamplerPool<K, V> = OnceLock<Mutex<HashMap<K, Arc<V>>>>;
+
+static MODULE_POOL: SamplerPool<(String, u32), CategoricalAlias> = OnceLock::new();
+static THINK_POOL: SamplerPool<(String, u32), Vec<GeometricAlias>> = OnceLock::new();
+static GEOMETRIC_POOL: SamplerPool<u64, GeometricAlias> = OnceLock::new();
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Times a sampler construction was served from the shared pools
+/// (process-wide).
+pub fn sampler_pool_hits() -> u64 {
+    POOL_HITS.load(Ordering::Relaxed)
+}
+
+/// Times a sampler construction had to build a fresh table
+/// (process-wide).
+pub fn sampler_pool_misses() -> u64 {
+    POOL_MISSES.load(Ordering::Relaxed)
+}
+
+/// Fetches (or builds and caches) the pooled value under `key`. The
+/// tables are immutable deterministic functions of their inputs, so
+/// sharing one `Arc` across replications and grid points changes
+/// nothing about any draw sequence.
+fn pooled<K, V>(pool: &SamplerPool<K, V>, key: K, build: impl FnOnce() -> V) -> Arc<V>
+where
+    K: std::hash::Hash + Eq,
+{
+    let mut pool = pool.get_or_init(Mutex::default).lock().expect("sampler pool mutex");
+    if let Some(found) = pool.get(&key) {
+        POOL_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(found);
+    }
+    POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(build());
+    if pool.len() < POOL_CAP {
+        pool.insert(key, Arc::clone(&built));
+    }
+    built
+}
 
 /// How a processor picks the module for its next request (the legacy
 /// pre-[`Workload`] surface; see [`AddressPattern::to_workload`]).
@@ -111,13 +165,16 @@ pub(crate) enum ModuleSampler {
     /// RNG stream, so `Workload::Uniform` runs stay bit-identical).
     Uniform,
     /// Alias-table draw over an arbitrary distribution (one `next_u64`
-    /// regardless of skew).
-    Alias(CategoricalAlias),
+    /// regardless of skew). The table is shared through the process-wide
+    /// pool: every replication and every grid point with the same
+    /// `(workload, m)` reuses one immutable copy.
+    Alias(Arc<CategoricalAlias>),
 }
 
 impl ModuleSampler {
-    /// Builds the sampler for `workload` in an `m`-module system. The
-    /// workload must already be validated (`Workload::validate`).
+    /// Builds (or fetches from the shared pool) the sampler for
+    /// `workload` in an `m`-module system. The workload must already be
+    /// validated (`Workload::validate`).
     ///
     /// # Panics
     ///
@@ -125,12 +182,14 @@ impl ModuleSampler {
     /// time, so this indicates a builder bug.
     pub(crate) fn for_workload(workload: &Workload, m: u32) -> ModuleSampler {
         if workload.references_uniformly() {
+            // The uniform path holds no table — nothing to pool.
             return ModuleSampler::Uniform;
         }
-        let dist = workload.module_distribution(m);
-        ModuleSampler::Alias(
-            CategoricalAlias::new(&dist).expect("validated workload yields a distribution"),
-        )
+        let table = pooled(&MODULE_POOL, (workload_fingerprint(workload), m), || {
+            let dist = workload.module_distribution(m);
+            CategoricalAlias::new(&dist).expect("validated workload yields a distribution")
+        });
+        ModuleSampler::Alias(table)
     }
 
     /// Draws a module index in `0..m`.
@@ -148,22 +207,29 @@ impl ModuleSampler {
 /// (the legacy bit-identical path), one table per processor otherwise.
 #[derive(Clone, Debug)]
 pub(crate) enum ThinkSampler {
-    /// One table shared by all processors (homogeneous `p`).
-    Shared(GeometricAlias),
-    /// One table per processor (`Workload::Heterogeneous`).
-    PerProc(Vec<GeometricAlias>),
+    /// One pooled table shared by all processors (homogeneous `p`).
+    Shared(Arc<GeometricAlias>),
+    /// One table per processor (`Workload::Heterogeneous`), the whole
+    /// vector pooled per `(workload, n)`.
+    PerProc(Arc<Vec<GeometricAlias>>),
 }
 
 impl ThinkSampler {
-    /// Builds the timers for `n` processors under `workload`, with the
-    /// scalar `p` as the homogeneous fallback.
+    /// Builds (or fetches from the shared pool) the timers for `n`
+    /// processors under `workload`, with the scalar `p` as the
+    /// homogeneous fallback.
     pub(crate) fn for_workload(workload: &Workload, n: u32, p: f64) -> ThinkSampler {
         match workload {
             Workload::Heterogeneous(probs) => {
                 debug_assert_eq!(probs.len(), n as usize);
-                ThinkSampler::PerProc(probs.iter().map(|&pi| GeometricAlias::new(pi)).collect())
+                let tables = pooled(&THINK_POOL, (workload_fingerprint(workload), n), || {
+                    probs.iter().map(|&pi| GeometricAlias::new(pi)).collect()
+                });
+                ThinkSampler::PerProc(tables)
             }
-            _ => ThinkSampler::Shared(GeometricAlias::new(p)),
+            _ => ThinkSampler::Shared(pooled(&GEOMETRIC_POOL, p.to_bits(), || {
+                GeometricAlias::new(p)
+            })),
         }
     }
 
@@ -262,6 +328,33 @@ mod tests {
         for q in all.to_workload(4).unwrap().module_distribution(4) {
             assert!((q - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn sampler_pool_shares_tables_and_preserves_draws() {
+        let workload = Workload::hot_spot(0.3, 1).unwrap();
+        let a = ModuleSampler::for_workload(&workload, 8);
+        let b = ModuleSampler::for_workload(&workload, 8);
+        let (ModuleSampler::Alias(ta), ModuleSampler::Alias(tb)) = (&a, &b) else {
+            panic!("hot-spot workloads build alias samplers");
+        };
+        assert!(Arc::ptr_eq(ta, tb), "identical (workload, m) shares one table");
+        let hetero = Workload::heterogeneous([1.0, 0.25]).unwrap();
+        let ha = ThinkSampler::for_workload(&hetero, 2, 1.0);
+        let hb = ThinkSampler::for_workload(&hetero, 2, 1.0);
+        let (ThinkSampler::PerProc(xa), ThinkSampler::PerProc(xb)) = (&ha, &hb) else {
+            panic!("heterogeneous workloads build per-processor timers");
+        };
+        assert!(Arc::ptr_eq(xa, xb), "identical (workload, n) shares one timer vector");
+        // Pooled draws are bit-identical to a freshly built table.
+        let fresh = CategoricalAlias::new(&workload.module_distribution(8)).unwrap();
+        let mut r1 = SmallRng::seed_from_u64(77);
+        let mut r2 = SmallRng::seed_from_u64(77);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(8, &mut r1), fresh.sample(&mut r2));
+        }
+        assert!(sampler_pool_hits() >= 2);
+        assert!(sampler_pool_misses() >= 1);
     }
 
     #[test]

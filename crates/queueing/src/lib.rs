@@ -42,7 +42,9 @@
 mod error;
 mod network;
 mod solvers;
+mod sweep;
 
 pub use error::QueueingError;
 pub use network::{ClosedNetwork, Station, StationKind};
 pub use solvers::{NetworkSolution, StationMetrics};
+pub use sweep::{solver_iterations, AmvaSweep, BuzenSweep, MvaSweep};

@@ -2,6 +2,7 @@
 
 use crate::error::QueueingError;
 use crate::network::{ClosedNetwork, StationKind};
+use crate::sweep::{AmvaSweep, BuzenSweep, MvaSweep};
 
 /// Per-station results of a solved network.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,76 +63,10 @@ impl ClosedNetwork {
     /// # Ok::<(), busnet_queueing::QueueingError>(())
     /// ```
     pub fn mva(&self, population: u32) -> Result<NetworkSolution, QueueingError> {
-        if self.is_empty() {
-            return Err(QueueingError::EmptyNetwork);
-        }
-        if population == 0 {
-            return Err(QueueingError::ZeroPopulation);
-        }
-        let k = self.len();
-        let cap = population as usize;
-        // Marginal queue-length distributions p_k(j | n), exact
-        // load-dependent MVA (Reiser–Lavenberg). marginals[i][j] holds
-        // p_i(j | n) for the population n of the current sweep.
-        let mut marginals: Vec<Vec<f64>> = vec![
-            {
-                let mut v = vec![0.0; cap + 1];
-                v[0] = 1.0;
-                v
-            };
-            k
-        ];
-        let mut residence = vec![0.0f64; k];
-        let mut throughput = 0.0;
-        for n in 1..=population {
-            let mut cycle = 0.0;
-            for (i, st) in self.stations().iter().enumerate() {
-                // R_k(n) = t_k · Σ_j (j / α(j)) · p_k(j−1 | n−1)
-                let mut r = 0.0;
-                for j in 1..=n {
-                    let prev = marginals[i][(j - 1) as usize];
-                    if prev > 0.0 {
-                        r += f64::from(j) / st.kind().rate_multiplier(j) * prev;
-                    }
-                }
-                residence[i] = st.service_time() * r;
-                cycle += st.visit_ratio() * residence[i];
-            }
-            throughput = f64::from(n) / cycle;
-            // Update marginals in place from high j to low so that
-            // p(j−1 | n−1) is still available.
-            for (i, st) in self.stations().iter().enumerate() {
-                let demand_rate = throughput * st.demand();
-                let mut mass = 0.0;
-                for j in (1..=n as usize).rev() {
-                    let p = demand_rate / st.kind().rate_multiplier(j as u32) * marginals[i][j - 1];
-                    marginals[i][j] = p;
-                    mass += p;
-                }
-                marginals[i][0] = (1.0 - mass).max(0.0);
-            }
-        }
-        let stations = self
-            .stations()
-            .iter()
-            .enumerate()
-            .map(|(i, st)| {
-                let queue: f64 = marginals[i].iter().enumerate().map(|(j, &p)| j as f64 * p).sum();
-                StationMetrics {
-                    name: st.name().to_owned(),
-                    utilization: per_server_utilization(st, throughput),
-                    mean_queue_length: queue,
-                    residence_per_visit: residence[i],
-                    demand: st.demand(),
-                }
-            })
-            .collect();
-        Ok(NetworkSolution {
-            throughput,
-            cycle_time: f64::from(population) / throughput,
-            population,
-            stations,
-        })
+        // One full pass of the resumable sweep: the recursion lives in
+        // `MvaSweep` so scratch and incremental paths share every
+        // floating-point operation (see `crate::sweep`).
+        Ok(MvaSweep::new(self, population)?.final_solution())
     }
 
     /// Approximate MVA with the classic FCFS service-variability
@@ -159,60 +94,7 @@ impl ClosedNetwork {
     /// non-finite `scv`, or if the network contains multi-server
     /// stations (the correction is defined for single-server FCFS).
     pub fn amva_scv(&self, population: u32, scv: f64) -> Result<NetworkSolution, QueueingError> {
-        if self.is_empty() {
-            return Err(QueueingError::EmptyNetwork);
-        }
-        if population == 0 {
-            return Err(QueueingError::ZeroPopulation);
-        }
-        if !(scv.is_finite() && scv >= 0.0) {
-            return Err(QueueingError::NumericalFailure("scv must be finite and non-negative"));
-        }
-        if self.stations().iter().any(|s| matches!(s.kind(), StationKind::MultiServer { .. })) {
-            return Err(QueueingError::NumericalFailure(
-                "scv correction is defined for single-server FCFS stations",
-            ));
-        }
-        let k = self.len();
-        let mut queue = vec![0.0f64; k]; // Q_k(n−1)
-        let mut residence = vec![0.0f64; k];
-        let mut throughput = 0.0;
-        for n in 1..=population {
-            let mut cycle = 0.0;
-            for (i, st) in self.stations().iter().enumerate() {
-                residence[i] = match st.kind() {
-                    StationKind::Delay => st.service_time(),
-                    _ => {
-                        let in_service = throughput * st.demand(); // U(n−1)
-                        st.service_time()
-                            * (1.0 + queue[i] - in_service * (1.0 - scv) / 2.0).max(1.0)
-                    }
-                };
-                cycle += st.visit_ratio() * residence[i];
-            }
-            throughput = f64::from(n) / cycle;
-            for (i, st) in self.stations().iter().enumerate() {
-                queue[i] = throughput * st.visit_ratio() * residence[i];
-            }
-        }
-        let stations = self
-            .stations()
-            .iter()
-            .enumerate()
-            .map(|(i, st)| StationMetrics {
-                name: st.name().to_owned(),
-                utilization: per_server_utilization(st, throughput),
-                mean_queue_length: queue[i],
-                residence_per_visit: residence[i],
-                demand: st.demand(),
-            })
-            .collect();
-        Ok(NetworkSolution {
-            throughput,
-            cycle_time: f64::from(population) / throughput,
-            population,
-            stations,
-        })
+        Ok(AmvaSweep::new(self, population, scv)?.final_solution())
     }
 
     /// Solves the network with Buzen's convolution algorithm (the
@@ -227,103 +109,14 @@ impl ClosedNetwork {
     /// [`QueueingError::NumericalFailure`] if the normalization constant
     /// over- or under-flows.
     pub fn buzen(&self, population: u32) -> Result<NetworkSolution, QueueingError> {
-        if self.is_empty() {
-            return Err(QueueingError::EmptyNetwork);
-        }
-        if population == 0 {
-            return Err(QueueingError::ZeroPopulation);
-        }
-        let n = population as usize;
-        let alpha = self.stations().iter().map(|s| s.demand()).fold(f64::MIN, f64::max);
-        debug_assert!(alpha > 0.0);
-
-        // Per-station factor sequences g_k(j) = d^j / Π_{i≤j} α(i),
-        // with demands scaled by 1/alpha (ratios are scale-invariant;
-        // throughput is un-scaled at the end).
-        let sequences: Vec<Vec<f64>> = self
-            .stations()
-            .iter()
-            .map(|st| {
-                let d = st.demand() / alpha;
-                let mut seq = vec![0.0f64; n + 1];
-                seq[0] = 1.0;
-                for j in 1..=n {
-                    seq[j] = seq[j - 1] * d / st.kind().rate_multiplier(j as u32);
-                }
-                seq
-            })
-            .collect();
-
-        let convolve = |a: &[f64], b: &[f64]| -> Vec<f64> {
-            let mut out = vec![0.0f64; n + 1];
-            for (j, slot) in out.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for l in 0..=j {
-                    acc += a[l] * b[j - l];
-                }
-                *slot = acc;
-            }
-            out
-        };
-
-        let mut g_all = vec![0.0f64; n + 1];
-        g_all[0] = 1.0;
-        for seq in &sequences {
-            g_all = convolve(&g_all, seq);
-        }
-        if !g_all.iter().all(|x| x.is_finite()) || g_all[n] <= 0.0 {
-            return Err(QueueingError::NumericalFailure("normalization constant out of range"));
-        }
-
-        let ratio = g_all[n - 1] / g_all[n]; // scaled G(N−1)/G(N)
-        let throughput = ratio / alpha;
-
-        let stations = self
-            .stations()
-            .iter()
-            .enumerate()
-            .map(|(i, st)| {
-                // Complement network (all stations but this one) gives
-                // the exact marginal p_k(j|N) = g_k(j)·G_¬k(N−j)/G(N).
-                let mut g_rest = vec![0.0f64; n + 1];
-                g_rest[0] = 1.0;
-                for (l, seq) in sequences.iter().enumerate() {
-                    if l != i {
-                        g_rest = convolve(&g_rest, seq);
-                    }
-                }
-                let mut queue = 0.0;
-                for j in 1..=n {
-                    let p = sequences[i][j] * g_rest[n - j] / g_all[n];
-                    queue += j as f64 * p;
-                }
-                StationMetrics {
-                    name: st.name().to_owned(),
-                    utilization: per_server_utilization(st, throughput),
-                    mean_queue_length: queue,
-                    residence_per_visit: if throughput > 0.0 {
-                        queue / (throughput * st.visit_ratio())
-                    } else {
-                        0.0
-                    },
-                    demand: st.demand(),
-                }
-            })
-            .collect();
-
-        Ok(NetworkSolution {
-            throughput,
-            cycle_time: f64::from(population) / throughput,
-            population,
-            stations,
-        })
+        BuzenSweep::new(self, population)?.final_solution()
     }
 }
 
 /// Utilization convention shared by both solvers: per-server busy
 /// fraction for queueing and multi-server stations (Little's law on the
 /// server pool), expected busy servers for delay stations.
-fn per_server_utilization(st: &crate::network::Station, throughput: f64) -> f64 {
+pub(crate) fn per_server_utilization(st: &crate::network::Station, throughput: f64) -> f64 {
     let busy = throughput * st.demand();
     match st.kind() {
         StationKind::Queueing | StationKind::Delay => busy,

@@ -1,0 +1,565 @@
+//! Axis-incremental solver sweeps.
+//!
+//! The exact MVA recursion, the scv-corrected approximate MVA, and
+//! Buzen's convolution all compute a population-`N` solution by
+//! recursing through every population `1..=N`. A population-axis sweep
+//! that calls the scratch solvers therefore does `Σ n = O(R²)`
+//! recursion steps for `R` grid points, while a single warm pass does
+//! `O(R)`. The sweep types here expose that warm pass: each holds the
+//! solver's recursion state and yields every intermediate
+//! [`NetworkSolution`] bit-identically to a fresh scratch call at the
+//! same population (the scratch solvers are themselves implemented on
+//! top of these sweeps, so equality is structural, not coincidental).
+//!
+//! Recursion work is observable through [`solver_iterations`], a
+//! per-thread counter of population steps: a scratch sweep over
+//! `1..=R` records `R(R+1)/2` steps, the incremental pass records `R`.
+
+use std::cell::Cell;
+
+use crate::error::QueueingError;
+use crate::network::{ClosedNetwork, StationKind};
+use crate::solvers::{per_server_utilization, NetworkSolution, StationMetrics};
+
+thread_local! {
+    /// Per-thread count of population-recursion steps executed by every
+    /// solver (scratch and sweep). Thread-local rather than global so a
+    /// metered region (a serial sweep, a test) is never polluted by
+    /// solver work on other threads.
+    static SOLVER_ITERATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total population-recursion steps executed on the calling thread.
+/// One step advances one solver by one population; a scratch `mva(n)`
+/// call records `n` steps, a full [`MvaSweep`] pass over `1..=R`
+/// records `R`. Monotone per thread; diff two reads around a
+/// single-threaded region to meter it.
+pub fn solver_iterations() -> u64 {
+    SOLVER_ITERATIONS.with(|c| c.get())
+}
+
+#[inline]
+fn record_step() {
+    SOLVER_ITERATIONS.with(|c| c.set(c.get() + 1));
+}
+
+fn validate(net: &ClosedNetwork, max_population: u32) -> Result<(), QueueingError> {
+    if net.is_empty() {
+        return Err(QueueingError::EmptyNetwork);
+    }
+    if max_population == 0 {
+        return Err(QueueingError::ZeroPopulation);
+    }
+    Ok(())
+}
+
+/// Resumable exact-MVA state: yields the solution at every population
+/// `1..=max_population` in one pass, each bit-identical to
+/// [`ClosedNetwork::mva`] at that population.
+#[derive(Clone, Debug)]
+pub struct MvaSweep<'a> {
+    net: &'a ClosedNetwork,
+    max_population: u32,
+    /// Population of the most recent step (0 before the first step).
+    population: u32,
+    /// Marginal queue-length distributions p_k(j | population).
+    marginals: Vec<Vec<f64>>,
+    residence: Vec<f64>,
+    throughput: f64,
+    iterations: u64,
+}
+
+impl<'a> MvaSweep<'a> {
+    /// Starts a sweep over populations `1..=max_population`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::EmptyNetwork`] /
+    /// [`QueueingError::ZeroPopulation`] on degenerate inputs.
+    pub fn new(net: &'a ClosedNetwork, max_population: u32) -> Result<Self, QueueingError> {
+        validate(net, max_population)?;
+        let k = net.len();
+        let cap = max_population as usize;
+        Ok(MvaSweep {
+            net,
+            max_population,
+            population: 0,
+            marginals: vec![
+                {
+                    let mut v = vec![0.0; cap + 1];
+                    v[0] = 1.0;
+                    v
+                };
+                k
+            ],
+            residence: vec![0.0f64; k],
+            throughput: 0.0,
+            iterations: 0,
+        })
+    }
+
+    /// Population-recursion steps this sweep has executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Advances the recursion by one population.
+    fn step(&mut self) {
+        let n = self.population + 1;
+        let mut cycle = 0.0;
+        for (i, st) in self.net.stations().iter().enumerate() {
+            // R_k(n) = t_k · Σ_j (j / α(j)) · p_k(j−1 | n−1)
+            let mut r = 0.0;
+            for j in 1..=n {
+                let prev = self.marginals[i][(j - 1) as usize];
+                if prev > 0.0 {
+                    r += f64::from(j) / st.kind().rate_multiplier(j) * prev;
+                }
+            }
+            self.residence[i] = st.service_time() * r;
+            cycle += st.visit_ratio() * self.residence[i];
+        }
+        self.throughput = f64::from(n) / cycle;
+        // Update marginals in place from high j to low so that
+        // p(j−1 | n−1) is still available.
+        for (i, st) in self.net.stations().iter().enumerate() {
+            let demand_rate = self.throughput * st.demand();
+            let mut mass = 0.0;
+            for j in (1..=n as usize).rev() {
+                let p =
+                    demand_rate / st.kind().rate_multiplier(j as u32) * self.marginals[i][j - 1];
+                self.marginals[i][j] = p;
+                mass += p;
+            }
+            self.marginals[i][0] = (1.0 - mass).max(0.0);
+        }
+        self.population = n;
+        self.iterations += 1;
+        record_step();
+    }
+
+    /// Builds the solution for the current population. Queue lengths
+    /// sum the marginal prefix `0..=population` only — entries above
+    /// the current population are untouched zeros of the
+    /// `max_population`-sized buffers, and excluding them keeps the
+    /// floating-point reduction identical to a scratch solve whose
+    /// buffers end at the current population.
+    fn solution(&self) -> NetworkSolution {
+        let n = self.population as usize;
+        let stations = self
+            .net
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let queue: f64 =
+                    self.marginals[i][..=n].iter().enumerate().map(|(j, &p)| j as f64 * p).sum();
+                StationMetrics {
+                    name: st.name().to_owned(),
+                    utilization: per_server_utilization(st, self.throughput),
+                    mean_queue_length: queue,
+                    residence_per_visit: self.residence[i],
+                    demand: st.demand(),
+                }
+            })
+            .collect();
+        NetworkSolution {
+            throughput: self.throughput,
+            cycle_time: f64::from(self.population) / self.throughput,
+            population: self.population,
+            stations,
+        }
+    }
+
+    /// Yields the next population's solution, or `None` once past
+    /// `max_population`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_solution(&mut self) -> Option<NetworkSolution> {
+        if self.population >= self.max_population {
+            return None;
+        }
+        self.step();
+        Some(self.solution())
+    }
+
+    /// Runs the recursion to `max_population` and returns only the
+    /// final solution (the scratch-solver path).
+    pub(crate) fn final_solution(mut self) -> NetworkSolution {
+        while self.population < self.max_population {
+            self.step();
+        }
+        self.solution()
+    }
+}
+
+/// Resumable approximate-MVA (scv-corrected) state; see
+/// [`ClosedNetwork::amva_scv`] for the model. Yields populations
+/// `1..=max_population`, each bit-identical to a scratch call.
+#[derive(Clone, Debug)]
+pub struct AmvaSweep<'a> {
+    net: &'a ClosedNetwork,
+    max_population: u32,
+    scv: f64,
+    population: u32,
+    queue: Vec<f64>,
+    residence: Vec<f64>,
+    throughput: f64,
+    iterations: u64,
+}
+
+impl<'a> AmvaSweep<'a> {
+    /// Starts a sweep over populations `1..=max_population` at service
+    /// variability `scv`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClosedNetwork::amva_scv`]: degenerate inputs, invalid
+    /// `scv`, or multi-server stations.
+    pub fn new(
+        net: &'a ClosedNetwork,
+        max_population: u32,
+        scv: f64,
+    ) -> Result<Self, QueueingError> {
+        validate(net, max_population)?;
+        if !(scv.is_finite() && scv >= 0.0) {
+            return Err(QueueingError::NumericalFailure("scv must be finite and non-negative"));
+        }
+        if net.stations().iter().any(|s| matches!(s.kind(), StationKind::MultiServer { .. })) {
+            return Err(QueueingError::NumericalFailure(
+                "scv correction is defined for single-server FCFS stations",
+            ));
+        }
+        let k = net.len();
+        Ok(AmvaSweep {
+            net,
+            max_population,
+            scv,
+            population: 0,
+            queue: vec![0.0f64; k],
+            residence: vec![0.0f64; k],
+            throughput: 0.0,
+            iterations: 0,
+        })
+    }
+
+    /// Population-recursion steps this sweep has executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn step(&mut self) {
+        let n = self.population + 1;
+        let mut cycle = 0.0;
+        for (i, st) in self.net.stations().iter().enumerate() {
+            self.residence[i] = match st.kind() {
+                StationKind::Delay => st.service_time(),
+                _ => {
+                    let in_service = self.throughput * st.demand(); // U(n−1)
+                    st.service_time()
+                        * (1.0 + self.queue[i] - in_service * (1.0 - self.scv) / 2.0).max(1.0)
+                }
+            };
+            cycle += st.visit_ratio() * self.residence[i];
+        }
+        self.throughput = f64::from(n) / cycle;
+        for (i, st) in self.net.stations().iter().enumerate() {
+            self.queue[i] = self.throughput * st.visit_ratio() * self.residence[i];
+        }
+        self.population = n;
+        self.iterations += 1;
+        record_step();
+    }
+
+    fn solution(&self) -> NetworkSolution {
+        let stations = self
+            .net
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| StationMetrics {
+                name: st.name().to_owned(),
+                utilization: per_server_utilization(st, self.throughput),
+                mean_queue_length: self.queue[i],
+                residence_per_visit: self.residence[i],
+                demand: st.demand(),
+            })
+            .collect();
+        NetworkSolution {
+            throughput: self.throughput,
+            cycle_time: f64::from(self.population) / self.throughput,
+            population: self.population,
+            stations,
+        }
+    }
+
+    /// Yields the next population's solution, or `None` once past
+    /// `max_population`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_solution(&mut self) -> Option<NetworkSolution> {
+        if self.population >= self.max_population {
+            return None;
+        }
+        self.step();
+        Some(self.solution())
+    }
+
+    pub(crate) fn final_solution(mut self) -> NetworkSolution {
+        while self.population < self.max_population {
+            self.step();
+        }
+        self.solution()
+    }
+}
+
+/// Resumable Buzen-convolution state: the per-station factor sequences
+/// and normalization constants are built once at `max_population` size
+/// (each convolution index depends only on lower indices, so every
+/// prefix matches what a smaller scratch solve computes), then each
+/// yield reads the population-`n` prefix.
+#[derive(Clone, Debug)]
+pub struct BuzenSweep<'a> {
+    net: &'a ClosedNetwork,
+    max_population: u32,
+    population: u32,
+    alpha: f64,
+    /// Per-station factor sequences g_k(j) (demands scaled by 1/alpha).
+    sequences: Vec<Vec<f64>>,
+    /// Full-network normalization constants G(0..=max_population).
+    g_all: Vec<f64>,
+    /// Per-station complement-network constants G_¬k(0..=max_population).
+    g_rest: Vec<Vec<f64>>,
+    iterations: u64,
+}
+
+impl<'a> BuzenSweep<'a> {
+    /// Starts a sweep over populations `1..=max_population`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueingError::EmptyNetwork`] /
+    /// [`QueueingError::ZeroPopulation`] on degenerate inputs. Range
+    /// failures of the normalization constant surface per-population
+    /// from [`BuzenSweep::next_solution`].
+    pub fn new(net: &'a ClosedNetwork, max_population: u32) -> Result<Self, QueueingError> {
+        validate(net, max_population)?;
+        let n = max_population as usize;
+        let alpha = net.stations().iter().map(|s| s.demand()).fold(f64::MIN, f64::max);
+        debug_assert!(alpha > 0.0);
+
+        // Per-station factor sequences g_k(j) = d^j / Π_{i≤j} α(i),
+        // with demands scaled by 1/alpha (ratios are scale-invariant;
+        // throughput is un-scaled at the end).
+        let sequences: Vec<Vec<f64>> = net
+            .stations()
+            .iter()
+            .map(|st| {
+                let d = st.demand() / alpha;
+                let mut seq = vec![0.0f64; n + 1];
+                seq[0] = 1.0;
+                for j in 1..=n {
+                    seq[j] = seq[j - 1] * d / st.kind().rate_multiplier(j as u32);
+                }
+                seq
+            })
+            .collect();
+
+        let convolve = |a: &[f64], b: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0f64; n + 1];
+            for (j, slot) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for l in 0..=j {
+                    acc += a[l] * b[j - l];
+                }
+                *slot = acc;
+            }
+            out
+        };
+
+        let mut g_all = vec![0.0f64; n + 1];
+        g_all[0] = 1.0;
+        for seq in &sequences {
+            g_all = convolve(&g_all, seq);
+        }
+
+        // Complement network (all stations but station i) gives the
+        // exact marginal p_k(j|N) = g_k(j)·G_¬k(N−j)/G(N).
+        let g_rest: Vec<Vec<f64>> = (0..net.len())
+            .map(|i| {
+                let mut rest = vec![0.0f64; n + 1];
+                rest[0] = 1.0;
+                for (l, seq) in sequences.iter().enumerate() {
+                    if l != i {
+                        rest = convolve(&rest, seq);
+                    }
+                }
+                rest
+            })
+            .collect();
+
+        Ok(BuzenSweep {
+            net,
+            max_population,
+            population: 0,
+            alpha,
+            sequences,
+            g_all,
+            g_rest,
+            iterations: 0,
+        })
+    }
+
+    /// Population-recursion steps this sweep has executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn solution(&self, n: usize) -> Result<NetworkSolution, QueueingError> {
+        // Scratch `buzen(n)` builds its arrays at size n+1, so its
+        // range check sees exactly the prefix 0..=n.
+        if !self.g_all[..=n].iter().all(|x| x.is_finite()) || self.g_all[n] <= 0.0 {
+            return Err(QueueingError::NumericalFailure("normalization constant out of range"));
+        }
+        let ratio = self.g_all[n - 1] / self.g_all[n]; // scaled G(N−1)/G(N)
+        let throughput = ratio / self.alpha;
+        let stations = self
+            .net
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, st)| {
+                let mut queue = 0.0;
+                for j in 1..=n {
+                    let p = self.sequences[i][j] * self.g_rest[i][n - j] / self.g_all[n];
+                    queue += j as f64 * p;
+                }
+                StationMetrics {
+                    name: st.name().to_owned(),
+                    utilization: per_server_utilization(st, throughput),
+                    mean_queue_length: queue,
+                    residence_per_visit: if throughput > 0.0 {
+                        queue / (throughput * st.visit_ratio())
+                    } else {
+                        0.0
+                    },
+                    demand: st.demand(),
+                }
+            })
+            .collect();
+        Ok(NetworkSolution {
+            throughput,
+            cycle_time: n as f64 / throughput,
+            population: n as u32,
+            stations,
+        })
+    }
+
+    /// Yields the next population's solution, or `None` once past
+    /// `max_population`. A range failure is reported for the failing
+    /// population; the sweep still advances past it.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_solution(&mut self) -> Option<Result<NetworkSolution, QueueingError>> {
+        if self.population >= self.max_population {
+            return None;
+        }
+        self.population += 1;
+        self.iterations += 1;
+        record_step();
+        Some(self.solution(self.population as usize))
+    }
+
+    /// Scratch-solver path: one call pays the full `1..=max_population`
+    /// convolution recursion, so it meters `max_population` steps.
+    pub(crate) fn final_solution(mut self) -> Result<NetworkSolution, QueueingError> {
+        self.population = self.max_population;
+        self.iterations += u64::from(self.max_population);
+        SOLVER_ITERATIONS.with(|c| c.set(c.get() + u64::from(self.max_population)));
+        self.solution(self.max_population as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Station;
+
+    fn central_server(m: usize, r: f64) -> ClosedNetwork {
+        let mut net = ClosedNetwork::new();
+        net.add_station(Station::new("bus", StationKind::Queueing, 2.0, 1.0).unwrap());
+        for i in 0..m {
+            net.add_station(
+                Station::new(format!("mem{i}"), StationKind::Queueing, 1.0 / m as f64, r).unwrap(),
+            );
+        }
+        net.add_station(Station::new("think", StationKind::Delay, 1.0, 6.0).unwrap());
+        net
+    }
+
+    #[test]
+    fn mva_sweep_yields_bit_identical_intermediates() {
+        let net = central_server(4, 8.0);
+        let mut sweep = MvaSweep::new(&net, 24).unwrap();
+        for n in 1..=24 {
+            let inc = sweep.next_solution().unwrap();
+            let scratch = net.mva(n).unwrap();
+            assert_eq!(inc, scratch, "population {n}");
+        }
+        assert!(sweep.next_solution().is_none());
+        assert_eq!(sweep.iterations(), 24);
+    }
+
+    #[test]
+    fn amva_sweep_yields_bit_identical_intermediates() {
+        let net = central_server(4, 8.0);
+        for scv in [0.0, 0.5, 1.0] {
+            let mut sweep = AmvaSweep::new(&net, 16, scv).unwrap();
+            for n in 1..=16 {
+                let inc = sweep.next_solution().unwrap();
+                let scratch = net.amva_scv(n, scv).unwrap();
+                assert_eq!(inc, scratch, "scv {scv} population {n}");
+            }
+            assert!(sweep.next_solution().is_none());
+        }
+    }
+
+    #[test]
+    fn buzen_sweep_yields_bit_identical_intermediates() {
+        let net = central_server(4, 8.0);
+        let mut sweep = BuzenSweep::new(&net, 20).unwrap();
+        for n in 1..=20 {
+            let inc = sweep.next_solution().unwrap().unwrap();
+            let scratch = net.buzen(n).unwrap();
+            assert_eq!(inc, scratch, "population {n}");
+        }
+        assert!(sweep.next_solution().is_none());
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_inputs() {
+        let empty = ClosedNetwork::new();
+        assert_eq!(MvaSweep::new(&empty, 4).unwrap_err(), QueueingError::EmptyNetwork);
+        assert_eq!(BuzenSweep::new(&empty, 4).unwrap_err(), QueueingError::EmptyNetwork);
+        let net = central_server(2, 4.0);
+        assert_eq!(MvaSweep::new(&net, 0).unwrap_err(), QueueingError::ZeroPopulation);
+        assert_eq!(AmvaSweep::new(&net, 0, 1.0).unwrap_err(), QueueingError::ZeroPopulation);
+        assert_eq!(BuzenSweep::new(&net, 0).unwrap_err(), QueueingError::ZeroPopulation);
+        assert!(AmvaSweep::new(&net, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn iteration_counter_meters_scratch_quadratically() {
+        let net = central_server(2, 4.0);
+        let r = 12u32;
+        let before = solver_iterations();
+        for n in 1..=r {
+            net.mva(n).unwrap();
+        }
+        let scratch = solver_iterations() - before;
+        assert_eq!(scratch, u64::from(r) * u64::from(r + 1) / 2);
+
+        let before = solver_iterations();
+        let mut sweep = MvaSweep::new(&net, r).unwrap();
+        while sweep.next_solution().is_some() {}
+        let incremental = solver_iterations() - before;
+        assert_eq!(incremental, u64::from(r));
+    }
+}

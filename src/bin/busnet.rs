@@ -17,6 +17,7 @@
 //! busnet sweep --n 1000000 --m 1000000 --buffer-depth 4 --evaluator fluid
 //! busnet sweep --n 8 --m 8,16 --p 0.2,1 --evaluator sim --ci-width 0.02 --screen fluid
 //! busnet sweep --n 8 --m 8 --buses 1..8 --evaluator multibus
+//! busnet sweep --n 1..64 --evaluator pfqn --cache-dir .busnet-cache
 //! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event] [--smoke]
 //! ```
 
@@ -26,10 +27,12 @@ use std::time::Instant;
 
 use std::io::Write;
 
+use busnet::core::cache::EvalCache;
 use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet::core::scenario::{
-    run_sweep, run_sweep_screened, Evaluator, EvaluatorKind, ScenarioGrid, ScreenPlan, SimBudget,
-    Stopping, SweepRecord, ALL_EVALUATOR_KINDS,
+    run_sweep, run_sweep_screened, run_sweep_with, Evaluator, EvaluatorKind, PfqnAlgorithm,
+    PfqnEval, ScenarioGrid, ScreenPlan, SimBudget, Stopping, SweepOptions, SweepRecord,
+    ALL_EVALUATOR_KINDS,
 };
 use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder};
 use busnet::core::CoreError;
@@ -72,7 +75,8 @@ fn main() -> ExitCode {
                  [--think-probs P1,..,Pn] [--buses SPEC]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
-                 [--ci-width X [--max-reps K]] [--screen fluid [--screen-tol T]]\n\
+                 [--ci-width X [--max-reps K]] [--screen fluid [--screen-tol T]]\n      \
+                 [--cache-dir DIR]\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
                  range (2..16:2). KIND is random|round-robin|lru|priority."
@@ -632,6 +636,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let buses_spec = flags.value("--buses").unwrap_or("1").to_owned();
     let screen_spec = flags.value("--screen").map(str::to_owned);
     let screen_tol: f64 = flags.parse("--screen-tol", 0.05);
+    let cache_dir_spec = flags.value("--cache-dir").map(str::to_owned);
     if let Err(e) = flags.finish() {
         eprintln!("{e}\nrun `busnet` without arguments for usage");
         return ExitCode::FAILURE;
@@ -748,6 +753,17 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         }
         Some(other) => return fail(format!("bad --screen `{other}` (expected fluid)")),
     };
+    // The evaluation memo cache: in-memory dedup is always on inside
+    // `run_sweep_with`; `--cache-dir` additionally persists results to
+    // a JSON-lines journal so a re-run of the same grid replays from
+    // disk without touching an evaluator.
+    let cache = match cache_dir_spec {
+        None => None,
+        Some(dir) => match EvalCache::with_dir(std::path::Path::new(&dir)) {
+            Ok(cache) => Some(cache),
+            Err(e) => return fail(format!("cannot open --cache-dir `{dir}`: {e}")),
+        },
+    };
 
     let grid = ScenarioGrid::new()
         .n_values(n)
@@ -807,18 +823,17 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     // formatting work on large grids.
     let live_progress = std::io::IsTerminal::is_terminal(&std::io::stderr());
     let start = Instant::now();
-    let records = run_sweep_screened(
-        &scenarios,
-        &refs,
-        sweep_mode,
-        screen.as_ref(),
-        |done, total, record| {
-            emit_record(record, format, &mut out);
-            if live_progress && (done % 16 == 0 || done == total) {
-                eprint!("\r# {done}/{total} points");
-            }
-        },
-    );
+    let options = SweepOptions {
+        screen: screen.as_ref(),
+        cache: cache.as_ref(),
+        ..SweepOptions::new(sweep_mode)
+    };
+    let records = run_sweep_with(&scenarios, &refs, &options, |done, total, record| {
+        emit_record(record, format, &mut out);
+        if live_progress && (done % 16 == 0 || done == total) {
+            eprint!("\r# {done}/{total} points");
+        }
+    });
     out.flush().expect("stdout closed");
     drop(out);
     let evaluated = records.iter().filter(|r| record_outcome(r).0).count();
@@ -833,6 +848,18 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         records.len() - evaluated - failed,
         start.elapsed().as_secs_f64()
     );
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        let replayed = records.iter().filter(|r| r.cached).count();
+        eprintln!(
+            "# cache: {replayed} record(s) replayed; {} hit(s), {} miss(es), {} loaded from \
+             disk, {} appended",
+            stats.hits, stats.misses, stats.loaded, stats.appended
+        );
+        if stats.skipped > 0 {
+            eprintln!("# cache: {} malformed/foreign journal line(s) skipped", stats.skipped);
+        }
+    }
     if failed > 0 {
         eprintln!("# {failed} evaluation(s) failed hard");
         return ExitCode::FAILURE;
@@ -939,6 +966,81 @@ fn run_bench_smoke() -> ExitCode {
             "# smoke: fluid screening saved only {:.1}% (< 25%) of simulated events",
             savings * 100.0
         );
+        return ExitCode::FAILURE;
+    }
+
+    // Amortization slice: the population-axis sweep must do O(R)
+    // recursion steps (one warm-started solver pass), not the scratch
+    // triangle R(R+1)/2. Serial mode keeps every solver call on this
+    // thread, where the thread-local iteration counter meters exactly.
+    let r = 64u32;
+    let amort_grid = ScenarioGrid::new()
+        .n_values((1..=r).collect::<Vec<_>>())
+        .m_values([8])
+        .r_values([8])
+        .bufferings([Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let mva = PfqnEval { algorithm: PfqnAlgorithm::Mva };
+    let amort_evaluators: [&dyn Evaluator; 1] = [&mva];
+    let meter = |options: &SweepOptions| -> u64 {
+        let before = busnet::queueing::solver_iterations();
+        run_sweep_with(&amort_grid, &amort_evaluators, options, |_, _, _| {});
+        busnet::queueing::solver_iterations() - before
+    };
+    let incremental = meter(&SweepOptions::new(ExecutionMode::Serial));
+    let scratch = meter(&SweepOptions {
+        group_incremental: false,
+        ..SweepOptions::new(ExecutionMode::Serial)
+    });
+    let triangle = u64::from(r) * u64::from(r + 1) / 2;
+    println!(
+        "# smoke amortization: R={r} population sweep, incremental {incremental} solver \
+         iterations vs scratch {scratch} (triangle {triangle})"
+    );
+    if incremental != u64::from(r) || scratch != triangle {
+        eprintln!(
+            "# smoke: incremental sweep did {incremental} solver iterations (want {r}), \
+             scratch did {scratch} (want {triangle})"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Cache slice: a warm re-run of a simulated sweep must replay every
+    // record from the memo cache — zero evaluator calls, zero events.
+    let cache_grid = ScenarioGrid::new()
+        .n_values([4, 8])
+        .m_values([8])
+        .r_values([8])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let cache_sim = busnet::core::scenario::BusSimEval::new(SimBudget {
+        replications: 2,
+        warmup: 1_000,
+        measure: 10_000,
+        master_seed: 0x5EED,
+        mode: ExecutionMode::Serial,
+        engine: EngineKind::Event,
+        stopping: Stopping::Fixed,
+    });
+    let cache_evaluators: [&dyn Evaluator; 1] = [&cache_sim];
+    let cache = EvalCache::new();
+    let cached_options =
+        SweepOptions { cache: Some(&cache), ..SweepOptions::new(ExecutionMode::Serial) };
+    let cold = run_sweep_with(&cache_grid, &cache_evaluators, &cached_options, |_, _, _| {});
+    let misses_after_cold = cache.stats().misses;
+    let warm = run_sweep_with(&cache_grid, &cache_evaluators, &cached_options, |_, _, _| {});
+    let cold_events = events(&cold);
+    let replayed = warm.iter().filter(|r| r.cached).count();
+    println!(
+        "# smoke cache: cold run simulated {cold_events} events across {} pairs; warm re-run \
+         replayed {replayed} record(s) with {} evaluator call(s)",
+        cold.len(),
+        cache.stats().misses - misses_after_cold
+    );
+    if replayed != warm.len() || cache.stats().misses != misses_after_cold {
+        eprintln!("# smoke: warm cached re-run was not a full replay");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -1251,9 +1353,92 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         screening_savings * 100.0
     );
 
+    // Sweep amortization, analytic side: a population-axis sweep
+    // re-solved from scratch at every point pays the triangular
+    // R(R+1)/2 recursion; axis-incremental grouping warm-starts one
+    // solver pass (exactly R steps). Individual sweeps finish in
+    // microseconds, so both variants are looped for a stable clock.
+    let amort_r = 128u32;
+    let amort_rounds = 50u32;
+    eprintln!(
+        "# sweep amortization: incremental vs scratch population sweep \
+         (R = {amort_r}, {amort_rounds} rounds)..."
+    );
+    let amort_grid = ScenarioGrid::new()
+        .n_values((1..=amort_r).collect::<Vec<_>>())
+        .m_values([16])
+        .r_values([8])
+        .bufferings([Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let mva = PfqnEval { algorithm: PfqnAlgorithm::Mva };
+    let amort_evaluators: [&dyn Evaluator; 1] = [&mva];
+    let time_amort = |options: &SweepOptions| -> (f64, u64) {
+        let before = busnet::queueing::solver_iterations();
+        let start = Instant::now();
+        for _ in 0..amort_rounds {
+            run_sweep_with(&amort_grid, &amort_evaluators, options, |_, _, _| {});
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (secs, (busnet::queueing::solver_iterations() - before) / u64::from(amort_rounds))
+    };
+    let (incr_secs, incr_iters) = time_amort(&SweepOptions::new(ExecutionMode::Serial));
+    let (scratch_secs, scratch_iters) = time_amort(&SweepOptions {
+        group_incremental: false,
+        ..SweepOptions::new(ExecutionMode::Serial)
+    });
+    let amort_speedup = scratch_secs / incr_secs;
+    eprintln!(
+        "# amortization: scratch {scratch_secs:.3}s ({scratch_iters} solver iterations/sweep), \
+         incremental {incr_secs:.3}s ({incr_iters}) -> {amort_speedup:.2}x"
+    );
+    if amort_speedup < 5.0 {
+        eprintln!("# amortization: incremental sweep only {amort_speedup:.2}x faster (< 5x)");
+        return ExitCode::FAILURE;
+    }
+
+    // Sweep amortization, cached side: re-running a simulated sweep
+    // against a warm memo cache must replay every record without a
+    // single evaluator call.
+    eprintln!("# sweep amortization: cold vs warm cached simulated sweep...");
+    let cache_grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let cache_sim = busnet::core::scenario::BusSimEval::new(budget.with_engine(EngineKind::Event));
+    let cache_evaluators: [&dyn Evaluator; 1] = [&cache_sim];
+    let cache = EvalCache::new();
+    let cached_options =
+        SweepOptions { cache: Some(&cache), ..SweepOptions::new(ExecutionMode::Serial) };
+    let time_cached = || {
+        let start = Instant::now();
+        let records = run_sweep_with(&cache_grid, &cache_evaluators, &cached_options, |_, _, _| {});
+        (start.elapsed().as_secs_f64(), records)
+    };
+    let (cold_secs, _cold_records) = time_cached();
+    let misses_after_cold = cache.stats().misses;
+    let (warm_secs, warm_records) = time_cached();
+    let warm_misses = cache.stats().misses - misses_after_cold;
+    let cache_speedup = cold_secs / warm_secs;
+    eprintln!(
+        "# cache: cold {cold_secs:.3}s, warm {warm_secs:.4}s -> {cache_speedup:.0}x, \
+         {warm_misses} warm evaluator call(s)"
+    );
+    if warm_misses != 0 || !warm_records.iter().all(|r| r.cached) {
+        eprintln!("# cache: warm re-run was not a full replay");
+        return ExitCode::FAILURE;
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+
     let json = format!(
         "{{\n  \"benchmark\": \"32-point scenario sweep (n=8, m in 4..16, r in 2..14, both bufferings)\",\n  \
          \"engine\": \"{engine}\",\n  \
+         \"host\": {{\n    \"os\": \"{host_os}\",\n    \"arch\": \"{host_arch}\",\n    \
+         \"cpus\": {host_cpus},\n    \"worker_threads\": {threads}\n  }},\n  \
          \"replications\": 4,\n  \"measure_cycles\": 50000,\n  \"threads\": {threads},\n  \
          \"serial_seconds\": {serial_secs:.3},\n  \"parallel_seconds\": {parallel_secs:.3},\n  \
          \"speedup\": {speedup:.2},\n  \"bit_identical\": {identical},\n  \
@@ -1263,8 +1448,6 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          \"event_seconds\": {event_secs:.3},\n    \"speedup\": {engine_speedup:.2},\n    \
          \"max_rel_ebw_gap\": {max_rel_gap:.4},\n    \
          \"pr3_baseline_event_seconds\": {pr3_baseline},\n    \
-         \"pr3_baseline_note\": \"PR 3 kernel timed on the same reference container; \
-the ratio below is only meaningful when this file is regenerated on comparable hardware\",\n    \
          \"throughput_vs_pr3_baseline\": {vs_pr3:.2}\n  }},\n  \
          \"queue_vs_heap\": {{\n    \"ops\": {queue_ops},\n    \"runs\": [\n      {queue_runs}\n    ]\n  }},\n  \
          \"hotspot_vs_uniform\": {{\n    \
@@ -1285,8 +1468,23 @@ the ratio below is only meaningful when this file is regenerated on comparable h
          \"screened_points\": {screened_points},\n    \"total_points\": {screen_points},\n    \
          \"event_savings\": {screening_savings:.3},\n    \
          \"max_ci_width_plain\": {plain_width:.6},\n    \"max_ci_width_screened\": {screened_width:.6},\n    \
-         \"acceptance\": \"screening saves >= 25% of simulated events at equal CI width\"\n  }}\n}}\n",
+         \"acceptance\": \"screening saves >= 25% of simulated events at equal CI width\"\n  }},\n  \
+         \"sweep_amortization\": {{\n    \
+         \"population_axis\": {{\n      \
+         \"slice\": \"n in 1..={amort_r}, m=16, r=8, buffered, mva evaluator, {amort_rounds} rounds\",\n      \
+         \"scratch_seconds\": {scratch_secs:.3},\n      \"incremental_seconds\": {incr_secs:.3},\n      \
+         \"speedup\": {amort_speedup:.2},\n      \
+         \"scratch_solver_iterations\": {scratch_iters},\n      \
+         \"incremental_solver_iterations\": {incr_iters},\n      \
+         \"acceptance\": \"incremental population sweep >= 5x faster than scratch at R = {amort_r}\"\n    }},\n    \
+         \"eval_cache\": {{\n      \
+         \"slice\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, both bufferings), event engine\",\n      \
+         \"cold_seconds\": {cold_secs:.3},\n      \"warm_seconds\": {warm_secs:.4},\n      \
+         \"speedup\": {cache_speedup:.0},\n      \"warm_evaluator_calls\": {warm_misses},\n      \
+         \"acceptance\": \"fully warm cached re-run performs zero evaluator calls\"\n    }}\n  }}\n}}\n",
         engine = engine.name(),
+        host_os = std::env::consts::OS,
+        host_arch = std::env::consts::ARCH,
         points = slice.len(),
         pr3_baseline = PR3_EVENT_SECONDS_BASELINE,
         vs_pr3 = PR3_EVENT_SECONDS_BASELINE / event_secs,
