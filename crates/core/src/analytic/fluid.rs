@@ -933,6 +933,23 @@ fn module_classes(workload: &Workload, m: u32) -> (Vec<ModuleClass>, Option<usiz
             }
             (classes, hot_module)
         }
+        Workload::Mmpp(_) => {
+            // Only reachable through the quasi-stationary envelope's
+            // long-run mixture view; classify the π-weighted mixture
+            // distribution exactly like an explicit weight vector.
+            let dist = workload.module_distribution(m);
+            let hot_module =
+                dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+            let groups = bucket_by_value(dist.iter().copied(), MODULE_CLASS_CAP);
+            let mut classes: Vec<ModuleClass> = groups
+                .into_iter()
+                .map(|(_, count, share)| ModuleClass { count, share, hot: false })
+                .collect();
+            if let Some(last) = classes.last_mut() {
+                last.hot = true;
+            }
+            (classes, hot_module)
+        }
     }
 }
 

@@ -34,11 +34,14 @@ use crate::metrics::Metrics;
 use crate::params::{BusPolicy, Workload};
 use crate::scenario::{Evaluation, HotModuleSummary, OccupancySummary, Scenario};
 use crate::sim::service::ServiceTime;
+use busnet_sim::counters::{SimWindow, WindowSeries};
 
 /// Cache schema version tag. Bump on ANY change to the fingerprint
 /// grammar, the evaluator config fingerprints, or the on-disk record
 /// layout — old lines then fail the schema check and are skipped.
-pub const SCHEMA: &str = "busnet-evalcache-v1";
+/// (v2: `mmpp:` workload fingerprints and the windowed-telemetry
+/// payload field.)
+pub const SCHEMA: &str = "busnet-evalcache-v2";
 
 /// FNV-1a 64-bit over raw bytes — the stable content hash used to
 /// compress weight vectors into fingerprint tokens.
@@ -81,6 +84,21 @@ pub fn workload_fingerprint(workload: &Workload) -> String {
         }
         Workload::Heterogeneous(probs) => {
             format!("hetero:{:016x}", fnv64(probs.iter().flat_map(|p| p.to_bits().to_le_bytes())))
+        }
+        Workload::Mmpp(spec) => {
+            let phase_bytes = spec.phases().iter().flat_map(|ph| {
+                ph.think_p
+                    .to_bits()
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain(ph.hot_fraction.to_bits().to_le_bytes())
+                    .chain(ph.hot_module.to_le_bytes())
+            });
+            let matrix_bytes = (0..spec.phase_count())
+                .flat_map(|s| spec.transition_row(s))
+                .flat_map(|p| p.to_bits().to_le_bytes());
+            let bytes = phase_bytes.chain(matrix_bytes).chain(spec.dwell().to_le_bytes());
+            format!("mmpp:{:016x}", fnv64(bytes))
         }
     }
 }
@@ -142,6 +160,8 @@ pub struct CachedEvaluation {
     pub hot_module: Option<HotModuleSummary>,
     /// Engine work units behind the estimate.
     pub simulated_events: u64,
+    /// Pooled windowed transient telemetry (MMPP runs).
+    pub windows: Option<WindowSeries>,
 }
 
 impl CachedEvaluation {
@@ -156,6 +176,7 @@ impl CachedEvaluation {
             module_references: e.module_references.clone(),
             hot_module: e.hot_module.clone(),
             simulated_events: e.simulated_events,
+            windows: e.windows.clone(),
         }
     }
 
@@ -172,6 +193,7 @@ impl CachedEvaluation {
             module_references: self.module_references.clone(),
             hot_module: self.hot_module.clone(),
             simulated_events: self.simulated_events,
+            windows: self.windows.clone(),
         }
     }
 }
@@ -316,7 +338,7 @@ impl EvalCache {
 // ---------------------------------------------------------------------
 // JSON-lines record format. One record per line:
 //
-//   {"schema":"busnet-evalcache-v1","key":"...","eval":{...}}
+//   {"schema":"busnet-evalcache-v2","key":"...","eval":{...}}
 //
 // All floats are 16-hex-digit `f64::to_bits` strings (exact
 // round-trip); all integers are plain JSON numbers. The emitter and
@@ -414,7 +436,36 @@ fn emit_record(key: &str, e: &CachedEvaluation) -> String {
         )),
         None => s.push_str("null"),
     }
-    s.push_str(&format!(",\"events\":{}}}}}", e.simulated_events));
+    s.push_str(&format!(",\"events\":{}", e.simulated_events));
+    s.push_str(",\"win\":");
+    match &e.windows {
+        Some(w) => {
+            s.push_str(&format!("{{\"width\":{},\"phase_cycles\":", w.width));
+            emit_u64_array(&mut s, &w.phase_cycles);
+            s.push_str(",\"windows\":[");
+            for (i, win) in w.windows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "[{},{},{},{},{},",
+                    win.start,
+                    win.cycles,
+                    win.returns,
+                    win.busy_channel_cycles,
+                    win.input_level_cycles,
+                ));
+                match win.phase {
+                    Some(p) => s.push_str(&p.to_string()),
+                    None => s.push_str("null"),
+                }
+                s.push(']');
+            }
+            s.push_str("]}");
+        }
+        None => s.push_str("null"),
+    }
+    s.push_str("}}");
     s
 }
 
@@ -612,6 +663,31 @@ fn parse_occupancy(v: &Json) -> Option<OccupancySummary> {
     })
 }
 
+fn parse_window(v: &Json) -> Option<SimWindow> {
+    let Json::Arr(items) = v else { return None };
+    let [start, cycles, returns, busy, in_lvl, phase] = items.as_slice() else { return None };
+    Some(SimWindow {
+        start: start.int()?,
+        cycles: cycles.int()?,
+        returns: returns.int()?,
+        busy_channel_cycles: busy.int()?,
+        input_level_cycles: in_lvl.int()?,
+        phase: match phase {
+            Json::Null => None,
+            v => Some(u32::try_from(v.int()?).ok()?),
+        },
+    })
+}
+
+fn parse_windows(v: &Json) -> Option<WindowSeries> {
+    let windows = match v.field("windows")? {
+        Json::Arr(items) => items.iter().map(parse_window).collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    let phase_cycles = v.field("phase_cycles")?.u64_array()?;
+    Some(WindowSeries { width: v.field("width")?.int()?, windows, phase_cycles })
+}
+
 fn parse_hot(v: &Json) -> Option<HotModuleSummary> {
     Some(HotModuleSummary {
         module: usize::try_from(v.field("module")?.int()?).ok()?,
@@ -665,6 +741,10 @@ fn parse_record(line: &str) -> Option<(String, CachedEvaluation)> {
             Some(v) => Some(parse_hot(v)?),
         },
         simulated_events: e.field("events")?.int()?,
+        windows: match e.opt_field("win")? {
+            None => None,
+            Some(v) => Some(parse_windows(v)?),
+        },
     };
     Some((key, eval))
 }
@@ -693,6 +773,7 @@ mod tests {
             base.clone().with_buffering(Buffering::Depth(2)),
             base.clone().with_arbitration(ArbitrationKind::RoundRobin),
             base.clone().with_workload(Workload::hot_spot(0.5, 0).unwrap()),
+            base.clone().with_workload(Workload::on_off_burst(0.9, 0.05, 0.9, 500, None).unwrap()),
             base.clone().with_memory_service(ServiceTime::Geometric { mean: 4.0 }),
             base.clone().with_buses(2).unwrap(),
         ];
@@ -734,10 +815,25 @@ mod tests {
     }
 
     #[test]
+    fn mmpp_record_round_trips_windows_bit_exactly() {
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario()
+            .with_workload(Workload::on_off_burst(0.9, 0.05, 0.9, 250, Some((0.5, 0))).unwrap());
+        let evaluation = sim.evaluate(&s).unwrap();
+        assert!(evaluation.windows.is_some(), "MMPP runs carry window telemetry");
+        let cached = CachedEvaluation::from_evaluation(&evaluation);
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let (parsed_key, parsed) = parse_record(&emit_record(&key, &cached)).expect("parses");
+        assert_eq!(parsed_key, key);
+        assert_eq!(parsed, cached);
+        assert_eq!(parsed.attach("sim", &s), evaluation);
+    }
+
+    #[test]
     fn malformed_and_versioned_lines_are_skipped() {
         assert!(parse_record("not json").is_none());
-        assert!(parse_record("{\"schema\":\"busnet-evalcache-v0\",\"key\":\"k\"}").is_none());
-        assert!(parse_record("{\"schema\":\"busnet-evalcache-v1\"}").is_none());
+        assert!(parse_record("{\"schema\":\"busnet-evalcache-v1\",\"key\":\"k\"}").is_none());
+        assert!(parse_record("{\"schema\":\"busnet-evalcache-v2\"}").is_none());
     }
 
     #[test]

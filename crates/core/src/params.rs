@@ -156,6 +156,11 @@ impl Buffering {
 ///   `p_i` (references stay uniform); the scalar `p` of
 ///   [`SystemParams`] is ignored for processors with an explicit
 ///   `p_i`.
+/// * [`Workload::Mmpp`] — a Markov-modulated (bursty) workload: a
+///   small phase chain steps every `dwell` cycles, and each phase
+///   carries its own think probability and hot-spot reference skew.
+///   The only **non-stationary** variant; analytic evaluators reject
+///   it (see [`Workload::is_stationary`]).
 ///
 /// Weight vectors are shared (`Arc`) so scenarios stay cheap to clone
 /// across sweep grids.
@@ -195,6 +200,108 @@ pub enum Workload {
     /// `n`); references stay uniform. Build with
     /// [`Workload::heterogeneous`].
     Heterogeneous(Arc<[f64]>),
+    /// Markov-modulated bursty workload (validated phase chain; see
+    /// [`MmppSpec`]). Build with [`Workload::mmpp`] or
+    /// [`Workload::on_off_burst`].
+    Mmpp(Arc<MmppSpec>),
+}
+
+/// One phase of a Markov-modulated workload: the think probability
+/// every processor uses while the chain sits in this phase, plus an
+/// optional hot-spot reference skew (`hot_fraction = 0` keeps
+/// references uniform and ignores `hot_module`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MmppPhase {
+    /// Think probability while in this phase (`0 < p ≤ 1`); replaces
+    /// the scalar `p` of [`SystemParams`] for every processor.
+    pub think_p: f64,
+    /// Extra reference mass routed to `hot_module` while in this phase
+    /// (`0 ≤ fraction ≤ 1`; 0 is uniform).
+    pub hot_fraction: f64,
+    /// Index of this phase's hot module (must be `< m`; unused when
+    /// `hot_fraction == 0`).
+    pub hot_module: u32,
+}
+
+/// A validated Markov-modulated workload specification: `k` phases, a
+/// row-stochastic `k × k` transition matrix (row-major, normalized at
+/// construction), and the deterministic per-phase dwell time in bus
+/// cycles. The chain starts in phase 0 and steps at every boundary
+/// `t = j · dwell`: the engines schedule these boundaries as events in
+/// the timing wheel and swap in the phase's pooled alias samplers, so
+/// re-sampling on a phase change is O(1) per processor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MmppSpec {
+    phases: Vec<MmppPhase>,
+    /// Row-major `k × k` transition probabilities, rows normalized.
+    transition: Vec<f64>,
+    dwell: u64,
+}
+
+impl MmppSpec {
+    /// Number of phases `k`.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The validated phases.
+    pub fn phases(&self) -> &[MmppPhase] {
+        &self.phases
+    }
+
+    /// Deterministic dwell time between phase-transition boundaries,
+    /// in bus cycles.
+    pub fn dwell(&self) -> u64 {
+        self.dwell
+    }
+
+    /// Row `s` of the normalized transition matrix: the distribution
+    /// of the next phase given the chain is in phase `s`.
+    pub fn transition_row(&self, s: usize) -> &[f64] {
+        let k = self.phases.len();
+        &self.transition[s * k..(s + 1) * k]
+    }
+
+    /// The *stationary* workload phase `s` presents while the chain
+    /// dwells there: a hot-spot (or uniform) reference pattern. The
+    /// engines build their per-phase module samplers from this, which
+    /// routes them through the shared sampler pools.
+    pub fn phase_workload(&self, s: usize) -> Workload {
+        let phase = &self.phases[s];
+        // Validated at construction, so this cannot fail.
+        Workload::hot_spot(phase.hot_fraction, phase.hot_module)
+            .expect("MmppSpec phases are validated at construction")
+    }
+
+    /// The stationary distribution `π` of the phase chain (`π P = π`),
+    /// computed by damped power iteration (the damping handles
+    /// periodic chains such as the strict-alternation matrix).
+    pub fn stationary_distribution(&self) -> Vec<f64> {
+        let k = self.phases.len();
+        let mut pi = vec![1.0 / k as f64; k];
+        let mut next = vec![0.0; k];
+        for _ in 0..20_000 {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (s, &ps) in pi.iter().enumerate() {
+                let row = &self.transition[s * k..(s + 1) * k];
+                for (t, p) in row.iter().enumerate() {
+                    next[t] += ps * p;
+                }
+            }
+            let mut delta = 0.0_f64;
+            for s in 0..k {
+                // Lazy-chain damping: π′ = (π + πP) / 2 shares P's
+                // stationary distribution but always converges.
+                let blended = 0.5 * (pi[s] + next[s]);
+                delta = delta.max((blended - pi[s]).abs());
+                pi[s] = blended;
+            }
+            if delta < 1e-15 {
+                break;
+            }
+        }
+        pi
+    }
 }
 
 impl Workload {
@@ -292,6 +399,128 @@ impl Workload {
         Ok(())
     }
 
+    /// A Markov-modulated workload from per-phase parameters, a
+    /// row-major `k × k` transition matrix (rows normalized at
+    /// construction like [`Workload::weighted`]), and the per-phase
+    /// dwell time in bus cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an empty phase set, a phase
+    /// think probability outside `(0, 1]` or hot fraction outside
+    /// `[0, 1]` (or non-finite), a transition matrix whose length is
+    /// not `k²`, a negative/non-finite transition entry, a
+    /// non-stochastic row (zero mass), or a zero dwell. Hot-module
+    /// indices are checked against `m` by [`Workload::validate`].
+    pub fn mmpp(
+        phases: impl Into<Vec<MmppPhase>>,
+        transition: impl Into<Vec<f64>>,
+        dwell: u64,
+    ) -> Result<Workload, CoreError> {
+        let phases = phases.into();
+        let mut transition = transition.into();
+        Self::check_mmpp(&phases, &transition, dwell)?;
+        let k = phases.len();
+        for row in transition.chunks_mut(k) {
+            let total: f64 = row.iter().sum();
+            row.iter_mut().for_each(|p| *p /= total);
+        }
+        Ok(Workload::Mmpp(Arc::new(MmppSpec { phases, transition, dwell })))
+    }
+
+    /// The classic two-phase bursty workload: an *on* phase (think
+    /// probability `on_p`, optionally skewed onto a hot module) and an
+    /// *off* phase (`off_p`, uniform references), each self-looping
+    /// with probability `stay` per dwell.
+    ///
+    /// # Errors
+    ///
+    /// As [`Workload::mmpp`]; additionally rejects `stay` outside
+    /// `[0, 1)` (a `stay` of 1 would make the chain reducible).
+    pub fn on_off_burst(
+        on_p: f64,
+        off_p: f64,
+        stay: f64,
+        dwell: u64,
+        hot: Option<(f64, u32)>,
+    ) -> Result<Workload, CoreError> {
+        if !(stay.is_finite() && (0.0..1.0).contains(&stay)) {
+            return Err(CoreError::InvalidParameter {
+                name: "burst stay probability",
+                value: stay.to_string(),
+                constraint: "0 <= stay < 1",
+            });
+        }
+        let (hot_fraction, hot_module) = hot.unwrap_or((0.0, 0));
+        let phases = vec![
+            MmppPhase { think_p: on_p, hot_fraction, hot_module },
+            MmppPhase { think_p: off_p, hot_fraction: 0.0, hot_module: 0 },
+        ];
+        Workload::mmpp(phases, vec![stay, 1.0 - stay, 1.0 - stay, stay], dwell)
+    }
+
+    /// The element checks shared by [`Workload::mmpp`] and
+    /// [`Workload::validate`] (the variant is public, so validation
+    /// must be re-runnable on a borrowed spec).
+    fn check_mmpp(phases: &[MmppPhase], transition: &[f64], dwell: u64) -> Result<(), CoreError> {
+        if phases.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "mmpp phases",
+                value: "[]".to_owned(),
+                constraint: "at least one phase",
+            });
+        }
+        for phase in phases {
+            if !(phase.think_p.is_finite() && phase.think_p > 0.0 && phase.think_p <= 1.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "mmpp phase think probability",
+                    value: phase.think_p.to_string(),
+                    constraint: "0 < p <= 1",
+                });
+            }
+            if !(phase.hot_fraction.is_finite() && (0.0..=1.0).contains(&phase.hot_fraction)) {
+                return Err(CoreError::InvalidParameter {
+                    name: "mmpp phase hot fraction",
+                    value: phase.hot_fraction.to_string(),
+                    constraint: "0 <= fraction <= 1",
+                });
+            }
+        }
+        let k = phases.len();
+        if transition.len() != k * k {
+            return Err(CoreError::InvalidParameter {
+                name: "mmpp transition matrix",
+                value: format!("{} entries", transition.len()),
+                constraint: "row-major k x k (one row per phase)",
+            });
+        }
+        for (s, row) in transition.chunks(k).enumerate() {
+            if let Some(bad) = row.iter().find(|p| !p.is_finite() || **p < 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "mmpp transition matrix",
+                    value: bad.to_string(),
+                    constraint: "entries must be finite and non-negative",
+                });
+            }
+            let total: f64 = row.iter().sum();
+            if !(total.is_finite() && total > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "mmpp transition matrix",
+                    value: format!("row {s} mass {total}"),
+                    constraint: "every row needs positive mass",
+                });
+            }
+        }
+        if dwell == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "mmpp dwell",
+                value: "0".to_owned(),
+                constraint: "dwell >= 1 cycle",
+            });
+        }
+        Ok(())
+    }
+
     /// Validates the workload against a system of `n` processors and
     /// `m` modules (per-point checks a sweep grid applies at scenario
     /// construction).
@@ -340,6 +569,19 @@ impl Workload {
                 }
                 Ok(())
             }
+            Workload::Mmpp(spec) => {
+                Workload::check_mmpp(&spec.phases, &spec.transition, spec.dwell)?;
+                for phase in &spec.phases {
+                    if phase.hot_fraction > 0.0 && phase.hot_module >= m {
+                        return Err(CoreError::InvalidParameter {
+                            name: "mmpp phase hot module",
+                            value: phase.hot_module.to_string(),
+                            constraint: "module index < m",
+                        });
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -355,10 +597,28 @@ impl Workload {
         matches!(self, Workload::Uniform | Workload::Heterogeneous(_))
     }
 
-    /// Whether every processor shares one think probability (false
-    /// only for [`Workload::Heterogeneous`]).
+    /// Whether every processor shares one think probability *at any
+    /// instant* (false only for [`Workload::Heterogeneous`]; an MMPP
+    /// phase applies one `p` to every processor).
     pub fn has_homogeneous_thinking(&self) -> bool {
         !matches!(self, Workload::Heterogeneous(_))
+    }
+
+    /// Whether the workload is time-invariant. Every variant except
+    /// [`Workload::Mmpp`] is stationary; the analytic and fluid
+    /// steady-state evaluators only accept stationary workloads
+    /// (non-stationary ones have no single operating point to solve
+    /// for).
+    pub fn is_stationary(&self) -> bool {
+        !matches!(self, Workload::Mmpp(_))
+    }
+
+    /// The MMPP specification, when this is a bursty workload.
+    pub fn mmpp_spec(&self) -> Option<&Arc<MmppSpec>> {
+        match self {
+            Workload::Mmpp(spec) => Some(spec),
+            _ => None,
+        }
     }
 
     /// The per-module reference distribution in an `m`-module system
@@ -382,26 +642,45 @@ impl Workload {
                 dist
             }
             Workload::Weighted(weights) => weights.to_vec(),
+            Workload::Mmpp(spec) => {
+                // Long-run average: the π-weighted mixture of the
+                // per-phase reference distributions.
+                let pi = spec.stationary_distribution();
+                let mut dist = vec![0.0; m];
+                for (s, weight) in pi.iter().enumerate() {
+                    for (d, phase) in
+                        dist.iter_mut().zip(spec.phase_workload(s).module_distribution(m as u32))
+                    {
+                        *d += weight * phase;
+                    }
+                }
+                dist
+            }
         }
     }
 
     /// Processor `i`'s think probability, given the scalar `p` of
     /// [`SystemParams`] (the fallback for every homogeneous variant).
+    /// For [`Workload::Mmpp`] this is the *initial* (phase 0) think
+    /// probability; the engines modulate it at phase boundaries.
     pub fn think_probability(&self, i: usize, p: f64) -> f64 {
         match self {
             Workload::Heterogeneous(probs) => probs[i],
+            Workload::Mmpp(spec) => spec.phases[0].think_p,
             _ => p,
         }
     }
 
     /// Stable textual id for labels and sweep columns: `uniform`,
-    /// `hot0.5@2`, `weighted`, `hetero`.
+    /// `hot0.5@2`, `weighted`, `hetero`, `mmpp2d500` (`k` phases,
+    /// dwell cycles).
     pub fn name(&self) -> String {
         match self {
             Workload::Uniform => "uniform".to_owned(),
             Workload::HotSpot { fraction, module } => format!("hot{fraction}@{module}"),
             Workload::Weighted(_) => "weighted".to_owned(),
             Workload::Heterogeneous(_) => "hetero".to_owned(),
+            Workload::Mmpp(spec) => format!("mmpp{}d{}", spec.phase_count(), spec.dwell()),
         }
     }
 }
@@ -659,6 +938,132 @@ mod tests {
         assert!(Workload::heterogeneous([1.5]).is_err());
         assert!(Workload::heterogeneous(Vec::<f64>::new()).is_err());
         assert!(Workload::heterogeneous([f64::NAN]).is_err());
+    }
+
+    fn on_off() -> Workload {
+        Workload::on_off_burst(1.0, 0.05, 0.9, 500, Some((0.5, 2))).unwrap()
+    }
+
+    #[test]
+    fn mmpp_constructor_normalizes_rows_and_validates() {
+        let w = Workload::mmpp(
+            vec![
+                MmppPhase { think_p: 1.0, hot_fraction: 0.5, hot_module: 1 },
+                MmppPhase { think_p: 0.1, hot_fraction: 0.0, hot_module: 0 },
+            ],
+            vec![3.0, 1.0, 1.0, 1.0],
+            250,
+        )
+        .unwrap();
+        let spec = w.mmpp_spec().unwrap();
+        assert_eq!(spec.phase_count(), 2);
+        assert_eq!(spec.dwell(), 250);
+        assert_eq!(spec.transition_row(0), &[0.75, 0.25]);
+        assert_eq!(spec.transition_row(1), &[0.5, 0.5]);
+        assert!(w.validate(8, 4).is_ok());
+        // Hot module out of range for the system.
+        assert!(w.validate(8, 1).is_err());
+        // A zero-fraction phase ignores its hot module index.
+        let uniform_phases = Workload::mmpp(
+            vec![MmppPhase { think_p: 0.5, hot_fraction: 0.0, hot_module: 99 }],
+            vec![1.0],
+            10,
+        )
+        .unwrap();
+        assert!(uniform_phases.validate(4, 2).is_ok());
+    }
+
+    #[test]
+    fn mmpp_rejects_each_degenerate_shape() {
+        let good = MmppPhase { think_p: 0.5, hot_fraction: 0.0, hot_module: 0 };
+        for (phases, transition, dwell, what) in [
+            (vec![], vec![], 10, "empty phase set"),
+            (vec![good], vec![1.0], 0, "zero dwell"),
+            (vec![good], vec![1.0, 0.5], 10, "wrong matrix length"),
+            (vec![good], vec![0.0], 10, "zero row mass"),
+            (vec![good], vec![-1.0], 10, "negative rate"),
+            (vec![good], vec![f64::NAN], 10, "NaN rate"),
+            (vec![good], vec![f64::INFINITY], 10, "infinite rate"),
+            (vec![MmppPhase { think_p: 0.0, ..good }], vec![1.0], 10, "zero think p"),
+            (vec![MmppPhase { think_p: 1.5, ..good }], vec![1.0], 10, "think p > 1"),
+            (vec![MmppPhase { think_p: f64::NAN, ..good }], vec![1.0], 10, "NaN think p"),
+            (vec![MmppPhase { hot_fraction: -0.1, ..good }], vec![1.0], 10, "negative fraction"),
+            (vec![MmppPhase { hot_fraction: 1.1, ..good }], vec![1.0], 10, "fraction > 1"),
+            (vec![MmppPhase { hot_fraction: f64::NAN, ..good }], vec![1.0], 10, "NaN fraction"),
+        ] {
+            let err = Workload::mmpp(phases, transition, dwell).expect_err(what);
+            assert!(
+                matches!(err, CoreError::InvalidParameter { .. }),
+                "{what}: unexpected error {err:?}"
+            );
+        }
+        // The variant is public, so validate() re-runs the checks.
+        let raw = Workload::Mmpp(Arc::new(MmppSpec {
+            phases: vec![MmppPhase { think_p: 2.0, hot_fraction: 0.0, hot_module: 0 }],
+            transition: vec![1.0],
+            dwell: 10,
+        }));
+        assert!(raw.validate(4, 4).is_err());
+        // on_off_burst rejects an absorbing stay probability.
+        assert!(Workload::on_off_burst(1.0, 0.1, 1.0, 100, None).is_err());
+        assert!(Workload::on_off_burst(1.0, 0.1, -0.1, 100, None).is_err());
+    }
+
+    #[test]
+    fn mmpp_stationary_distribution_and_mixture() {
+        let w = on_off();
+        let spec = w.mmpp_spec().unwrap();
+        // Symmetric on/off chain: π = (1/2, 1/2).
+        let pi = spec.stationary_distribution();
+        assert!((pi[0] - 0.5).abs() < 1e-9 && (pi[1] - 0.5).abs() < 1e-9);
+        // Periodic strict-alternation chain still converges to (1/2, 1/2).
+        let alternating = Workload::mmpp(
+            vec![
+                MmppPhase { think_p: 1.0, hot_fraction: 0.0, hot_module: 0 },
+                MmppPhase { think_p: 0.5, hot_fraction: 0.0, hot_module: 0 },
+            ],
+            vec![0.0, 1.0, 1.0, 0.0],
+            100,
+        )
+        .unwrap();
+        let pi = alternating.mmpp_spec().unwrap().stationary_distribution();
+        assert!((pi[0] - 0.5).abs() < 1e-9 && (pi[1] - 0.5).abs() < 1e-9);
+        // Asymmetric chain: stay_on = 0.9, stay_off = 0.6 → π_on = 0.8.
+        let skewed = Workload::mmpp(
+            vec![
+                MmppPhase { think_p: 1.0, hot_fraction: 0.0, hot_module: 0 },
+                MmppPhase { think_p: 0.5, hot_fraction: 0.0, hot_module: 0 },
+            ],
+            vec![0.9, 0.1, 0.4, 0.6],
+            100,
+        )
+        .unwrap();
+        let pi = skewed.mmpp_spec().unwrap().stationary_distribution();
+        assert!((pi[0] - 0.8).abs() < 1e-9, "pi = {pi:?}");
+        // Long-run reference mixture: phase 0 is hot0.5@2 (share
+        // 0.5 + 0.5/4 = 0.625 at m=4), phase 1 uniform, equal weights.
+        let dist = w.module_distribution(4);
+        assert!((dist[2] - (0.625 + 0.25) / 2.0).abs() < 1e-9, "dist = {dist:?}");
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_classification() {
+        let w = on_off();
+        assert!(!w.is_uniform());
+        assert!(!w.references_uniformly());
+        assert!(w.has_homogeneous_thinking());
+        assert!(!w.is_stationary());
+        assert!(Workload::Uniform.is_stationary());
+        assert!(Workload::heterogeneous([0.5, 1.0]).unwrap().is_stationary());
+        assert_eq!(w.name(), "mmpp2d500");
+        // Initial think probability is phase 0's.
+        assert_eq!(w.think_probability(0, 0.3), 1.0);
+        // Phase workloads route through the hot-spot constructor
+        // (fraction 0 normalizes to Uniform → shared sampler pools).
+        let spec = w.mmpp_spec().unwrap();
+        assert_eq!(spec.phase_workload(0), Workload::hot_spot(0.5, 2).unwrap());
+        assert_eq!(spec.phase_workload(1), Workload::Uniform);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+use busnet_sim::counters::WindowSeries;
 use busnet_sim::event::EngineKind;
 use busnet_sim::exec::{parallel_consume, parallel_map, ExecutionMode};
 use busnet_sim::replication::ReplicationSummary;
@@ -254,6 +255,14 @@ pub struct Evaluation {
     /// for analytic vehicles) — the cost currency of the adaptive
     /// stopping comparisons.
     pub simulated_events: u64,
+    /// Windowed transient telemetry pooled across replications
+    /// (per-window counts summed element-wise; a window's phase tag
+    /// survives only where every replication agrees, which independent
+    /// phase chains generally do not). `None` for analytic vehicles
+    /// and for runs without window telemetry — simulation evaluators
+    /// enable it automatically for bursty ([`Workload::Mmpp`])
+    /// scenarios, one window per dwell.
+    pub windows: Option<WindowSeries>,
 }
 
 /// The empirically hottest module of a simulated scenario: where the
@@ -496,6 +505,7 @@ fn analytic_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         module_references: None,
         hot_module: None,
         simulated_events: 0,
+        windows: None,
     }
 }
 
@@ -519,6 +529,7 @@ fn crossbar_evaluation(evaluator: &'static str, scenario: &Scenario, ebw: f64) -
         module_references: None,
         hot_module: None,
         simulated_events: 0,
+        windows: None,
     }
 }
 
@@ -753,11 +764,14 @@ impl Evaluator for PfqnEval {
         // any buffered depth (its queues are unbounded) is in domain —
         // including non-uniform reference distributions, which become
         // per-module visit ratios. Heterogeneous think probabilities
-        // have no single-class product-form counterpart.
+        // have no single-class product-form counterpart, and a bursty
+        // (non-stationary) workload has no single operating point for
+        // the steady-state network to solve.
         analytic_domain(s)
             && s.buffering.is_buffered()
             && s.arbitration == ArbitrationKind::Random
             && s.workload.has_homogeneous_thinking()
+            && s.workload.is_stationary()
     }
 
     fn evaluate(&self, scenario: &Scenario) -> Result<Evaluation, CoreError> {
@@ -977,6 +991,11 @@ impl BusSimEval {
             .seed(seed)
             .warmup_cycles(self.budget.warmup)
             .measure_cycles(self.budget.measure);
+        if let Some(spec) = scenario.workload.mmpp_spec() {
+            // Bursty runs get transient telemetry for free: one window
+            // per dwell, aligned with the phase boundaries.
+            builder = builder.window_cycles(spec.dwell());
+        }
         if let Some(service) = scenario.memory_service {
             builder = builder.memory_service(service);
         }
@@ -1045,6 +1064,7 @@ impl BusSimEval {
                 mean_input_queue: module_level_cycles[j] as f64 / measured_total as f64,
             });
         let simulated_events = reports.iter().map(|r| r.events).sum();
+        let windows = merge_window_series(reports.iter().filter_map(|r| r.windows.as_ref()));
         Evaluation {
             evaluator: self.name(),
             scenario: scenario.clone(),
@@ -1056,8 +1076,38 @@ impl BusSimEval {
             module_references: Some(module_references),
             hot_module,
             simulated_events,
+            windows,
         }
     }
+}
+
+/// Pools per-replication window trajectories element-wise: counts and
+/// cycles sum (so per-window rates become pooled means), a window's
+/// phase tag survives only where every replication agrees (independent
+/// phase chains generally disagree), and per-phase cycle totals sum.
+/// Replications whose series is shorter (adaptive truncation) clip the
+/// pooled series to the common prefix.
+fn merge_window_series<'a>(
+    mut series: impl Iterator<Item = &'a WindowSeries>,
+) -> Option<WindowSeries> {
+    let mut pooled = series.next()?.clone();
+    for s in series {
+        pooled.windows.truncate(s.windows.len());
+        for (acc, w) in pooled.windows.iter_mut().zip(&s.windows) {
+            acc.cycles += w.cycles;
+            acc.returns += w.returns;
+            acc.busy_channel_cycles += w.busy_channel_cycles;
+            acc.input_level_cycles += w.input_level_cycles;
+            if acc.phase != w.phase {
+                acc.phase = None;
+            }
+        }
+        pooled.phase_cycles.resize(pooled.phase_cycles.len().max(s.phase_cycles.len()), 0);
+        for (acc, &c) in pooled.phase_cycles.iter_mut().zip(&s.phase_cycles) {
+            *acc += c;
+        }
+    }
+    Some(pooled)
 }
 
 impl Evaluator for BusSimEval {
@@ -1243,17 +1293,21 @@ impl Evaluator for CrossbarSimEval {
              processors/modules",
         )?;
         scenario.workload.validate(scenario.params.n(), scenario.params.m())?;
-        let report = CrossbarSim::new(scenario.params)
+        let mut sim = CrossbarSim::new(scenario.params)
             .arbitration(scenario.arbitration)
             .workload(scenario.workload.clone())
             .engine(self.engine)
             .seed(self.seed)
             .warmup_cycles(self.warmup)
-            .measure_cycles(self.measure)
-            .run_report();
+            .measure_cycles(self.measure);
+        if let Some(spec) = scenario.workload.mmpp_spec() {
+            sim = sim.window_cycles(spec.dwell());
+        }
+        let report = sim.run_report();
         let mut evaluation = crossbar_evaluation(self.name(), scenario, report.ebw());
         evaluation.per_processor_ebw = Some(report.per_processor_ebw());
         evaluation.simulated_events = report.events;
+        evaluation.windows = report.windows;
         Ok(evaluation)
     }
 }
@@ -1300,6 +1354,9 @@ impl FluidEval {
             "the fluid mean-field model describes the single multiplexed bus",
         )?;
         scenario.validate()?;
+        if let Some(spec) = scenario.workload.mmpp_spec() {
+            return self.solve_mmpp_envelope(scenario, spec);
+        }
         let model = FluidModel::new(
             scenario.params,
             scenario.buffering,
@@ -1307,6 +1364,82 @@ impl FluidEval {
             scenario.service().mean(),
         )?;
         Ok(model.solve(&self.options))
+    }
+
+    /// Quasi-stationary envelope for a bursty workload: each phase is
+    /// solved as its own stationary fluid system (the phase's think
+    /// probability and reference skew), and the solutions are combined
+    /// weighted by the chain's stationary phase occupancy. Exact in the
+    /// slow-modulation limit (dwell ≫ relaxation time); between phase
+    /// changes the finite system tracks each phase's fixed point.
+    fn solve_mmpp_envelope(
+        &self,
+        scenario: &Scenario,
+        spec: &crate::params::MmppSpec,
+    ) -> Result<crate::analytic::fluid::FluidSolution, CoreError> {
+        type Solution = crate::analytic::fluid::FluidSolution;
+        let pi = spec.stationary_distribution();
+        let mut solutions: Vec<(f64, Solution)> = Vec::with_capacity(pi.len());
+        for (s, &weight) in pi.iter().enumerate() {
+            let params =
+                scenario.params.with_request_probability(spec.phases()[s].think_p.min(1.0))?;
+            let model = FluidModel::new(
+                params,
+                scenario.buffering,
+                &spec.phase_workload(s),
+                scenario.service().mean(),
+            )?;
+            solutions.push((weight, model.solve(&self.options)));
+        }
+        let weighted = |field: fn(&Solution) -> f64| -> f64 {
+            solutions.iter().map(|(w, s)| w * field(s)).sum()
+        };
+        let mut out = solutions[0].1.clone();
+        out.ebw = weighted(|s| s.ebw);
+        out.throughput = weighted(|s| s.throughput);
+        out.mean_input_queue = weighted(|s| s.mean_input_queue);
+        out.mean_output_queue = weighted(|s| s.mean_output_queue);
+        out.input_full_fraction = weighted(|s| s.input_full_fraction);
+        out.mean_module_level = weighted(|s| s.mean_module_level);
+        out.module_utilization = weighted(|s| s.module_utilization);
+        out.thinking_mass = weighted(|s| s.thinking_mass);
+        out.waiting_mass = weighted(|s| s.waiting_mass);
+        out.steps = solutions.iter().map(|(_, s)| s.steps).sum();
+        out.converged = solutions.iter().all(|(_, s)| s.converged);
+        out.residual = solutions.iter().map(|(_, s)| s.residual).fold(0.0, f64::max);
+        out.conservation_error =
+            solutions.iter().map(|(_, s)| s.conservation_error).fold(0.0, f64::max);
+        let levels = solutions.iter().map(|(_, s)| s.input_distribution.len()).max().unwrap_or(0);
+        out.input_distribution = (0..levels)
+            .map(|level| {
+                solutions
+                    .iter()
+                    .map(|(w, s)| w * s.input_distribution.get(level).copied().unwrap_or(0.0))
+                    .sum()
+            })
+            .collect();
+        // Hot-module view: occupancy-weighted over the phases that have
+        // one, renormalized to a conditional (while-skewed) summary.
+        let hot_weight: f64 =
+            solutions.iter().filter(|(_, s)| s.hot.is_some()).map(|(w, _)| w).sum();
+        out.hot = (hot_weight > 0.0).then(|| {
+            let hots = solutions.iter().filter_map(|(w, s)| Some((w, s.hot.as_ref()?)));
+            let mut merged: Option<crate::analytic::fluid::FluidHotModule> = None;
+            for (&w, hot) in hots {
+                let acc = merged.get_or_insert_with(|| {
+                    let mut first = *hot;
+                    first.reference_share = 0.0;
+                    first.utilization = 0.0;
+                    first.mean_input_queue = 0.0;
+                    first
+                });
+                acc.reference_share += w / hot_weight * hot.reference_share;
+                acc.utilization += w / hot_weight * hot.utilization;
+                acc.mean_input_queue += w / hot_weight * hot.mean_input_queue;
+            }
+            merged.expect("hot_weight > 0 implies at least one hot phase")
+        });
+        Ok(out)
     }
 }
 

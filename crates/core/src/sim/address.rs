@@ -34,7 +34,7 @@ use busnet_sim::event::{CategoricalAlias, GeometricAlias};
 
 use crate::cache::workload_fingerprint;
 use crate::error::CoreError;
-use crate::params::Workload;
+use crate::params::{MmppSpec, Workload};
 
 /// Upper bound on entries per sampler pool. A sweep touches one entry
 /// per distinct (workload, dimension) pair — typically a handful — so
@@ -252,6 +252,93 @@ impl ThinkSampler {
     }
 }
 
+/// Shared phase-chain state for engines driving a [`Workload::Mmpp`]
+/// bursty workload: the current phase, the per-phase pooled samplers
+/// (one [`ModuleSampler`] and one [`ThinkSampler`] per phase, so a
+/// phase change swaps `Arc`s instead of rebuilding tables), and the
+/// deterministic dwell schedule.
+///
+/// The chain starts in phase 0 and steps at every boundary
+/// `t = k · dwell` (`k ≥ 1`): the engine folds
+/// [`MmppState::next_boundary`] into its time advance and calls
+/// [`MmppState::step`] there, consuming exactly one RNG draw per
+/// boundary from whichever stream the engine dedicates to the chain.
+#[derive(Clone, Debug)]
+pub(crate) struct MmppState {
+    spec: Arc<MmppSpec>,
+    phase: u32,
+    /// Per-phase module samplers, pooled via the per-phase stationary
+    /// workload's fingerprint.
+    module_samplers: Vec<ModuleSampler>,
+    /// Per-phase think samplers (every phase is homogeneous, so these
+    /// pool through the geometric table pool keyed by `p`).
+    think_samplers: Vec<ThinkSampler>,
+}
+
+impl MmppState {
+    /// Builds the chain state for an `n × m` system. The spec must
+    /// already be validated.
+    pub(crate) fn new(spec: Arc<MmppSpec>, n: u32, m: u32) -> MmppState {
+        let module_samplers = (0..spec.phase_count())
+            .map(|s| ModuleSampler::for_workload(&spec.phase_workload(s), m))
+            .collect();
+        let think_samplers = (0..spec.phase_count())
+            .map(|s| ThinkSampler::for_workload(&Workload::Uniform, n, spec.phases()[s].think_p))
+            .collect();
+        MmppState { spec, phase: 0, module_samplers, think_samplers }
+    }
+
+    /// The current phase index.
+    pub(crate) fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// The current phase's think probability.
+    pub(crate) fn think_p(&self) -> f64 {
+        self.spec.phases()[self.phase as usize].think_p
+    }
+
+    /// The current phase's module-target sampler.
+    pub(crate) fn module_sampler(&self) -> &ModuleSampler {
+        &self.module_samplers[self.phase as usize]
+    }
+
+    /// The current phase's think sampler (for the event engines).
+    pub(crate) fn think_sampler(&self) -> &ThinkSampler {
+        &self.think_samplers[self.phase as usize]
+    }
+
+    /// The first phase boundary strictly after cycle `t`, or `None`
+    /// for a single-phase (degenerate, stationary) chain, which never
+    /// needs boundary processing.
+    pub(crate) fn next_boundary(&self, t: u64) -> Option<u64> {
+        if self.spec.phase_count() == 1 {
+            return None;
+        }
+        let dwell = self.spec.dwell();
+        Some((t / dwell + 1) * dwell)
+    }
+
+    /// Steps the chain across one boundary, drawing the next phase
+    /// from the current phase's transition row (exactly one `f64` draw
+    /// from `rng`). Returns the new phase.
+    pub(crate) fn step(&mut self, rng: &mut SmallRng) -> u32 {
+        let row = self.spec.transition_row(self.phase as usize);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let mut next = row.len() - 1;
+        for (s, pr) in row.iter().enumerate() {
+            acc += pr;
+            if u < acc {
+                next = s;
+                break;
+            }
+        }
+        self.phase = next as u32;
+        self.phase
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +442,52 @@ mod tests {
         }
         assert!(sampler_pool_hits() >= 2);
         assert!(sampler_pool_misses() >= 1);
+    }
+
+    #[test]
+    fn mmpp_state_swaps_pooled_samplers() {
+        use crate::params::MmppPhase;
+        let w = Workload::mmpp(
+            vec![
+                MmppPhase { think_p: 1.0, hot_fraction: 0.5, hot_module: 1 },
+                MmppPhase { think_p: 0.25, hot_fraction: 0.0, hot_module: 0 },
+            ],
+            vec![0.0, 1.0, 1.0, 0.0], // strict alternation
+            100,
+        )
+        .unwrap();
+        let spec = w.mmpp_spec().unwrap();
+        let mut state = MmppState::new(Arc::clone(spec), 4, 8);
+        assert_eq!(state.phase(), 0);
+        assert_eq!(state.think_p(), 1.0);
+        // Phase 0 is a hot-spot → alias sampler, pooled with a
+        // standalone build of the same phase workload.
+        let standalone = ModuleSampler::for_workload(&Workload::hot_spot(0.5, 1).unwrap(), 8);
+        let (ModuleSampler::Alias(a), ModuleSampler::Alias(b)) =
+            (state.module_sampler(), &standalone)
+        else {
+            panic!("hot phase should build an alias sampler");
+        };
+        assert!(Arc::ptr_eq(a, b), "per-phase tables come from the shared pool");
+        // Boundaries are the dwell grid.
+        assert_eq!(state.next_boundary(0), Some(100));
+        assert_eq!(state.next_boundary(99), Some(100));
+        assert_eq!(state.next_boundary(100), Some(200));
+        // Strict alternation: each step flips the phase.
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(state.step(&mut rng), 1);
+        assert_eq!(state.think_p(), 0.25);
+        assert!(matches!(state.module_sampler(), ModuleSampler::Uniform));
+        assert_eq!(state.step(&mut rng), 0);
+        // Single-phase chains never schedule boundaries.
+        let single = Workload::mmpp(
+            vec![MmppPhase { think_p: 0.5, hot_fraction: 0.0, hot_module: 0 }],
+            vec![1.0],
+            100,
+        )
+        .unwrap();
+        let single_state = MmppState::new(Arc::clone(single.mmpp_spec().unwrap()), 2, 2);
+        assert_eq!(single_state.next_boundary(0), None);
     }
 
     #[test]

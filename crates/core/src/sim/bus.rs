@@ -72,13 +72,13 @@ use rand::{Rng, SeedableRng};
 use busnet_sim::arbiter::Arbiter;
 use busnet_sim::batch::SequentialStopping;
 use busnet_sim::clock::MeasurementWindow;
-use busnet_sim::counters::SimCounters;
+use busnet_sim::counters::{SimCounters, WindowSeries};
 use busnet_sim::histogram::Histogram;
 use busnet_sim::stats::{jain_fairness_index, RunningStats};
 
 use crate::metrics::Metrics;
 use crate::params::{Buffering, BusPolicy, SystemParams, Workload};
-use crate::sim::address::{AddressPattern, ModuleSampler};
+use crate::sim::address::{AddressPattern, MmppState, ModuleSampler};
 use crate::sim::event_bus::EventBusSim;
 use crate::sim::service::ServiceTime;
 
@@ -210,6 +210,7 @@ pub struct BusSimBuilder {
     pub(crate) seed: u64,
     pub(crate) warmup: u64,
     pub(crate) measure: u64,
+    pub(crate) window_cycles: Option<u64>,
 }
 
 impl BusSimBuilder {
@@ -233,7 +234,19 @@ impl BusSimBuilder {
             seed: 0x5EED,
             warmup: 20_000,
             measure: 200_000,
+            window_cycles: None,
         }
+    }
+
+    /// Enables windowed transient telemetry: the measured region is
+    /// cut into `width`-cycle windows and the report carries per-window
+    /// EBW / busy / input-queue trajectories ([`SimReport::windows`]).
+    /// Whole-run statistics are unchanged — windows are extra integer
+    /// accumulators on the same clipping rules. `width` is clamped to
+    /// at least 1.
+    pub fn window_cycles(mut self, width: u64) -> Self {
+        self.window_cycles = Some(width.max(1));
+        self
     }
 
     /// Sets the arbitration policy (hypothesis *g*).
@@ -416,12 +429,27 @@ impl BusSimBuilder {
         let m = self.params.m() as usize;
         let depth = self.resolved_depth().expect("inconsistent buffering configuration");
         let p = self.params.p();
+        // Bursty workloads carry phase-chain state; the initial target
+        // sampler and think probabilities are phase 0's.
+        let mmpp = workload.mmpp_spec().map(|spec| {
+            MmppState::new(std::sync::Arc::clone(spec), self.params.n(), self.params.m())
+        });
+        let target = match &mmpp {
+            Some(state) => state.module_sampler().clone(),
+            None => ModuleSampler::for_workload(&workload, self.params.m()),
+        };
+        let next_phase_tick = mmpp.as_ref().and_then(|state| state.next_boundary(0));
+        let mut stats =
+            new_counters(&self.params, depth, self.warmup, self.measure, self.window_cycles);
+        if let Some(state) = &mmpp {
+            stats.record_phase(0, state.phase());
+        }
         BusSim {
             params: self.params,
             policy: self.policy,
             buffering: self.buffering,
             depth,
-            target: ModuleSampler::for_workload(&workload, self.params.m()),
+            target,
             think_p: (0..n).map(|i| workload.think_probability(i, p)).collect(),
             memory_service,
             bus_transfer: self.bus_transfer,
@@ -432,9 +460,11 @@ impl BusSimBuilder {
             bus: vec![None; self.channels as usize],
             proc_arbiter: Arbiter::new(self.arbitration),
             module_arbiter: Arbiter::new(self.arbitration),
-            stats: new_counters(&self.params, depth, self.warmup, self.measure),
+            stats,
             candidate_scratch: Vec::with_capacity(n.max(m)),
             inflight_scratch: vec![0; m],
+            mmpp,
+            next_phase_tick,
         }
     }
 
@@ -617,13 +647,18 @@ pub(crate) fn new_counters(
     depth: u32,
     warmup: u64,
     measure: u64,
+    window_cycles: Option<u64>,
 ) -> SimCounters {
-    SimCounters::new(
+    let counters = SimCounters::new(
         MeasurementWindow::new(warmup, measure),
         params.n() as usize,
         Histogram::new(1.0, 16 * params.processor_cycle() as usize),
     )
-    .with_queue_occupancy(params.m() as usize, depth, depth.max(1))
+    .with_queue_occupancy(params.m() as usize, depth, depth.max(1));
+    match window_cycles {
+        Some(width) => counters.with_windows(width),
+        None => counters,
+    }
 }
 
 /// The single-bus (or multi-channel) simulator. Create via
@@ -651,6 +686,13 @@ pub struct BusSim {
     stats: SimCounters,
     candidate_scratch: Vec<usize>,
     inflight_scratch: Vec<u32>,
+    /// Phase-chain state for bursty ([`Workload::Mmpp`]) workloads;
+    /// `None` for every stationary workload (zero extra RNG draws, so
+    /// stationary runs stay bit-identical).
+    mmpp: Option<MmppState>,
+    /// The next phase boundary, pre-computed so the hot loop pays one
+    /// comparison per cycle instead of a modulo.
+    next_phase_tick: Option<u64>,
 }
 
 impl BusSim {
@@ -712,6 +754,14 @@ impl BusSim {
     pub fn step(&mut self) {
         let t = self.cycle;
         self.stats.events += 1;
+        if self.next_phase_tick == Some(t) {
+            let mmpp = self.mmpp.as_mut().expect("phase tick without a phase chain");
+            let phase = mmpp.step(&mut self.rng);
+            self.think_p.fill(mmpp.think_p());
+            self.target = mmpp.module_sampler().clone();
+            self.stats.record_phase(t, phase);
+            self.next_phase_tick = mmpp.next_boundary(t);
+        }
         self.wake_processors(t);
         self.arbitrate(t);
         self.stats.tick_busy(t, self.bus.iter().filter(|c| c.is_some()).count() as u64, 0);
@@ -986,6 +1036,11 @@ pub struct SimReport {
     /// gated) — the portable cost proxy behind the adaptive stopping
     /// rule's savings and the CI event-budget gate.
     pub events: u64,
+    /// Windowed transient telemetry — per-window EBW / busy /
+    /// input-queue trajectories and phase tags. `None` unless the run
+    /// was built with [`BusSimBuilder::window_cycles`]; the per-window
+    /// integers recombine to the whole-run counters bit-exactly.
+    pub windows: Option<WindowSeries>,
 }
 
 impl SimReport {
@@ -999,12 +1054,14 @@ impl SimReport {
         channels: u32,
         stats: SimCounters,
     ) -> SimReport {
+        let windows = stats.window_series();
         SimReport {
             params,
             policy,
             buffering,
             buffer_depth,
             channels,
+            windows,
             returns: stats.returns,
             requests_granted: stats.requests_granted,
             measured_cycles: stats.measured_cycles(),
@@ -1206,6 +1263,31 @@ mod tests {
         assert_eq!(report.returns, 2_000, "one return every 2 cycles");
         assert!((report.ebw() - 2.0).abs() < 1e-12);
         assert!((report.bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_cycle_run_is_deterministic_and_reports_windows() {
+        let workload = Workload::on_off_burst(0.9, 0.02, 0.9, 500, Some((0.5, 0))).unwrap();
+        let run = |seed| {
+            BusSimBuilder::new(SystemParams::new(8, 8, 4).unwrap())
+                .workload(workload.clone())
+                .window_cycles(500)
+                .warmup_cycles(1_000)
+                .measure_cycles(20_000)
+                .seed(seed)
+                .build()
+                .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.returns, b.returns);
+        assert_eq!(a.bus_busy_channel_cycles, b.bus_busy_channel_cycles);
+        assert!(a.returns > 0, "bursty run must deliver returns");
+        let windows = a.windows.as_ref().expect("window telemetry enabled");
+        assert_eq!(windows.windows.len(), 40);
+        assert!(windows.windows.iter().all(|w| w.phase.is_some()));
+        assert!(windows.phase_cycles.iter().all(|&c| c > 0), "{:?}", windows.phase_cycles);
+        assert_ne!(run(8).returns, a.returns);
     }
 
     #[test]

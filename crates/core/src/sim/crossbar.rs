@@ -20,14 +20,14 @@ use rand::{Rng, SeedableRng};
 
 use busnet_sim::arbiter::Arbiter;
 use busnet_sim::clock::MeasurementWindow;
-use busnet_sim::counters::SimCounters;
+use busnet_sim::counters::{SimCounters, WindowSeries};
 use busnet_sim::event::EventQueue;
 use busnet_sim::histogram::Histogram;
 use busnet_sim::seeds::SeedSequence;
 use busnet_sim::stats::jain_fairness_index;
 
 use crate::params::{SystemParams, Workload};
-use crate::sim::address::{ModuleSampler, ThinkSampler};
+use crate::sim::address::{MmppState, ModuleSampler, ThinkSampler};
 
 pub use busnet_sim::arbiter::ArbitrationKind;
 pub use busnet_sim::event::EngineKind;
@@ -58,6 +58,7 @@ pub struct CrossbarSim {
     seed: u64,
     warmup: u64,
     measure: u64,
+    window_cycles: Option<u64>,
 }
 
 /// Measured results of one crossbar run.
@@ -72,6 +73,9 @@ pub struct CrossbarReport {
     /// Units of engine work executed (events processed by the event
     /// engine, cycles stepped by the cycle engine; not warmup gated).
     pub events: u64,
+    /// Windowed transient telemetry (`None` unless the run was built
+    /// with [`CrossbarSim::window_cycles`]).
+    pub windows: Option<WindowSeries>,
 }
 
 impl CrossbarReport {
@@ -103,6 +107,7 @@ impl CrossbarSim {
             seed: 0x5EED,
             warmup: 1_000,
             measure: 100_000,
+            window_cycles: None,
         }
     }
 
@@ -154,14 +159,26 @@ impl CrossbarSim {
         self
     }
 
+    /// Enables windowed transient telemetry: the measured region is
+    /// split into fixed `width`-cycle windows and the report carries a
+    /// per-window served-count (and phase-tag) trajectory.
+    pub fn window_cycles(mut self, width: u64) -> Self {
+        self.window_cycles = Some(width.max(1));
+        self
+    }
+
     fn counters(&self) -> SimCounters {
         // The crossbar records no waiting times; a minimal histogram
         // keeps the shared counter shape.
-        SimCounters::new(
+        let stats = SimCounters::new(
             MeasurementWindow::new(self.warmup, self.measure),
             self.params.n() as usize,
             Histogram::new(1.0, 1),
-        )
+        );
+        match self.window_cycles {
+            Some(width) => stats.with_windows(width),
+            None => stats,
+        }
     }
 
     /// Runs and returns the EBW: mean requests served per cycle.
@@ -178,8 +195,9 @@ impl CrossbarSim {
         CrossbarReport {
             served: stats.returns,
             measured_cycles: stats.measured_cycles(),
-            per_processor_served: stats.per_entity_returns,
             events: stats.events,
+            windows: stats.window_series(),
+            per_processor_served: stats.per_entity_returns,
         }
     }
 
@@ -197,13 +215,33 @@ impl CrossbarSim {
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
         let p = self.params.p();
-        let sampler = ModuleSampler::for_workload(&self.workload, self.params.m());
-        let think_p: Vec<f64> = (0..n).map(|i| self.workload.think_probability(i, p)).collect();
+        // Bursty workloads carry phase-chain state; the initial sampler
+        // and think probabilities are phase 0's.
+        let mut mmpp = self.workload.mmpp_spec().map(|spec| {
+            MmppState::new(std::sync::Arc::clone(spec), self.params.n(), self.params.m())
+        });
+        let mut sampler = match &mmpp {
+            Some(state) => state.module_sampler().clone(),
+            None => ModuleSampler::for_workload(&self.workload, self.params.m()),
+        };
+        let mut think_p: Vec<f64> = (0..n).map(|i| self.workload.think_probability(i, p)).collect();
+        let mut next_phase_tick = mmpp.as_ref().and_then(|state| state.next_boundary(0));
+        if let Some(state) = &mmpp {
+            stats.record_phase(0, state.phase());
+        }
         let mut procs = vec![Phase::Thinking; n];
         let mut requesters: Vec<Vec<usize>> = vec![Vec::new(); m];
         let mut busy: Vec<usize> = Vec::with_capacity(m);
         for cycle in 0..stats.window().total_cycles() {
             stats.events += 1;
+            if next_phase_tick == Some(cycle) {
+                let state = mmpp.as_mut().expect("phase tick without a phase chain");
+                let phase = state.step(&mut rng);
+                think_p.fill(state.think_p());
+                sampler = state.module_sampler().clone();
+                stats.record_phase(cycle, phase);
+                next_phase_tick = state.next_boundary(cycle);
+            }
             // Thinking processors flip the request coin.
             for (i, proc) in procs.iter_mut().enumerate() {
                 let p = think_p[i];
@@ -257,30 +295,63 @@ impl CrossbarSim {
         let total = stats.window().total_cycles();
         let n = self.params.n() as usize;
         let m = self.params.m() as usize;
-        let think = ThinkSampler::for_workload(&self.workload, self.params.n(), self.params.p());
-        let sampler = ModuleSampler::for_workload(&self.workload, self.params.m());
+        // Bursty workloads swap the current phase's pooled samplers at
+        // every boundary; think draws are capped there (the outgoing
+        // `p` is only valid up to the boundary) and capped processors
+        // park as dormant until re-drawn under the incoming phase —
+        // exact by memorylessness of the per-cycle coin.
+        let mut mmpp = self.workload.mmpp_spec().map(|spec| {
+            MmppState::new(std::sync::Arc::clone(spec), self.params.n(), self.params.m())
+        });
+        let mut think = match &mmpp {
+            Some(state) => state.think_sampler().clone(),
+            None => ThinkSampler::for_workload(&self.workload, self.params.n(), self.params.p()),
+        };
+        let mut sampler = match &mmpp {
+            Some(state) => state.module_sampler().clone(),
+            None => ModuleSampler::for_workload(&self.workload, self.params.m()),
+        };
+        let mut next_phase_tick = mmpp.as_ref().and_then(|state| state.next_boundary(0));
+        if let Some(state) = &mmpp {
+            stats.record_phase(0, state.phase());
+        }
         let seeds = SeedSequence::new(self.seed);
         let proc_seeds = seeds.child(0);
         let mut proc_rngs: Vec<SmallRng> =
             (0..n).map(|i| SmallRng::seed_from_u64(proc_seeds.stream(i as u64))).collect();
         let mut service_rng = SmallRng::seed_from_u64(seeds.child(1).stream(0));
+        let mut phase_rng = SmallRng::seed_from_u64(seeds.child(2).stream(0));
         let mut arbiter = Arbiter::new(self.arbitration);
 
         // The cycle (≥ `from`) at which processor `i`'s per-cycle
         // Bernoulli(p_i) coin first succeeds, sampled in one geometric
-        // draw; `None` once beyond the horizon.
-        let sample_request = |i: usize, from: u64, rngs: &mut Vec<SmallRng>| -> Option<u64> {
-            think.next_success(i, &mut rngs[i], from, 1, total)
+        // draw; `None` once beyond the horizon (the run's end, or the
+        // next phase boundary under a bursty workload).
+        let horizon = |next_phase_tick: Option<u64>| -> u64 {
+            next_phase_tick.map_or(total, |boundary| total.min(boundary))
         };
+        let sample_request =
+            |think: &ThinkSampler,
+             i: usize,
+             from: u64,
+             rngs: &mut Vec<SmallRng>,
+             horizon: u64|
+             -> Option<u64> { think.next_success(i, &mut rngs[i], from, 1, horizon) };
 
         // A requesting processor's pending target (`NO_TARGET` while
-        // thinking).
+        // thinking). `dormant[i]` marks a thinker whose draw was capped
+        // by a phase boundary (stride is 1, so re-draws anchor at the
+        // boundary itself).
         let mut target: Vec<u32> = vec![NO_TARGET; n];
+        let mut dormant: Vec<bool> = vec![false; n];
+        let boundary_capped =
+            |next_phase_tick: Option<u64>| next_phase_tick.is_some_and(|b| b < total);
         let mut requesting = 0usize;
         let mut queue: EventQueue<usize> = EventQueue::with_capacity(n);
-        for i in 0..n {
-            if let Some(t) = sample_request(i, 0, &mut proc_rngs) {
-                queue.schedule(t, i);
+        for (i, slot) in dormant.iter_mut().enumerate() {
+            match sample_request(&think, i, 0, &mut proc_rngs, horizon(next_phase_tick)) {
+                Some(t) => queue.schedule(t, i),
+                None => *slot = boundary_capped(next_phase_tick),
             }
         }
         // Counting-sort scratch: requesters of module `j` occupy
@@ -293,16 +364,38 @@ impl CrossbarSim {
         let mut drained: Vec<usize> = Vec::with_capacity(n);
         let mut wake_at: Option<u64> = None;
         loop {
-            let t = match (wake_at, queue.peek_time()) {
-                (Some(w), Some(e)) => w.min(e),
-                (Some(w), None) => w,
-                (None, Some(e)) => e,
-                (None, None) => break,
+            let next = [wake_at, queue.peek_time()]
+                .into_iter()
+                .flatten()
+                .chain(next_phase_tick.filter(|&b| b < total))
+                .min();
+            let t = match next {
+                Some(t) => t,
+                None => break,
             };
             if t >= total {
                 break;
             }
             wake_at = None;
+            // Phase boundaries fire before this cycle's request events,
+            // so issue decisions at `t` use the incoming phase.
+            if next_phase_tick == Some(t) {
+                let state = mmpp.as_mut().expect("phase tick without a phase chain");
+                let phase = state.step(&mut phase_rng);
+                think = state.think_sampler().clone();
+                sampler = state.module_sampler().clone();
+                stats.record_phase(t, phase);
+                next_phase_tick = state.next_boundary(t);
+                for (i, slot) in dormant.iter_mut().enumerate() {
+                    if !std::mem::take(slot) {
+                        continue;
+                    }
+                    match sample_request(&think, i, t, &mut proc_rngs, horizon(next_phase_tick)) {
+                        Some(ready) => queue.schedule(ready, i),
+                        None => *slot = boundary_capped(next_phase_tick),
+                    }
+                }
+            }
             stats.events += queue.drain_at(t, &mut drained) as u64;
             for i in drained.drain(..) {
                 debug_assert_eq!(target[i], NO_TARGET);
@@ -342,8 +435,10 @@ impl CrossbarSim {
                 target[lucky] = NO_TARGET;
                 requesting -= 1;
                 stats.record_served(t, lucky);
-                if let Some(next) = sample_request(lucky, t + 1, &mut proc_rngs) {
-                    queue.schedule(next, lucky);
+                match sample_request(&think, lucky, t + 1, &mut proc_rngs, horizon(next_phase_tick))
+                {
+                    Some(next) => queue.schedule(next, lucky),
+                    None => dormant[lucky] = boundary_capped(next_phase_tick),
                 }
             }
             // Unserved requests persist: the very next cycle is active.
@@ -442,6 +537,47 @@ mod tests {
         let cycle = run(EngineKind::Cycle);
         let event = run(EngineKind::Event);
         assert!((cycle - event).abs() / cycle < 0.02, "cycle {cycle} vs event {event}");
+    }
+
+    #[test]
+    fn mmpp_runs_on_both_engines_and_engines_roughly_agree() {
+        let workload = Workload::on_off_burst(0.9, 0.05, 0.9, 250, None).unwrap();
+        let run = |engine| {
+            CrossbarSim::new(params(8, 8).with_request_probability(0.9).unwrap())
+                .workload(workload.clone())
+                .engine(engine)
+                .window_cycles(250)
+                .seed(5)
+                .warmup_cycles(1_000)
+                .measure_cycles(100_000)
+                .run_report()
+        };
+        let cycle = run(EngineKind::Cycle);
+        let event = run(EngineKind::Event);
+        assert!(cycle.served > 0 && event.served > 0);
+        // The engines run independent phase chains, so overall EBW
+        // carries large phase-occupancy noise; the *conditional*
+        // per-phase service rates are the stable comparison.
+        let phase_rate = |report: &CrossbarReport, phase: u32| {
+            let windows = &report.windows.as_ref().unwrap().windows;
+            let tagged = windows.iter().filter(|w| w.phase == Some(phase));
+            let (returns, cycles) =
+                tagged.fold((0u64, 0u64), |(r, c), w| (r + w.returns, c + w.cycles));
+            returns as f64 / cycles as f64
+        };
+        for phase in [0, 1] {
+            let (c, e) = (phase_rate(&cycle, phase), phase_rate(&event, phase));
+            assert!((c - e).abs() / c < 0.07, "phase {phase}: cycle {c} vs event {e}");
+        }
+        for report in [&cycle, &event] {
+            let windows = report.windows.as_ref().expect("window telemetry enabled");
+            assert_eq!(windows.windows.len(), 400);
+            assert_eq!(windows.windows.iter().map(|w| w.returns).sum::<u64>(), report.served);
+            assert!(windows.phase_cycles.iter().all(|&c| c > 0), "{:?}", windows.phase_cycles);
+        }
+        // Determinism per engine.
+        assert_eq!(run(EngineKind::Cycle), cycle);
+        assert_eq!(run(EngineKind::Event), event);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use busnet_sim::event::EventQueue;
 use busnet_sim::seeds::SeedSequence;
 
 use crate::params::{Buffering, BusPolicy, SystemParams};
-use crate::sim::address::{ModuleSampler, ThinkSampler};
+use crate::sim::address::{MmppState, ModuleSampler, ThinkSampler};
 use crate::sim::bus::{
     grant_memory_side, module_can_accept, new_counters, BusSimBuilder, SimReport,
 };
@@ -213,8 +213,29 @@ pub struct EventBusSim {
     /// Bus transfer durations.
     transfer_rng: SmallRng,
     /// O(1) alias-table think-timer sampler (no per-draw logarithm;
-    /// one table per processor under heterogeneous traffic).
+    /// one table per processor under heterogeneous traffic). Under an
+    /// MMPP workload this is the *current phase's* table, swapped at
+    /// every phase boundary.
     think: ThinkSampler,
+    /// Phase-chain state for a bursty ([`Workload::Mmpp`]) workload;
+    /// `None` for stationary workloads.
+    ///
+    /// [`Workload::Mmpp`]: crate::params::Workload::Mmpp
+    mmpp: Option<MmppState>,
+    /// The next phase boundary, folded into the main loop's time-min
+    /// alongside `wake_at` so boundaries are processed even when no
+    /// event is queued (dormant processors may re-awaken there).
+    next_phase_tick: Option<u64>,
+    /// Phase-chain transition draws (one per boundary). Unused — and
+    /// never advanced — for stationary workloads.
+    phase_rng: SmallRng,
+    /// Per-processor think-timer anchors for *dormant* thinkers: a
+    /// think draw capped at a phase boundary (success would land at or
+    /// beyond it under the outgoing phase's `p`) schedules nothing;
+    /// the coin-flip grid anchor is parked here and the processor is
+    /// re-sampled at the boundary under the incoming phase — exact by
+    /// memorylessness of the per-cycle Bernoulli coin.
+    dormant_from: Vec<Option<u64>>,
     stats: SimCounters,
     candidate_scratch: Vec<usize>,
     ready_scratch: Vec<usize>,
@@ -238,12 +259,28 @@ impl EventBusSim {
         let proc_seeds = seeds.child(0);
         let module_seeds = seeds.child(1);
         let shared_seeds = seeds.child(2);
+        let mmpp = workload
+            .mmpp_spec()
+            .map(|spec| MmppState::new(std::sync::Arc::clone(spec), b.params.n(), b.params.m()));
+        let target = match &mmpp {
+            Some(state) => state.module_sampler().clone(),
+            None => ModuleSampler::for_workload(&workload, b.params.m()),
+        };
+        let think = match &mmpp {
+            Some(state) => state.think_sampler().clone(),
+            None => ThinkSampler::for_workload(&workload, b.params.n(), b.params.p()),
+        };
+        let next_phase_tick = mmpp.as_ref().and_then(|state| state.next_boundary(0));
+        let mut stats = new_counters(&b.params, depth, b.warmup, b.measure, b.window_cycles);
+        if let Some(state) = &mmpp {
+            stats.record_phase(0, state.phase());
+        }
         EventBusSim {
             params: b.params,
             policy: b.policy,
             buffering: b.buffering,
             depth,
-            target: ModuleSampler::for_workload(&workload, b.params.m()),
+            target,
             memory_service,
             bus_transfer: b.bus_transfer,
             total: b.warmup + b.measure,
@@ -274,8 +311,12 @@ impl EventBusSim {
                 .collect(),
             arb_rng: SmallRng::seed_from_u64(shared_seeds.stream(0)),
             transfer_rng: SmallRng::seed_from_u64(shared_seeds.stream(1)),
-            think: ThinkSampler::for_workload(&workload, b.params.n(), b.params.p()),
-            stats: new_counters(&b.params, depth, b.warmup, b.measure),
+            think,
+            mmpp,
+            next_phase_tick,
+            phase_rng: SmallRng::seed_from_u64(shared_seeds.stream(2)),
+            dormant_from: vec![None; n],
+            stats,
             candidate_scratch: Vec::with_capacity(n.max(m)),
             ready_scratch: Vec::with_capacity(m),
             event_scratch: Vec::with_capacity(n + m),
@@ -309,14 +350,61 @@ impl EventBusSim {
     /// The first cycle at or after `from` in which processor `i`'s
     /// Bernoulli(`p`) coin (flipped once per processor cycle) succeeds;
     /// `None` once the success falls beyond the simulated horizon.
+    ///
+    /// Under an MMPP workload the horizon is additionally capped at the
+    /// next phase boundary: the current phase's `p` is only valid up to
+    /// there, so a draw landing at or past the boundary is discarded
+    /// and the processor parks as dormant (see [`Self::mark_dormant`])
+    /// to be re-drawn under the incoming phase.
     fn sample_ready(&mut self, i: usize, from: u64) -> Option<u64> {
+        let horizon = match self.next_phase_tick {
+            Some(boundary) => self.total.min(boundary),
+            None => self.total,
+        };
         self.think.next_success(
             i,
             &mut self.proc_rngs[i],
             from,
             u64::from(self.params.processor_cycle()),
-            self.total,
+            horizon,
         )
+    }
+
+    /// Parks processor `i` as a dormant thinker whose coin-flip grid is
+    /// anchored at `from`, to be re-sampled at the next phase boundary.
+    /// A no-op when the think draw was capped by the run's end rather
+    /// than by a phase boundary — then the processor simply never
+    /// issues again, exactly as under a stationary workload.
+    fn mark_dormant(&mut self, i: usize, from: u64) {
+        if self.next_phase_tick.is_some_and(|boundary| boundary < self.total) {
+            self.dormant_from[i] = Some(from);
+        }
+    }
+
+    /// Crosses the phase boundary at cycle `t`: steps the chain, swaps
+    /// in the new phase's pooled samplers, and re-draws every dormant
+    /// thinker from its coin-flip grid anchor under the new phase's
+    /// think probability. Runs before the begin-phase drain of cycle
+    /// `t`, so requests issued at `t` already target by the new phase.
+    fn step_phase(&mut self, t: u64) {
+        let mmpp = self.mmpp.as_mut().expect("phase tick without a phase chain");
+        let phase = mmpp.step(&mut self.phase_rng);
+        self.target = mmpp.module_sampler().clone();
+        self.think = mmpp.think_sampler().clone();
+        self.stats.record_phase(t, phase);
+        self.next_phase_tick = mmpp.next_boundary(t);
+        let stride = u64::from(self.params.processor_cycle());
+        for i in 0..self.dormant_from.len() {
+            let Some(from) = self.dormant_from[i].take() else { continue };
+            // First coin-flip grid point at or after the boundary: the
+            // old phase's draw already covered (and failed) every grid
+            // point before `t`, and the Bernoulli coin is memoryless.
+            let anchor = if from >= t { from } else { from + (t - from).div_ceil(stride) * stride };
+            match self.sample_ready(i, anchor) {
+                Some(ready) => self.queue.schedule(begin(ready), Ev::ProcReady(i)),
+                None => self.mark_dormant(i, anchor),
+            }
+        }
     }
 
     /// Runs warmup + measurement and returns the report.
@@ -334,23 +422,33 @@ impl EventBusSim {
         if !self.primed {
             self.primed = true;
             for i in 0..self.phase.len() {
-                if let Some(t) = self.sample_ready(i, 0) {
-                    self.queue.schedule(begin(t), Ev::ProcReady(i));
+                match self.sample_ready(i, 0) {
+                    Some(t) => self.queue.schedule(begin(t), Ev::ProcReady(i)),
+                    None => self.mark_dormant(i, 0),
                 }
             }
         }
         let limit = limit.min(self.total);
         loop {
-            let t = match (self.wake_at, self.queue.peek_time()) {
-                (Some(w), Some(key)) => w.min(key / 2),
-                (Some(w), None) => w,
-                (None, Some(key)) => key / 2,
-                (None, None) => break,
+            let next = [self.wake_at, self.queue.peek_time().map(|key| key / 2)]
+                .into_iter()
+                .flatten()
+                .chain(self.next_phase_tick.filter(|&b| b < self.total))
+                .min();
+            let t = match next {
+                Some(t) => t,
+                None => break,
             };
             if t >= limit {
-                break; // wake/queue state stays valid for resumption
+                break; // wake/queue/phase state stays valid for resumption
             }
             self.wake_at = None;
+            // Phase boundaries fire at the very top of their cycle,
+            // before think timers expire, so issue decisions at `t`
+            // are already made under the incoming phase.
+            if self.next_phase_tick == Some(t) {
+                self.step_phase(t);
+            }
             // Begin of cycle: think timers expire, requests are issued.
             // Each phase drains its whole bucket in one walk; nothing
             // schedules into a phase while it is being processed.
@@ -517,8 +615,9 @@ impl EventBusSim {
                 debug_assert_eq!(self.phase[token.proc], WAITING);
                 self.stats.record_return(t, token.proc, token.issued);
                 self.phase[token.proc] = THINKING;
-                if let Some(next) = self.sample_ready(token.proc, t + 1) {
-                    self.queue.schedule(begin(next), Ev::ProcReady(token.proc));
+                match self.sample_ready(token.proc, t + 1) {
+                    Some(next) => self.queue.schedule(begin(next), Ev::ProcReady(token.proc)),
+                    None => self.mark_dormant(token.proc, t + 1),
                 }
             }
             Transfer::Request { token, module } => {
@@ -640,6 +739,32 @@ mod tests {
         assert_eq!(report.returns, 2_000, "one return every 2 cycles");
         assert!((report.ebw() - 2.0).abs() < 1e-12);
         assert!((report.bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_run_is_deterministic_and_reports_windows() {
+        use crate::params::Workload;
+        let workload = Workload::on_off_burst(0.9, 0.02, 0.9, 500, Some((0.5, 0))).unwrap();
+        let run = |seed| {
+            builder(8, 8, 4)
+                .workload(workload.clone())
+                .window_cycles(500)
+                .warmup_cycles(1_000)
+                .measure_cycles(20_000)
+                .seed(seed)
+                .run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.returns, b.returns);
+        assert_eq!(a.bus_busy_channel_cycles, b.bus_busy_channel_cycles);
+        assert!(a.returns > 0, "bursty run must deliver returns");
+        let windows = a.windows.as_ref().expect("window telemetry enabled");
+        assert_eq!(windows.windows.len(), 40);
+        assert!(windows.windows.iter().all(|w| w.phase.is_some()));
+        // Both phases of the on/off chain must be visited in 40 dwells.
+        assert!(windows.phase_cycles.iter().all(|&c| c > 0), "{:?}", windows.phase_cycles);
+        assert_ne!(run(8).returns, a.returns);
     }
 
     #[test]

@@ -1171,6 +1171,186 @@ pub fn scale_study() -> Result<ScaleReport, CoreError> {
     Ok(ScaleReport { r, rows })
 }
 
+/// The buffer depths the bursty drain study compares: the paper's
+/// single-buffer scheme and a deeper FIFO.
+pub const BURSTY_DEPTHS: [u32; 2] = [1, 4];
+
+/// One telemetry window of the bursty study.
+#[derive(Clone, Debug)]
+pub struct BurstyWindow {
+    /// Cycle the window starts at.
+    pub start: u64,
+    /// Phase the chain occupied for the whole window (0 = on,
+    /// 1 = off; `None` when a transition split the window).
+    pub phase: Option<u32>,
+    /// EBW over this window alone.
+    pub ebw: f64,
+    /// Mean input-FIFO length per module over this window.
+    pub mean_input_queue: f64,
+}
+
+/// One buffer depth of the bursty study.
+#[derive(Clone, Debug)]
+pub struct BurstyPoint {
+    /// FIFO depth k.
+    pub depth: u32,
+    /// Whole-run mean EBW.
+    pub ebw: f64,
+    /// Half width of the EBW 95% confidence interval.
+    pub half_width_95: f64,
+    /// Conditional EBW over on-phase windows.
+    pub on_ebw: f64,
+    /// Conditional EBW over off-phase windows.
+    pub off_ebw: f64,
+    /// Mean input queue by dwell position since the burst ended,
+    /// averaged across off-phase sojourns — the drain profile.
+    pub drain: Vec<f64>,
+    /// The full window trajectory.
+    pub windows: Vec<BurstyWindow>,
+}
+
+/// The bursty MMPP drain study: windowed EBW and queue trajectories
+/// under an on/off burst, across buffer depths.
+#[derive(Clone, Debug)]
+pub struct BurstyReport {
+    /// Modules `m` (at `n = 8`).
+    pub m: u32,
+    /// Memory cycle ratio `r`.
+    pub r: u32,
+    /// On-phase think probability.
+    pub on_p: f64,
+    /// Off-phase think probability.
+    pub off_p: f64,
+    /// Phase self-transition probability.
+    pub stay: f64,
+    /// Cycles between phase-transition draws (= window width).
+    pub dwell: u64,
+    /// One entry per depth in [`BURSTY_DEPTHS`] order.
+    pub points: Vec<BurstyPoint>,
+}
+
+impl std::fmt::Display for BurstyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Bursty MMPP drain study at n=8 m={} r={} (event engine):", self.m, self.r)?;
+        writeln!(
+            f,
+            "  On/off burst: think p = {} in the on phase, {} off; the chain re-draws\n  \
+             its phase every {} cycles (stay {}) and the counters cut one telemetry\n  \
+             window per dwell. Buffers absorb the on-phase burst; off-phase windows\n  \
+             drain it — deeper FIFOs hold more burst and drain it over more dwells.",
+            self.on_p, self.off_p, self.dwell, self.stay
+        )?;
+        for point in &self.points {
+            writeln!(f, "\n  buffer depth k = {}", point.depth)?;
+            writeln!(
+                f,
+                "  EBW {:.3} (95% ci {:.3}); on-phase EBW {:.3}, off-phase {:.3}",
+                point.ebw, point.half_width_95, point.on_ebw, point.off_ebw
+            )?;
+            write!(f, "  off-phase drain (mean input queue by dwell since the burst):\n   ")?;
+            for q in point.drain.iter().take(8) {
+                write!(f, " {q:.3}")?;
+            }
+            writeln!(f)?;
+            let shown = point.windows.len().min(12);
+            writeln!(f, "  window trajectory (first {shown} of {}):", point.windows.len())?;
+            writeln!(f, "  {:>7} {:>5} {:>8} {:>8}", "start", "phase", "EBW", "queue")?;
+            for w in point.windows.iter().take(shown) {
+                let phase = w.phase.map_or("-", |p| if p == 0 { "on" } else { "off" });
+                writeln!(
+                    f,
+                    "  {:>7} {:>5} {:>8.3} {:>8.3}",
+                    w.start, phase, w.ebw, w.mean_input_queue
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Averages the mean input queue by position within each off-phase
+/// sojourn: element `j` pools window `j` of every uninterrupted run of
+/// off-tagged windows. Monotone decay across positions is the drain.
+fn off_phase_drain(windows: &[BurstyWindow]) -> Vec<f64> {
+    let mut sums: Vec<(f64, u32)> = Vec::new();
+    let mut pos = 0usize;
+    for w in windows {
+        if w.phase == Some(1) {
+            if sums.len() <= pos {
+                sums.push((0.0, 0));
+            }
+            sums[pos].0 += w.mean_input_queue;
+            sums[pos].1 += 1;
+            pos += 1;
+        } else {
+            pos = 0;
+        }
+    }
+    sums.into_iter().map(|(s, c)| s / f64::from(c)).collect()
+}
+
+/// Runs the bursty MMPP drain study: an on/off burst (think `p` 1.0
+/// on, 0.05 off, stay 0.9, dwell 120) at `n = 8, m = 8, r = 8` over
+/// [`BURSTY_DEPTHS`], one telemetry window per dwell on the event
+/// engine. A single replication keeps the window phase tags exact —
+/// pooling across independent chains would blur them to `None`.
+///
+/// # Errors
+///
+/// Propagates parameter/simulation failures.
+pub fn bursty_draining(effort: Effort) -> Result<BurstyReport, CoreError> {
+    // A slow memory (r = 24) under an on-phase hot spot: the burst
+    // piles the hot module's FIFO to depth k, and the off phase needs
+    // ~k * (r + 2) cycles — several dwells — to serve it down.
+    let (m, r) = (8u32, 24u32);
+    let (on_p, off_p, stay, dwell) = (1.0, 0.02, 0.9, 60u64);
+    let params = SystemParams::new(8, m, r)?;
+    let workload = Workload::on_off_burst(on_p, off_p, stay, dwell, Some((0.9, 0)))?;
+    let budget = SimBudget { replications: 1, ..effort.budget().with_engine(EngineKind::Event) };
+    let sim = BusSimEval::new(budget);
+    let rc = r + 2;
+    let mut points = Vec::with_capacity(BURSTY_DEPTHS.len());
+    for depth in BURSTY_DEPTHS {
+        let scenario = Scenario::new(params)
+            .with_buffering(Buffering::Depth(depth))
+            .with_workload(workload.clone());
+        let e = sim.evaluate(&scenario)?;
+        let series = e.windows.as_ref().expect("MMPP runs carry window telemetry");
+        let windows: Vec<BurstyWindow> = series
+            .windows
+            .iter()
+            .map(|w| BurstyWindow {
+                start: w.start,
+                phase: w.phase,
+                ebw: w.ebw(rc),
+                mean_input_queue: w.mean_input_queue(m),
+            })
+            .collect();
+        let phase_ebw = |phase: u32| {
+            let (returns, cycles) = series
+                .windows
+                .iter()
+                .filter(|w| w.phase == Some(phase))
+                .fold((0u64, 0u64), |(a, c), w| (a + w.returns, c + w.cycles));
+            if cycles == 0 {
+                0.0
+            } else {
+                returns as f64 * f64::from(rc) / cycles as f64
+            }
+        };
+        points.push(BurstyPoint {
+            depth,
+            ebw: e.ebw(),
+            half_width_95: e.half_width_95,
+            on_ebw: phase_ebw(0),
+            off_ebw: phase_ebw(1),
+            drain: off_phase_drain(&windows),
+            windows,
+        });
+    }
+    Ok(BurstyReport { m, r, on_p, off_p, stay, dwell, points })
+}
+
 /// Identifiers for every reproducible experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExperimentId {
@@ -1200,12 +1380,15 @@ pub enum ExperimentId {
     Buffering,
     /// Hot-spot workload study (hypothesis *e*/*f* relaxations).
     Hotspot,
+    /// Bursty MMPP drain study (hypothesis *d* relaxation: non-
+    /// stationary request streams with windowed telemetry).
+    Bursty,
     /// Fluid scale study (million-processor points via the ODE model).
     Scale,
 }
 
 /// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 14] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 15] = [
     ExperimentId::Table1,
     ExperimentId::Table2,
     ExperimentId::Table3,
@@ -1219,6 +1402,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 14] = [
     ExperimentId::Arbitration,
     ExperimentId::Buffering,
     ExperimentId::Hotspot,
+    ExperimentId::Bursty,
     ExperimentId::Scale,
 ];
 
@@ -1239,6 +1423,7 @@ impl ExperimentId {
             ExperimentId::Arbitration => "arbitration",
             ExperimentId::Buffering => "buffering",
             ExperimentId::Hotspot => "hotspot",
+            ExperimentId::Bursty => "bursty",
             ExperimentId::Scale => "scale",
         }
     }
@@ -1288,6 +1473,7 @@ impl ExperimentId {
             ExperimentId::Arbitration => arbitration_fairness(effort)?.to_string(),
             ExperimentId::Buffering => buffering_depths(effort)?.to_string(),
             ExperimentId::Hotspot => hotspot_workloads(effort)?.to_string(),
+            ExperimentId::Bursty => bursty_draining(effort)?.to_string(),
             ExperimentId::Scale => scale_study()?.to_string(),
         })
     }

@@ -50,6 +50,170 @@ use crate::clock::MeasurementWindow;
 use crate::histogram::Histogram;
 use crate::stats::RunningStats;
 
+/// Transient (windowed) telemetry accumulators: the measured region is
+/// cut into fixed-width windows and the trajectory-relevant counters —
+/// completions, busy channel-cycles, input-queue level-cycles — are
+/// accumulated per window *in addition to* the whole-run totals, using
+/// the identical clipping rules. Every accumulator is an integer, so
+/// the per-window values recombine to the whole-run totals bit-exactly
+/// (`Σ windows.returns == returns`, etc.).
+///
+/// Enable with [`SimCounters::with_windows`]; disabled (the default)
+/// the hooks cost one branch. Engines running a phase-modulated
+/// workload additionally log phase transitions with
+/// [`SimCounters::record_phase`]; the log is resolved into per-window
+/// phase tags and whole-run per-phase cycle totals at finalization.
+#[derive(Clone, Debug)]
+pub struct WindowTelemetry {
+    /// Window width in cycles (last window may be shorter).
+    width: u64,
+    /// Completions landing in each window.
+    returns: Vec<u64>,
+    /// Busy channel-cycles accumulated in each window.
+    busy_channel_cycles: Vec<u64>,
+    /// Input-FIFO `level × cycles` accumulated in each window (summed
+    /// over modules).
+    input_level_cycles: Vec<u64>,
+    /// Phase-transition log `(cycle, phase)`, non-decreasing in cycle;
+    /// empty for stationary workloads.
+    phase_log: Vec<(u64, u32)>,
+}
+
+impl WindowTelemetry {
+    fn new(window: &MeasurementWindow, width: u64) -> Self {
+        assert!(width > 0, "window width must be at least one cycle");
+        let n = usize::try_from(window.measured_cycles().div_ceil(width)).expect("window count");
+        WindowTelemetry {
+            width,
+            returns: vec![0; n],
+            busy_channel_cycles: vec![0; n],
+            input_level_cycles: vec![0; n],
+            phase_log: Vec::new(),
+        }
+    }
+
+    /// Index of the window containing measured cycle `t`.
+    #[inline]
+    fn index(&self, warmup: u64, t: u64) -> usize {
+        ((t - warmup) / self.width) as usize
+    }
+
+    /// Adds (or subtracts) `weight` per cycle over the already-clipped
+    /// measured span `[lo, hi)`, split across the windows it overlaps.
+    #[inline]
+    fn apply_span(
+        slot: &mut [u64],
+        warmup: u64,
+        width: u64,
+        lo: u64,
+        hi: u64,
+        weight: u64,
+        add: bool,
+    ) {
+        let mut t = lo;
+        while t < hi {
+            let idx = ((t - warmup) / width) as usize;
+            let window_end = warmup + (idx as u64 + 1) * width;
+            let segment = hi.min(window_end) - t;
+            if add {
+                slot[idx] += weight * segment;
+            } else {
+                slot[idx] -= weight * segment;
+            }
+            t = window_end;
+        }
+    }
+
+    /// Resolves the accumulators against the final (possibly
+    /// truncated) measurement window.
+    fn finalize(&self, window: &MeasurementWindow) -> WindowSeries {
+        let warmup = window.warmup();
+        let total = window.total_cycles();
+        let n = usize::try_from(window.measured_cycles().div_ceil(self.width)).expect("count");
+        let mut windows = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = warmup + i as u64 * self.width;
+            let cycles = (start + self.width).min(total) - start;
+            // The phase in effect at the window's first cycle.
+            let phase =
+                self.phase_log.iter().take_while(|(t, _)| *t <= start).last().map(|(_, s)| *s);
+            windows.push(SimWindow {
+                start,
+                cycles,
+                returns: self.returns[i],
+                busy_channel_cycles: self.busy_channel_cycles[i],
+                input_level_cycles: self.input_level_cycles[i],
+                phase,
+            });
+        }
+        // Per-phase cycle totals over the measured region.
+        let phase_count = self.phase_log.iter().map(|(_, s)| *s as usize + 1).max().unwrap_or(0);
+        let mut phase_cycles = vec![0u64; phase_count];
+        for (i, &(start, phase)) in self.phase_log.iter().enumerate() {
+            let end = self.phase_log.get(i + 1).map_or(total, |&(t, _)| t);
+            let lo = start.max(warmup);
+            let hi = end.min(total);
+            if hi > lo {
+                phase_cycles[phase as usize] += hi - lo;
+            }
+        }
+        WindowSeries { width: self.width, windows, phase_cycles }
+    }
+}
+
+/// One fixed-width measurement window's accumulated telemetry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimWindow {
+    /// First cycle of the window (inclusive).
+    pub start: u64,
+    /// Cycles the window actually covers (the final window of a run —
+    /// especially a truncated adaptive run — may be shorter than the
+    /// configured width).
+    pub cycles: u64,
+    /// Completions landing in the window.
+    pub returns: u64,
+    /// Busy channel-cycles in the window.
+    pub busy_channel_cycles: u64,
+    /// Input-FIFO `level × cycles` in the window, summed over modules.
+    pub input_level_cycles: u64,
+    /// The workload phase in effect at the window's first cycle
+    /// (`None` for stationary workloads).
+    pub phase: Option<u32>,
+}
+
+impl SimWindow {
+    /// Effective bandwidth over this window alone, given the
+    /// processor-cycle scale factor `rc = r + 2`.
+    pub fn ebw(&self, rc: u32) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.returns as f64 * f64::from(rc) / self.cycles as f64
+    }
+
+    /// Mean input-FIFO length over this window (per module), given the
+    /// module count.
+    pub fn mean_input_queue(&self, modules: u32) -> f64 {
+        if self.cycles == 0 || modules == 0 {
+            return 0.0;
+        }
+        self.input_level_cycles as f64 / (self.cycles as f64 * f64::from(modules))
+    }
+}
+
+/// A finalized windowed-telemetry series: the trajectory of a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSeries {
+    /// Configured window width in cycles.
+    pub width: u64,
+    /// The windows, in time order; their `cycles` spans partition the
+    /// measured region exactly.
+    pub windows: Vec<SimWindow>,
+    /// Measured cycles spent in each workload phase (empty for
+    /// stationary workloads); sums to the measured cycle count.
+    pub phase_cycles: Vec<u64>,
+}
+
 /// Time-weighted queue-level accounting for one group of FIFOs (e.g.
 /// every memory module's input buffer). Levels are integers in
 /// `0..=max_level`; each level change records the span the old level
@@ -116,6 +280,7 @@ impl QueueOccupancy {
         level: u32,
         start: u64,
         end: u64,
+        windows: Option<&mut WindowTelemetry>,
     ) {
         let lo = start.max(window.warmup());
         let hi = end.min(window.total_cycles());
@@ -124,6 +289,19 @@ impl QueueOccupancy {
             // the division-free path (bit-identical accounting).
             self.histogram.record_level(level, hi - lo);
             self.level_cycles[entity] += u64::from(level) * (hi - lo);
+            if level > 0 {
+                if let Some(w) = windows {
+                    WindowTelemetry::apply_span(
+                        &mut w.input_level_cycles,
+                        window.warmup(),
+                        w.width,
+                        lo,
+                        hi,
+                        u64::from(level),
+                        true,
+                    );
+                }
+            }
         }
     }
 
@@ -131,7 +309,14 @@ impl QueueOccupancy {
     /// with the span it was held. `t` must be non-decreasing per
     /// entity.
     #[inline]
-    fn set_level(&mut self, window: &MeasurementWindow, entity: usize, t: u64, level: u32) {
+    fn set_level(
+        &mut self,
+        window: &MeasurementWindow,
+        entity: usize,
+        t: u64,
+        level: u32,
+        windows: Option<&mut WindowTelemetry>,
+    ) {
         if self.levels.is_empty() {
             return;
         }
@@ -142,18 +327,23 @@ impl QueueOccupancy {
         );
         let old = self.levels[entity];
         let since = self.since[entity];
-        self.record_span(window, entity, old, since, t);
+        self.record_span(window, entity, old, since, t, windows);
         self.levels[entity] = level;
         self.since[entity] = t;
     }
 
     /// Flushes every entity's open span up to (but excluding) `t_end`.
     /// Idempotent: a second call at the same `t_end` records nothing.
-    fn finish(&mut self, window: &MeasurementWindow, t_end: u64) {
+    fn finish(
+        &mut self,
+        window: &MeasurementWindow,
+        t_end: u64,
+        mut windows: Option<&mut WindowTelemetry>,
+    ) {
         for entity in 0..self.levels.len() {
             let level = self.levels[entity];
             let since = self.since[entity];
-            self.record_span(window, entity, level, since, t_end);
+            self.record_span(window, entity, level, since, t_end, windows.as_deref_mut());
             self.since[entity] = t_end;
         }
     }
@@ -204,6 +394,9 @@ pub struct SimCounters {
     /// proxy for simulation cost — the currency of the adaptive
     /// stopping rule's savings and the CI event-budget gate.
     pub events: u64,
+    /// Windowed transient-telemetry accumulators (disabled unless
+    /// [`SimCounters::with_windows`] was called).
+    windows: Option<WindowTelemetry>,
 }
 
 impl SimCounters {
@@ -233,7 +426,45 @@ impl SimCounters {
             per_module_requests: Vec::new(),
             per_module_busy_cycles: Vec::new(),
             events: 0,
+            windows: None,
         }
+    }
+
+    /// Enables windowed transient telemetry: the measured region is cut
+    /// into `width`-cycle windows and completions, busy channel-cycles,
+    /// and input-queue level-cycles are additionally accumulated per
+    /// window (integer accounting — window values recombine to the
+    /// whole-run totals bit-exactly). The whole-run counters are
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_windows(mut self, width: u64) -> Self {
+        self.windows = Some(WindowTelemetry::new(&self.window, width));
+        self
+    }
+
+    /// Whether windowed telemetry is enabled.
+    pub fn has_windows(&self) -> bool {
+        self.windows.is_some()
+    }
+
+    /// Logs a workload phase transition: the chain enters `phase` at
+    /// cycle `t` (no-op unless windowed telemetry is enabled; call with
+    /// `t = 0` for the initial phase). Cycles must be non-decreasing.
+    pub fn record_phase(&mut self, t: u64, phase: u32) {
+        if let Some(w) = &mut self.windows {
+            debug_assert!(w.phase_log.last().is_none_or(|&(last, _)| last <= t));
+            w.phase_log.push((t, phase));
+        }
+    }
+
+    /// The finalized windowed-telemetry series against the current
+    /// (possibly truncated) window, or `None` when disabled. Call after
+    /// the run ends, like [`SimCounters::finish_occupancy`].
+    pub fn window_series(&self) -> Option<WindowSeries> {
+        self.windows.as_ref().map(|w| w.finalize(&self.window))
     }
 
     /// Enables queue-occupancy telemetry for `modules` FIFO pairs whose
@@ -272,6 +503,10 @@ impl SimCounters {
             self.returns += 1;
             self.per_entity_returns[entity] += 1;
             self.round_trip.push((t + 1 - issued) as f64);
+            if let Some(w) = &mut self.windows {
+                let idx = w.index(self.window.warmup(), t);
+                w.returns[idx] += 1;
+            }
         }
     }
 
@@ -282,6 +517,10 @@ impl SimCounters {
         if self.window.is_measuring(t) {
             self.returns += 1;
             self.per_entity_returns[entity] += 1;
+            if let Some(w) = &mut self.windows {
+                let idx = w.index(self.window.warmup(), t);
+                w.returns[idx] += 1;
+            }
         }
     }
 
@@ -312,11 +551,32 @@ impl SimCounters {
         hi.saturating_sub(lo)
     }
 
+    /// Distributes the already-clipped span `[lo, hi)` into the busy
+    /// window accumulators (no-op when windows are disabled).
+    #[inline]
+    fn window_busy_span(&mut self, lo: u64, hi: u64, add: bool) {
+        if let Some(w) = &mut self.windows {
+            if hi > lo {
+                WindowTelemetry::apply_span(
+                    &mut w.busy_channel_cycles,
+                    self.window.warmup(),
+                    w.width,
+                    lo,
+                    hi,
+                    1,
+                    add,
+                );
+            }
+        }
+    }
+
     /// Adds bus-channel occupancy over the half-open span
     /// `[start, end)` of cycles.
     #[inline]
     pub fn add_channel_busy_span(&mut self, start: u64, end: u64) {
         self.bus_busy_channel_cycles += self.clipped(start, end);
+        let (lo, hi) = (start.max(self.window.warmup()), end.min(self.window.total_cycles()));
+        self.window_busy_span(lo, hi, true);
     }
 
     /// Adds module service occupancy over the half-open span
@@ -333,6 +593,8 @@ impl SimCounters {
     /// point is subtracted with this before the window is truncated.
     pub fn remove_channel_busy_span(&mut self, start: u64, end: u64) {
         self.bus_busy_channel_cycles -= self.clipped(start, end);
+        let (lo, hi) = (start.max(self.window.warmup()), end.min(self.window.total_cycles()));
+        self.window_busy_span(lo, hi, false);
     }
 
     /// Removes previously added module occupancy over `[start, end)`
@@ -405,28 +667,35 @@ impl SimCounters {
         if self.window.is_measuring(t) {
             self.bus_busy_channel_cycles += channels;
             self.module_busy_cycles += modules;
+            if channels > 0 {
+                if let Some(w) = &mut self.windows {
+                    let idx = w.index(self.window.warmup(), t);
+                    w.busy_channel_cycles[idx] += channels;
+                }
+            }
         }
     }
 
     /// Sets `module`'s input-FIFO level from cycle `t` on (no-op when
-    /// occupancy tracking is disabled).
+    /// occupancy tracking is disabled). Windowed telemetry, when
+    /// enabled, accumulates the input-side level-cycles per window.
     #[inline]
     pub fn set_input_occupancy(&mut self, module: usize, t: u64, level: u32) {
-        self.input_occupancy.set_level(&self.window, module, t, level);
+        self.input_occupancy.set_level(&self.window, module, t, level, self.windows.as_mut());
     }
 
     /// Sets `module`'s output-FIFO level from cycle `t` on (no-op when
     /// occupancy tracking is disabled).
     #[inline]
     pub fn set_output_occupancy(&mut self, module: usize, t: u64, level: u32) {
-        self.output_occupancy.set_level(&self.window, module, t, level);
+        self.output_occupancy.set_level(&self.window, module, t, level, None);
     }
 
     /// Flushes all open occupancy spans up to `t_end` (call once when
     /// the run ends; safe to call on disabled trackers).
     pub fn finish_occupancy(&mut self, t_end: u64) {
-        self.input_occupancy.finish(&self.window, t_end);
-        self.output_occupancy.finish(&self.window, t_end);
+        self.input_occupancy.finish(&self.window, t_end, self.windows.as_mut());
+        self.output_occupancy.finish(&self.window, t_end, None);
     }
 
     /// Records a service that completed at cycle `t` but found its
@@ -588,6 +857,117 @@ mod tests {
         // Per-entity accumulators decompose the pooled histogram mean:
         // 26 level-cycles over 2 entities × 20 measured cycles.
         assert!((c.input_occupancy.mean_level() - 26.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_spans_partition_measured_region() {
+        // Window [10, 30), width 7 → windows of 7, 7, 6 cycles starting
+        // at 10, 17, 24: they tile the measured region exactly.
+        let c = counters().with_windows(7);
+        let series = c.window_series().unwrap();
+        assert_eq!(series.width, 7);
+        let spans: Vec<(u64, u64)> = series.windows.iter().map(|w| (w.start, w.cycles)).collect();
+        assert_eq!(spans, vec![(10, 7), (17, 7), (24, 6)]);
+        assert_eq!(series.windows.iter().map(|w| w.cycles).sum::<u64>(), 20);
+        assert!(series.phase_cycles.is_empty());
+    }
+
+    #[test]
+    fn window_truncation_shrinks_the_tail() {
+        let mut c = counters().with_windows(7);
+        c.truncate_window(20); // measured region becomes [10, 20)
+        let series = c.window_series().unwrap();
+        let spans: Vec<(u64, u64)> = series.windows.iter().map(|w| (w.start, w.cycles)).collect();
+        assert_eq!(spans, vec![(10, 7), (17, 3)]);
+    }
+
+    #[test]
+    fn window_aggregates_recombine_bit_exactly() {
+        let mut c = counters().with_queue_occupancy(2, 4, 4).with_windows(7);
+        // Returns sprinkled across warmup, all three windows, and past
+        // the end.
+        for (t, entity) in [(5, 0), (10, 1), (16, 0), (17, 2), (23, 1), (29, 0), (30, 1)] {
+            c.record_return(t, entity, t.saturating_sub(3));
+        }
+        // Busy accounting by span (straddling windows and both edges).
+        c.add_channel_busy_span(8, 19);
+        c.add_channel_busy_span(22, 40);
+        c.remove_channel_busy_span(28, 40); // early-stop style removal
+                                            // And by tick.
+        c.tick_busy(12, 2, 1);
+        // Input occupancy: level 2 held over [12, 26).
+        c.set_input_occupancy(0, 12, 2);
+        c.set_input_occupancy(0, 26, 0);
+        c.set_input_occupancy(1, 9, 3);
+        c.set_input_occupancy(1, 18, 0);
+        c.finish_occupancy(30);
+        let series = c.window_series().unwrap();
+        assert_eq!(series.windows.iter().map(|w| w.returns).sum::<u64>(), c.returns);
+        assert_eq!(
+            series.windows.iter().map(|w| w.busy_channel_cycles).sum::<u64>(),
+            c.bus_busy_channel_cycles
+        );
+        assert_eq!(
+            series.windows.iter().map(|w| w.input_level_cycles).sum::<u64>(),
+            c.input_occupancy.level_cycles().iter().sum::<u64>()
+        );
+        // Spot-check the per-window split: span [10,19) puts 7 in W0
+        // and 2 in W1; span [22,30) puts 2 in W1 and 6 in W2; the
+        // removal [28,30) takes 2 back out of W2; the tick at 12 adds
+        // 2 channels to W0.
+        let busy: Vec<u64> = series.windows.iter().map(|w| w.busy_channel_cycles).collect();
+        assert_eq!(busy, vec![7 + 2, 2 + 2, 6 - 2]);
+    }
+
+    #[test]
+    fn window_phase_log_resolves_tags_and_cycles() {
+        let mut c = counters().with_windows(10);
+        c.record_phase(0, 0);
+        c.record_phase(15, 1);
+        c.record_phase(25, 0);
+        let series = c.window_series().unwrap();
+        // Window starts 10 and 20: phase in effect there is 0 and 1.
+        let tags: Vec<Option<u32>> = series.windows.iter().map(|w| w.phase).collect();
+        assert_eq!(tags, vec![Some(0), Some(1)]);
+        // Measured phase cycles: phase 0 over [10,15) ∪ [25,30),
+        // phase 1 over [15,25).
+        assert_eq!(series.phase_cycles, vec![10, 10]);
+        assert_eq!(series.phase_cycles.iter().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn window_ebw_and_queue_views() {
+        let mut c = counters().with_queue_occupancy(2, 4, 4).with_windows(10);
+        c.record_return(12, 0, 10);
+        c.record_return(14, 1, 10);
+        c.set_input_occupancy(0, 10, 2);
+        c.finish_occupancy(30);
+        let series = c.window_series().unwrap();
+        let w0 = &series.windows[0];
+        // 2 returns over 10 cycles at rc = 10 → EBW 2.0.
+        assert!((w0.ebw(10) - 2.0).abs() < 1e-12);
+        // 20 level-cycles over 10 cycles × 2 modules → mean 1.0.
+        assert!((w0.mean_input_queue(2) - 1.0).abs() < 1e-12);
+        // Degenerate guards.
+        let empty = SimWindow {
+            start: 0,
+            cycles: 0,
+            returns: 0,
+            busy_channel_cycles: 0,
+            input_level_cycles: 0,
+            phase: None,
+        };
+        assert_eq!(empty.ebw(10), 0.0);
+        assert_eq!(empty.mean_input_queue(0), 0.0);
+    }
+
+    #[test]
+    fn disabled_windows_are_inert() {
+        let mut c = counters();
+        assert!(!c.has_windows());
+        c.record_phase(0, 1);
+        c.record_return(12, 0, 10);
+        assert!(c.window_series().is_none());
     }
 
     #[test]

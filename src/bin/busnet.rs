@@ -10,6 +10,7 @@
 //!            [--buffer-depth K|inf] [--seed 7] [--cycles 200000] [--warmup 20000]
 //!            [--arbitration random|round-robin|lru|priority] [--engine cycle|event]
 //!            [--hot-spot 0.3@0] [--module-weights 4,2,1,1] [--think-probs 1,1,0.5,0.25]
+//!            [--burst 0.9:0.05:0.9:500[:0.5@0]]
 //! busnet sweep --n 2..64 --r 2,6,10 --evaluator sim,reduced --format csv
 //! busnet sweep --buffer-depth 0,1,2,4,inf --evaluator sim,approx-depth
 //! busnet sweep --hot-spot 0,0.1,0.2,0.4 --buffer-depth 0,1,4 --evaluator sim --engine event
@@ -72,7 +73,8 @@ fn main() -> ExitCode {
                  [--buffering unbuffered|buffered|depthK|infinite|both]\n      \
                  [--buffer-depth LIST(K|inf)] [--arbitration LIST|all]\n      \
                  [--hot-spot LIST(FRAC[@MODULE])] [--module-weights W1,..,Wm]\n      \
-                 [--think-probs P1,..,Pn] [--buses SPEC]\n      \
+                 [--think-probs P1,..,Pn] [--burst ONP:OFFP:STAY:DWELL[:FRAC@MODULE]]\n      \
+                 [--buses SPEC]\n      \
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
                  [--ci-width X [--max-reps K]] [--screen fluid [--screen-tol T]]\n      \
@@ -208,13 +210,15 @@ fn run_sim(args: &[String]) -> ExitCode {
     let hot_spot_spec = flags.value("--hot-spot").map(str::to_owned);
     let weights_spec = flags.value("--module-weights").map(str::to_owned);
     let probs_spec = flags.value("--think-probs").map(str::to_owned);
+    let burst_spec = flags.value("--burst").map(str::to_owned);
     if let Err(e) = flags.finish() {
         eprintln!(
             "{e}\nusage: busnet sim --n N --m M --r R [--p P] [--buffered] \
                    [--buffer-depth K|inf] [--memory-priority] [--seed S] [--cycles C] \
                    [--warmup W] [--arbitration KIND] [--engine cycle|event] \
                    [--hot-spot FRAC[@MODULE]] [--module-weights W1,..,Wm] \
-                   [--think-probs P1,..,Pn] [--ci-width X [--max-reps K]]"
+                   [--think-probs P1,..,Pn] [--burst ONP:OFFP:STAY:DWELL[:FRAC@MODULE]] \
+                   [--ci-width X [--max-reps K]]"
         );
         return ExitCode::FAILURE;
     }
@@ -222,6 +226,7 @@ fn run_sim(args: &[String]) -> ExitCode {
         hot_spot_spec.as_deref(),
         weights_spec.as_deref(),
         probs_spec.as_deref(),
+        burst_spec.as_deref(),
     ) {
         Ok(mut workloads) if workloads.len() == 1 => workloads.remove(0),
         Ok(_) => {
@@ -287,7 +292,7 @@ fn run_sim(args: &[String]) -> ExitCode {
     let policy =
         if memory_priority { BusPolicy::MemoryPriority } else { BusPolicy::ProcessorPriority };
 
-    let builder = BusSimBuilder::new(params)
+    let mut builder = BusSimBuilder::new(params)
         .policy(policy)
         .buffering(buffering)
         .arbitration(arbitration)
@@ -296,6 +301,11 @@ fn run_sim(args: &[String]) -> ExitCode {
         .seed(seed)
         .warmup_cycles(warmup)
         .measure_cycles(cycles);
+    // Bursty runs record one telemetry window per phase dwell so the
+    // transient trajectory is visible in the output.
+    if let Some(spec) = workload.mmpp_spec() {
+        builder = builder.window_cycles(spec.dwell());
+    }
     let mut adaptive = None;
     let report = match ci_width {
         None => builder.run(),
@@ -347,6 +357,13 @@ fn run_sim(args: &[String]) -> ExitCode {
             println!("  hot mean input queue {:.4}", report.module_mean_input_queue(hot));
         }
     }
+    if let Some(series) = &report.windows {
+        let total: u64 = series.phase_cycles.iter().sum::<u64>().max(1);
+        println!("  telemetry windows    {} x {} cycles", series.windows.len(), series.width);
+        for (phase, &in_phase) in series.phase_cycles.iter().enumerate() {
+            println!("  phase {phase} occupancy    {:.4}", in_phase as f64 / total as f64);
+        }
+    }
     println!("  engine events        {}", report.events);
     if let Some((batches, half_width_95, converged)) = adaptive {
         println!("  measured cycles      {}", report.measured_cycles);
@@ -377,23 +394,49 @@ fn parse_hot_spot_item(spec: &str) -> Result<Workload, String> {
     Workload::hot_spot(fraction, module).map_err(|e| e.to_string())
 }
 
+/// Parses a `--burst` spec: `ONP:OFFP:STAY:DWELL[:FRAC@MODULE]` — an
+/// on/off MMPP with per-phase think probabilities `ONP`/`OFFP`, phase
+/// self-transition probability `STAY`, a dwell of `DWELL` cycles
+/// between phase-transition draws, and an optional on-phase hot spot.
+fn parse_burst_spec(spec: &str) -> Result<Workload, String> {
+    let bad = || format!("bad --burst `{spec}` (expected ONP:OFFP:STAY:DWELL[:FRAC@MODULE])");
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (on_p, off_p, stay, dwell, hot) = match parts.as_slice() {
+        [on, off, stay, dwell] => (on, off, stay, dwell, None),
+        [on, off, stay, dwell, hot] => {
+            let (frac, module) = hot.split_once('@').ok_or_else(bad)?;
+            let frac: f64 = frac.parse().map_err(|_| bad())?;
+            let module: u32 = module.parse().map_err(|_| bad())?;
+            (on, off, stay, dwell, Some((frac, module)))
+        }
+        _ => return Err(bad()),
+    };
+    let on_p: f64 = on_p.parse().map_err(|_| bad())?;
+    let off_p: f64 = off_p.parse().map_err(|_| bad())?;
+    let stay: f64 = stay.parse().map_err(|_| bad())?;
+    let dwell: u64 = dwell.parse().map_err(|_| bad())?;
+    Workload::on_off_burst(on_p, off_p, stay, dwell, hot).map_err(|e| e.to_string())
+}
+
 /// Resolves the workload flags (`--hot-spot`, `--module-weights`,
-/// `--think-probs`) into a workload axis. The three are mutually
-/// exclusive; `--hot-spot` accepts a comma list (one workload per
-/// fraction), the other two describe a single workload.
+/// `--think-probs`, `--burst`) into a workload axis. The four are
+/// mutually exclusive; `--hot-spot` accepts a comma list (one workload
+/// per fraction), the others describe a single workload.
 fn parse_workload_flags(
     hot_spot: Option<&str>,
     module_weights: Option<&str>,
     think_probs: Option<&str>,
+    burst: Option<&str>,
 ) -> Result<Vec<Workload>, String> {
-    let set = [hot_spot.is_some(), module_weights.is_some(), think_probs.is_some()]
-        .iter()
-        .filter(|&&s| s)
-        .count();
+    let set =
+        [hot_spot.is_some(), module_weights.is_some(), think_probs.is_some(), burst.is_some()]
+            .iter()
+            .filter(|&&s| s)
+            .count();
     if set > 1 {
-        return Err(
-            "--hot-spot, --module-weights, and --think-probs are mutually exclusive".to_owned()
-        );
+        return Err("--hot-spot, --module-weights, --think-probs, and --burst are mutually \
+                    exclusive"
+            .to_owned());
     }
     if let Some(spec) = hot_spot {
         return spec.split(',').map(parse_hot_spot_item).collect();
@@ -405,6 +448,9 @@ fn parse_workload_flags(
     if let Some(spec) = think_probs {
         let probs = parse_f64_list(spec)?;
         return Ok(vec![Workload::heterogeneous(probs).map_err(|e| e.to_string())?]);
+    }
+    if let Some(spec) = burst {
+        return Ok(vec![parse_burst_spec(spec)?]);
     }
     Ok(vec![Workload::Uniform])
 }
@@ -520,10 +566,22 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                 hot.clone().unwrap_or_else(|| missing(""));
             let (hot_share_json, hot_util_json, hot_queue_json) =
                 hot.unwrap_or_else(|| missing("null"));
+            // Windowed transient telemetry (MMPP simulator runs): the
+            // CSV carries the window count; JSON additionally carries
+            // the per-window EBW trajectory.
+            let win = eval.windows.as_ref();
+            let windows_csv = win.map_or(String::new(), |w| w.windows.len().to_string());
+            let windows_json = win.map_or("null".to_owned(), |w| w.windows.len().to_string());
+            let rc = s.params.r() + 2;
+            let window_ebw_json = win.map_or("null".to_owned(), |w| {
+                let points: Vec<String> =
+                    w.windows.iter().map(|x| format!("{:.6}", x.ebw(rc))).collect();
+                format!("[{}]", points.join(","))
+            });
             let written = match format {
                 SweepFormat::Csv => writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -549,6 +607,7 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     hot_queue_csv,
                     s.buses,
                     record.screened,
+                    windows_csv,
                 ),
                 SweepFormat::Json => writeln!(
                     out,
@@ -560,7 +619,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                      \"replications\":{},\"fairness\":{},\"mean_input_queue\":{},\
                      \"input_full_fraction\":{},\"blocked_completions\":{},\
                      \"hot_ref_share\":{},\"hot_module_utilization\":{},\
-                     \"hot_mean_input_queue\":{},\"buses\":{},\"screened\":{}}}",
+                     \"hot_mean_input_queue\":{},\"buses\":{},\"screened\":{},\
+                     \"windows\":{},\"window_ebw\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -586,6 +646,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     hot_queue_json,
                     s.buses,
                     record.screened,
+                    windows_json,
+                    window_ebw_json,
                 ),
             };
             written.expect("stdout closed mid-sweep");
@@ -633,6 +695,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let hot_spot_spec = flags.value("--hot-spot").map(str::to_owned);
     let weights_spec = flags.value("--module-weights").map(str::to_owned);
     let probs_spec = flags.value("--think-probs").map(str::to_owned);
+    let burst_spec = flags.value("--burst").map(str::to_owned);
     let buses_spec = flags.value("--buses").unwrap_or("1").to_owned();
     let screen_spec = flags.value("--screen").map(str::to_owned);
     let screen_tol: f64 = flags.parse("--screen-tol", 0.05);
@@ -735,6 +798,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         hot_spot_spec.as_deref(),
         weights_spec.as_deref(),
         probs_spec.as_deref(),
+        burst_spec.as_deref(),
     ) {
         Ok(w) => w,
         Err(e) => return fail(e),
@@ -813,7 +877,7 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
             "n,m,r,p,policy,buffering,buffer_depth,arbitration,workload,evaluator,ebw,\
              half_width_95,bus_utilization,memory_utilization,processor_efficiency,replications,\
              fairness,mean_input_queue,input_full_fraction,blocked_completions,hot_ref_share,\
-             hot_module_utilization,hot_mean_input_queue,buses,screened"
+             hot_module_utilization,hot_mean_input_queue,buses,screened,windows"
         )
         .expect("stdout closed");
     }
@@ -1043,6 +1107,52 @@ fn run_bench_smoke() -> ExitCode {
         eprintln!("# smoke: warm cached re-run was not a full replay");
         return ExitCode::FAILURE;
     }
+
+    // MMPP slice: phase boundaries add O(cycles / dwell) work, not
+    // per-cycle work, so bursty event throughput (events/second) must
+    // stay within 15% of the stationary baseline on the same grid.
+    let mmpp_slice = |workloads: Vec<Workload>| -> (f64, u64) {
+        let slice = ScenarioGrid::new()
+            .n_values([8])
+            .m_values([8, 16])
+            .r_values([8])
+            .p_values([1.0])
+            .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+            .workloads(workloads)
+            .scenarios()
+            .expect("static grid is valid");
+        let sim = busnet::core::scenario::BusSimEval::new(SimBudget {
+            replications: 2,
+            warmup: 1_000,
+            measure: 50_000,
+            master_seed: 0x5EED,
+            mode: ExecutionMode::Serial,
+            engine: EngineKind::Event,
+            stopping: Stopping::Fixed,
+        });
+        let evaluators: [&dyn Evaluator; 1] = [&sim];
+        let start = Instant::now();
+        let records = run_sweep(&slice, &evaluators, ExecutionMode::Serial, |_, _, _| {});
+        (start.elapsed().as_secs_f64(), events(&records))
+    };
+    let (stationary_secs, stationary_events) = mmpp_slice(vec![Workload::Uniform]);
+    let (bursty_secs, bursty_events) =
+        mmpp_slice(vec![Workload::on_off_burst(1.0, 0.1, 0.9, 500, None).expect("valid burst")]);
+    let stationary_eps = stationary_events as f64 / stationary_secs;
+    let bursty_eps = bursty_events as f64 / bursty_secs;
+    let mmpp_ratio = bursty_eps / stationary_eps;
+    println!(
+        "# smoke mmpp: stationary {stationary_events} events ({:.1}M ev/s), bursty \
+         {bursty_events} events ({:.1}M ev/s) -> {mmpp_ratio:.2}x",
+        stationary_eps / 1e6,
+        bursty_eps / 1e6
+    );
+    if mmpp_ratio < 0.85 {
+        eprintln!(
+            "# smoke: bursty event throughput {mmpp_ratio:.2}x of stationary (< 0.85x floor)"
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -1214,6 +1324,23 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          hot-spot 0.2: {hotspot_events} events in {hotspot_secs:.2}s ({:.1}M ev/s) -> {workload_ratio:.2}x",
         uniform_eps / 1e6,
         hotspot_eps / 1e6
+    );
+
+    // Bursty (MMPP) vs uniform on the same slice: phase boundaries and
+    // window telemetry must amortize to O(cycles / dwell), keeping
+    // event throughput within 15% of stationary.
+    eprintln!("# timing bursty (MMPP) vs uniform workload slice (event engine)...");
+    let (mmpp_secs, mmpp_events) =
+        workload_slice(vec![busnet::core::params::Workload::on_off_burst(
+            1.0, 0.1, 0.9, 500, None,
+        )
+        .expect("valid burst")]);
+    let mmpp_eps = mmpp_events as f64 / mmpp_secs;
+    let mmpp_ratio = mmpp_eps / uniform_eps;
+    eprintln!(
+        "# bursty 1.0/0.1 stay 0.9 dwell 500: {mmpp_events} events in {mmpp_secs:.2}s \
+         ({:.1}M ev/s) -> {mmpp_ratio:.2}x",
+        mmpp_eps / 1e6
     );
 
     // The PR 3 (pre-timing-wheel) kernel's event_seconds on this
@@ -1457,6 +1584,13 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          \"hotspot_seconds\": {hotspot_secs:.3},\n    \"hotspot_events\": {hotspot_events},\n    \
          \"event_throughput_ratio\": {workload_ratio:.3},\n    \
          \"acceptance\": \"non-uniform event throughput within 10% of uniform\"\n  }},\n  \
+         \"mmpp_vs_uniform\": {{\n    \
+         \"slice\": \"n=8, m in {{8,16}}, r in {{8,16}}, p in {{0.2,1.0}}, both bufferings, event engine\",\n    \
+         \"burst\": \"on 1.0 / off 0.1, stay 0.9, dwell 500\",\n    \
+         \"uniform_seconds\": {uniform_secs:.3},\n    \"uniform_events\": {uniform_events},\n    \
+         \"mmpp_seconds\": {mmpp_secs:.3},\n    \"mmpp_events\": {mmpp_events},\n    \
+         \"event_throughput_ratio\": {mmpp_ratio:.3},\n    \
+         \"acceptance\": \"bursty event throughput within 15% of stationary uniform\"\n  }},\n  \
          \"adaptive_vs_fixed\": {{\n    \
          \"points\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, p=1, both bufferings)\",\n    \
          \"fixed_events\": {fixed_events},\n    \"adaptive_events\": {adaptive_events},\n    \

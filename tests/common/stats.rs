@@ -144,3 +144,83 @@ pub fn assert_chi_square_fits(label: &str, observed: &[u64], expected: &[f64]) {
         "{label}: chi-square {stat:.2} exceeds the 99.9% critical value {critical:.2} (df {df})"
     );
 }
+
+/// Fraction of index-paired window estimates whose intervals overlap
+/// (with `slack`). Pairs up to the shorter trajectory; a window-wise
+/// comparison tolerates a few misses where a single whole-run overlap
+/// check would average them away.
+pub fn windowwise_overlap_fraction(a: &[Estimate], b: &[Estimate], slack: f64) -> f64 {
+    let n = a.len().min(b.len());
+    assert!(n > 0, "window-wise overlap needs at least one window pair");
+    let hits = a.iter().zip(b).take(n).filter(|&(&x, &y)| ci_overlap(x, y, slack)).count();
+    hits as f64 / n as f64
+}
+
+/// Asserts that at least `min_fraction` of index-paired window
+/// estimates overlap — per-window agreement with room for the handful
+/// of tail windows where order statistics are inherently noisy.
+#[track_caller]
+pub fn assert_windowwise_ci_overlap(
+    label: &str,
+    a: &[Estimate],
+    b: &[Estimate],
+    slack: f64,
+    min_fraction: f64,
+) {
+    let fraction = windowwise_overlap_fraction(a, b, slack);
+    assert!(
+        fraction >= min_fraction,
+        "{label}: only {:.1}% of {} window pairs overlap (need {:.1}%)",
+        fraction * 100.0,
+        a.len().min(b.len()),
+        min_fraction * 100.0
+    );
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the largest gap between
+/// the samples' empirical CDFs.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS statistic needs non-empty samples");
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (mut i, mut j, mut gap) = (0usize, 0usize, 0.0f64);
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        gap = gap.max((fa - fb).abs());
+    }
+    gap
+}
+
+/// The 99.9% two-sample KS critical value
+/// `c(α) √((n_a + n_b) / (n_a n_b))` with `c(0.001) ≈ 1.9495` —
+/// the same loose level as the chi-square helper, so an equal pair of
+/// distributions fails ~1 in 1000 runs at most.
+pub fn ks_critical_999(na: usize, nb: usize) -> f64 {
+    let (na, nb) = (na as f64, nb as f64);
+    1.9495 * ((na + nb) / (na * nb)).sqrt()
+}
+
+/// Asserts the two samples are consistent with one distribution (KS at
+/// the 99.9% level).
+#[track_caller]
+pub fn assert_ks_same_distribution(label: &str, a: &[f64], b: &[f64]) {
+    let stat = ks_statistic(a, b);
+    let critical = ks_critical_999(a.len(), b.len());
+    assert!(
+        stat <= critical,
+        "{label}: KS statistic {stat:.4} exceeds the 99.9% critical value {critical:.4} \
+         ({} vs {} samples)",
+        a.len(),
+        b.len()
+    );
+}
