@@ -24,8 +24,8 @@
 //! invalidates (ignores) every line written by older binaries.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -35,6 +35,7 @@ use crate::params::{BusPolicy, Workload};
 use crate::scenario::{Evaluation, HotModuleSummary, OccupancySummary, Scenario};
 use crate::sim::service::ServiceTime;
 use busnet_sim::counters::{SimWindow, WindowSeries};
+use busnet_sim::fault::{fnv1a, FaultPlan};
 
 /// Cache schema version tag. Bump on ANY change to the fingerprint
 /// grammar, the evaluator config fingerprints, or the on-disk record
@@ -214,6 +215,9 @@ pub struct CacheStats {
     /// Disk lines skipped as unparsable or schema-mismatched, plus
     /// failed appends.
     pub skipped: u64,
+    /// Torn trailing lines recovered at load (a partial append left by
+    /// a crash, either completed in place or truncated away).
+    pub torn: u64,
 }
 
 /// The content-hashed evaluation memo store: an in-memory map with an
@@ -224,11 +228,14 @@ pub struct EvalCache {
     map: Mutex<HashMap<String, CachedEvaluation>>,
     /// Append target (`<dir>/evalcache.jsonl`), when disk-backed.
     journal: Option<PathBuf>,
+    /// Injects journal I/O failures when a chaos plan is active.
+    faults: Option<FaultPlan>,
     hits: AtomicU64,
     misses: AtomicU64,
     loaded: AtomicU64,
     appended: AtomicU64,
     skipped: AtomicU64,
+    torn: AtomicU64,
 }
 
 impl EvalCache {
@@ -241,35 +248,121 @@ impl EvalCache {
     /// missing, loads every valid record from `dir/evalcache.jsonl`,
     /// and appends each future miss to it.
     ///
+    /// Malformed or old-schema lines are skipped with an `eprintln!`
+    /// warning naming their line numbers (counted in
+    /// [`CacheStats::skipped`]). A **torn trailing line** — a partial
+    /// append left by a crash mid-write — is recovered explicitly
+    /// (counted in [`CacheStats::torn`]): if the tail happens to be a
+    /// complete record missing only its newline, the newline is
+    /// appended in place and the record kept; otherwise the journal is
+    /// truncated back to the last complete line. Either way the next
+    /// append lands on a clean line boundary instead of concatenating
+    /// onto (and corrupting) the torn tail.
+    ///
     /// # Errors
     ///
-    /// I/O failures creating the directory or reading an existing
-    /// journal. Individual malformed lines are skipped (counted in
-    /// [`CacheStats::skipped`]), not errors.
+    /// I/O failures creating the directory or reading/repairing an
+    /// existing journal.
     pub fn with_dir(dir: &Path) -> std::io::Result<Self> {
+        EvalCache::with_dir_faulted(dir, None)
+    }
+
+    /// [`EvalCache::with_dir`] under an optional chaos [`FaultPlan`]:
+    /// the `journal-load` site fails individual lines at load, the
+    /// `journal-append` site fails individual appends (the record then
+    /// survives in memory only).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalCache::with_dir`].
+    pub fn with_dir_faulted(dir: &Path, faults: Option<FaultPlan>) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let journal = dir.join("evalcache.jsonl");
-        let cache = EvalCache { journal: Some(journal.clone()), ..EvalCache::default() };
+        let cache = EvalCache { journal: Some(journal.clone()), faults, ..EvalCache::default() };
         if journal.exists() {
-            let reader = BufReader::new(File::open(&journal)?);
-            let mut map = cache.map.lock().expect("cache mutex");
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
+            cache.load_journal(&journal)?;
+        }
+        Ok(cache)
+    }
+
+    /// Loads (and, when the trailing line is torn, repairs) a journal.
+    fn load_journal(&self, journal: &Path) -> std::io::Result<()> {
+        let bytes = std::fs::read(journal)?;
+        // Split at the last newline: everything after it is a torn
+        // trailing line (a crash mid-append), handled separately below.
+        let complete_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let (complete, tail) = bytes.split_at(complete_len);
+        let mut bad_lines: Vec<u64> = Vec::new();
+        let mut line_no = 0u64;
+        {
+            let mut map = self.map.lock().expect("cache mutex");
+            for raw in complete.split(|&b| b == b'\n') {
+                if raw.is_empty() {
+                    continue; // the empty slice after the final newline
                 }
-                match parse_record(&line) {
+                line_no += 1;
+                let injected =
+                    self.faults.as_ref().is_some_and(|plan| plan.journal_load_fails(line_no));
+                let parsed = if injected {
+                    None
+                } else {
+                    std::str::from_utf8(raw).ok().and_then(parse_record)
+                };
+                match parsed {
                     Some((key, eval)) => {
                         map.insert(key, eval);
-                        cache.loaded.fetch_add(1, Ordering::Relaxed);
+                        self.loaded.fetch_add(1, Ordering::Relaxed);
                     }
                     None => {
-                        cache.skipped.fetch_add(1, Ordering::Relaxed);
+                        bad_lines.push(line_no);
+                        self.skipped.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
         }
-        Ok(cache)
+        if !tail.is_empty() {
+            self.torn.fetch_add(1, Ordering::Relaxed);
+            let recovered = std::str::from_utf8(tail).ok().and_then(parse_record);
+            match recovered {
+                Some((key, eval)) => {
+                    // A complete record missing only its newline: keep
+                    // it and terminate the line so the next append does
+                    // not concatenate onto it.
+                    OpenOptions::new().append(true).open(journal).and_then(|mut f| writeln!(f))?;
+                    self.map.lock().expect("cache mutex").insert(key, eval);
+                    self.loaded.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: evalcache journal {}: completed torn trailing line {}",
+                        journal.display(),
+                        line_no + 1
+                    );
+                }
+                None => {
+                    // Truly partial: truncate back to the last complete
+                    // line so future appends land on a clean boundary.
+                    OpenOptions::new().write(true).open(journal)?.set_len(complete_len as u64)?;
+                    self.skipped.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: evalcache journal {}: truncated torn trailing line {}",
+                        journal.display(),
+                        line_no + 1
+                    );
+                }
+            }
+        }
+        if !bad_lines.is_empty() {
+            let shown: Vec<String> = bad_lines.iter().take(8).map(|n| n.to_string()).collect();
+            let more = bad_lines.len().saturating_sub(8);
+            let suffix = if more > 0 { format!(" (+{more} more)") } else { String::new() };
+            eprintln!(
+                "warning: evalcache journal {}: skipped {} malformed line(s): {}{}",
+                journal.display(),
+                bad_lines.len(),
+                shown.join(", "),
+                suffix
+            );
+        }
+        Ok(())
     }
 
     /// Looks `key` up, counting a hit or miss.
@@ -300,6 +393,12 @@ impl EvalCache {
             map.insert(key.to_owned(), cached.clone());
         }
         if let Some(journal) = &self.journal {
+            if self.faults.as_ref().is_some_and(|plan| plan.journal_append_fails(fnv1a(key))) {
+                // Injected disk failure: the record survives in memory
+                // only, exactly as a real append error behaves below.
+                self.skipped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             let line = emit_record(key, &cached);
             let ok = OpenOptions::new()
                 .create(true)
@@ -331,6 +430,7 @@ impl EvalCache {
             loaded: self.loaded.load(Ordering::Relaxed),
             appended: self.appended.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            torn: self.torn.load(Ordering::Relaxed),
         }
     }
 }
@@ -834,6 +934,89 @@ mod tests {
         assert!(parse_record("not json").is_none());
         assert!(parse_record("{\"schema\":\"busnet-evalcache-v1\",\"key\":\"k\"}").is_none());
         assert!(parse_record("{\"schema\":\"busnet-evalcache-v2\"}").is_none());
+    }
+
+    #[test]
+    fn torn_parseable_tail_is_completed() {
+        let dir = std::env::temp_dir().join(format!("busnet-torn-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario();
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let evaluation = sim.evaluate(&s).unwrap();
+        EvalCache::with_dir(&dir).unwrap().insert(&key, &evaluation);
+        // Chop the trailing newline: the record itself is intact, only
+        // the terminator was lost to the kill.
+        let journal = dir.join("evalcache.jsonl");
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(text.pop(), Some('\n'));
+        std::fs::write(&journal, &text).unwrap();
+        let warm = EvalCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.stats().torn, 1);
+        assert_eq!(warm.stats().loaded, 1, "parseable torn tail is recovered");
+        assert_eq!(warm.stats().skipped, 0);
+        assert_eq!(warm.lookup(&key).expect("recovered hit").attach("sim", &s), evaluation);
+        // The journal was healed in place: it terminates again and a
+        // fresh load sees a whole record.
+        assert!(std::fs::read_to_string(&journal).unwrap().ends_with('\n'));
+        assert_eq!(EvalCache::with_dir(&dir).unwrap().stats().torn, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_garbage_tail_is_truncated() {
+        let dir = std::env::temp_dir().join(format!("busnet-torn-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario();
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let evaluation = sim.evaluate(&s).unwrap();
+        EvalCache::with_dir(&dir).unwrap().insert(&key, &evaluation);
+        let journal = dir.join("evalcache.jsonl");
+        let whole = std::fs::read_to_string(&journal).unwrap();
+        // A record cut off mid-write: unparseable, must be truncated
+        // away so later appends don't corrupt the next record.
+        std::fs::write(&journal, format!("{whole}{{\"schema\":\"busnet-evalcache-v2\",\"k"))
+            .unwrap();
+        let warm = EvalCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.stats().torn, 1);
+        assert_eq!(warm.stats().loaded, 1);
+        assert_eq!(warm.stats().skipped, 1);
+        assert_eq!(std::fs::read_to_string(&journal).unwrap(), whole, "tail truncated");
+        // Appending after recovery yields a well-formed journal.
+        let s2 = Scenario::new(SystemParams::new(5, 4, 4).unwrap());
+        let key2 = cache_key(&sim.config_fingerprint(), &s2);
+        warm.insert(&key2, &sim.evaluate(&s2).unwrap());
+        let reloaded = EvalCache::with_dir(&dir).unwrap();
+        assert_eq!(reloaded.stats().loaded, 2);
+        assert_eq!(reloaded.stats().skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("busnet-badlines-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario();
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let evaluation = sim.evaluate(&s).unwrap();
+        EvalCache::with_dir(&dir).unwrap().insert(&key, &evaluation);
+        let journal = dir.join("evalcache.jsonl");
+        let whole = std::fs::read_to_string(&journal).unwrap();
+        std::fs::write(
+            &journal,
+            format!(
+                "not json at all\n{whole}{{\"schema\":\"busnet-evalcache-v1\",\"key\":\"k\"}}\n"
+            ),
+        )
+        .unwrap();
+        let warm = EvalCache::with_dir(&dir).unwrap();
+        assert_eq!(warm.stats().loaded, 1, "the good line still loads");
+        assert_eq!(warm.stats().skipped, 2, "both bad lines counted");
+        assert_eq!(warm.stats().torn, 0);
+        assert!(warm.lookup(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,27 @@ pub enum CoreError {
         /// Which scenario aspect is out of domain.
         reason: String,
     },
+    /// A work unit panicked; the supervisor caught it and converted the
+    /// payload into a typed failure.
+    Panicked {
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// A work unit exceeded its event or wall-clock budget.
+    BudgetExceeded {
+        /// Which budget tripped (`"events"` or `"millis"`).
+        what: &'static str,
+        /// How much was consumed when the watchdog fired.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A work unit was cancelled because a sibling failed hard under
+    /// `--on-failure abort`.
+    Aborted {
+        /// The failure that triggered the abort.
+        cause: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +63,11 @@ impl fmt::Display for CoreError {
             CoreError::UnsupportedScenario { evaluator, reason } => {
                 write!(f, "evaluator `{evaluator}` does not support this scenario: {reason}")
             }
+            CoreError::Panicked { message } => write!(f, "work unit panicked: {message}"),
+            CoreError::BudgetExceeded { what, used, limit } => {
+                write!(f, "unit budget exceeded: {used} {what} > limit {limit}")
+            }
+            CoreError::Aborted { cause } => write!(f, "sweep aborted: {cause}"),
         }
     }
 }
@@ -51,7 +77,11 @@ impl Error for CoreError {
         match self {
             CoreError::Markov(e) => Some(e),
             CoreError::Queueing(e) => Some(e),
-            CoreError::InvalidParameter { .. } | CoreError::UnsupportedScenario { .. } => None,
+            CoreError::InvalidParameter { .. }
+            | CoreError::UnsupportedScenario { .. }
+            | CoreError::Panicked { .. }
+            | CoreError::BudgetExceeded { .. }
+            | CoreError::Aborted { .. } => None,
         }
     }
 }

@@ -34,9 +34,12 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use busnet_sim::counters::WindowSeries;
 use busnet_sim::event::EngineKind;
-use busnet_sim::exec::{parallel_consume, parallel_map, ExecutionMode};
+use busnet_sim::exec::{catch_panic, parallel_consume, parallel_map, ExecutionMode};
+use busnet_sim::fault::FaultPlan;
 use busnet_sim::replication::ReplicationSummary;
 use busnet_sim::seeds::SeedSequence;
 use busnet_sim::stats::jain_fairness_index;
@@ -55,7 +58,7 @@ use crate::cache::{f64_hex, workload_fingerprint, EvalCache};
 use crate::error::CoreError;
 use crate::metrics::Metrics;
 use crate::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
-use crate::sim::bus::{AdaptivePlan, BusSimBuilder, PriorSeed, SimReport};
+use crate::sim::bus::{AdaptivePlan, BusSimBuilder, PriorSeed, SimReport, UnitBudget};
 use crate::sim::crossbar::CrossbarSim;
 use crate::sim::service::ServiceTime;
 
@@ -426,6 +429,27 @@ pub trait Evaluator: Sync {
     ) -> Result<EvalUnit, CoreError> {
         let _ = prior;
         self.evaluate_unit(scenario, unit)
+    }
+
+    /// Evaluates one unit under an optional [`UnitBudget`] watchdog —
+    /// the entry point of the sweep supervisor. The default ignores the
+    /// budget and delegates (the supervisor then enforces the ceilings
+    /// post hoc); [`BusSimEval`] threads it into the incremental
+    /// engines so a runaway simulation is cut off mid-run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Evaluator::evaluate_unit_primed`], plus
+    /// [`CoreError::BudgetExceeded`] when a ceiling trips.
+    fn evaluate_unit_supervised(
+        &self,
+        scenario: &Scenario,
+        unit: u32,
+        prior: Option<PriorSeed>,
+        budget: Option<&UnitBudget>,
+    ) -> Result<EvalUnit, CoreError> {
+        let _ = budget;
+        self.evaluate_unit_primed(scenario, unit, prior)
     }
 
     /// Whether the fluid screening pre-pass may skip or seed this
@@ -1165,6 +1189,16 @@ impl Evaluator for BusSimEval {
         unit: u32,
         prior: Option<PriorSeed>,
     ) -> Result<EvalUnit, CoreError> {
+        self.evaluate_unit_supervised(scenario, unit, prior, None)
+    }
+
+    fn evaluate_unit_supervised(
+        &self,
+        scenario: &Scenario,
+        unit: u32,
+        prior: Option<PriorSeed>,
+        budget: Option<&UnitBudget>,
+    ) -> Result<EvalUnit, CoreError> {
         require(
             self.name(),
             scenario,
@@ -1174,11 +1208,16 @@ impl Evaluator for BusSimEval {
         )?;
         scenario.validate()?;
         // Seeds depend only on (master_seed, unit): common random
-        // numbers across every scenario of a sweep.
+        // numbers across every scenario of a sweep. The budget watchdog
+        // never perturbs them — a run inside its budget is bit-identical
+        // to an unbudgeted one.
         let seeds = SeedSequence::new(self.budget.master_seed);
+        let watchdog = budget.copied().unwrap_or_default();
         match self.budget.stopping {
             Stopping::Fixed => {
-                let report = self.builder_for(scenario, seeds.stream(u64::from(unit))).run();
+                let report = self
+                    .builder_for(scenario, seeds.stream(u64::from(unit)))
+                    .run_budgeted(&watchdog)?;
                 Ok(EvalUnit::Replication(Box::new(report)))
             }
             Stopping::Adaptive { ci_width, max_reps } => {
@@ -1194,7 +1233,9 @@ impl Evaluator for BusSimEval {
                         .max(2 * (self.budget.measure / 4).max(1)),
                     prior,
                 };
-                let outcome = self.builder_for(scenario, seeds.stream(0)).run_adaptive(&plan);
+                let outcome = self
+                    .builder_for(scenario, seeds.stream(0))
+                    .run_adaptive_budgeted(&plan, &watchdog)?;
                 let mut evaluation = self.aggregate_reports(scenario, vec![outcome.report]);
                 evaluation.half_width_95 = outcome.half_width_95;
                 evaluation.replications = outcome.batches.min(u64::from(u32::MAX)) as u32;
@@ -1871,6 +1912,117 @@ fn dedup_axis<T: PartialEq + Clone>(values: &[T]) -> Vec<T> {
     out
 }
 
+/// How a sweep pair's result was produced, robustness-wise: the
+/// supervision outcome carried on every [`SweepRecord`] and surfaced as
+/// the sweep's `status` column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum UnitStatus {
+    /// The evaluator's own result (fresh, cached, screened, or alias).
+    #[default]
+    Ok,
+    /// Retries were exhausted and the record carries the point's
+    /// validated fluid/analytic fallback instead of the evaluator's
+    /// result (`--on-failure degrade`).
+    Degraded,
+    /// Retries were exhausted and no fallback was taken; the record's
+    /// `result` is the final classified error.
+    Failed,
+}
+
+impl UnitStatus {
+    /// Stable column value (`ok`, `degraded`, `failed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnitStatus::Ok => "ok",
+            UnitStatus::Degraded => "degraded",
+            UnitStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What a supervised sweep does with a pair whose retries are
+/// exhausted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnFailure {
+    /// Cancel the remaining work units and drain the sweep; the failed
+    /// and cancelled pairs surface as [`UnitStatus::Failed`] records.
+    Abort,
+    /// Stream a structured [`UnitStatus::Failed`] record and keep
+    /// going.
+    #[default]
+    Skip,
+    /// Fall back to the point's fluid/analytic anchor (the PR 6
+    /// screening machinery) and stream it as [`UnitStatus::Degraded`];
+    /// points no model covers fall through to `Skip` behavior.
+    Degrade,
+}
+
+impl OnFailure {
+    /// Stable flag value (`abort`, `skip`, `degrade`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnFailure::Abort => "abort",
+            OnFailure::Skip => "skip",
+            OnFailure::Degrade => "degrade",
+        }
+    }
+
+    /// Parses a `--on-failure` flag value.
+    pub fn from_name(name: &str) -> Option<OnFailure> {
+        match name {
+            "abort" => Some(OnFailure::Abort),
+            "skip" => Some(OnFailure::Skip),
+            "degrade" => Some(OnFailure::Degrade),
+            _ => None,
+        }
+    }
+}
+
+/// The sweep supervision policy: per-unit isolation (`catch_unwind`),
+/// a deterministic seeded retry schedule with capped exponential
+/// backoff, an optional per-unit budget watchdog, and the
+/// exhausted-retries fallback ([`OnFailure`]).
+///
+/// Retries re-run the **same** pure computation (replication seeds
+/// derive only from `(master seed, unit)`), so a unit that succeeds on
+/// any attempt is bit-identical to a fault-free run; the supervisor's
+/// own seed drives only backoff jitter, never results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Supervisor {
+    /// Retries after the first attempt (so a unit runs at most
+    /// `max_retries + 1` times).
+    pub max_retries: u32,
+    /// First-retry backoff in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed of the deterministic backoff-jitter streams (derived per
+    /// `(seed, unit, attempt)` so reruns sleep identically).
+    pub retry_seed: u64,
+    /// What to do with a pair whose retries are exhausted.
+    pub on_failure: OnFailure,
+    /// Optional per-unit event / wall-clock ceilings.
+    pub unit_budget: Option<UnitBudget>,
+    /// Relative EBW agreement tolerance for preferring the fluid
+    /// fallback over its analytic anchor under
+    /// [`OnFailure::Degrade`] (the screening rule's tolerance).
+    pub degrade_tolerance: f64,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            max_retries: 2,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 50,
+            retry_seed: 0x5EED_FA17,
+            on_failure: OnFailure::Skip,
+            unit_budget: None,
+            degrade_tolerance: 0.05,
+        }
+    }
+}
+
 /// One `(scenario, evaluator)` outcome of a sweep.
 #[derive(Clone, Debug)]
 pub struct SweepRecord {
@@ -1887,6 +2039,14 @@ pub struct SweepRecord {
     /// Bookkeeping only — cached results are bit-identical to fresh
     /// ones and this flag is not part of the CSV/JSON row schema.
     pub cached: bool,
+    /// Supervision outcome (always [`UnitStatus::Ok`] on the bare,
+    /// unsupervised path).
+    pub status: UnitStatus,
+    /// Evaluator attempts spent on this pair **this run**: the maximum
+    /// over its work units, 1 when nothing retried. Replayed records
+    /// (cache hits, screened points, intra-sweep aliases) report 1, so
+    /// warm re-runs stay byte-identical to cold ones.
+    pub attempts: u32,
     /// The evaluation, or why this pair is out of domain / failed.
     pub result: Result<Evaluation, CoreError>,
 }
@@ -1946,6 +2106,153 @@ fn anchor_ebw(s: &Scenario) -> Option<f64> {
     let anchors: [&dyn Evaluator; 3] =
         [&ExactChainEval, &ReducedChainEval, &PfqnEval { algorithm: PfqnAlgorithm::Mva }];
     anchors.iter().find(|a| a.supports(s)).and_then(|a| a.evaluate(s).ok()).map(|e| e.ebw())
+}
+
+/// The degradation chain of `--on-failure degrade`: the same validated
+/// fluid/analytic machinery the screening pre-pass trusts, applied to a
+/// single failed point. Prefers the fluid prediction when an analytic
+/// anchor validates it within `tolerance` (the screening rule), falls
+/// back to the anchor itself when they disagree, and to the converged
+/// fluid solution alone when no anchor covers the point. `None` when no
+/// model covers the point at all.
+fn degraded_evaluation(
+    scenario: &Scenario,
+    evaluator: &'static str,
+    tolerance: f64,
+) -> Option<Evaluation> {
+    let anchors: [&dyn Evaluator; 3] =
+        [&ExactChainEval, &ReducedChainEval, &PfqnEval { algorithm: PfqnAlgorithm::Mva }];
+    let anchor =
+        anchors.iter().find(|a| a.supports(scenario)).and_then(|a| a.evaluate(scenario).ok());
+    let fluid_eval = FluidEval::new(FluidOptions::default());
+    let fluid = fluid_eval
+        .solve(scenario)
+        .ok()
+        .filter(|sol| sol.converged)
+        .and_then(|_| fluid_eval.evaluate(scenario).ok());
+    let chosen = match (fluid, anchor) {
+        (Some(f), Some(a)) => {
+            let validated =
+                a.ebw().abs() > 1e-9 && ((f.ebw() - a.ebw()) / a.ebw()).abs() <= tolerance;
+            if validated {
+                Some(f)
+            } else {
+                Some(a)
+            }
+        }
+        (f, a) => f.or(a),
+    };
+    chosen.map(|mut ev| {
+        ev.evaluator = evaluator;
+        ev
+    })
+}
+
+/// Engine work units behind one [`EvalUnit`] — the post-hoc metric the
+/// supervisor checks against [`UnitBudget::max_events`] for evaluators
+/// that do not thread the watchdog themselves.
+fn unit_events(unit: &EvalUnit) -> u64 {
+    match unit {
+        EvalUnit::Replication(r) => r.events,
+        EvalUnit::Whole(e) => e.simulated_events,
+    }
+}
+
+/// Whether a failure may be cured by re-running the same computation.
+/// Panics and wall-clock overruns are (a fault plan or a loaded machine
+/// is transient); everything else — domain errors, invalid parameters,
+/// deterministic model failures, event-count overruns (the same events
+/// recur on every attempt) — is not.
+fn retryable(err: &CoreError) -> bool {
+    matches!(err, CoreError::Panicked { .. } | CoreError::BudgetExceeded { what: "millis", .. })
+}
+
+/// Whether a failure should fall through to the degradation chain
+/// under [`OnFailure::Degrade`]. Out-of-domain and invalid-parameter
+/// errors stay errors — degrading them would mask a caller bug — and
+/// cancellations stay cancellations.
+fn degradable(err: &CoreError) -> bool {
+    matches!(
+        err,
+        CoreError::Panicked { .. }
+            | CoreError::BudgetExceeded { .. }
+            | CoreError::Markov(_)
+            | CoreError::Queueing(_)
+    )
+}
+
+/// Runs one work unit under the supervisor: `catch_unwind` isolation,
+/// typed failure classification, deterministic seeded retries with
+/// capped exponential backoff, and post-hoc budget enforcement.
+/// Returns the final result plus the attempts spent.
+///
+/// `job_key` identifies the unit deterministically (its position in the
+/// sweep's job list) and keys both the backoff-jitter stream and the
+/// fault plan's injection decisions, so chaos runs reproduce exactly.
+#[allow(clippy::too_many_arguments)]
+fn supervise_unit(
+    evaluator: &dyn Evaluator,
+    scenario: &Scenario,
+    unit: u32,
+    job_key: u64,
+    prior: Option<PriorSeed>,
+    sup: &Supervisor,
+    faults: Option<&FaultPlan>,
+    cancelled: &AtomicBool,
+) -> (Result<EvalUnit, CoreError>, u32) {
+    // Out-of-domain pairs keep their bare semantics (a typed
+    // `UnsupportedScenario`, no injection): a fault must never mask —
+    // or worse, "degrade" a value for — a pair the evaluator would
+    // have declined outright.
+    if !evaluator.supports(scenario) {
+        return (evaluator.evaluate_unit_primed(scenario, unit, prior), 1);
+    }
+    let budget = sup.unit_budget.filter(|b| !b.is_unlimited());
+    let jitter = SeedSequence::new(sup.retry_seed).child(job_key);
+    let mut last_err: Option<CoreError> = None;
+    for attempt in 0..=sup.max_retries {
+        if sup.on_failure == OnFailure::Abort && cancelled.load(Ordering::Relaxed) {
+            let cause =
+                last_err.map_or_else(|| "a sibling work unit failed".to_owned(), |e| e.to_string());
+            return (Err(CoreError::Aborted { cause }), attempt.max(1));
+        }
+        if attempt > 0 {
+            let backoff = sup
+                .backoff_base_ms
+                .saturating_mul(1u64 << u64::from(attempt - 1).min(16))
+                .min(sup.backoff_cap_ms);
+            let extra =
+                if backoff > 0 { jitter.stream(u64::from(attempt)) % (backoff / 2 + 1) } else { 0 };
+            std::thread::sleep(std::time::Duration::from_millis(backoff + extra));
+        }
+        let start = std::time::Instant::now();
+        let attempt_result = catch_panic(|| {
+            if let Some(plan) = faults {
+                plan.inject_unit(job_key, u64::from(attempt));
+            }
+            evaluator.evaluate_unit_supervised(scenario, unit, prior, budget.as_ref())
+        })
+        .unwrap_or_else(|message| Err(CoreError::Panicked { message }))
+        .and_then(|value| {
+            // Post-hoc enforcement: covers evaluators that ignore the
+            // threaded watchdog, and charges injected delays plus
+            // backoff-free overhead against the wall clock.
+            if let Some(b) = &budget {
+                b.check(unit_events(&value), &start)?;
+            }
+            Ok(value)
+        });
+        match attempt_result {
+            Ok(value) => return (Ok(value), attempt + 1),
+            Err(err) if retryable(&err) => last_err = Some(err),
+            Err(err) => return (Err(err), attempt + 1),
+        }
+    }
+    let err = last_err.expect("retries exhausted without a recorded failure");
+    if sup.on_failure == OnFailure::Abort {
+        cancelled.store(true, Ordering::Relaxed);
+    }
+    (Err(err), sup.max_retries + 1)
 }
 
 /// Runs the fluid model and the analytic anchors over every scenario
@@ -2068,12 +2375,30 @@ pub struct SweepOptions<'a> {
     /// (population-axis MVA/convolution sweeps, depth-axis
     /// approximation groups).
     pub group_incremental: bool,
+    /// Optional work-unit supervision ([`Supervisor`]): `catch_unwind`
+    /// isolation, deterministic retries, budget watchdog, and the
+    /// exhausted-retries fallback. `None` (with no fault plan) is the
+    /// bare path: panics propagate and every record is
+    /// [`UnitStatus::Ok`], exactly as before supervision existed.
+    pub supervise: Option<&'a Supervisor>,
+    /// Optional deterministic chaos plan injecting panics/delays at the
+    /// work-unit sites. A fault plan with no explicit supervisor
+    /// enables the default supervisor — injected faults must always be
+    /// caught.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> SweepOptions<'a> {
     /// [`run_sweep`]-equivalent options under `mode`.
     pub fn new(mode: ExecutionMode) -> Self {
-        SweepOptions { mode, screen: None, cache: None, group_incremental: true }
+        SweepOptions {
+            mode,
+            screen: None,
+            cache: None,
+            group_incremental: true,
+            supervise: None,
+            faults: None,
+        }
     }
 }
 
@@ -2086,7 +2411,7 @@ enum SweepJob {
 
 /// What one [`SweepJob`] produced.
 enum SweepJobOutput {
-    Unit(Result<EvalUnit, CoreError>),
+    Unit { result: Result<EvalUnit, CoreError>, attempts: u32 },
     Group(Vec<Result<Evaluation, CoreError>>),
 }
 
@@ -2104,6 +2429,12 @@ pub fn run_sweep_with(
 ) -> Vec<SweepRecord> {
     let screen = options.screen;
     let state = screen.map(|plan| screen_pass(scenarios, plan));
+    // A fault plan with no explicit supervisor gets the default one:
+    // injected panics must always be caught and classified.
+    let default_supervisor = Supervisor::default();
+    let supervisor: Option<&Supervisor> =
+        options.supervise.or(options.faults.map(|_| &default_supervisor));
+    let cancelled = AtomicBool::new(false);
     let evaluators_per_scenario = evaluators.len();
     let pair_of = |s: usize, e: usize| s * evaluators_per_scenario + e;
     let total = scenarios.len() * evaluators.len();
@@ -2149,6 +2480,8 @@ pub fn run_sweep_with(
                                 evaluator: evaluator.name(),
                                 screened: true,
                                 cached: false,
+                                status: UnitStatus::Ok,
+                                attempts: 1,
                                 result,
                             });
                             continue;
@@ -2172,6 +2505,8 @@ pub fn run_sweep_with(
                             evaluator: evaluator.name(),
                             screened: false,
                             cached: true,
+                            status: UnitStatus::Ok,
+                            attempts: 1,
                             result: Ok(hit.attach(evaluator.name(), scenario)),
                         });
                         continue;
@@ -2224,21 +2559,47 @@ pub fn run_sweep_with(
     let mut collected: Vec<Vec<Option<Result<EvalUnit, CoreError>>>> =
         pair_units.iter().map(|&u| (0..u).map(|_| None).collect()).collect();
     let mut remaining: Vec<u32> = pair_units.clone();
+    let mut attempts_max: Vec<u32> = vec![1; total];
     let mut next = 0usize;
-    // Runs on the calling thread in completion order: finalize one
-    // pair's record, replicate it onto its dedup aliases (each keeping
-    // its own scenario), feed the memo cache, and stream every record
-    // that is now contiguous from the cursor.
+    // Runs on the calling thread in completion order: apply the
+    // supervision fallback policy, finalize one pair's record,
+    // replicate it onto its dedup aliases (each keeping its own
+    // scenario), feed the memo cache, and stream every record that is
+    // now contiguous from the cursor.
     let finish_pair =
         |p: usize,
-         record: SweepRecord,
+         mut record: SweepRecord,
          out: &mut Vec<Option<SweepRecord>>,
          next: &mut usize,
          on_record: &mut dyn FnMut(usize, usize, &SweepRecord)| {
-            if let (Some(cache), Some(key), Ok(evaluation)) =
-                (options.cache, cache_keys[p].as_ref(), &record.result)
-            {
-                cache.insert(key, evaluation);
+            if let (Some(sup), Err(err)) = (supervisor, &record.result) {
+                // Out-of-domain pairs are skips, not failures — they
+                // keep today's bare-path semantics untouched.
+                if !matches!(err, CoreError::UnsupportedScenario { .. }) {
+                    record.status = UnitStatus::Failed;
+                    if sup.on_failure == OnFailure::Degrade && degradable(err) {
+                        if let Some(ev) = degraded_evaluation(
+                            &record.scenario,
+                            record.evaluator,
+                            sup.degrade_tolerance,
+                        ) {
+                            record.result = Ok(ev);
+                            record.status = UnitStatus::Degraded;
+                        }
+                    }
+                    if record.status == UnitStatus::Failed && sup.on_failure == OnFailure::Abort {
+                        cancelled.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Only the evaluator's own results are canonical: degraded
+            // fallbacks must never masquerade as cached evaluations.
+            if record.status == UnitStatus::Ok {
+                if let (Some(cache), Some(key), Ok(evaluation)) =
+                    (options.cache, cache_keys[p].as_ref(), &record.result)
+                {
+                    cache.insert(key, evaluation);
+                }
             }
             if let Some(dupes) = aliases.get(&p) {
                 for &a in dupes {
@@ -2248,6 +2609,8 @@ pub fn run_sweep_with(
                         evaluator: record.evaluator,
                         screened: false,
                         cached: true,
+                        status: record.status,
+                        attempts: 1,
                         result: record.result.clone().map(|mut ev| {
                             ev.scenario = scenario;
                             ev
@@ -2264,22 +2627,62 @@ pub fn run_sweep_with(
     parallel_consume(
         &jobs,
         options.mode,
-        |_, job| match job {
-            SweepJob::Unit { s, e, u } => SweepJobOutput::Unit(
-                evaluators[*e].evaluate_unit_primed(&scenarios[*s], *u, priors[pair_of(*s, *e)]),
-            ),
+        |i, job| match job {
+            SweepJob::Unit { s, e, u } => match supervisor {
+                Some(sup) => {
+                    // The job index is deterministic (job construction
+                    // is), so it keys both the backoff-jitter stream
+                    // and the fault plan's injection decisions.
+                    let (result, attempts) = supervise_unit(
+                        evaluators[*e],
+                        &scenarios[*s],
+                        *u,
+                        i as u64,
+                        priors[pair_of(*s, *e)],
+                        sup,
+                        options.faults,
+                        &cancelled,
+                    );
+                    SweepJobOutput::Unit { result, attempts }
+                }
+                None => SweepJobOutput::Unit {
+                    result: evaluators[*e].evaluate_unit_primed(
+                        &scenarios[*s],
+                        *u,
+                        priors[pair_of(*s, *e)],
+                    ),
+                    attempts: 1,
+                },
+            },
             SweepJob::Group { e, members } => {
                 let group: Vec<&Scenario> =
                     members.iter().map(|&p| &scenarios[scenario_of(p)]).collect();
-                SweepJobOutput::Group(evaluators[*e].evaluate_group(&group))
+                // Groups are pure solver passes (no replication seeds,
+                // no injection sites), so supervision for them is
+                // isolation only: a panic becomes one typed failure per
+                // member instead of tearing down the sweep.
+                let results = if supervisor.is_some() {
+                    catch_panic(|| evaluators[*e].evaluate_group(&group)).unwrap_or_else(
+                        |message| {
+                            members
+                                .iter()
+                                .map(|_| Err(CoreError::Panicked { message: message.clone() }))
+                                .collect()
+                        },
+                    )
+                } else {
+                    evaluators[*e].evaluate_group(&group)
+                };
+                SweepJobOutput::Group(results)
             }
         },
         |i, output| match output {
-            SweepJobOutput::Unit(result) => {
+            SweepJobOutput::Unit { result, attempts } => {
                 let &SweepJob::Unit { s, e, u } = &jobs[i] else {
                     unreachable!("unit output from a group job");
                 };
                 let p = pair_of(s, e);
+                attempts_max[p] = attempts_max[p].max(attempts);
                 collected[p][u as usize] = Some(result);
                 remaining[p] -= 1;
                 if remaining[p] > 0 {
@@ -2296,6 +2699,8 @@ pub fn run_sweep_with(
                     evaluator: evaluators[e].name(),
                     screened: false,
                     cached: false,
+                    status: UnitStatus::Ok,
+                    attempts: attempts_max[p],
                     result: units
                         .and_then(|units| evaluators[e].combine_units(&scenarios[s], units)),
                 };
@@ -2312,6 +2717,8 @@ pub fn run_sweep_with(
                         evaluator: evaluators[*e].name(),
                         screened: false,
                         cached: false,
+                        status: UnitStatus::Ok,
+                        attempts: 1,
                         result,
                     };
                     finish_pair(p, record, &mut out, &mut next, &mut on_record);

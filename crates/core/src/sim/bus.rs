@@ -76,6 +76,7 @@ use busnet_sim::counters::{SimCounters, WindowSeries};
 use busnet_sim::histogram::Histogram;
 use busnet_sim::stats::{jain_fairness_index, RunningStats};
 
+use crate::error::CoreError;
 use crate::metrics::Metrics;
 use crate::params::{Buffering, BusPolicy, SystemParams, Workload};
 use crate::sim::address::{AddressPattern, MmppState, ModuleSampler};
@@ -505,9 +506,67 @@ impl BusSimBuilder {
     /// same invalid-configuration conditions as
     /// [`BusSimBuilder::build`].
     pub fn run_adaptive(self, plan: &AdaptivePlan) -> AdaptiveOutcome {
+        self.run_adaptive_budgeted(plan, &UnitBudget::default())
+            .expect("an unlimited budget cannot trip")
+    }
+
+    /// [`BusSimBuilder::run`] under a [`UnitBudget`] watchdog: the run
+    /// advances in slices and is cut off with
+    /// [`CoreError::BudgetExceeded`] when the event or wall-clock
+    /// ceiling trips between slices. A run that stays inside its budget
+    /// produces a report **bit-identical** to [`BusSimBuilder::run`] —
+    /// slice-advancing an engine and running it whole are the same
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] when a ceiling trips.
+    ///
+    /// # Panics
+    ///
+    /// On the same invalid-configuration conditions as
+    /// [`BusSimBuilder::build`].
+    pub fn run_budgeted(self, budget: &UnitBudget) -> Result<SimReport, CoreError> {
+        if budget.is_unlimited() {
+            return Ok(self.run());
+        }
+        let total = self.warmup + self.measure;
+        let mut engine = match self.engine {
+            EngineKind::Cycle => EngineRun::Cycle(Box::new(self.build())),
+            EngineKind::Event => EngineRun::Event(Box::new(self.build_event())),
+        };
+        let start = std::time::Instant::now();
+        let slice = (total / 64).max(1024);
+        let mut t = 0u64;
+        while t < total {
+            let t_next = (t + slice).min(total);
+            engine.advance_until(t_next);
+            t = t_next;
+            budget.check(engine.events(), &start)?;
+        }
+        Ok(engine.finish_at(total))
+    }
+
+    /// [`BusSimBuilder::run_adaptive`] under a [`UnitBudget`] watchdog,
+    /// checked once per batch. A run that stays inside its budget is
+    /// bit-identical to the unbudgeted adaptive run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] when a ceiling trips.
+    ///
+    /// # Panics
+    ///
+    /// As [`BusSimBuilder::run_adaptive`].
+    pub fn run_adaptive_budgeted(
+        self,
+        plan: &AdaptivePlan,
+        budget: &UnitBudget,
+    ) -> Result<AdaptiveOutcome, CoreError> {
         assert!(plan.batch_cycles > 0, "batch_cycles must be positive");
         assert!(plan.min_batches >= 2, "need at least 2 batches for a variance estimate");
         assert!(plan.max_measure >= plan.batch_cycles, "budget smaller than one batch");
+        let start = std::time::Instant::now();
         let warmup = self.warmup;
         let rc = f64::from(self.params.processor_cycle());
         let builder = self.measure_cycles(plan.max_measure);
@@ -525,6 +584,7 @@ impl BusSimBuilder {
             None => SequentialStopping::new(plan.ci_width, plan.min_batches),
         };
         engine.advance_until(warmup);
+        budget.check(engine.events(), &start)?;
         let end = warmup + plan.max_measure;
         let mut prev_returns = 0u64;
         let mut t = warmup;
@@ -532,6 +592,7 @@ impl BusSimBuilder {
         while t < end {
             let t_next = (t + plan.batch_cycles).min(end);
             engine.advance_until(t_next);
+            budget.check(engine.events(), &start)?;
             let returns = engine.measured_returns();
             stop.record_batch((returns - prev_returns) as f64 * rc / (t_next - t) as f64);
             prev_returns = returns;
@@ -541,12 +602,52 @@ impl BusSimBuilder {
                 break;
             }
         }
-        AdaptiveOutcome {
+        Ok(AdaptiveOutcome {
             report: engine.finish_at(t),
             batches: stop.batches(),
             half_width_95: stop.half_width_95(),
             converged,
+        })
+    }
+}
+
+/// Event / wall-clock ceilings for one supervised work unit; the
+/// default is unlimited on both axes. Enforced between engine slices by
+/// [`BusSimBuilder::run_budgeted`] / [`BusSimBuilder::run_adaptive_budgeted`]
+/// and re-checked generically by the sweep supervisor after each
+/// attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitBudget {
+    /// Ceiling on simulation events processed by one unit.
+    pub max_events: Option<u64>,
+    /// Ceiling on wall-clock milliseconds spent by one unit.
+    pub max_millis: Option<u64>,
+}
+
+impl UnitBudget {
+    /// Whether the budget imposes no ceiling at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_millis.is_none()
+    }
+
+    /// Trips when `events` or the time since `start` exceeds a ceiling.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] naming the tripped axis.
+    pub fn check(&self, events: u64, start: &std::time::Instant) -> Result<(), CoreError> {
+        if let Some(limit) = self.max_events {
+            if events > limit {
+                return Err(CoreError::BudgetExceeded { what: "events", used: events, limit });
+            }
         }
+        if let Some(limit) = self.max_millis {
+            let used = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if used > limit {
+                return Err(CoreError::BudgetExceeded { what: "millis", used, limit });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -614,6 +715,13 @@ impl EngineRun {
         match self {
             EngineRun::Cycle(sim) => sim.measured_returns(),
             EngineRun::Event(sim) => sim.measured_returns(),
+        }
+    }
+
+    fn events(&self) -> u64 {
+        match self {
+            EngineRun::Cycle(sim) => sim.events(),
+            EngineRun::Event(sim) => sim.events(),
         }
     }
 
@@ -730,6 +838,11 @@ impl BusSim {
     /// Returns delivered during measurement so far.
     pub fn measured_returns(&self) -> u64 {
         self.stats.returns
+    }
+
+    /// Simulation events processed so far (the budget-watchdog metric).
+    pub fn events(&self) -> u64 {
+        self.stats.events
     }
 
     /// Closes the run at cycle `t` (exclusive), truncating the

@@ -501,6 +501,11 @@ impl EventBusSim {
         self.stats.returns
     }
 
+    /// Simulation events processed so far (the budget-watchdog metric).
+    pub fn events(&self) -> u64 {
+        self.stats.events
+    }
+
     /// Closes the run at cycle `t` (exclusive) and builds the report.
     /// When the run stops before its configured total, the busy spans
     /// of in-flight transfers and services — which this engine records

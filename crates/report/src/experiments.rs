@@ -18,13 +18,15 @@
 use busnet_core::analytic::pfqn::pfqn_ebw_deterministic_workload;
 use busnet_core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet_core::scenario::{
-    run_sweep, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval, Evaluation, Evaluator,
-    ExactChainEval, FluidEval, PfqnAlgorithm, PfqnEval, ReducedChainEval, Scenario, ScenarioGrid,
-    SimBudget,
+    run_sweep, run_sweep_with, ApproxEval, BusSimEval, CrossbarExactEval, CrossbarSimEval,
+    Evaluation, Evaluator, ExactChainEval, FluidEval, OnFailure, PfqnAlgorithm, PfqnEval,
+    ReducedChainEval, Scenario, ScenarioGrid, SimBudget, Supervisor, SweepOptions, SweepRecord,
+    UnitStatus,
 };
 use busnet_core::CoreError;
 use busnet_sim::event::EngineKind;
 use busnet_sim::exec::ExecutionMode;
+use busnet_sim::fault::{FaultPlan, FaultStats};
 
 use crate::chart::{Chart, Series};
 use crate::paper;
@@ -1351,6 +1353,136 @@ pub fn bursty_draining(effort: Effort) -> Result<BurstyReport, CoreError> {
     Ok(BurstyReport { m, r, on_p, off_p, stay, dwell, points })
 }
 
+/// The chaos report: one supervised sweep run fault-free and once under
+/// a deterministic [`FaultPlan`], with the survivors compared bit for
+/// bit.
+#[derive(Clone, Debug)]
+pub struct FaultsReport {
+    /// The fault plan's canonical spec string.
+    pub plan: String,
+    /// `(scenario, evaluator)` pairs in the grid.
+    pub pairs: usize,
+    /// Injection counters accumulated by the chaos run.
+    pub injected: FaultStats,
+    /// Pairs that needed more than one attempt but still produced
+    /// their own result.
+    pub recovered: usize,
+    /// Pairs that fell back to the fluid/analytic anchor.
+    pub degraded: usize,
+    /// Pairs that produced a structured failure record.
+    pub failed: usize,
+    /// Whether every surviving (status `ok`) chaos pair is bit-identical
+    /// to the fault-free run.
+    pub survivors_identical: bool,
+}
+
+impl std::fmt::Display for FaultsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Chaos study: supervised sweep under fault plan {}:", self.plan)?;
+        writeln!(f, "  pairs                 {}", self.pairs)?;
+        writeln!(
+            f,
+            "  injected faults       {} ({} panics, {} delays, {} append, {} load)",
+            self.injected.total(),
+            self.injected.panics,
+            self.injected.delays,
+            self.injected.append_errors,
+            self.injected.load_errors
+        )?;
+        writeln!(f, "  recovered by retry    {}", self.recovered)?;
+        writeln!(f, "  degraded to anchor    {}", self.degraded)?;
+        writeln!(f, "  failed                {}", self.failed)?;
+        writeln!(
+            f,
+            "  survivors bit-identical to fault-free run: {}",
+            if self.survivors_identical { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Bitwise equality of the metric vector two sweep records carry; used
+/// by the chaos study to prove survivors are unaffected by injection.
+fn records_bit_identical(a: &SweepRecord, b: &SweepRecord) -> bool {
+    match (&a.result, &b.result) {
+        (Ok(x), Ok(y)) => {
+            let bits = |e: &Evaluation| {
+                [
+                    e.metrics.ebw.to_bits(),
+                    e.metrics.bus_utilization.to_bits(),
+                    e.metrics.memory_utilization.to_bits(),
+                    e.metrics.processor_efficiency.to_bits(),
+                    e.half_width_95.to_bits(),
+                    u64::from(e.replications),
+                ]
+            };
+            bits(x) == bits(y) && x.evaluator == y.evaluator
+        }
+        _ => false,
+    }
+}
+
+/// Runs the chaos study: a Table 3/4-style smoke grid swept twice under
+/// supervision — once fault-free, once under a seeded [`FaultPlan`]
+/// that kills well over 20 % of first attempts — then checks that every
+/// surviving point is bit-identical and every casualty is accounted for
+/// (recovered, degraded to its analytic anchor, or a structured
+/// failure).
+///
+/// # Errors
+///
+/// Propagates parameter failures; injected faults never surface as
+/// errors.
+pub fn faults_chaos(effort: Effort) -> Result<FaultsReport, CoreError> {
+    busnet_sim::fault::silence_injected_panics();
+    let grid = ScenarioGrid::new()
+        .n_values([4, 8, 16])
+        .m_values([16])
+        .r_values([8])
+        .p_values([0.5, 1.0])
+        .policies([BusPolicy::ProcessorPriority, BusPolicy::MemoryPriority]);
+    let scenarios = grid.scenarios()?;
+    let budget = effort.budget();
+    let sim = BusSimEval::new(budget);
+    let exact = ExactChainEval;
+    let evaluators: [&dyn Evaluator; 2] = [&sim, &exact];
+
+    let supervisor = Supervisor { on_failure: OnFailure::Degrade, ..Supervisor::default() };
+    let mut baseline_options = SweepOptions::new(ExecutionMode::Parallel);
+    baseline_options.supervise = Some(&supervisor);
+    let baseline = run_sweep_with(&scenarios, &evaluators, &baseline_options, |_, _, _| {});
+
+    let plan = FaultPlan::new(0x1985_0414, 0.35)
+        .map_err(|value| CoreError::InvalidParameter {
+            name: "fault rate",
+            value,
+            constraint: "0 <= rate <= 1",
+        })?
+        .with_delay_ms(1);
+    let mut chaos_options = SweepOptions::new(ExecutionMode::Parallel);
+    chaos_options.supervise = Some(&supervisor);
+    chaos_options.faults = Some(&plan);
+    let chaos = run_sweep_with(&scenarios, &evaluators, &chaos_options, |_, _, _| {});
+
+    let survivors_identical = baseline.len() == chaos.len()
+        && baseline
+            .iter()
+            .zip(&chaos)
+            .filter(|(_, c)| c.status == UnitStatus::Ok && c.result.is_ok())
+            .all(|(b, c)| records_bit_identical(b, c));
+    let recovered = chaos.iter().filter(|r| r.status == UnitStatus::Ok && r.attempts > 1).count();
+    let degraded = chaos.iter().filter(|r| r.status == UnitStatus::Degraded).count();
+    let failed = chaos.iter().filter(|r| r.status == UnitStatus::Failed).count();
+    Ok(FaultsReport {
+        plan: plan.spec(),
+        pairs: chaos.len(),
+        injected: plan.stats(),
+        recovered,
+        degraded,
+        failed,
+        survivors_identical,
+    })
+}
+
 /// Identifiers for every reproducible experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExperimentId {
@@ -1385,10 +1517,13 @@ pub enum ExperimentId {
     Bursty,
     /// Fluid scale study (million-processor points via the ODE model).
     Scale,
+    /// Chaos study (supervised sweep under deterministic fault
+    /// injection).
+    Faults,
 }
 
 /// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 15] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 16] = [
     ExperimentId::Table1,
     ExperimentId::Table2,
     ExperimentId::Table3,
@@ -1404,6 +1539,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 15] = [
     ExperimentId::Hotspot,
     ExperimentId::Bursty,
     ExperimentId::Scale,
+    ExperimentId::Faults,
 ];
 
 impl ExperimentId {
@@ -1425,6 +1561,7 @@ impl ExperimentId {
             ExperimentId::Hotspot => "hotspot",
             ExperimentId::Bursty => "bursty",
             ExperimentId::Scale => "scale",
+            ExperimentId::Faults => "faults",
         }
     }
 
@@ -1475,6 +1612,7 @@ impl ExperimentId {
             ExperimentId::Hotspot => hotspot_workloads(effort)?.to_string(),
             ExperimentId::Bursty => bursty_draining(effort)?.to_string(),
             ExperimentId::Scale => scale_study()?.to_string(),
+            ExperimentId::Faults => faults_chaos(effort)?.to_string(),
         })
     }
 }

@@ -17,9 +17,35 @@
 //! simulates 10× longer than an idle one — without any work-order
 //! effect on results: an item's output depends only on its index.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::thread;
+
+/// Runs `f` under [`catch_unwind`], converting a panic into an `Err`
+/// carrying the panic message (the conventional `&str`/`String`
+/// payloads; anything else is reported opaquely). This is the isolation
+/// primitive of the sweep supervisor: a panicking work unit becomes a
+/// classifiable failure instead of tearing down the whole pool.
+///
+/// ```
+/// use busnet_sim::exec::catch_panic;
+///
+/// assert_eq!(catch_panic(|| 2 + 2), Ok(4));
+/// let err = catch_panic(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+/// assert_eq!(err, "boom 7");
+/// ```
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
 
 /// How a batch of independent items is executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]

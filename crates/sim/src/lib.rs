@@ -66,6 +66,7 @@ pub mod clock;
 pub mod counters;
 pub mod event;
 pub mod exec;
+pub mod fault;
 pub mod histogram;
 pub mod replication;
 pub mod seeds;

@@ -31,15 +31,16 @@ use std::io::Write;
 use busnet::core::cache::EvalCache;
 use busnet::core::params::{ArbitrationKind, Buffering, BusPolicy, SystemParams, Workload};
 use busnet::core::scenario::{
-    run_sweep, run_sweep_screened, run_sweep_with, Evaluator, EvaluatorKind, PfqnAlgorithm,
-    PfqnEval, ScenarioGrid, ScreenPlan, SimBudget, Stopping, SweepOptions, SweepRecord,
-    ALL_EVALUATOR_KINDS,
+    run_sweep, run_sweep_screened, run_sweep_with, Evaluator, EvaluatorKind, OnFailure,
+    PfqnAlgorithm, PfqnEval, ScenarioGrid, ScreenPlan, SimBudget, Stopping, Supervisor,
+    SweepOptions, SweepRecord, UnitStatus, ALL_EVALUATOR_KINDS,
 };
-use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder};
+use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder, UnitBudget};
 use busnet::core::CoreError;
 use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
 use busnet::sim::event::{EngineKind, EventQueue, HeapEventQueue};
 use busnet::sim::exec::ExecutionMode;
+use busnet::sim::fault::{silence_injected_panics, FaultPlan};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,7 +79,9 @@ fn main() -> ExitCode {
                  [--evaluator LIST] [--engine cycle|event] [--format csv|json]\n      \
                  [--replications K] [--cycles C] [--warmup W] [--seed S] [--serial]\n      \
                  [--ci-width X [--max-reps K]] [--screen fluid [--screen-tol T]]\n      \
-                 [--cache-dir DIR]\n\
+                 [--cache-dir DIR [--resume]] [--max-retries K]\n      \
+                 [--unit-budget EVENTS[:MILLIS]] [--on-failure abort|skip|degrade]\n      \
+                 [--fault-plan seed=S:rate=R[:sites=a,b][:delay-ms=D] | off]\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
                  range (2..16:2). KIND is random|round-robin|lru|priority."
@@ -245,6 +248,10 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if ci_width.is_some() && cycles == 0 {
+        eprintln!("--ci-width needs a positive --cycles budget (got --cycles 0)");
+        return ExitCode::FAILURE;
+    }
     let buffering = match depth_spec {
         None => {
             if buffered {
@@ -455,6 +462,23 @@ fn parse_workload_flags(
     Ok(vec![Workload::Uniform])
 }
 
+/// Parses a `--unit-budget` value: `EVENTS[:MILLIS]`, with `0` meaning
+/// "unlimited" on either axis (both zero disables the watchdog).
+fn parse_unit_budget(spec: &str) -> Result<Option<UnitBudget>, String> {
+    let bad = || format!("bad --unit-budget `{spec}` (expected EVENTS[:MILLIS], 0 = unlimited)");
+    let (events_raw, millis_raw) = match spec.split_once(':') {
+        None => (spec, "0"),
+        Some((e, m)) => (e, m),
+    };
+    let events: u64 = events_raw.parse().map_err(|_| bad())?;
+    let millis: u64 = millis_raw.parse().map_err(|_| bad())?;
+    let budget = UnitBudget {
+        max_events: (events > 0).then_some(events),
+        max_millis: (millis > 0).then_some(millis),
+    };
+    Ok((!budget.is_unlimited()).then_some(budget))
+}
+
 /// Parses a `--ci-width` value: a positive finite number.
 fn parse_ci_width(spec: &str) -> Result<f64, String> {
     match spec.parse::<f64>() {
@@ -492,7 +516,9 @@ fn parse_u32_spec(spec: &str) -> Result<Vec<u32>, String> {
         if !range.contains("..") {
             return bad("a step requires a LO..HI range");
         }
-        let lo = *values.first().expect("non-empty range");
+        let Some(&lo) = values.first() else {
+            return bad("range is empty");
+        };
         values.retain(|v| (v - lo) % step == 0);
         return Ok(values);
     }
@@ -578,10 +604,11 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     w.windows.iter().map(|x| format!("{:.6}", x.ebw(rc))).collect();
                 format!("[{}]", points.join(","))
             });
+            let degraded = record.status == UnitStatus::Degraded;
             let written = match format {
                 SweepFormat::Csv => writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -608,6 +635,9 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     s.buses,
                     record.screened,
                     windows_csv,
+                    record.status.name(),
+                    record.attempts,
+                    degraded,
                 ),
                 SweepFormat::Json => writeln!(
                     out,
@@ -620,7 +650,8 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                      \"input_full_fraction\":{},\"blocked_completions\":{},\
                      \"hot_ref_share\":{},\"hot_module_utilization\":{},\
                      \"hot_mean_input_queue\":{},\"buses\":{},\"screened\":{},\
-                     \"windows\":{},\"window_ebw\":{}}}",
+                     \"windows\":{},\"window_ebw\":{},\
+                     \"status\":\"{}\",\"attempts\":{},\"degraded\":{}}}",
                     s.params.n(),
                     s.params.m(),
                     s.params.r(),
@@ -648,6 +679,9 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                     record.screened,
                     windows_json,
                     window_ebw_json,
+                    record.status.name(),
+                    record.attempts,
+                    degraded,
                 ),
             };
             written.expect("stdout closed mid-sweep");
@@ -659,8 +693,74 @@ fn emit_record(record: &SweepRecord, format: SweepFormat, out: &mut impl Write) 
                 s.label()
             );
         }
-        Err(e) => eprintln!("# FAILED [{} @ {}]: {e}", record.evaluator, s.label()),
+        Err(e) => {
+            // Hard failures still stream a structured row (scenario
+            // identity, empty metrics, a `failed` status) so downstream
+            // accounting sees every grid point exactly once; the human
+            // diagnostic goes to stderr.
+            let written = match format {
+                SweepFormat::Csv => writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},,,,,,,,,,,,,,{},{},,failed,{},false",
+                    s.params.n(),
+                    s.params.m(),
+                    s.params.r(),
+                    s.params.p(),
+                    policy_name(s.policy),
+                    s.buffering.name(),
+                    s.buffering.depth_label(),
+                    s.arbitration.name(),
+                    s.workload.name(),
+                    record.evaluator,
+                    s.buses,
+                    record.screened,
+                    record.attempts,
+                ),
+                SweepFormat::Json => writeln!(
+                    out,
+                    "{{\"n\":{},\"m\":{},\"r\":{},\"p\":{},\"policy\":\"{}\",\
+                     \"buffering\":\"{}\",\"buffer_depth\":\"{}\",\"arbitration\":\"{}\",\
+                     \"workload\":\"{}\",\"evaluator\":\"{}\",\"buses\":{},\"screened\":{},\
+                     \"status\":\"failed\",\"attempts\":{},\"degraded\":false,\
+                     \"error\":\"{}\"}}",
+                    s.params.n(),
+                    s.params.m(),
+                    s.params.r(),
+                    s.params.p(),
+                    policy_name(s.policy),
+                    s.buffering.name(),
+                    s.buffering.depth_label(),
+                    s.arbitration.name(),
+                    s.workload.name(),
+                    record.evaluator,
+                    s.buses,
+                    record.screened,
+                    record.attempts,
+                    json_escape(&e.to_string()),
+                ),
+            };
+            written.expect("stdout closed mid-sweep");
+            eprintln!("# FAILED [{} @ {}]: {e}", record.evaluator, s.label());
+        }
     }
+}
+
+/// Minimal JSON string escaping for error messages embedded in failure
+/// rows.
+fn json_escape(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
 }
 
 /// Classifies a sweep record for the exit summary.
@@ -700,6 +800,11 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let screen_spec = flags.value("--screen").map(str::to_owned);
     let screen_tol: f64 = flags.parse("--screen-tol", 0.05);
     let cache_dir_spec = flags.value("--cache-dir").map(str::to_owned);
+    let max_retries: u32 = flags.parse("--max-retries", 2);
+    let unit_budget_spec = flags.value("--unit-budget").map(str::to_owned);
+    let on_failure_spec = flags.value("--on-failure").unwrap_or("skip").to_owned();
+    let resume = flags.switch("--resume");
+    let fault_plan_spec = flags.value("--fault-plan").map(str::to_owned);
     if let Err(e) = flags.finish() {
         eprintln!("{e}\nrun `busnet` without arguments for usage");
         return ExitCode::FAILURE;
@@ -817,17 +922,50 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
         }
         Some(other) => return fail(format!("bad --screen `{other}` (expected fluid)")),
     };
+    let Some(on_failure) = OnFailure::from_name(&on_failure_spec) else {
+        return fail(format!("bad --on-failure `{on_failure_spec}` (expected abort|skip|degrade)"));
+    };
+    let unit_budget = match unit_budget_spec.as_deref().map(parse_unit_budget).transpose() {
+        Ok(b) => b.flatten(),
+        Err(e) => return fail(e),
+    };
+    // Deterministic fault injection: an explicit `--fault-plan` wins,
+    // else the `BUSNET_FAULT_PLAN` environment variable arms the same
+    // sites (so CI chaos jobs can wrap unmodified invocations).
+    let faults = match fault_plan_spec.as_deref() {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => plan,
+            Err(e) => return fail(format!("bad --fault-plan `{spec}`: {e}")),
+        },
+        None => FaultPlan::from_env(),
+    };
+    if faults.is_some() {
+        // Injected panics are expected control flow under a fault plan;
+        // keep the default hook's backtrace noise for real panics only.
+        silence_injected_panics();
+    }
+    if resume && cache_dir_spec.is_none() {
+        return fail("--resume needs --cache-dir (the journal is the checkpoint)".to_owned());
+    }
     // The evaluation memo cache: in-memory dedup is always on inside
     // `run_sweep_with`; `--cache-dir` additionally persists results to
     // a JSON-lines journal so a re-run of the same grid replays from
-    // disk without touching an evaluator.
-    let cache = match cache_dir_spec {
+    // disk without touching an evaluator. `--resume` is the same
+    // machinery made explicit: completed points replay byte-identically
+    // from the journal and the sweep continues from the first missing
+    // unit (a torn trailing line from a killed run is recovered on
+    // load).
+    let cache = match &cache_dir_spec {
         None => None,
-        Some(dir) => match EvalCache::with_dir(std::path::Path::new(&dir)) {
+        Some(dir) => match EvalCache::with_dir_faulted(std::path::Path::new(dir), faults.clone()) {
             Ok(cache) => Some(cache),
             Err(e) => return fail(format!("cannot open --cache-dir `{dir}`: {e}")),
         },
     };
+    if resume {
+        let loaded = cache.as_ref().map_or(0, |c| c.stats().loaded);
+        eprintln!("# resume: {loaded} completed point(s) loaded from the journal");
+    }
 
     let grid = ScenarioGrid::new()
         .n_values(n)
@@ -877,7 +1015,8 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
             "n,m,r,p,policy,buffering,buffer_depth,arbitration,workload,evaluator,ebw,\
              half_width_95,bus_utilization,memory_utilization,processor_efficiency,replications,\
              fairness,mean_input_queue,input_full_fraction,blocked_completions,hot_ref_share,\
-             hot_module_utilization,hot_mean_input_queue,buses,screened,windows"
+             hot_module_utilization,hot_mean_input_queue,buses,screened,windows,status,attempts,\
+             degraded"
         )
         .expect("stdout closed");
     }
@@ -887,9 +1026,15 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     // formatting work on large grids.
     let live_progress = std::io::IsTerminal::is_terminal(&std::io::stderr());
     let start = Instant::now();
+    // The CLI always runs supervised: every work unit is isolated
+    // behind `catch_unwind` with the retry/fallback policy, so a
+    // single pathological point cannot take down the whole sweep.
+    let supervisor = Supervisor { max_retries, on_failure, unit_budget, ..Supervisor::default() };
     let options = SweepOptions {
         screen: screen.as_ref(),
         cache: cache.as_ref(),
+        supervise: Some(&supervisor),
+        faults: faults.as_ref(),
         ..SweepOptions::new(sweep_mode)
     };
     let records = run_sweep_with(&scenarios, &refs, &options, |done, total, record| {
@@ -903,15 +1048,29 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     let evaluated = records.iter().filter(|r| record_outcome(r).0).count();
     let failed = records.iter().filter(|r| record_outcome(r).1).count();
     let screened = records.iter().filter(|r| r.screened).count();
+    let degraded = records.iter().filter(|r| r.status == UnitStatus::Degraded).count();
     eprintln!(
-        "{}# swept {} points x {} evaluators: {evaluated} evaluated ({screened} screened), \
-         {} out of domain, {failed} failed, {:.2}s",
+        "{}# swept {} points x {} evaluators: {evaluated} evaluated ({screened} screened, \
+         {degraded} degraded), {} out of domain, {failed} failed, {:.2}s",
         if live_progress { "\r" } else { "" },
         scenarios.len(),
         refs.len(),
         records.len() - evaluated - failed,
         start.elapsed().as_secs_f64()
     );
+    if let Some(plan) = &faults {
+        let stats = plan.stats();
+        eprintln!(
+            "# faults [{}]: {} injected ({} unit panic(s), {} unit delay(s), {} journal append \
+             error(s), {} journal load error(s))",
+            plan.spec(),
+            stats.total(),
+            stats.panics,
+            stats.delays,
+            stats.append_errors,
+            stats.load_errors
+        );
+    }
     if let Some(cache) = &cache {
         let stats = cache.stats();
         let replayed = records.iter().filter(|r| r.cached).count();
@@ -1150,6 +1309,67 @@ fn run_bench_smoke() -> ExitCode {
     if mmpp_ratio < 0.85 {
         eprintln!(
             "# smoke: bursty event throughput {mmpp_ratio:.2}x of stationary (< 0.85x floor)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Supervision slice: the per-unit catch_unwind + retry/budget
+    // plumbing must be bit-invisible in the results and cost <= 5%
+    // event throughput on the Table 3-4 smoke grid. Best-of-3 timings
+    // absorb scheduler noise.
+    let sup_grid = ScenarioGrid::new()
+        .n_values([8])
+        .m_values([8, 16])
+        .r_values([8])
+        .p_values([0.2, 1.0])
+        .bufferings([Buffering::Unbuffered, Buffering::Buffered])
+        .scenarios()
+        .expect("static grid is valid");
+    let sup_sim = busnet::core::scenario::BusSimEval::new(SimBudget {
+        replications: 2,
+        warmup: 1_000,
+        measure: 50_000,
+        master_seed: 0x5EED,
+        mode: ExecutionMode::Serial,
+        engine: EngineKind::Event,
+        stopping: Stopping::Fixed,
+    });
+    let sup_evaluators: [&dyn Evaluator; 1] = [&sup_sim];
+    let supervisor = Supervisor::default();
+    let time_supervised = |supervise: bool| -> (f64, Vec<SweepRecord>) {
+        let options = SweepOptions {
+            supervise: supervise.then_some(&supervisor),
+            ..SweepOptions::new(ExecutionMode::Serial)
+        };
+        let mut best = f64::INFINITY;
+        let mut records = Vec::new();
+        for _ in 0..3 {
+            let start = Instant::now();
+            records = run_sweep_with(&sup_grid, &sup_evaluators, &options, |_, _, _| {});
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, records)
+    };
+    let (bare_secs, bare_records) = time_supervised(false);
+    let (sup_secs, sup_records) = time_supervised(true);
+    let sup_identical = bare_records
+        .iter()
+        .zip(&sup_records)
+        .all(|(a, b)| matches!((&a.result, &b.result), (Ok(x), Ok(y)) if x == y));
+    let sup_overhead = sup_secs / bare_secs - 1.0;
+    println!(
+        "# smoke supervised_vs_bare: bare {bare_secs:.3}s, supervised {sup_secs:.3}s -> \
+         {:.1}% overhead, bit-identical: {sup_identical}",
+        sup_overhead * 100.0
+    );
+    if !sup_identical {
+        eprintln!("# smoke: supervised sweep was not bit-identical to the bare sweep");
+        return ExitCode::FAILURE;
+    }
+    if sup_overhead > 0.05 {
+        eprintln!(
+            "# smoke: supervision overhead {:.1}% exceeds the 5% throughput budget",
+            sup_overhead * 100.0
         );
         return ExitCode::FAILURE;
     }
@@ -1559,6 +1779,30 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Supervision overhead on the 32-point grid: the serial run above
+    // is the bare baseline; one supervised re-run (catch_unwind +
+    // retry/budget plumbing, no faults) measures the isolation tax.
+    eprintln!("# timing supervised re-run of the 32-point sweep (serial)...");
+    let bench_supervisor = Supervisor::default();
+    let supervised_options = SweepOptions {
+        supervise: Some(&bench_supervisor),
+        ..SweepOptions::new(ExecutionMode::Serial)
+    };
+    let sup_start = Instant::now();
+    let supervised_records =
+        run_sweep_with(&scenarios, &evaluators, &supervised_options, |_, _, _| {});
+    let supervised_secs = sup_start.elapsed().as_secs_f64();
+    let supervised_identical = serial_records
+        .iter()
+        .zip(&supervised_records)
+        .all(|(a, b)| matches!((&a.result, &b.result), (Ok(x), Ok(y)) if x == y));
+    let supervised_overhead = supervised_secs / serial_secs - 1.0;
+    eprintln!(
+        "# supervised: {supervised_secs:.2}s vs bare {serial_secs:.2}s -> {:.1}% overhead, \
+         bit-identical: {supervised_identical}",
+        supervised_overhead * 100.0
+    );
+
     let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
 
     let json = format!(
@@ -1615,7 +1859,12 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          \"slice\": \"Table 3-4 (n=8, m in {{8,16}}, r=8, both bufferings), event engine\",\n      \
          \"cold_seconds\": {cold_secs:.3},\n      \"warm_seconds\": {warm_secs:.4},\n      \
          \"speedup\": {cache_speedup:.0},\n      \"warm_evaluator_calls\": {warm_misses},\n      \
-         \"acceptance\": \"fully warm cached re-run performs zero evaluator calls\"\n    }}\n  }}\n}}\n",
+         \"acceptance\": \"fully warm cached re-run performs zero evaluator calls\"\n    }}\n  }},\n  \
+         \"supervised_vs_bare\": {{\n    \
+         \"slice\": \"the 32-point grid above, serial, supervised (catch_unwind + retry/budget) vs bare\",\n    \
+         \"bare_seconds\": {serial_secs:.3},\n    \"supervised_seconds\": {supervised_secs:.3},\n    \
+         \"overhead\": {supervised_overhead:.4},\n    \"bit_identical\": {supervised_identical},\n    \
+         \"acceptance\": \"supervision overhead <= 5% event throughput, results bit-identical\"\n  }}\n}}\n",
         engine = engine.name(),
         host_os = std::env::consts::OS,
         host_arch = std::env::consts::ARCH,
