@@ -25,11 +25,12 @@
 
 use std::collections::HashMap;
 use std::fs::OpenOptions;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::params::{BusPolicy, Workload};
 use crate::scenario::{Evaluation, HotModuleSummary, OccupancySummary, Scenario};
@@ -244,6 +245,17 @@ impl EvalCache {
         EvalCache::default()
     }
 
+    /// Locks the memo map, recovering from poisoning. A supervised
+    /// work unit that panics while a guard is live poisons the mutex,
+    /// but every critical section here is a single map operation that
+    /// leaves the map consistent — the poison flag carries no
+    /// information, and honoring it would turn one caught panic into
+    /// an abort of every later lookup (and, in serve mode, of the
+    /// whole server).
+    fn map_lock(&self) -> MutexGuard<'_, HashMap<String, CachedEvaluation>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A disk-backed cache rooted at `dir`: creates the directory if
     /// missing, loads every valid record from `dir/evalcache.jsonl`,
     /// and appends each future miss to it.
@@ -287,7 +299,15 @@ impl EvalCache {
 
     /// Loads (and, when the trailing line is torn, repairs) a journal.
     fn load_journal(&self, journal: &Path) -> std::io::Result<()> {
-        let bytes = std::fs::read(journal)?;
+        // One exclusive advisory lock spans the read *and* the torn-
+        // tail repair: a concurrent writer sharing this `--cache-dir`
+        // can neither append between our read and a truncation (which
+        // would silently discard its record) nor observe a
+        // half-repaired tail. Writers take the same lock per append.
+        let mut file = OpenOptions::new().read(true).write(true).open(journal)?;
+        file.lock()?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
         // Split at the last newline: everything after it is a torn
         // trailing line (a crash mid-append), handled separately below.
         let complete_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
@@ -295,7 +315,7 @@ impl EvalCache {
         let mut bad_lines: Vec<u64> = Vec::new();
         let mut line_no = 0u64;
         {
-            let mut map = self.map.lock().expect("cache mutex");
+            let mut map = self.map_lock();
             for raw in complete.split(|&b| b == b'\n') {
                 if raw.is_empty() {
                     continue; // the empty slice after the final newline
@@ -327,9 +347,10 @@ impl EvalCache {
                 Some((key, eval)) => {
                     // A complete record missing only its newline: keep
                     // it and terminate the line so the next append does
-                    // not concatenate onto it.
-                    OpenOptions::new().append(true).open(journal).and_then(|mut f| writeln!(f))?;
-                    self.map.lock().expect("cache mutex").insert(key, eval);
+                    // not concatenate onto it. (`read_to_end` left the
+                    // cursor at EOF, and the lock is still held.)
+                    file.write_all(b"\n")?;
+                    self.map_lock().insert(key, eval);
                     self.loaded.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "warning: evalcache journal {}: completed torn trailing line {}",
@@ -340,7 +361,7 @@ impl EvalCache {
                 None => {
                     // Truly partial: truncate back to the last complete
                     // line so future appends land on a clean boundary.
-                    OpenOptions::new().write(true).open(journal)?.set_len(complete_len as u64)?;
+                    file.set_len(complete_len as u64)?;
                     self.skipped.fetch_add(1, Ordering::Relaxed);
                     eprintln!(
                         "warning: evalcache journal {}: truncated torn trailing line {}",
@@ -367,7 +388,7 @@ impl EvalCache {
 
     /// Looks `key` up, counting a hit or miss.
     pub fn lookup(&self, key: &str) -> Option<CachedEvaluation> {
-        let found = self.map.lock().expect("cache mutex").get(key).cloned();
+        let found = self.map_lock().get(key).cloned();
         match found {
             Some(eval) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -386,7 +407,7 @@ impl EvalCache {
     pub fn insert(&self, key: &str, evaluation: &Evaluation) {
         let cached = CachedEvaluation::from_evaluation(evaluation);
         {
-            let mut map = self.map.lock().expect("cache mutex");
+            let mut map = self.map_lock();
             if map.contains_key(key) {
                 return;
             }
@@ -399,12 +420,18 @@ impl EvalCache {
                 self.skipped.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            let line = emit_record(key, &cached);
-            let ok = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(journal)
-                .and_then(|mut f| writeln!(f, "{line}"));
+            // The whole line (record + newline) goes down in one
+            // `write` on an O_APPEND handle, under the same exclusive
+            // advisory lock the loader takes: concurrent writers
+            // sharing this journal — two processes on one
+            // `--cache-dir`, or two serve batches — append whole lines
+            // and can never interleave a record's bytes.
+            let mut line = emit_record(key, &cached);
+            line.push('\n');
+            let ok = OpenOptions::new().create(true).append(true).open(journal).and_then(|f| {
+                f.lock()?;
+                (&f).write_all(line.as_bytes())
+            });
             match ok {
                 Ok(()) => self.appended.fetch_add(1, Ordering::Relaxed),
                 Err(_) => self.skipped.fetch_add(1, Ordering::Relaxed),
@@ -414,7 +441,7 @@ impl EvalCache {
 
     /// Number of records currently held in memory.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache mutex").len()
+        self.map_lock().len()
     }
 
     /// Whether the cache holds no records.
@@ -441,10 +468,9 @@ impl EvalCache {
 //   {"schema":"busnet-evalcache-v2","key":"...","eval":{...}}
 //
 // All floats are 16-hex-digit `f64::to_bits` strings (exact
-// round-trip); all integers are plain JSON numbers. The emitter and
-// parser below implement exactly the subset needed — objects, arrays,
-// escape-free strings, unsigned integers, null — with no external
-// dependencies.
+// round-trip); all integers are plain JSON numbers. Parsing rides the
+// shared [`crate::json`] subset — objects, arrays, escape-free
+// strings, numbers, null — with no external dependencies.
 // ---------------------------------------------------------------------
 
 fn emit_f64_array(out: &mut String, values: &[f64]) {
@@ -569,54 +595,23 @@ fn emit_record(key: &str, e: &CachedEvaluation) -> String {
     s
 }
 
-/// The JSON subset the journal uses.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Int(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+/// Journal-specific accessors on the shared [`crate::json`] subset:
+/// floats are stored as `f64::to_bits` hex strings, arrays are
+/// homogeneous.
+trait JsonJournalExt {
+    fn hex_f64(&self) -> Option<f64>;
+    fn f64_array(&self) -> Option<Vec<f64>>;
+    fn u64_array(&self) -> Option<Vec<u64>>;
 }
 
-impl Json {
-    fn str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn int(&self) -> Option<u64> {
-        match self {
-            Json::Int(v) => Some(*v),
-            _ => None,
-        }
-    }
-
+impl JsonJournalExt for Json {
     fn hex_f64(&self) -> Option<f64> {
         self.str().and_then(f64_from_hex)
     }
 
-    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// `Some(None)` for an explicit `null`, `Some(Some(v))` for a
-    /// present value, `None` for a missing field.
-    fn opt_field<'a>(&'a self, name: &str) -> Option<Option<&'a Json>> {
-        match self.field(name)? {
-            Json::Null => Some(None),
-            v => Some(Some(v)),
-        }
-    }
-
     fn f64_array(&self) -> Option<Vec<f64>> {
         match self {
-            Json::Arr(items) => items.iter().map(Json::hex_f64).collect(),
+            Json::Arr(items) => items.iter().map(JsonJournalExt::hex_f64).collect(),
             _ => None,
         }
     }
@@ -626,128 +621,6 @@ impl Json {
             Json::Arr(items) => items.iter().map(Json::int).collect(),
             _ => None,
         }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, b: u8) -> Option<()> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Some(())
-        } else {
-            None
-        }
-    }
-
-    fn value(&mut self) -> Option<Json> {
-        self.skip_ws();
-        match self.bytes.get(self.pos)? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => self.string().map(Json::Str),
-            b'n' => {
-                if self.bytes[self.pos..].starts_with(b"null") {
-                    self.pos += 4;
-                    Some(Json::Null)
-                } else {
-                    None
-                }
-            }
-            b'0'..=b'9' => self.integer(),
-            _ => None,
-        }
-    }
-
-    fn object(&mut self) -> Option<Json> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Some(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.eat(b':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.bytes.get(self.pos)? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Some(Json::Obj(fields));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn array(&mut self) -> Option<Json> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Some(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos)? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Some(Json::Arr(items));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn string(&mut self) -> Option<String> {
-        if self.bytes.get(self.pos) != Some(&b'"') {
-            return None;
-        }
-        self.pos += 1;
-        let start = self.pos;
-        // Keys and fingerprints contain no escapes or quotes.
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b'"' {
-                let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.to_owned();
-                self.pos += 1;
-                return Some(s);
-            }
-            if b == b'\\' {
-                return None;
-            }
-            self.pos += 1;
-        }
-        None
-    }
-
-    fn integer(&mut self) -> Option<Json> {
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok().map(Json::Int)
     }
 }
 
@@ -800,8 +673,7 @@ fn parse_hot(v: &Json) -> Option<HotModuleSummary> {
 /// Parses one journal line into `(key, payload)`; `None` (skip) on any
 /// structural or schema mismatch.
 fn parse_record(line: &str) -> Option<(String, CachedEvaluation)> {
-    let mut parser = Parser::new(line);
-    let root = parser.value()?;
+    let root = Json::parse(line)?;
     if root.field("schema")?.str()? != SCHEMA {
         return None;
     }
@@ -1016,6 +888,67 @@ mod tests {
         assert_eq!(warm.stats().skipped, 2, "both bad lines counted");
         assert_eq!(warm.stats().torn, 0);
         assert!(warm.lookup(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        // Regression: a supervised work unit that panics while holding
+        // the cache lock used to poison it, and every later
+        // `lookup`/`insert`/`len` aborted the whole sweep (or server)
+        // on `.expect("cache mutex")`.
+        let cache = EvalCache::new();
+        let sim = BusSimEval::new(SimBudget::quick());
+        let s = scenario();
+        let key = cache_key(&sim.config_fingerprint(), &s);
+        let evaluation = sim.evaluate(&s).unwrap();
+        cache.insert(&key, &evaluation);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.map.lock().unwrap();
+            panic!("injected panic while holding the cache lock");
+        }));
+        assert!(poisoned.is_err());
+        assert!(cache.map.is_poisoned(), "the panic must actually poison the mutex");
+        assert_eq!(
+            cache.lookup(&key).expect("hits survive poisoning").attach("sim", &s),
+            evaluation
+        );
+        let s2 = Scenario::new(SystemParams::new(5, 4, 4).unwrap());
+        let key2 = cache_key(&sim.config_fingerprint(), &s2);
+        cache.insert(&key2, &sim.evaluate(&s2).unwrap());
+        assert_eq!(cache.len(), 2, "inserts survive poisoning");
+    }
+
+    #[test]
+    fn two_writers_share_one_journal_without_tearing() {
+        let dir = std::env::temp_dir().join(format!("busnet-two-writers-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two cache instances on one directory stand in for two
+        // processes sharing a `--cache-dir`: each appends its own
+        // records concurrently. Whole-line O_APPEND writes under the
+        // advisory journal lock mean the warm reload must parse every
+        // record — nothing torn, nothing interleaved.
+        let a = EvalCache::with_dir(&dir).unwrap();
+        let b = EvalCache::with_dir(&dir).unwrap();
+        let sim = BusSimEval::new(SimBudget::quick());
+        let evaluation = sim.evaluate(&scenario()).unwrap();
+        let per_writer = 64u64;
+        std::thread::scope(|scope| {
+            for (idx, cache) in [&a, &b].into_iter().enumerate() {
+                let evaluation = &evaluation;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        cache.insert(&format!("{SCHEMA}|writer={idx}|point={i}"), evaluation);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.stats().appended + b.stats().appended, 2 * per_writer);
+        let warm = EvalCache::with_dir(&dir).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.torn, 0, "no torn lines under concurrent appends");
+        assert_eq!(stats.skipped, 0, "no malformed lines under concurrent appends");
+        assert_eq!(stats.loaded, 2 * per_writer, "every record from both writers parses");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -28,6 +28,9 @@
 //!   [`Evaluator`] trait, and [`scenario::run_sweep`] fans
 //!   [`ScenarioGrid`] cartesian sweeps out across evaluators, serially
 //!   or in parallel.
+//! * [`serve`] — the batch-serving front end: a JSON-lines request
+//!   protocol plus a broker that dedupes, coalesces, and supervises
+//!   scenario evaluations for the `busnet serve` daemon.
 //!
 //! # Example
 //!
@@ -52,9 +55,11 @@ pub mod cache;
 pub mod metrics;
 pub mod params;
 pub mod scenario;
+pub mod serve;
 pub mod sim;
 
 mod error;
+mod json;
 
 pub use error::CoreError;
 pub use metrics::Metrics;

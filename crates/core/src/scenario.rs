@@ -34,7 +34,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use busnet_sim::counters::WindowSeries;
 use busnet_sim::event::EngineKind;
@@ -380,8 +380,13 @@ pub enum EvalUnit {
 /// that overrides `work_units` must override the other two
 /// consistently (units are combined in unit-index order on one thread,
 /// preserving the bit-identical-to-serial guarantee).
-pub trait Evaluator: Sync {
+pub trait Evaluator: Send + Sync {
     /// Stable identifier (`"sim"`, `"exact"`, `"reduced"`, …).
+    ///
+    /// (The `Send + Sync` supertraits let a built evaluator move into
+    /// a long-lived batch job — the serve broker runs
+    /// [`EvaluatorKind::build`] products on pool threads — and every
+    /// vehicle here is plain immutable data.)
     fn name(&self) -> &'static str;
 
     /// Whether the scenario lies inside this vehicle's domain.
@@ -2402,6 +2407,24 @@ impl<'a> SweepOptions<'a> {
     }
 }
 
+/// Process-wide count of fresh `(scenario, evaluator)` pair
+/// evaluations launched by sweep execution: each pair whose units
+/// actually run counts once, and each member of an axis-incremental
+/// group counts once (retries of a unit do not add). Cache hits,
+/// intra-sweep aliases, and screened pairs never touch an evaluator
+/// and leave the counter unchanged — which makes the delta across a
+/// request stream the direct measure of dedup/coalescing savings (the
+/// serve broker's acceptance gate) and of the warm-cache "zero
+/// evaluator calls" property.
+static EVALUATOR_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide evaluator-call counter (see
+/// [`run_sweep_with`]): monotone over the process lifetime, so meters
+/// take a before/after difference.
+pub fn evaluator_calls() -> u64 {
+    EVALUATOR_CALLS.load(Ordering::Relaxed)
+}
+
 /// One schedulable job of [`run_sweep_with`]: a single work unit of one
 /// pair, or a whole axis-incremental group solved in one pass.
 enum SweepJob {
@@ -2628,33 +2651,41 @@ pub fn run_sweep_with(
         &jobs,
         options.mode,
         |i, job| match job {
-            SweepJob::Unit { s, e, u } => match supervisor {
-                Some(sup) => {
-                    // The job index is deterministic (job construction
-                    // is), so it keys both the backoff-jitter stream
-                    // and the fault plan's injection decisions.
-                    let (result, attempts) = supervise_unit(
-                        evaluators[*e],
-                        &scenarios[*s],
-                        *u,
-                        i as u64,
-                        priors[pair_of(*s, *e)],
-                        sup,
-                        options.faults,
-                        &cancelled,
-                    );
-                    SweepJobOutput::Unit { result, attempts }
+            SweepJob::Unit { s, e, u } => {
+                // One evaluator call per pair (its units share one
+                // evaluation), metered on the first unit.
+                if *u == 0 {
+                    EVALUATOR_CALLS.fetch_add(1, Ordering::Relaxed);
                 }
-                None => SweepJobOutput::Unit {
-                    result: evaluators[*e].evaluate_unit_primed(
-                        &scenarios[*s],
-                        *u,
-                        priors[pair_of(*s, *e)],
-                    ),
-                    attempts: 1,
-                },
-            },
+                match supervisor {
+                    Some(sup) => {
+                        // The job index is deterministic (job construction
+                        // is), so it keys both the backoff-jitter stream
+                        // and the fault plan's injection decisions.
+                        let (result, attempts) = supervise_unit(
+                            evaluators[*e],
+                            &scenarios[*s],
+                            *u,
+                            i as u64,
+                            priors[pair_of(*s, *e)],
+                            sup,
+                            options.faults,
+                            &cancelled,
+                        );
+                        SweepJobOutput::Unit { result, attempts }
+                    }
+                    None => SweepJobOutput::Unit {
+                        result: evaluators[*e].evaluate_unit_primed(
+                            &scenarios[*s],
+                            *u,
+                            priors[pair_of(*s, *e)],
+                        ),
+                        attempts: 1,
+                    },
+                }
+            }
             SweepJob::Group { e, members } => {
+                EVALUATOR_CALLS.fetch_add(members.len() as u64, Ordering::Relaxed);
                 let group: Vec<&Scenario> =
                     members.iter().map(|&p| &scenarios[scenario_of(p)]).collect();
                 // Groups are pure solver passes (no replication seeds,

@@ -295,9 +295,140 @@ where
         .collect()
 }
 
+/// A boxed unit of pool work.
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool with a **bounded** job queue, shared by
+/// every batch of a serve session.
+///
+/// The scoped fan-out of [`parallel_map`]/[`parallel_consume`] is the
+/// right shape for one sweep; a long-running server instead needs one
+/// set of threads that outlives any individual batch, plus an explicit
+/// capacity so load beyond it surfaces as backpressure (the broker's
+/// `overloaded` reply) instead of unbounded memory growth. Jobs run in
+/// submission order per worker pickup; a panicking job is caught and
+/// reported to stderr so one poisoned batch cannot kill a worker (and
+/// with it, silently strand every queued job).
+///
+/// [`ExecPool::drain`] performs the graceful-shutdown half: it closes
+/// the queue and joins every worker, returning only after all queued
+/// and in-flight jobs have completed — which is exactly the guarantee
+/// SIGTERM handling needs ("drain in-flight batches, then exit").
+#[derive(Debug)]
+pub struct ExecPool {
+    jobs: Option<mpsc::SyncSender<PoolJob>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ExecPool {
+    /// Spawns `threads` workers (at least one) over a queue holding at
+    /// most `queue_depth` not-yet-started jobs.
+    pub fn new(threads: usize, queue_depth: usize) -> ExecPool {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::sync_channel::<PoolJob>(queue_depth.max(1));
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = std::sync::Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("busnet-pool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while waiting, so
+                        // idle workers queue on it and running workers
+                        // do not serialize each other.
+                        let job = {
+                            let guard =
+                                rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                if let Err(message) = catch_panic(job) {
+                                    eprintln!("# pool job panicked (caught): {message}");
+                                }
+                            }
+                            Err(_) => break, // queue closed: drain complete
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ExecPool { jobs: Some(tx), workers }
+    }
+
+    /// Submits a job, blocking while the queue is full. Callers that
+    /// need backpressure *without* blocking bound their own pending set
+    /// before submitting (the broker's request queue does exactly
+    /// that).
+    ///
+    /// # Panics
+    ///
+    /// If called after [`ExecPool::drain`] (the pool owns no queue
+    /// then) — a caller bug by construction.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.jobs
+            .as_ref()
+            .expect("submit after drain")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Closes the queue and joins every worker: returns once all
+    /// queued and in-flight jobs have run.
+    pub fn drain(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.jobs = None; // closing the channel ends each worker's recv loop
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_pool_runs_every_job_and_drains() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let pool = ExecPool::new(4, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        // drain() returning proves every queued job completed first.
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn exec_pool_survives_a_panicking_job() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let pool = ExecPool::new(1, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.submit(|| panic!("poisoned batch"));
+        // The single worker must survive the panic to run this one.
+        let after = Arc::clone(&done);
+        pool.submit(move || {
+            after.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU32;
 

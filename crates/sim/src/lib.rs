@@ -30,7 +30,11 @@
 //! * [`clock`] — a measurement window: warmup + measurement phases over a
 //!   cycle counter.
 //! * [`exec`] — deterministic work-stealing fan-out of independent
-//!   work items (parallel results are bit-identical to serial).
+//!   work items (parallel results are bit-identical to serial), plus
+//!   the persistent bounded [`exec::ExecPool`] shared by serve-mode
+//!   batches.
+//! * [`sink`] — a locked whole-line writer ([`sink::LineSink`]) so
+//!   concurrent batch completions never interleave output rows.
 //! * [`replication`] — independent-replications experiment driver with
 //!   summary statistics, serial or parallel.
 //! * [`batch`] — batch-means analysis for single-run estimation,
@@ -70,6 +74,7 @@ pub mod fault;
 pub mod histogram;
 pub mod replication;
 pub mod seeds;
+pub mod sink;
 pub mod stats;
 
 pub use arbiter::{Arbiter, ArbitrationKind};

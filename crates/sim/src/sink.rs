@@ -1,0 +1,104 @@
+//! A locked whole-line writer for concurrently produced output.
+//!
+//! When several batches complete at once — the serve broker streaming
+//! result rows from pool workers, or any future concurrent emitter
+//! sharing one stdout/log/socket sink — per-line locking is the
+//! difference between a parseable stream and interleaved fragments.
+//! [`LineSink`] assembles each line (text + terminator) into one
+//! buffer and issues a single `write_all` under its mutex, so a reader
+//! on the other end always sees whole lines in *some* order, never a
+//! split row.
+//!
+//! (The single-threaded sweep CLI streams rows from the calling thread
+//! through one `BufWriter` and needs none of this; the audit that
+//! produced this type confirmed the only concurrent-writer path is the
+//! serving layer.)
+
+use std::io::{self, Write};
+use std::sync::{Mutex, PoisonError};
+
+/// A shared writer that emits whole lines atomically: one `write_all`
+/// of `line + '\n'` per call, under an internal poison-recovering
+/// mutex (a panicking writer thread must not wedge every other
+/// client's replies).
+#[derive(Debug)]
+pub struct LineSink<W> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write> LineSink<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        LineSink { inner: Mutex::new(inner) }
+    }
+
+    /// Writes `line` plus a newline as one `write_all`, then flushes,
+    /// all under the lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors (e.g. a disconnected peer).
+    pub fn writeln(&self, line: &str) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut w = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Unwraps the inner writer (tests, buffer collection).
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` that surfaces every chunk it was handed, so the test
+    /// can assert one-write-per-line as well as final content.
+    #[derive(Default)]
+    struct ChunkRecorder {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Write for ChunkRecorder {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.chunks.push(buf.to_vec());
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_never_split_a_line() {
+        let sink = Arc::new(LineSink::new(ChunkRecorder::default()));
+        let writers = 8;
+        let lines_per_writer = 200;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let sink = Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..lines_per_writer {
+                        sink.writeln(&format!("writer={w} line={i} payload={}", "x".repeat(64)))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let recorder = Arc::into_inner(sink).expect("all writers joined").into_inner();
+        assert_eq!(recorder.chunks.len(), writers * lines_per_writer);
+        let mut seen = std::collections::HashSet::new();
+        for chunk in &recorder.chunks {
+            let text = std::str::from_utf8(chunk).expect("whole utf-8 line");
+            assert!(text.ends_with('\n') && text.matches('\n').count() == 1, "one whole line");
+            assert!(seen.insert(text.to_owned()), "no duplicated line");
+        }
+    }
+}

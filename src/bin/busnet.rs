@@ -19,6 +19,8 @@
 //! busnet sweep --n 8 --m 8,16 --p 0.2,1 --evaluator sim --ci-width 0.02 --screen fluid
 //! busnet sweep --n 8 --m 8 --buses 1..8 --evaluator multibus
 //! busnet sweep --n 1..64 --evaluator pfqn --cache-dir .busnet-cache
+//! busnet serve --unix /tmp/busnet.sock --cache-dir .busnet-cache --threads 4
+//! busnet request --unix /tmp/busnet.sock < requests.jsonl
 //! busnet bench-sweep [--out BENCH_sweep.json] [--engine cycle|event] [--smoke]
 //! ```
 
@@ -35,12 +37,14 @@ use busnet::core::scenario::{
     PfqnAlgorithm, PfqnEval, ScenarioGrid, ScreenPlan, SimBudget, Stopping, Supervisor,
     SweepOptions, SweepRecord, UnitStatus, ALL_EVALUATOR_KINDS,
 };
+use busnet::core::serve::{parse_request, Broker, BrokerConfig, ReplySink, Request};
 use busnet::core::sim::bus::{AdaptiveOutcome, AdaptivePlan, BusSimBuilder, UnitBudget};
 use busnet::core::CoreError;
 use busnet::report::experiments::{Effort, ExperimentId, ALL_EXPERIMENTS};
 use busnet::sim::event::{EngineKind, EventQueue, HeapEventQueue};
 use busnet::sim::exec::ExecutionMode;
 use busnet::sim::fault::{silence_injected_panics, FaultPlan};
+use busnet::sim::sink::LineSink;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +63,8 @@ fn main() -> ExitCode {
         Some("run") => run_experiments(&args[1..]),
         Some("sim") => run_sim(&args[1..]),
         Some("sweep") => run_sweep_cmd(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("request") => run_request(&args[1..]),
         Some("bench-sweep") => run_bench_sweep(&args[1..]),
         _ => {
             eprintln!(
@@ -82,6 +88,10 @@ fn main() -> ExitCode {
                  [--cache-dir DIR [--resume]] [--max-retries K]\n      \
                  [--unit-budget EVENTS[:MILLIS]] [--on-failure abort|skip|degrade]\n      \
                  [--fault-plan seed=S:rate=R[:sites=a,b][:delay-ms=D] | off]\n\
+                 serve --unix PATH | --tcp ADDR [--cache-dir DIR] [--threads K]\n      \
+                 [--queue-depth Q] [--max-retries K] [--unit-budget EVENTS[:MILLIS]]\n      \
+                 [--on-failure abort|skip|degrade]\n\
+                 request --unix PATH | --tcp ADDR  (JSON-line requests on stdin)\n\
                  \n\
                  SPEC is a comma list (2,6,10), an inclusive range (2..64), or a stepped\n\
                  range (2..16:2). KIND is random|round-robin|lru|priority."
@@ -1094,6 +1104,287 @@ fn run_sweep_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The process-wide shutdown latch: flipped by SIGTERM/SIGINT, polled
+/// by the serve accept loop so a signal turns into a graceful drain.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs `on_shutdown_signal` for SIGTERM and SIGINT. This is the
+/// binary's single unsafe dependency on the C runtime; the handler
+/// only stores to an atomic (async-signal-safe).
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+    }
+}
+
+/// One serve-mode client connection: read request lines until EOF,
+/// submitting each to the shared broker. Replies go through the
+/// connection's locked line sink — immediately for errors/stats, on
+/// batch completion for evaluations — so concurrent completions never
+/// interleave mid-line.
+fn serve_connection(input: impl std::io::Read, output: Box<dyn Write + Send>, broker: &Broker) {
+    use std::io::BufRead;
+    let sink: std::sync::Arc<ReplySink> = std::sync::Arc::new(LineSink::new(output));
+    for line in std::io::BufReader::new(input).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Ok(Request::Eval(req)) => broker.submit(req, &sink),
+            Ok(Request::Stats { id }) => {
+                let _ = sink.writeln(&broker.stats_line(&id));
+            }
+            // A bad line costs one error reply, never the connection.
+            Err(err) => {
+                let _ = sink.writeln(&err.line());
+            }
+        }
+    }
+    // Dropping our sink reference does not close the stream while the
+    // broker still owes this connection replies: each pending waiter
+    // holds its own Arc, so the write half lives until the last reply
+    // is written.
+}
+
+/// Where a serve session listens (or a request client connects).
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+fn parse_endpoint(unix: Option<&str>, tcp: Option<&str>) -> Result<Endpoint, String> {
+    match (unix, tcp) {
+        (Some(path), None) => Ok(Endpoint::Unix(path.to_owned())),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr.to_owned())),
+        (Some(_), Some(_)) => Err("--unix and --tcp are mutually exclusive".to_owned()),
+        (None, None) => Err("one of --unix PATH or --tcp ADDR is required".to_owned()),
+    }
+}
+
+/// `busnet serve`: the always-on batch evaluation service. Accepts
+/// JSON-line requests over a Unix or TCP socket, funnels every client
+/// through one shared [`Broker`] (dedup against the memo cache,
+/// coalescing of identical in-flight points, per-configuration
+/// batching on a bounded pool, supervised execution), and drains
+/// gracefully on SIGTERM: in-flight batches finish and every owed
+/// reply is written before exit.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut flags = Flags::new(args);
+    let unix_spec = flags.value("--unix").map(str::to_owned);
+    let tcp_spec = flags.value("--tcp").map(str::to_owned);
+    let cache_dir_spec = flags.value("--cache-dir").map(str::to_owned);
+    let threads: usize = flags.parse("--threads", 2);
+    let queue_depth: usize = flags.parse("--queue-depth", 256);
+    let max_retries: u32 = flags.parse("--max-retries", 2);
+    let unit_budget_spec = flags.value("--unit-budget").map(str::to_owned);
+    let on_failure_spec = flags.value("--on-failure").unwrap_or("skip").to_owned();
+    if let Err(e) = flags.finish() {
+        eprintln!("{e}\nrun `busnet` without arguments for usage");
+        return ExitCode::FAILURE;
+    }
+    let fail = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    };
+    let endpoint = match parse_endpoint(unix_spec.as_deref(), tcp_spec.as_deref()) {
+        Ok(e) => e,
+        Err(e) => return fail(e),
+    };
+    let Some(on_failure) = OnFailure::from_name(&on_failure_spec) else {
+        return fail(format!("bad --on-failure `{on_failure_spec}` (expected abort|skip|degrade)"));
+    };
+    let unit_budget = match unit_budget_spec.as_deref().map(parse_unit_budget).transpose() {
+        Ok(b) => b.flatten(),
+        Err(e) => return fail(e),
+    };
+    let cache = match &cache_dir_spec {
+        Some(dir) => match EvalCache::with_dir(std::path::Path::new(dir)) {
+            Ok(cache) => std::sync::Arc::new(cache),
+            Err(e) => return fail(format!("cannot open cache dir `{dir}`: {e}")),
+        },
+        None => std::sync::Arc::new(EvalCache::new()),
+    };
+    let supervisor = Supervisor { max_retries, on_failure, unit_budget, ..Supervisor::default() };
+    let broker = std::sync::Arc::new(Broker::new(
+        std::sync::Arc::clone(&cache),
+        BrokerConfig { threads, queue_depth, supervisor, mode: ExecutionMode::Serial },
+    ));
+    install_shutdown_handler();
+
+    // Accept loops are nonblocking so the SIGTERM latch is polled
+    // between accepts; each connection gets its own reader thread.
+    let poll = std::time::Duration::from_millis(25);
+    match endpoint {
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(l) => l,
+                Err(e) => return fail(format!("cannot bind unix socket `{path}`: {e}")),
+            };
+            if listener.set_nonblocking(true).is_err() {
+                return fail("cannot set the listener nonblocking".to_owned());
+            }
+            println!("# serving on unix:{path}");
+            let _ = std::io::stdout().flush();
+            while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let broker = std::sync::Arc::clone(&broker);
+                        let Ok(writer) = stream.try_clone() else { continue };
+                        std::thread::spawn(move || {
+                            serve_connection(stream, Box::new(writer), &broker);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) => {
+                        eprintln!("# accept failed: {e}");
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+            drop(listener);
+            let _ = std::fs::remove_file(&path);
+        }
+        Endpoint::Tcp(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => return fail(format!("cannot bind tcp address `{addr}`: {e}")),
+            };
+            if listener.set_nonblocking(true).is_err() {
+                return fail("cannot set the listener nonblocking".to_owned());
+            }
+            println!("# serving on tcp:{addr}");
+            let _ = std::io::stdout().flush();
+            while !SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let broker = std::sync::Arc::clone(&broker);
+                        let Ok(writer) = stream.try_clone() else { continue };
+                        std::thread::spawn(move || {
+                            serve_connection(stream, Box::new(writer), &broker);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(e) => {
+                        eprintln!("# accept failed: {e}");
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+        }
+    }
+    // Graceful drain: flush pending points through their batches and
+    // write every owed reply before exiting. Connections still blocked
+    // in read die with the process.
+    eprintln!("# shutdown: draining in-flight batches");
+    broker.drain();
+    let c = broker.counters();
+    eprintln!(
+        "# served {} request(s): {} evaluated, {} coalesced, {} cache replies, {} shed",
+        c.requests, c.evaluated, c.coalesced, c.cache_replies, c.overloaded
+    );
+    ExitCode::SUCCESS
+}
+
+/// `busnet request`: a line-oriented client for `busnet serve`. Sends
+/// every nonempty stdin line as a request, half-closes the write side,
+/// and copies reply lines to stdout until the server has answered them
+/// all (the connection closes once the last owed reply is written).
+fn run_request(args: &[String]) -> ExitCode {
+    let mut flags = Flags::new(args);
+    let unix_spec = flags.value("--unix").map(str::to_owned);
+    let tcp_spec = flags.value("--tcp").map(str::to_owned);
+    if let Err(e) = flags.finish() {
+        eprintln!("{e}\nrun `busnet` without arguments for usage");
+        return ExitCode::FAILURE;
+    }
+    let fail = |msg: String| {
+        eprintln!("{msg}");
+        ExitCode::FAILURE
+    };
+    let endpoint = match parse_endpoint(unix_spec.as_deref(), tcp_spec.as_deref()) {
+        Ok(e) => e,
+        Err(e) => return fail(e),
+    };
+    fn roundtrip(
+        mut write_half: impl Write,
+        read_half: impl std::io::Read,
+        half_close: impl FnOnce(),
+    ) -> std::io::Result<()> {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        let mut batch = String::new();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            batch.push_str(&line);
+            batch.push('\n');
+        }
+        write_half.write_all(batch.as_bytes())?;
+        write_half.flush()?;
+        half_close();
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for reply in std::io::BufReader::new(read_half).lines() {
+            let reply = reply?;
+            out.write_all(reply.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        out.flush()
+    }
+    let result = match endpoint {
+        Endpoint::Unix(path) => match std::os::unix::net::UnixStream::connect(&path) {
+            Ok(stream) => match stream.try_clone() {
+                Ok(writer) => {
+                    let closer = stream.try_clone();
+                    roundtrip(writer, stream, move || {
+                        if let Ok(s) = closer {
+                            let _ = s.shutdown(std::net::Shutdown::Write);
+                        }
+                    })
+                }
+                Err(e) => Err(e),
+            },
+            Err(e) => return fail(format!("cannot connect to unix socket `{path}`: {e}")),
+        },
+        Endpoint::Tcp(addr) => match std::net::TcpStream::connect(&addr) {
+            Ok(stream) => match stream.try_clone() {
+                Ok(writer) => {
+                    let closer = stream.try_clone();
+                    roundtrip(writer, stream, move || {
+                        if let Ok(s) = closer {
+                            let _ = s.shutdown(std::net::Shutdown::Write);
+                        }
+                    })
+                }
+                Err(e) => Err(e),
+            },
+            Err(e) => return fail(format!("cannot connect to `{addr}`: {e}")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(format!("request round trip failed: {e}")),
+    }
+}
+
 /// A fast sanity pass for CI: a handful of Table 3/4-style points on
 /// the event engine, gated by a pinned **event budget** per scenario —
 /// a portable proxy for wall-clock regressions. The event engine
@@ -1803,6 +2094,53 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         supervised_overhead * 100.0
     );
 
+    // Serve-mode dedup: a duplicate-heavy request stream (four
+    // clients' worth of the same 16-point grid) through the broker.
+    // Coalescing plus the memo cache must hold actual evaluations to
+    // the unique-point count.
+    eprintln!("# timing the serve broker over a duplicate-heavy request stream...");
+    let serve_cache = std::sync::Arc::new(EvalCache::new());
+    let broker = Broker::new(
+        std::sync::Arc::clone(&serve_cache),
+        BrokerConfig { threads, ..BrokerConfig::default() },
+    );
+    let serve_sink: std::sync::Arc<ReplySink> =
+        std::sync::Arc::new(LineSink::new(Box::new(std::io::sink()) as Box<dyn Write + Send>));
+    let serve_unique = 16u64;
+    let serve_requests = 64u64;
+    let serve_start = Instant::now();
+    for i in 0..serve_requests {
+        let n = 2 + (i % serve_unique) * 2;
+        let line = format!(
+            "{{\"id\":{i},\"scenario\":{{\"n\":{n},\"m\":16,\"r\":8,\
+             \"buffering\":\"buffered\"}},\"evaluator\":\"pfqn\"}}"
+        );
+        match parse_request(&line) {
+            Ok(Request::Eval(req)) => broker.submit(req, &serve_sink),
+            other => {
+                eprintln!("bench request failed to parse: {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    broker.drain();
+    let serve_secs = serve_start.elapsed().as_secs_f64();
+    let serve_counters = broker.counters();
+    let serve_saved = 1.0 - serve_counters.evaluated as f64 / serve_counters.requests as f64;
+    eprintln!(
+        "# serve dedup: {} requests -> {} evaluated ({} coalesced, {} cache replies), \
+         {:.0}% evaluator calls saved",
+        serve_counters.requests,
+        serve_counters.evaluated,
+        serve_counters.coalesced,
+        serve_counters.cache_replies,
+        serve_saved * 100.0
+    );
+    if serve_saved < 0.5 {
+        eprintln!("# FAIL: duplicate-heavy serve stream saved under 50% of evaluator calls");
+        return ExitCode::FAILURE;
+    }
+
     let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
 
     let json = format!(
@@ -1864,7 +2202,14 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
          \"slice\": \"the 32-point grid above, serial, supervised (catch_unwind + retry/budget) vs bare\",\n    \
          \"bare_seconds\": {serial_secs:.3},\n    \"supervised_seconds\": {supervised_secs:.3},\n    \
          \"overhead\": {supervised_overhead:.4},\n    \"bit_identical\": {supervised_identical},\n    \
-         \"acceptance\": \"supervision overhead <= 5% event throughput, results bit-identical\"\n  }}\n}}\n",
+         \"acceptance\": \"supervision overhead <= 5% event throughput, results bit-identical\"\n  }},\n  \
+         \"serve_dedup\": {{\n    \
+         \"stream\": \"64 requests over 16 unique pfqn points (4 clients' worth of duplicates)\",\n    \
+         \"requests\": {serve_requests},\n    \"unique_points\": {serve_unique},\n    \
+         \"evaluated\": {serve_evaluated},\n    \"coalesced\": {serve_coalesced},\n    \
+         \"cache_replies\": {serve_cache_replies},\n    \"seconds\": {serve_secs:.3},\n    \
+         \"evaluator_calls_saved\": {serve_saved:.3},\n    \
+         \"acceptance\": \"duplicate-heavy stream saves >= 50% of evaluator calls\"\n  }}\n}}\n",
         engine = engine.name(),
         host_os = std::env::consts::OS,
         host_arch = std::env::consts::ARCH,
@@ -1872,6 +2217,9 @@ fn run_bench_sweep(args: &[String]) -> ExitCode {
         pr3_baseline = PR3_EVENT_SECONDS_BASELINE,
         vs_pr3 = PR3_EVENT_SECONDS_BASELINE / event_secs,
         queue_runs = queue_json_parts.join(",\n      "),
+        serve_evaluated = serve_counters.evaluated,
+        serve_coalesced = serve_counters.coalesced,
+        serve_cache_replies = serve_counters.cache_replies,
         screen_tol = screen_plan.tolerance,
         screen_points = screen_grid.len(),
     );

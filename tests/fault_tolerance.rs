@@ -363,3 +363,60 @@ fn hostile_cli_inputs_never_panic() {
         assert!(!stderr.contains("panicked"), "busnet {case:?} panicked:\n{stderr}");
     }
 }
+
+/// Regression: a unit panicking mid-sweep under the supervisor used to
+/// poison the shared cache mutex, turning every later lookup/insert
+/// into a `PoisonError` panic. The cache now recovers the guard, so a
+/// chaos sweep's survivors land in the cache and a follow-up sweep
+/// replays them.
+#[test]
+fn mid_sweep_panics_do_not_poison_the_cache() {
+    use busnet::core::cache::EvalCache;
+
+    silence_injected_panics();
+    let scenarios = smoke_grid();
+    let cache = EvalCache::new();
+    let sim = BusSimEval::new(SimBudget::quick());
+    let evaluators: [&dyn Evaluator; 1] = [&sim];
+    let sup = Supervisor {
+        max_retries: 0,
+        backoff_base_ms: 0,
+        on_failure: OnFailure::Skip,
+        ..Supervisor::default()
+    };
+    let plan = FaultPlan::new(23, 0.5).unwrap().with_sites(&[FaultSite::UnitPanic]);
+    let options = SweepOptions {
+        cache: Some(&cache),
+        supervise: Some(&sup),
+        faults: Some(&plan),
+        ..SweepOptions::new(ExecutionMode::Parallel)
+    };
+    let chaos = run_sweep_with(&scenarios, &evaluators, &options, |_, _, _| {});
+    let survivors = chaos.iter().filter(|r| r.status == UnitStatus::Ok).count();
+    let failed = chaos.iter().filter(|r| r.status == UnitStatus::Failed).count();
+    assert!(
+        survivors > 0 && failed > 0,
+        "plan must split the grid ({survivors} ok, {failed} failed)"
+    );
+
+    // The cache stayed usable through the panics: survivors were
+    // inserted, and a fault-free follow-up sweep replays every one of
+    // them while freshly evaluating only the casualties.
+    assert_eq!(cache.len(), survivors, "every survivor was cached despite mid-sweep panics");
+    let options =
+        SweepOptions { cache: Some(&cache), ..SweepOptions::new(ExecutionMode::Parallel) };
+    let replay = run_sweep_with(&scenarios, &evaluators, &options, |_, _, _| {});
+    for (c, r) in chaos.iter().zip(&replay) {
+        assert_eq!(r.status, UnitStatus::Ok, "follow-up sweep fills the gaps");
+        let replayed = r.result.as_ref().expect("fault-free record");
+        match (c.status, &c.result) {
+            (UnitStatus::Ok, Ok(original)) => {
+                assert!(r.cached, "survivor replays from the cache at {}", r.scenario.label());
+                assert_eq!(original, replayed, "cached replay bit-identical");
+            }
+            _ => assert!(!r.cached, "casualties re-evaluate at {}", r.scenario.label()),
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits as usize, survivors, "one hit per survivor on replay");
+}
